@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's reported quantities
+(see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+paper-vs-measured record).  Each test prints the reproduced rows —
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them —
+and asserts the qualitative *shape* the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduced table under a banner (visible with -s)."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{text}")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once through pytest-benchmark.
+
+    Simulation benches are deterministic and moderately expensive;
+    a single round records wall time without multiplying the work.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,73 @@
+"""E9 — the foreseen seam mapping on the checkerboard problem.
+
+Paper: "a seam mapping problem (such as would be appropriate for the
+checkerboard approach to the successive over-relaxation problem) can be
+foreseen.  These other forms are beyond the scope of the present paper."
+
+This extension implements it: red/black sweep phases whose row-block
+granules enable across the colour seam (block i of the next colour needs
+blocks i-1, i, i+1 of the current colour).  Regenerated as a
+barrier-vs-seam comparison over several grid/processor shapes; the seam
+mapping must recover most of the identity-style gain while remaining
+safe (verified against the PARALLEL predicate on the declared stencils).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.mapping import SeamMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.predicate import overlap_is_safe
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+from repro.metrics.report import format_table
+from repro.workloads.checkerboard import checkerboard_program
+
+COSTS = ExecutiveCosts(0.1, 0.1, 0.1, 0.05, 0.05, 0.05, 0.001)
+
+
+def sweep():
+    rows = []
+    gains = []
+    for grid, workers in ((64, 6), (96, 8), (128, 12)):
+        prog = checkerboard_program(
+            grid_side=grid, rows_per_granule=2, n_iterations=2, cost_per_cell=0.02
+        )
+        rb = run_program(prog, workers, config=OverlapConfig.barrier(), costs=COSTS,
+                         sizer=TaskSizer(2.0))
+        ro = run_program(prog, workers, config=OverlapConfig(), costs=COSTS,
+                         sizer=TaskSizer(2.0))
+        gain = rb.makespan / ro.makespan
+        rows.append((f"{grid}x{grid}", workers, rb.makespan, ro.makespan,
+                     f"{rb.utilization:.1%}", f"{ro.utilization:.1%}", f"{gain:.3f}"))
+        gains.append(gain)
+    return rows, gains
+
+
+def test_e9_seam_mapping(once):
+    rows, gains = once(sweep)
+    emit(
+        "E9: seam-mapped checkerboard sweeps, barrier vs overlap",
+        format_table(
+            ["grid", "workers", "barrier span", "seam span",
+             "barrier util", "seam util", "gain"],
+            rows,
+        ),
+    )
+    assert all(g > 1.0 for g in gains)
+
+
+def test_e9_seam_is_safe_identity_is_not(once):
+    """The machine-checked reason the seam mapping exists: identity
+    enablement over a stencil dependence violates PARALLEL(q, r)."""
+    from repro.core.mapping import IdentityMapping
+
+    prog = checkerboard_program(32, rows_per_granule=2)
+    red, black = prog.phases["red0"], prog.phases["black0"]
+
+    def check():
+        seam_ok = overlap_is_safe(red, black, SeamMapping((-1, 0, 1))).safe
+        identity_ok = overlap_is_safe(red, black, IdentityMapping()).safe
+        return seam_ok, identity_ok
+
+    seam_ok, identity_ok = once(check)
+    assert seam_ok and not identity_ok

@@ -1,0 +1,90 @@
+"""F3 — management-cycle overhead sensitivity.
+
+Paper: the overlap scheme "presumes that completion processing and task
+scheduling time is small with respect to task execution time.  In
+particular, it assumes that one such completion, enablement, and
+scheduling cycle for each of the processors in the system can be
+completed in a single task execution time" (p · cycle ≤ task).
+
+Regenerated as a sweep of the management-cycle / task-time ratio: while
+the feasibility predicate holds, overlap keeps its gain; once the
+executive cycle for all processors no longer fits in a task time, the
+serial executive becomes the bottleneck and the gain collapses (and can
+invert).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis import management_cycle_feasible
+from repro.core.mapping import IdentityMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+from repro.metrics.report import format_table
+
+N = 128
+WORKERS = 8
+TASK_GRANULES = 8  # tasks_per_processor = 2
+TASK_TIME = float(TASK_GRANULES)  # granule cost 1.0
+
+
+def sweep():
+    prog = PhaseProgram.chain(
+        [PhaseSpec("A", N, ConstantCost(1.0)), PhaseSpec("B", N, ConstantCost(1.0))],
+        [IdentityMapping()],
+    )
+    rows = []
+    data = []
+    base = ExecutiveCosts(1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.01)
+    for scale in (0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0):
+        costs = base.scaled(scale)
+        cycle = costs.cycle_time()
+        feasible = management_cycle_feasible(WORKERS, cycle, TASK_TIME)
+        rb = run_program(prog, WORKERS, config=OverlapConfig.barrier(), costs=costs,
+                         sizer=TaskSizer(2.0))
+        ro = run_program(prog, WORKERS, config=OverlapConfig(), costs=costs,
+                         sizer=TaskSizer(2.0))
+        gain = rb.makespan / ro.makespan
+        rows.append(
+            (
+                f"{WORKERS * cycle / TASK_TIME:.2f}",
+                "yes" if feasible else "no",
+                rb.makespan,
+                ro.makespan,
+                f"{gain:.3f}",
+            )
+        )
+        data.append((feasible, gain, rb, ro))
+    return rows, data
+
+
+def test_f3_overhead_sensitivity(once):
+    from repro.metrics import bar_chart
+
+    rows, data = once(sweep)
+    emit(
+        "F3: management-cycle overhead sweep (p*cycle/task; feasible when <= 1)",
+        format_table(
+            ["p*cycle/task", "feasible", "barrier span", "overlap span", "overlap gain"],
+            rows,
+        )
+        + "\n\n"
+        + bar_chart(
+            [f"ratio {r[0]} ({'ok' if r[1] == 'yes' else 'INFEASIBLE'})" for r in rows],
+            [d[1] for d in data],
+            title="overlap gain vs management load (| marks gain = 1.0)",
+            baseline=1.0,
+        ),
+    )
+    feasible_gains = [g for f, g, _, _ in [(d[0], d[1], d[2], d[3]) for d in data] if f]
+    infeasible_gains = [d[1] for d in data if not d[0]]
+    assert feasible_gains and infeasible_gains
+    # in the feasible regime overlap helps
+    assert min(feasible_gains) > 1.0
+    # the best feasible gain beats the worst infeasible one (the paper's
+    # assumption is exactly the boundary of usefulness)
+    assert max(feasible_gains) > min(infeasible_gains)
+    # gains degrade monotonically-ish: the heaviest executive never beats
+    # the lightest
+    assert data[0][1] >= data[-1][1]

@@ -1,0 +1,91 @@
+"""F5 — composite-granule-map generation cost.
+
+Paper: "In the PAX/CASPER UNIVAC 1100 test bed, executive computation
+was done at the direct expense of worker computation.  Thus, extensive
+composite granule map generation could be self defeating.  Some real
+parallel machines may provide separate executive computing resources, in
+which case the generation and use of composite granule maps would not be
+out of the question."
+
+Regenerated as a sweep of map-generation cost per entry on a
+reverse-indirect pair, shared vs dedicated executive: on the shared
+machine the map bill lands on a worker processor and eats the overlap
+gain far sooner than on the dedicated machine.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.mapping import ReverseIndirectMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+from repro.metrics.report import format_table
+from repro.sim.machine import ExecutivePlacement
+
+N = 96
+WORKERS = 6
+FAN_IN = 2
+
+
+def program():
+    """Identity-structured selection map: successor i needs predecessors
+    i and max(i-1, 0) — enablement tracks phase progress, so overlap has
+    real value to erode as the map gets expensive."""
+    import numpy as np
+
+    def gen(rng):
+        idx = np.arange(N)
+        return np.vstack([idx, np.maximum(idx - 1, 0)])
+
+    return PhaseProgram.chain(
+        [PhaseSpec("A", N), PhaseSpec("B", N)],
+        [ReverseIndirectMapping("IMAP", fan_in=FAN_IN)],
+        map_generators={"IMAP": gen},
+    )
+
+
+def sweep():
+    rows = []
+    data = {}
+    prog = program()
+    for placement in (ExecutivePlacement.DEDICATED, ExecutivePlacement.SHARED):
+        barrier = run_program(
+            prog, WORKERS, config=OverlapConfig.barrier(),
+            costs=ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.0),
+            sizer=TaskSizer(2.0), placement=placement, seed=3,
+        )
+        for map_entry in (0.0, 0.01, 0.05, 0.2):
+            costs = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, map_entry)
+            ro = run_program(
+                prog, WORKERS, config=OverlapConfig(composite_group_size=4),
+                costs=costs, sizer=TaskSizer(2.0), placement=placement, seed=3,
+            )
+            gain = barrier.makespan / ro.makespan
+            rows.append(
+                (placement.value, map_entry, barrier.makespan, ro.makespan, f"{gain:.3f}")
+            )
+            data[(placement, map_entry)] = gain
+    return rows, data
+
+
+def test_f5_indirect_map_cost(once):
+    rows, data = once(sweep)
+    emit(
+        "F5: composite-map generation cost, shared vs dedicated executive",
+        format_table(
+            ["executive", "cost/map entry", "barrier span", "overlap span", "overlap gain"],
+            rows,
+        ),
+    )
+    ded, sha = ExecutivePlacement.DEDICATED, ExecutivePlacement.SHARED
+    # with a free map, overlap helps on both machines
+    assert data[(ded, 0.0)] > 1.0
+    assert data[(sha, 0.0)] > 1.0
+    # making the map expensive erodes the gain — "extensive composite
+    # granule map generation could be self defeating" — all the way past
+    # break-even on both machines
+    assert data[(ded, 0.2)] < data[(ded, 0.0)]
+    assert data[(sha, 0.2)] < data[(sha, 0.0)]
+    assert data[(ded, 0.2)] < 1.0
+    assert data[(sha, 0.2)] < 1.0

@@ -1,0 +1,86 @@
+"""F7 — priority elevation of enabling current-phase granules.
+
+Paper: for indirect mappings, the current-phase granules that enable a
+targeted successor subset "are not necessarily the current phase
+granules that would be naturally selected by the scheduling mechanism,
+they should be split into individual descriptions and placed in the
+waiting computation queue in such a manner as to elevate their
+computational priority."
+
+Regenerated on a reverse-indirect pair whose selection map points at the
+*back* of the predecessor space (the natural front-to-back order is
+maximally wrong): elevation pulls the enabling granules forward, so the
+first successor task starts much earlier and the makespan drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.core.mapping import ReverseIndirectMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+from repro.metrics.report import format_table
+
+N = 128
+WORKERS = 8
+COSTS = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.0005)
+
+
+def adversarial_program() -> PhaseProgram:
+    """Every successor granule depends on the tail cluster of predecessors.
+
+    ``IMAP[i] = N-8 + (i % 8)``: the eight enabling granules are the ones
+    the natural front-to-back dispatch order runs *last*, so without
+    elevation nothing of the successor is computable until the
+    predecessor has essentially finished — the worst case the paper's
+    elevation strategy exists for.
+    """
+    return PhaseProgram.chain(
+        [PhaseSpec("A", N), PhaseSpec("B", N)],
+        [ReverseIndirectMapping("IMAP", fan_in=1)],
+        map_generators={"IMAP": lambda rng: (N - 8 + (np.arange(N) % 8)).copy()},
+    )
+
+
+def sweep():
+    prog = adversarial_program()
+    out = {}
+    for elevate in (False, True):
+        config = OverlapConfig(
+            elevate_enabling_granules=elevate,
+            composite_group_size=8,
+        )
+        out[elevate] = run_program(
+            prog, WORKERS, config=config, costs=COSTS, sizer=TaskSizer(2.0), seed=4
+        )
+    return out
+
+
+def test_f7_priority_elevation(once):
+    results = once(sweep)
+    rows = []
+    for elevate, r in results.items():
+        succ = r.phase_stats[1]
+        rows.append(
+            (
+                "elevated" if elevate else "natural order",
+                r.makespan,
+                succ.first_task_start,
+                f"{r.utilization:.1%}",
+            )
+        )
+    emit(
+        "F7: priority elevation of enabling granules (adversarial reverse map)",
+        format_table(
+            ["queue discipline", "makespan", "first successor task at", "utilization"], rows
+        ),
+    )
+    base, elev = results[False], results[True]
+    assert base.granules_executed == elev.granules_executed
+    # elevation lets the successor start strictly earlier...
+    assert elev.phase_stats[1].first_task_start < base.phase_stats[1].first_task_start
+    # ...and the run finishes no later
+    assert elev.makespan <= base.makespan + 1e-9

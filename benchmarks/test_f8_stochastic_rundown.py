@@ -1,0 +1,105 @@
+"""F8 — stochastic rundown: unpredictable task times.
+
+Paper: "Most computations carried out by the author's parallel
+Navier-Stokes solver could not even be ascribed with definite execution
+times … As a result, there was no assurance that individual processors
+could be kept busy as a particular computational phase drew to a close."
+
+Regenerated in two parts:
+
+* F8a — a single wave of exponential tasks (one per processor) loses
+  idle processor-time matching the closed form
+  ``p·mean·(H_p − 1)`` — rundown exists even with a *perfect*
+  computation-count-to-processor ratio, purely from variance;
+* F8b — with an identity-mapped successor overlapped, the same stochastic
+  phase's rundown window fills and the makespan drops.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import exponential_wave_idle
+from repro.core.mapping import IdentityMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+from repro.metrics.report import format_table
+from repro.metrics.rundown import rundown_report
+from repro.workloads.generators import ExponentialCost
+
+P = 10
+MEAN = 1.0
+ONE_PER_TASK = TaskSizer(tasks_per_processor=1e9, max_task_size=1)
+
+
+def measure_single_wave(n_trials: int = 200):
+    """Mean idle time over seeds of a p-task exponential wave on p procs."""
+    prog = PhaseProgram([PhaseSpec("wave", P, ExponentialCost(MEAN))])
+    total = 0.0
+    for seed in range(n_trials):
+        r = run_program(prog, P, costs=ExecutiveCosts.free(), sizer=ONE_PER_TASK, seed=seed)
+        rep = rundown_report(r, 0)
+        total += rep.idle_time if rep else 0.0
+    return total / n_trials
+
+
+def measure_overlap_recovery():
+    prog = PhaseProgram.chain(
+        [
+            PhaseSpec("noisy", 4 * P, ExponentialCost(MEAN)),
+            PhaseSpec("next", 4 * P, ExponentialCost(MEAN)),
+        ],
+        [IdentityMapping()],
+    )
+    sizer = TaskSizer(tasks_per_processor=2.0)
+    spans = {"barrier": 0.0, "overlap": 0.0}
+    utils = {"barrier": 0.0, "overlap": 0.0}
+    trials = 25
+    for seed in range(trials):
+        rb = run_program(prog, P, config=OverlapConfig.barrier(),
+                         costs=ExecutiveCosts.free(), sizer=sizer, seed=seed)
+        ro = run_program(prog, P, config=OverlapConfig(),
+                         costs=ExecutiveCosts.free(), sizer=sizer, seed=seed)
+        spans["barrier"] += rb.makespan / trials
+        spans["overlap"] += ro.makespan / trials
+        rep_b = rundown_report(rb, 0)
+        rep_o = rundown_report(ro, 0)
+        utils["barrier"] += (rep_b.utilization if rep_b else 1.0) / trials
+        utils["overlap"] += (rep_o.utilization if rep_o else 1.0) / trials
+    return spans, utils
+
+
+def test_f8a_variance_alone_causes_rundown(once):
+    measured = once(measure_single_wave)
+    predicted = exponential_wave_idle(P, MEAN)
+    emit(
+        "F8a: one wave of exponential tasks (perfect count/processor ratio)",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("processors = tasks", P),
+                ("measured mean idle processor-time", measured),
+                ("closed form p*mean*(H_p - 1)", predicted),
+            ],
+        ),
+    )
+    assert measured == pytest.approx(predicted, rel=0.15)
+    assert measured > 0  # rundown with zero leftover computations
+
+
+def test_f8b_overlap_fills_stochastic_rundown(once):
+    spans, utils = once(measure_overlap_recovery)
+    emit(
+        "F8b: identity overlap under exponential task times (mean of 25 seeds)",
+        format_table(
+            ["case", "mean makespan", "mean rundown utilization"],
+            [
+                ("barrier", spans["barrier"], f"{utils['barrier']:.1%}"),
+                ("overlap", spans["overlap"], f"{utils['overlap']:.1%}"),
+            ],
+        ),
+    )
+    assert spans["overlap"] < spans["barrier"]
+    assert utils["overlap"] > utils["barrier"]

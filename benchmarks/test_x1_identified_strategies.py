@@ -1,0 +1,111 @@
+"""X1 — the paper's identified follow-on strategies, implemented.
+
+Paper (introduction): "There are additional strategies which have been
+identified for development.  These include a middle management scheme to
+parallelize the serial management function, a direct worker-to-worker
+lateral communication scheme, and a data-proximity work assignment
+algorithm.  These strategies combined with the overlapping of
+computational phases should enhance the management overhead situation."
+
+Regenerated as two ablations on an identity-linked three-phase chain:
+
+* X1a — an *executive-saturated* machine (heavy per-action costs): middle
+  management and lateral hand-off each relieve the serial-management
+  bottleneck; combined they stack.
+* X1b — a machine with *data-movement costs* (remote chunks run 2×
+  slower): the proximity policy routes each worker to the chunk adjacent
+  to its previous data region, and lateral hand-off (perfect locality by
+  construction) stacks on top.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.core.mapping import IdentityMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, Extensions, TaskSizer, run_program
+from repro.metrics.report import format_table
+
+HEAVY_MGMT = ExecutiveCosts(0.5, 0.5, 0.5, 0.25, 0.25, 0.25, 0.01)
+LIGHT_MGMT = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001)
+
+
+def chain(n_phases=3, n=128):
+    return PhaseProgram.chain(
+        [PhaseSpec(f"p{i}", n) for i in range(n_phases)],
+        [IdentityMapping()] * (n_phases - 1),
+    )
+
+
+def sweep_management():
+    prog = chain()
+    cases = {
+        "serial executive (paper baseline)": Extensions(),
+        "middle management (4 executives)": Extensions(middle_managers=4),
+        "lateral hand-off": Extensions(lateral_handoff=True, lateral_cost=0.05),
+        "both": Extensions(middle_managers=4, lateral_handoff=True, lateral_cost=0.05),
+    }
+    out = {}
+    for label, ext in cases.items():
+        out[label] = run_program(
+            prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+            sizer=TaskSizer(4.0), extensions=ext,
+        )
+    return out
+
+
+def sweep_proximity():
+    prog = chain(n_phases=4)
+    cases = {
+        "no locality policy": Extensions(remote_penalty=2.0),
+        "data-proximity assignment": Extensions(data_proximity=True, remote_penalty=2.0),
+        "proximity + lateral hand-off": Extensions(
+            data_proximity=True, remote_penalty=2.0, lateral_handoff=True
+        ),
+    }
+    out = {}
+    for label, ext in cases.items():
+        out[label] = run_program(
+            prog, 8, config=OverlapConfig(), costs=LIGHT_MGMT,
+            sizer=TaskSizer(4.0), extensions=ext,
+        )
+    return out
+
+
+def test_x1a_management_parallelization(once):
+    results = once(sweep_management)
+    rows = [
+        (label, r.makespan, f"{r.utilization:.1%}", r.lateral_handoffs)
+        for label, r in results.items()
+    ]
+    emit(
+        "X1a: parallelizing the serial management function "
+        "(executive-saturated machine)",
+        format_table(["strategy", "makespan", "utilization", "lateral hand-offs"], rows),
+    )
+    base = results["serial executive (paper baseline)"]
+    mm = results["middle management (4 executives)"]
+    lat = results["lateral hand-off"]
+    both = results["both"]
+    assert all(r.granules_executed == base.granules_executed for r in results.values())
+    assert mm.makespan < base.makespan
+    assert lat.makespan < base.makespan
+    assert both.makespan <= min(mm.makespan, lat.makespan) + 1e-9
+
+
+def test_x1b_data_proximity(once):
+    results = once(sweep_proximity)
+    rows = [
+        (label, r.makespan, f"{r.utilization:.1%}", r.lateral_handoffs)
+        for label, r in results.items()
+    ]
+    emit(
+        "X1b: data-proximity work assignment (remote chunks 2x slower)",
+        format_table(["strategy", "makespan", "utilization", "lateral hand-offs"], rows),
+    )
+    base = results["no locality policy"]
+    prox = results["data-proximity assignment"]
+    both = results["proximity + lateral hand-off"]
+    assert prox.makespan < base.makespan
+    assert both.makespan < prox.makespan

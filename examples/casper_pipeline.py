@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Run the synthetic CASPER suite and print the paper's census.
+
+CASPER was the parallel Navier–Stokes solver whose 22 phases / 1188
+parallel lines provide the paper's measurements.  This example builds
+the synthetic suite (whose declared array footprints classify to exactly
+the published census), prints the census table, and executes the suite
+on the simulated executive with and without overlap — shared and
+dedicated executive placements.
+
+Run:  python examples/casper_pipeline.py
+"""
+
+from repro import ExecutiveCosts, ExecutivePlacement, OverlapConfig, TaskSizer, run_program
+from repro.core.classifier import classify_program
+from repro.metrics import census_table
+from repro.workloads.casper import casper_suite
+
+
+def main() -> None:
+    program = casper_suite()
+    census = classify_program(program, wrap=True)
+    print(census_table(census, title="PAX/CASPER enablement mapping census (reproduced)"))
+    print()
+    print(f"easily overlapped phases : {census.easily_overlapped_phase_fraction():.0%} (paper: 68%)")
+    print(f"easily overlapped lines  : {census.easily_overlapped_line_fraction():.0%} (paper: 68%)")
+    print(f"amenable with effort     : {census.amenable_phase_fraction():.0%} (paper: >90% after "
+          "restructuring the serial decisions behind the null mappings)")
+
+    costs = ExecutiveCosts.pax_like(granule_time=1.0, ratio=200.0)
+    sizer = TaskSizer(tasks_per_processor=3.0)
+
+    print("\nexecution on the simulated machine (16 workers):")
+    header = f"  {'configuration':34s} {'makespan':>10s} {'util':>7s} {'comp/mgmt':>10s}"
+    print(header)
+    for placement in (ExecutivePlacement.DEDICATED, ExecutivePlacement.SHARED):
+        for label, config in (
+            ("strict barriers", OverlapConfig.barrier()),
+            ("next-phase overlap", OverlapConfig()),
+        ):
+            r = run_program(
+                program, 16, config=config, costs=costs, sizer=sizer,
+                placement=placement, seed=42,
+            )
+            name = f"{placement.value} exec, {label}"
+            print(f"  {name:34s} {r.makespan:10.1f} {r.utilization:6.1%} {r.comp_mgmt_ratio:10.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Particle dynamics: a *real* dynamically generated selection map.
+
+The paper's reverse-indirect mapping arose from dynamically generated
+information-selection maps.  Here the map is physical: each particle's
+force sums contributions from its nearest neighbours, and the neighbour
+list — rebuilt between steps as the particles move — is the ``IMAP``.
+
+Part 1 integrates the chain and reports conservation diagnostics.
+Part 2 runs the per-step phase structure (forces → integrate, with the
+serial neighbour-list rebuild between steps) through the simulated
+executive and shows the identity overlap inside each step plus the
+serial barrier between steps — the paper's null mapping, observed in the
+wild.
+
+Run:  python examples/particle_dynamics.py
+"""
+
+from repro import ExecutiveCosts, OverlapConfig, run_program
+from repro.metrics import render_gantt
+from repro.workloads.particles import ParticleChain, particle_program
+
+
+def real_physics() -> None:
+    print("=== Part 1: the particle chain ===")
+    chain = ParticleChain(n=64, n_neighbors=4, dt=0.005, seed=11)
+    print(f"  particles            : {chain.n} (box {chain.box:g})")
+    print(f"  initial total energy : {chain.total_energy():.4f}")
+    for _ in range(200):
+        chain.step()
+    print(f"  after {chain.steps} steps      : energy {chain.total_energy():.4f}, "
+          f"{chain.rebuilds} neighbour-list rebuilds")
+
+
+def simulated_pipeline() -> None:
+    print("\n=== Part 2: the phase pipeline on the simulated executive ===")
+    program = particle_program(n=96, n_neighbors=4, n_steps=3, rebuild_cost=4.0)
+    costs = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001)
+    barrier = run_program(program, 8, config=OverlapConfig.barrier(), costs=costs, seed=1)
+    overlap = run_program(
+        program, 8, config=OverlapConfig(verify_safety=True), costs=costs, seed=1
+    )
+    print(f"  barrier : makespan {barrier.makespan:7.1f}, utilization {barrier.utilization:.1%}")
+    print(f"  overlap : makespan {overlap.makespan:7.1f}, utilization {overlap.utilization:.1%} "
+          f"(safety-verified)")
+    print(f"  serial neighbour-list rebuilds cost {overlap.serial_time:.1f} executive time")
+    print("\n  schedule (f=forces, i=integrate, s=rebuild):")
+    print(render_gantt(overlap.trace, width=90))
+
+
+def main() -> None:
+    real_physics()
+    simulated_pipeline()
+
+
+if __name__ == "__main__":
+    main()

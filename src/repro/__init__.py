@@ -1,0 +1,126 @@
+"""repro — reproduction of Jones (ICPP 1986), *Increasing Processor
+Utilization During Parallel Computation Rundown* (NASA TM-87349).
+
+The package rebuilds the paper's system in Python:
+
+* the **enablement-mapping taxonomy** and the ``PARALLEL(x, y)`` overlap
+  theorem (:mod:`repro.core`);
+* a **PAX-style dynamic executive** — waiting computation queue, conflict
+  queues, demand-driven description splitting, composite granule maps and
+  enablement counters (:mod:`repro.executive`);
+* a **deterministic discrete-event multiprocessor** standing in for the
+  UNIVAC 1100 test bed (:mod:`repro.sim`);
+* the proposed **PAX language construct** with executive-verified
+  interlocks (:mod:`repro.lang`);
+* the **workloads**: the paper's Fortran fragments, a synthetic CASPER
+  with the exact published mapping census, checkerboard SOR, and a small
+  Navier–Stokes pipeline (:mod:`repro.workloads`);
+* **metrics** and **closed-form models** for utilization and rundown idle
+  loss (:mod:`repro.metrics`, :mod:`repro.analysis`);
+* a **threaded runtime** validating overlap correctness on real arrays
+  (:mod:`repro.runtime`).
+
+Quickstart
+----------
+>>> from repro import (PhaseSpec, PhaseProgram, IdentityMapping,
+...                    OverlapConfig, run_program)
+>>> program = PhaseProgram.chain(
+...     [PhaseSpec("produce", 64), PhaseSpec("consume", 64)],
+...     [IdentityMapping()],
+... )
+>>> barrier = run_program(program, n_workers=8, config=OverlapConfig.barrier())
+>>> overlap = run_program(program, n_workers=8, config=OverlapConfig())
+>>> overlap.makespan < barrier.makespan
+True
+"""
+
+from repro.core.access import (
+    AccessPattern,
+    AffineIndex,
+    AllIndex,
+    ArrayRef,
+    ConstIndex,
+    MappedIndex,
+)
+from repro.core.classifier import MappingCensus, classify_pair, classify_program
+from repro.core.enablement import CompositeGranuleMap, EnablementCounter, EnablementEngine
+from repro.core.granule import GranuleRange, GranuleSet
+from repro.core.mapping import (
+    EnablementMapping,
+    ForwardIndirectMapping,
+    IdentityMapping,
+    MappingKind,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.overlap import OverlapConfig, OverlapPolicy, SplitStrategy
+from repro.core.phase import (
+    ConstantCost,
+    PhaseLink,
+    PhaseProgram,
+    PhaseSpec,
+    SerialAction,
+)
+from repro.core.predicate import AccessConflictPredicate, overlap_is_safe
+from repro.executive import (
+    ExecutiveCosts,
+    ExecutiveSimulation,
+    Extensions,
+    RunResult,
+    TaskSizer,
+    run_program,
+)
+from repro.metrics import census_table, render_gantt, rundown_reports
+from repro.lang import compile_program
+from repro.sim.machine import ExecutivePlacement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "AffineIndex",
+    "AllIndex",
+    "ArrayRef",
+    "ConstIndex",
+    "MappedIndex",
+    "MappingCensus",
+    "classify_pair",
+    "classify_program",
+    "CompositeGranuleMap",
+    "EnablementCounter",
+    "EnablementEngine",
+    "GranuleRange",
+    "GranuleSet",
+    "EnablementMapping",
+    "ForwardIndirectMapping",
+    "IdentityMapping",
+    "MappingKind",
+    "NullMapping",
+    "ReverseIndirectMapping",
+    "SeamMapping",
+    "UniversalMapping",
+    "OverlapConfig",
+    "OverlapPolicy",
+    "SplitStrategy",
+    "ConstantCost",
+    "PhaseLink",
+    "PhaseProgram",
+    "PhaseSpec",
+    "SerialAction",
+    "AccessConflictPredicate",
+    "overlap_is_safe",
+    "ExecutiveCosts",
+    "ExecutiveSimulation",
+    "Extensions",
+    "census_table",
+    "render_gantt",
+    "rundown_reports",
+    "RunResult",
+    "TaskSizer",
+    "run_program",
+    "compile_program",
+    "ExecutivePlacement",
+    "__version__",
+]

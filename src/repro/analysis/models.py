@@ -1,0 +1,197 @@
+"""Analytic models for rundown idle loss and overlap feasibility.
+
+The paper's introductory example — a 1024-points-per-side potential grid
+solved by checkerboard SOR on 1000 processors — is a pure-arithmetic
+claim: 2**20 grid points give 524 288 computations per phase, i.e. 524
+per processor with 288 left over, so 712 processors idle during the final
+wave.  :func:`leftover_wave` reproduces it; the other functions give
+closed-form expectations for the ablation benchmarks under uniform task
+times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "LeftoverWave",
+    "leftover_wave",
+    "checkerboard_phase_computations",
+    "barrier_makespan_uniform",
+    "overlap_makespan_uniform",
+    "rundown_idle_uniform",
+    "min_tasks_per_processor",
+    "management_cycle_feasible",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LeftoverWave:
+    """Final-wave accounting for ``n`` equal computations on ``p`` processors."""
+
+    n_computations: int
+    n_processors: int
+    #: Computations every processor receives in the full waves.
+    per_processor: int
+    #: Computations left over for the final, partial wave.
+    leftover: int
+    #: Processors with nothing to do during the final wave.
+    idle_processors: int
+    #: Total waves (full + the partial one, if any).
+    waves: int
+
+    @property
+    def idle_fraction_final_wave(self) -> float:
+        """Fraction of processors idle while the leftover computations run."""
+        return self.idle_processors / self.n_processors
+
+    @property
+    def utilization_bound(self) -> float:
+        """Best possible mean utilization for the phase under a barrier."""
+        return self.n_computations / (self.n_processors * self.waves)
+
+
+def leftover_wave(n_computations: int, n_processors: int) -> LeftoverWave:
+    """Final-wave idle accounting (the paper's 524 288-on-1000 example).
+
+    >>> w = leftover_wave(524_288, 1000)
+    >>> (w.per_processor, w.leftover, w.idle_processors)
+    (524, 288, 712)
+    """
+    if n_computations < 0:
+        raise ValueError(f"negative computation count {n_computations}")
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    per = n_computations // n_processors
+    leftover = n_computations % n_processors
+    idle = n_processors - leftover if leftover else 0
+    waves = per + (1 if leftover else 0)
+    return LeftoverWave(
+        n_computations=n_computations,
+        n_processors=n_processors,
+        per_processor=per,
+        leftover=leftover,
+        idle_processors=idle,
+        waves=waves,
+    )
+
+
+def checkerboard_phase_computations(grid_side: int) -> int:
+    """Computations per checkerboard phase for a square grid.
+
+    The red/black decomposition updates half the points per phase:
+    ``1024**2 / 2 == 524 288``.
+    """
+    if grid_side < 1:
+        raise ValueError(f"grid side must be >= 1, got {grid_side}")
+    return (grid_side * grid_side) // 2
+
+
+def barrier_makespan_uniform(
+    phase_tasks: Sequence[int], n_processors: int, task_time: float = 1.0
+) -> float:
+    """Makespan of a strict-barrier chain with uniform task times.
+
+    Each phase of ``k`` tasks needs ``ceil(k / p)`` waves; phases cannot
+    overlap, so waves add up.
+    """
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    return task_time * sum(math.ceil(k / n_processors) for k in phase_tasks)
+
+
+def overlap_makespan_uniform(
+    phase_tasks: Sequence[int], n_processors: int, task_time: float = 1.0
+) -> float:
+    """Lower-bound makespan when adjacent phases overlap universally.
+
+    With unrestricted (universal) next-phase overlap and one-phase
+    lookahead, each adjacent pair's tasks share waves; the bound below is
+    the work bound ``ceil(total / p)`` which a universal chain achieves
+    when every phase's task count is a multiple-free mix.
+    """
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    return task_time * math.ceil(sum(phase_tasks) / n_processors)
+
+
+def rundown_idle_uniform(n_tasks: int, n_processors: int, task_time: float = 1.0) -> float:
+    """Processor-time idle in the final wave of one barrier phase.
+
+    With synchronized waves of uniform tasks, the final wave runs
+    ``n mod p`` tasks while ``p - (n mod p)`` processors wait.
+    """
+    w = leftover_wave(n_tasks, n_processors)
+    return w.idle_processors * task_time if w.leftover else 0.0
+
+
+def min_tasks_per_processor() -> int:
+    """The paper's rule of thumb.
+
+    "there should be at the outset of the current-phase work at least two
+    tasks for each processor so that at least one task execution time will
+    be available to process the completion of the first task assigned to
+    the processor and to schedule the enabled next-phase task."
+    """
+    return 2
+
+
+def exponential_wave_idle(n_processors: int, mean_task_time: float = 1.0) -> float:
+    """Expected idle processor-time in one wave of exponential tasks.
+
+    CASPER tasks "could not even be ascribed with definite execution
+    times"; with p i.i.d. Exp(mean) tasks started together, the wave ends
+    at the maximum, whose expectation is ``mean * H_p`` (the p-th harmonic
+    number).  Processors finishing early wait, so
+
+        E[idle] = p * mean * H_p  -  p * mean.
+
+    This is the *stochastic* rundown loss — present even with a perfect
+    computation-count-to-processor ratio — and it grows like ``ln p``
+    per processor, which is why overlap matters more as machines grow.
+    """
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    if mean_task_time < 0:
+        raise ValueError(f"negative mean task time {mean_task_time}")
+    harmonic = sum(1.0 / k for k in range(1, n_processors + 1))
+    return n_processors * mean_task_time * (harmonic - 1.0)
+
+
+def executive_bound_makespan(
+    n_tasks: int, cycle_time: float, n_executives: int = 1
+) -> float:
+    """Lower bound from the serial management path.
+
+    Every task costs the executive one assignment + completion +
+    enablement cycle; with one executive those cycles serialize, so the
+    makespan can never beat ``n_tasks * cycle / n_executives``.  When this
+    exceeds the work bound, the machine is *management bound* — the
+    regime the paper's middle-management strategy (and the feasibility
+    rule :func:`management_cycle_feasible`) exists for.
+    """
+    if n_tasks < 0:
+        raise ValueError(f"negative task count {n_tasks}")
+    if cycle_time < 0:
+        raise ValueError(f"negative cycle time {cycle_time}")
+    if n_executives < 1:
+        raise ValueError(f"need at least one executive, got {n_executives}")
+    return n_tasks * cycle_time / n_executives
+
+
+def management_cycle_feasible(
+    n_processors: int, cycle_time: float, task_time: float
+) -> bool:
+    """The paper's overhead assumption as a predicate.
+
+    "it assumes that one such completion, enablement, and scheduling
+    cycle for each of the processors in the system can be completed in a
+    single task execution time" — i.e. ``p * cycle <= task``.
+    """
+    if n_processors < 1:
+        raise ValueError(f"need at least one processor, got {n_processors}")
+    if cycle_time < 0 or task_time < 0:
+        raise ValueError("negative times are not meaningful")
+    return n_processors * cycle_time <= task_time

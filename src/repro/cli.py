@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``census``
+    Print the PAX/CASPER enablement-mapping census (T1).
+``leftover N P``
+    Final-wave arithmetic for N computations on P processors (T2).
+``simulate``
+    Run a built-in workload on the simulated executive and report
+    makespan/utilization (optionally an ASCII Gantt chart).
+``compile FILE``
+    Verify and compile a PAX-language source file; print the resolved
+    schedule and enablement links, optionally simulate it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import leftover_wave
+from repro.core.classifier import classify_program
+from repro.core.overlap import OverlapConfig
+from repro.executive import ExecutiveCosts, Extensions, TaskSizer, run_program
+from repro.lang import LangError, compile_program
+from repro.metrics import census_table, render_gantt, rundown_reports
+from repro.sim.machine import ExecutivePlacement
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Jones (1986): parallel computation rundown",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("census", help="print the PAX/CASPER mapping census")
+
+    p_left = sub.add_parser("leftover", help="final-wave idle arithmetic")
+    p_left.add_argument("computations", type=int)
+    p_left.add_argument("processors", type=int)
+
+    p_sim = sub.add_parser("simulate", help="run a built-in workload")
+    p_sim.add_argument(
+        "workload",
+        choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
+    )
+    p_sim.add_argument("--workers", type=int, default=8)
+    p_sim.add_argument("--barrier", action="store_true", help="strict phase barriers")
+    p_sim.add_argument("--shared-executive", action="store_true")
+    p_sim.add_argument("--middle-managers", type=int, default=1)
+    p_sim.add_argument("--lateral-handoff", action="store_true")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--tasks-per-processor", type=float, default=2.0)
+    p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p_sim.add_argument("--gantt-width", type=int, default=100)
+    p_sim.add_argument("--save", metavar="FILE", help="write the run (summary + trace) to JSON")
+
+    p_gantt = sub.add_parser("gantt", help="render a saved trace as an ASCII Gantt chart")
+    p_gantt.add_argument("file", help="JSON written by `simulate --save` (or save_trace)")
+    p_gantt.add_argument("--width", type=int, default=100)
+    p_gantt.add_argument("--from", dest="t0", type=float, default=None)
+    p_gantt.add_argument("--to", dest="t1", type=float, default=None)
+
+    p_comp = sub.add_parser("compile", help="verify/compile a PAX source file")
+    p_comp.add_argument("file")
+    p_comp.add_argument(
+        "--set",
+        dest="bindings",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="bind a branch-condition variable",
+    )
+    p_comp.add_argument("--run", action="store_true", help="also simulate the program")
+    p_comp.add_argument("--workers", type=int, default=8)
+    return parser
+
+
+def _workload(name: str):
+    if name == "casper":
+        from repro.workloads.casper import casper_suite
+
+        return casper_suite()
+    if name == "checkerboard":
+        from repro.workloads.checkerboard import checkerboard_program
+
+        return checkerboard_program(96, rows_per_granule=4, n_iterations=2, cost_per_cell=0.02)
+    if name == "navier-stokes":
+        from repro.workloads.navier_stokes import navier_stokes_program
+
+        return navier_stokes_program(48, n_jacobi=4, rows_per_granule=2, cost_per_cell=0.02)
+    if name == "particles":
+        from repro.workloads.particles import particle_program
+
+        return particle_program(96, n_neighbors=4, n_steps=3)
+    from repro.core.mapping import IdentityMapping, UniversalMapping
+    from repro.core.phase import PhaseProgram, PhaseSpec
+
+    mapping = IdentityMapping() if name == "identity" else UniversalMapping()
+    return PhaseProgram.chain(
+        [PhaseSpec("produce", 100), PhaseSpec("consume", 100)], [mapping]
+    )
+
+
+def _cmd_census(args, out) -> int:
+    from repro.workloads.casper import casper_suite
+
+    census = classify_program(casper_suite(), wrap=True)
+    print(census_table(census, title="PAX/CASPER enablement mapping census"), file=out)
+    return 0
+
+
+def _cmd_leftover(args, out) -> int:
+    w = leftover_wave(args.computations, args.processors)
+    print(f"computations per processor : {w.per_processor}", file=out)
+    print(f"leftover computations      : {w.leftover}", file=out)
+    print(f"idle processors final wave : {w.idle_processors}", file=out)
+    print(f"waves                      : {w.waves}", file=out)
+    print(f"utilization bound          : {w.utilization_bound:.4%}", file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    program = _workload(args.workload)
+    config = OverlapConfig.barrier() if args.barrier else OverlapConfig()
+    placement = (
+        ExecutivePlacement.SHARED if args.shared_executive else ExecutivePlacement.DEDICATED
+    )
+    extensions = Extensions(
+        middle_managers=args.middle_managers,
+        lateral_handoff=args.lateral_handoff,
+    )
+    result = run_program(
+        program,
+        args.workers,
+        config=config,
+        costs=ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001),
+        sizer=TaskSizer(args.tasks_per_processor),
+        placement=placement,
+        seed=args.seed,
+        extensions=extensions,
+    )
+    mode = "barrier" if args.barrier else "next-phase overlap"
+    print(f"workload     : {args.workload} ({mode})", file=out)
+    print(f"makespan     : {result.makespan:.2f}", file=out)
+    print(f"utilization  : {result.utilization:.1%}", file=out)
+    print(f"comp/mgmt    : {result.comp_mgmt_ratio:.0f}", file=out)
+    print(f"tasks        : {result.tasks_executed}", file=out)
+    if result.lateral_handoffs:
+        print(f"lateral hand-offs: {result.lateral_handoffs}", file=out)
+    reports = rundown_reports(result)
+    if reports:
+        mean_ru = sum(r.utilization for r in reports) / len(reports)
+        print(f"mean rundown-window utilization: {mean_ru:.1%}", file=out)
+    if args.gantt:
+        print(render_gantt(result.trace, width=args.gantt_width), file=out)
+    if args.save:
+        from repro.sim.persist import save_result
+
+        save_result(result, args.save)
+        print(f"saved run to {args.save}", file=out)
+    return 0
+
+
+def _cmd_gantt(args, out) -> int:
+    import json
+
+    from repro.sim.persist import trace_from_dict
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace_data = data.get("trace", data)  # accept bare traces too
+    trace = trace_from_dict(trace_data)
+    print(render_gantt(trace, width=args.width, t0=args.t0, t1=args.t1), file=out)
+    return 0
+
+
+def _cmd_compile(args, out) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    env = {}
+    for binding in args.bindings:
+        name, _, value = binding.partition("=")
+        if not value.lstrip("-").isdigit():
+            print(f"error: --set expects NAME=INT, got {binding!r}", file=sys.stderr)
+            return 2
+        env[name] = int(value)
+    try:
+        program = compile_program(source, env=env)
+    except LangError as exc:
+        print(f"verification failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"schedule : {[getattr(s, 'name', s) for s in program.schedule]}", file=out)
+    for (a, b), mapping in sorted(program.links.items()):
+        print(f"link     : {a} -> {b}  [{mapping.kind.value}]", file=out)
+    if args.run:
+        result = run_program(program, args.workers)
+        print(f"makespan : {result.makespan:.2f}", file=out)
+        print(f"util     : {result.utilization:.1%}", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "census":
+            return _cmd_census(args, out)
+        if args.command == "leftover":
+            return _cmd_leftover(args, out)
+        if args.command == "simulate":
+            return _cmd_simulate(args, out)
+        if args.command == "compile":
+            return _cmd_compile(args, out)
+        if args.command == "gantt":
+            return _cmd_gantt(args, out)
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,73 @@
+"""The paper's primary contribution: phase-overlap machinery.
+
+Subpackages model the concepts of Jones (1986) directly:
+
+* :mod:`repro.core.granule` — indivisible computation granules and
+  interval-set algebra over them;
+* :mod:`repro.core.access` — symbolic array access patterns (the Fortran
+  fragments' ``B(I)=A(I)``, ``B(I)+=A(IMAP(J,I))``, ...);
+* :mod:`repro.core.phase` — parallel computational phase specifications;
+* :mod:`repro.core.predicate` — the logical predicate ``PARALLEL(x, y)``
+  and the phase-overlap safety condition built on it;
+* :mod:`repro.core.mapping` — the enablement-mapping taxonomy (universal,
+  identity, null, reverse indirect, forward indirect, plus the foreseen
+  seam mapping);
+* :mod:`repro.core.classifier` — automatic classification of a phase
+  pair's mapping kind from declared access patterns (reproduces the
+  PAX/CASPER census);
+* :mod:`repro.core.enablement` — composite granule maps and enablement
+  counters;
+* :mod:`repro.core.overlap` — overlap policies and control strategies.
+"""
+
+from repro.core.granule import GranuleRange, GranuleSet
+from repro.core.access import AccessPattern, AffineIndex, AllIndex, MappedIndex, ArrayRef
+from repro.core.phase import PhaseSpec, PhaseProgram, PhaseLink, SerialAction
+from repro.core.mapping import (
+    MappingKind,
+    EnablementMapping,
+    UniversalMapping,
+    IdentityMapping,
+    NullMapping,
+    ReverseIndirectMapping,
+    ForwardIndirectMapping,
+    SeamMapping,
+)
+from repro.core.predicate import ParallelPredicate, AccessConflictPredicate, overlap_is_safe
+from repro.core.classifier import classify_pair, classify_program, MappingCensus
+from repro.core.enablement import CompositeGranuleMap, EnablementCounter, EnablementEngine
+from repro.core.overlap import OverlapPolicy, SplitStrategy, OverlapConfig
+
+__all__ = [
+    "GranuleRange",
+    "GranuleSet",
+    "AccessPattern",
+    "AffineIndex",
+    "AllIndex",
+    "MappedIndex",
+    "ArrayRef",
+    "PhaseSpec",
+    "PhaseProgram",
+    "PhaseLink",
+    "SerialAction",
+    "MappingKind",
+    "EnablementMapping",
+    "UniversalMapping",
+    "IdentityMapping",
+    "NullMapping",
+    "ReverseIndirectMapping",
+    "ForwardIndirectMapping",
+    "SeamMapping",
+    "ParallelPredicate",
+    "AccessConflictPredicate",
+    "overlap_is_safe",
+    "classify_pair",
+    "classify_program",
+    "MappingCensus",
+    "CompositeGranuleMap",
+    "EnablementCounter",
+    "EnablementEngine",
+    "OverlapPolicy",
+    "SplitStrategy",
+    "OverlapConfig",
+]

@@ -1,0 +1,248 @@
+"""Symbolic array access patterns for granules.
+
+The paper identifies each enablement-mapping kind from the data-flow shape
+of Fortran fragments such as::
+
+    DO 100 I=1,N          |  DO 200 I=1,N
+        B(I)=A(I)         |      C(I)=B(I)
+    100 CONTINUE          |  200 CONTINUE
+
+To classify such pairs mechanically (and to evaluate the logical predicate
+``PARALLEL(x, y)`` on concrete granules), each phase declares, *per
+granule*, which array elements it reads and writes.  Index expressions are
+symbolic in the granule index ``I``:
+
+:class:`AffineIndex`
+    ``stride * I + offset`` — covers the identity mapping (``I``) and
+    strided block decompositions.
+:class:`MappedIndex`
+    Indirection through a named, dynamically generated integer map
+    (``IMAP(I)`` or a fan-in ``IMAP(J, I)``) — the forward / reverse
+    indirect mappings.
+:class:`AllIndex`
+    The whole array — reductions, serial decisions, broadcast reads.
+:class:`ConstIndex`
+    A single fixed element — scalar accumulators and flags.
+
+Concrete evaluation (``elements``) needs the actual map arrays for
+:class:`MappedIndex`; classification does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "IndexExpr",
+    "AffineIndex",
+    "MappedIndex",
+    "AllIndex",
+    "ConstIndex",
+    "ArrayRef",
+    "AccessPattern",
+]
+
+#: Sentinel element set meaning "every element of the array".
+ALL_ELEMENTS = None
+
+
+class IndexExpr:
+    """Base class for symbolic index expressions in the granule index."""
+
+    def elements(self, granule: int, maps: Mapping[str, np.ndarray] | None = None):
+        """Concrete element indices touched by ``granule``.
+
+        Returns a ``frozenset[int]`` or ``ALL_ELEMENTS`` (i.e. ``None``)
+        when the expression covers the whole array.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class AffineIndex(IndexExpr):
+    """``stride * I + offset``; the identity map is ``AffineIndex(1, 0)``."""
+
+    stride: int = 1
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stride == 0:
+            raise ValueError("stride 0 would make every granule touch one element; use ConstIndex")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.stride == 1 and self.offset == 0
+
+    def elements(self, granule: int, maps: Mapping[str, np.ndarray] | None = None) -> frozenset[int]:
+        return frozenset({self.stride * granule + self.offset})
+
+
+@dataclass(frozen=True, slots=True)
+class MappedIndex(IndexExpr):
+    """Indirection through the named integer map ``map_name``.
+
+    ``fan_in > 1`` models the paper's reverse-indirect fragment
+    ``B(I) += A(IMAP(J, I))`` where each granule consumes ``fan_in``
+    mapped elements (the map array is then 2-D with shape
+    ``(fan_in, n_granules)``).
+    """
+
+    map_name: str
+    fan_in: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fan_in < 1:
+            raise ValueError(f"fan_in must be >= 1, got {self.fan_in}")
+
+    def elements(self, granule: int, maps: Mapping[str, np.ndarray] | None = None) -> frozenset[int]:
+        if maps is None or self.map_name not in maps:
+            raise KeyError(f"concrete map {self.map_name!r} required to evaluate MappedIndex")
+        arr = np.asarray(maps[self.map_name])
+        if self.fan_in == 1:
+            if arr.ndim != 1:
+                raise ValueError(f"map {self.map_name!r} must be 1-D for fan_in=1, got ndim={arr.ndim}")
+            return frozenset({int(arr[granule])})
+        if arr.ndim != 2 or arr.shape[0] != self.fan_in:
+            raise ValueError(
+                f"map {self.map_name!r} must have shape ({self.fan_in}, n) for fan_in={self.fan_in}"
+            )
+        return frozenset(int(v) for v in arr[:, granule])
+
+
+@dataclass(frozen=True, slots=True)
+class AllIndex(IndexExpr):
+    """Every element of the array (reductions, serial decisions)."""
+
+    def elements(self, granule: int, maps: Mapping[str, np.ndarray] | None = None):
+        return ALL_ELEMENTS
+
+
+@dataclass(frozen=True, slots=True)
+class ConstIndex(IndexExpr):
+    """A single fixed element, independent of the granule index."""
+
+    value: int
+
+    def elements(self, granule: int, maps: Mapping[str, np.ndarray] | None = None) -> frozenset[int]:
+        return frozenset({self.value})
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayRef:
+    """A reference to elements of a named array."""
+
+    array: str
+    index: IndexExpr = field(default_factory=AffineIndex)
+
+
+@dataclass(frozen=True, slots=True)
+class AccessPattern:
+    """Per-granule read/write footprint of a phase.
+
+    Attributes
+    ----------
+    reads / writes:
+        The array elements each granule consumes / produces, as symbolic
+        :class:`ArrayRef` tuples.
+    """
+
+    reads: tuple[ArrayRef, ...] = ()
+    writes: tuple[ArrayRef, ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        reads: Iterable[ArrayRef | str] = (),
+        writes: Iterable[ArrayRef | str] = (),
+    ) -> "AccessPattern":
+        """Convenience builder: bare strings become identity-indexed refs."""
+
+        def coerce(x: ArrayRef | str) -> ArrayRef:
+            return x if isinstance(x, ArrayRef) else ArrayRef(x)
+
+        return cls(reads=tuple(coerce(r) for r in reads), writes=tuple(coerce(w) for w in writes))
+
+    def arrays_read(self) -> frozenset[str]:
+        return frozenset(r.array for r in self.reads)
+
+    def arrays_written(self) -> frozenset[str]:
+        return frozenset(w.array for w in self.writes)
+
+    def concrete(
+        self,
+        granule: int,
+        maps: Mapping[str, np.ndarray] | None = None,
+        arrays: frozenset[str] | None = None,
+    ) -> tuple[dict[str, frozenset[int] | None], dict[str, frozenset[int] | None]]:
+        """``(reads, writes)`` as ``{array: elements}`` for one granule.
+
+        An entry of ``None`` means "all elements of that array".
+        ``arrays`` restricts evaluation to the named arrays (references to
+        other arrays — possibly through maps that are not materialized —
+        are skipped).
+        """
+
+        def collect(refs: tuple[ArrayRef, ...]) -> dict[str, frozenset[int] | None]:
+            out: dict[str, frozenset[int] | None] = {}
+            for ref in refs:
+                if arrays is not None and ref.array not in arrays:
+                    continue
+                els = ref.index.elements(granule, maps)
+                if ref.array in out:
+                    prev = out[ref.array]
+                    if prev is ALL_ELEMENTS or els is ALL_ELEMENTS:
+                        out[ref.array] = ALL_ELEMENTS
+                    else:
+                        out[ref.array] = prev | els
+                else:
+                    out[ref.array] = els
+            return out
+
+        return collect(self.reads), collect(self.writes)
+
+
+def _sets_intersect(a: frozenset[int] | None, b: frozenset[int] | None) -> bool:
+    """Intersection test where ``None`` means "all elements"."""
+    if a is ALL_ELEMENTS:
+        return b is ALL_ELEMENTS or bool(b)
+    if b is ALL_ELEMENTS:
+        return bool(a)
+    return not a.isdisjoint(b)
+
+
+def conflicts(
+    pat_a: AccessPattern,
+    granule_a: int,
+    pat_b: AccessPattern,
+    granule_b: int,
+    maps: Mapping[str, np.ndarray] | None = None,
+) -> bool:
+    """Bernstein-condition conflict test between two concrete granules.
+
+    Two granules conflict when one writes an element the other reads or
+    writes.  This is the ground truth behind the logical predicate
+    ``PARALLEL(x, y)`` (see :mod:`repro.core.predicate`).
+
+    Only arrays touched by *both* patterns are evaluated — references to
+    private arrays can never conflict, and skipping them means their
+    selection maps need not be materialized for the test.
+    """
+    shared = (pat_a.arrays_read() | pat_a.arrays_written()) & (
+        pat_b.arrays_read() | pat_b.arrays_written()
+    )
+    if not shared:
+        return False
+    reads_a, writes_a = pat_a.concrete(granule_a, maps, arrays=shared)
+    reads_b, writes_b = pat_b.concrete(granule_b, maps, arrays=shared)
+    for arr, wa in writes_a.items():
+        if _sets_intersect(wa, reads_b.get(arr, frozenset())):
+            return True
+        if _sets_intersect(wa, writes_b.get(arr, frozenset())):
+            return True
+    for arr, wb in writes_b.items():
+        if _sets_intersect(wb, reads_a.get(arr, frozenset())):
+            return True
+    return False

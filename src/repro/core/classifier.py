@@ -1,0 +1,363 @@
+"""Automatic classification of phase-pair enablement mappings.
+
+The paper's census ("6 out of 22 … allow universal mapping enablement",
+etc.) was compiled by inspecting the PAX/CASPER source.  This module
+mechanizes the inspection: given two phases' declared per-granule array
+footprints, it determines which enablement-mapping kind relates them.
+
+Rules, applied per shared array and combined by taking the most
+restrictive verdict (NULL > REVERSE_INDIRECT > FORWARD_INDIRECT > SEAM >
+IDENTITY > UNIVERSAL):
+
+* a serial action between the phases forces **NULL** ("serial actions and
+  decisions had to occur between the phases");
+* no shared arrays at all gives **UNIVERSAL** ("the two computations do
+  not involve shared information of any kind");
+* successor reads the whole of a predecessor-written array (a reduction)
+  forces **NULL** — every granule needs every predecessor granule;
+* successor indexes a shared array through a dynamically generated map
+  gives **REVERSE_INDIRECT**;
+* predecessor writes through a map that the successor reads directly
+  gives **FORWARD_INDIRECT**;
+* successor reads at unit-stride affine offsets around the granule index
+  (a stencil) gives **SEAM**;
+* successor reads exactly at the granule index gives **IDENTITY**.
+
+A dependence counts whenever at least one of the two accesses is a write
+— flow, anti and output dependences alike, matching the paper's
+checkerboard argument that a location may be updated only once every
+reader of its current value has completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access import AccessPattern, AffineIndex, AllIndex, ConstIndex, IndexExpr, MappedIndex
+from repro.core.mapping import (
+    EnablementMapping,
+    ForwardIndirectMapping,
+    IdentityMapping,
+    MappingKind,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.phase import PhaseProgram, PhaseSpec
+
+__all__ = ["PairClassification", "MappingCensus", "classify_pair", "classify_program", "build_mapping"]
+
+#: Most restrictive first; classification takes the worst verdict seen.
+_SEVERITY = [
+    MappingKind.NULL,
+    MappingKind.REVERSE_INDIRECT,
+    MappingKind.FORWARD_INDIRECT,
+    MappingKind.SEAM,
+    MappingKind.IDENTITY,
+    MappingKind.UNIVERSAL,
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PairClassification:
+    """Verdict for one ``pred -> succ`` phase pair."""
+
+    pred: str
+    succ: str
+    kind: MappingKind
+    #: Stencil offsets for SEAM verdicts.
+    offsets: tuple[int, ...] = ()
+    #: Map name for indirect verdicts.
+    map_name: str = ""
+    #: The map's fan (fan-in of the mapped access) for indirect verdicts.
+    fan_in: int = 1
+    reason: str = ""
+
+
+def _touches(pattern: AccessPattern, array: str, written: bool) -> list[IndexExpr]:
+    refs = pattern.writes if written else pattern.reads
+    return [r.index for r in refs if r.array == array]
+
+
+def _dependence_atoms(
+    array: str,
+    pred: AccessPattern,
+    succ: AccessPattern,
+) -> list[tuple[str, object, str]]:
+    """The requirement *atoms* the dependences through one array impose.
+
+    Each atom is ``(kind, payload, reason)`` with kinds:
+
+    * ``("affine", offset)`` — successor granule *i* needs predecessor
+      granule *i + offset*;
+    * ``("reverse", map_name)`` — successor *i* needs the predecessor
+      granules the map's column *i* names;
+    * ``("forward", map_name)`` — successor *i* needs every predecessor
+      *g* with ``map[g] == i``;
+    * ``("null", None)`` — a coupling no single mapping expresses.
+
+    A mapped access names predecessor granules only when the *other* side
+    touches the array at its granule index (element space == granule
+    space); any other combination is a null atom — the classifier must
+    never let severity ordering paper over incomparable requirements.
+    """
+    pred_w = _touches(pred, array, written=True)
+    pred_r = _touches(pred, array, written=False)
+    succ_w = _touches(succ, array, written=True)
+    succ_r = _touches(succ, array, written=False)
+
+    dep_pairs: list[tuple[IndexExpr, IndexExpr]] = []
+    for a in pred_w:
+        for b in succ_r + succ_w:
+            dep_pairs.append((a, b))
+    for a in pred_r:
+        for b in succ_w:
+            dep_pairs.append((a, b))
+
+    def is_identity(idx: IndexExpr) -> bool:
+        return isinstance(idx, AffineIndex) and idx.is_identity
+
+    atoms: list[tuple[str, object, str]] = []
+    for a, b in dep_pairs:
+        if isinstance(b, AllIndex) or isinstance(a, AllIndex):
+            atoms.append(("null", None, f"whole-array dependence through {array!r}"))
+        elif isinstance(a, ConstIndex) and isinstance(b, ConstIndex):
+            if a.value == b.value:
+                atoms.append(("null", None, f"shared scalar dependence through {array!r}"))
+            # distinct fixed elements never conflict: no atom
+        elif isinstance(a, ConstIndex) or isinstance(b, ConstIndex):
+            atoms.append(("null", None, f"shared scalar dependence through {array!r}"))
+        elif isinstance(b, MappedIndex):
+            if is_identity(a):
+                atoms.append(
+                    ("reverse", (b.map_name, b.fan_in),
+                     f"successor indexes {array!r} through map {b.map_name!r}")
+                )
+            else:
+                atoms.append(
+                    ("null", None,
+                     f"mapped dependence through {array!r} with non-identity predecessor access")
+                )
+        elif isinstance(a, MappedIndex):
+            if is_identity(b):
+                atoms.append(
+                    ("forward", (a.map_name, a.fan_in),
+                     f"predecessor writes {array!r} through map {a.map_name!r}")
+                )
+            else:
+                atoms.append(
+                    ("null", None,
+                     f"mapped dependence through {array!r} with non-identity successor access")
+                )
+        elif isinstance(a, AffineIndex) and isinstance(b, AffineIndex):
+            if a.stride == b.stride == 1:
+                atoms.append(
+                    ("affine", b.offset - a.offset, f"stencil offset through {array!r}")
+                )
+            else:
+                atoms.append(
+                    ("null", None, f"non-unit-stride affine dependence through {array!r}")
+                )
+        else:  # pragma: no cover - defensive against new IndexExpr subclasses
+            atoms.append(("null", None, f"unrecognized index pair through {array!r}"))
+    return atoms
+
+
+def classify_pair(
+    pred: PhaseSpec,
+    succ: PhaseSpec,
+    serial_between: bool = False,
+) -> PairClassification:
+    """Classify the enablement mapping between two phases.
+
+    Requirement atoms are collected over every shared array and composed:
+    the verdict must *subsume* every atom.  Affine atoms compose into a
+    seam (identity when the only offset is 0); reverse (or forward) atoms
+    through a single map compose into that indirect mapping; any mixture
+    of incomparable atom kinds — or a whole-array / scalar coupling — is
+    a conservative NULL.  Phases lacking a declared footprint are NULL as
+    well: the executive must not overlap on missing information.
+    """
+    if serial_between:
+        return PairClassification(
+            pred.name, succ.name, MappingKind.NULL, reason="serial action between phases"
+        )
+    if pred.access is None or succ.access is None:
+        return PairClassification(
+            pred.name, succ.name, MappingKind.NULL, reason="missing access declaration"
+        )
+    shared = sorted(
+        (pred.access.arrays_written() & (succ.access.arrays_read() | succ.access.arrays_written()))
+        | (pred.access.arrays_read() & succ.access.arrays_written())
+    )
+    atoms: list[tuple[str, object, str]] = []
+    for array in shared:
+        atoms.extend(_dependence_atoms(array, pred.access, succ.access))
+
+    if not atoms:
+        return PairClassification(
+            pred.name, succ.name, MappingKind.UNIVERSAL, reason="no shared information"
+        )
+
+    nulls = [a for a in atoms if a[0] == "null"]
+    if nulls:
+        return PairClassification(pred.name, succ.name, MappingKind.NULL, reason=nulls[0][2])
+
+    offsets = sorted({a[1] for a in atoms if a[0] == "affine"})
+    reverse_maps = sorted({a[1] for a in atoms if a[0] == "reverse"})
+    forward_maps = sorted({a[1] for a in atoms if a[0] == "forward"})
+
+    kinds_present = sum(1 for group in (offsets, reverse_maps, forward_maps) if group)
+    if kinds_present > 1:
+        return PairClassification(
+            pred.name, succ.name, MappingKind.NULL,
+            reason="incomparable dependence kinds coexist (conservative)",
+        )
+    if reverse_maps:
+        if len(reverse_maps) > 1:
+            return PairClassification(
+                pred.name, succ.name, MappingKind.NULL,
+                reason="reverse dependences through multiple maps (conservative)",
+            )
+        name, fan = reverse_maps[0]
+        return PairClassification(
+            pred.name, succ.name, MappingKind.REVERSE_INDIRECT,
+            map_name=name, fan_in=fan,
+            reason=f"successor reads through map {name!r}",
+        )
+    if forward_maps:
+        if len(forward_maps) > 1:
+            return PairClassification(
+                pred.name, succ.name, MappingKind.NULL,
+                reason="forward dependences through multiple maps (conservative)",
+            )
+        name, fan = forward_maps[0]
+        return PairClassification(
+            pred.name, succ.name, MappingKind.FORWARD_INDIRECT,
+            map_name=name, fan_in=fan,
+            reason=f"predecessor writes through map {name!r}",
+        )
+    if offsets == [0]:
+        return PairClassification(
+            pred.name, succ.name, MappingKind.IDENTITY, reason="identity dependence"
+        )
+    return PairClassification(
+        pred.name, succ.name, MappingKind.SEAM,
+        offsets=tuple(offsets),
+        reason=f"stencil offsets {tuple(offsets)}",
+    )
+
+
+def build_mapping(
+    classification: PairClassification, fan_in: int | None = None
+) -> EnablementMapping:
+    """Materialize the :class:`EnablementMapping` for a classification.
+
+    ``fan_in`` overrides the fan recorded during classification (needed
+    when the classification was hand-built without access patterns).
+    """
+    kind = classification.kind
+    fan = fan_in if fan_in is not None else classification.fan_in
+    if kind is MappingKind.UNIVERSAL:
+        return UniversalMapping()
+    if kind is MappingKind.IDENTITY:
+        return IdentityMapping()
+    if kind is MappingKind.NULL:
+        return NullMapping()
+    if kind is MappingKind.REVERSE_INDIRECT:
+        return ReverseIndirectMapping(classification.map_name or "IMAP", fan_in=fan)
+    if kind is MappingKind.FORWARD_INDIRECT:
+        return ForwardIndirectMapping(classification.map_name or "FMAP", fan_out=fan)
+    if kind is MappingKind.SEAM:
+        return SeamMapping(classification.offsets or (-1, 0, 1))
+    raise ValueError(f"unknown mapping kind {kind}")  # pragma: no cover
+
+
+@dataclass
+class MappingCensus:
+    """Aggregate classification counts — the paper's Table-equivalent.
+
+    ``phase_counts[kind]`` counts classified phase pairs; ``line_counts``
+    weighs each pair by the predecessor phase's parallel-code line count,
+    reproducing the paper's "x out of 1188 lines" figures.
+    """
+
+    classifications: list[PairClassification] = field(default_factory=list)
+    phase_counts: dict[MappingKind, int] = field(default_factory=dict)
+    line_counts: dict[MappingKind, int] = field(default_factory=dict)
+
+    def add(self, c: PairClassification, lines: int) -> None:
+        self.classifications.append(c)
+        self.phase_counts[c.kind] = self.phase_counts.get(c.kind, 0) + 1
+        self.line_counts[c.kind] = self.line_counts.get(c.kind, 0) + lines
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.classifications)
+
+    @property
+    def total_lines(self) -> int:
+        return sum(self.line_counts.values())
+
+    def phase_fraction(self, kind: MappingKind) -> float:
+        """Fraction of classified pairs with the given kind."""
+        return self.phase_counts.get(kind, 0) / self.n_pairs if self.n_pairs else 0.0
+
+    def line_fraction(self, kind: MappingKind) -> float:
+        """Line-weighted fraction with the given kind."""
+        return self.line_counts.get(kind, 0) / self.total_lines if self.total_lines else 0.0
+
+    def easily_overlapped_phase_fraction(self) -> float:
+        """Universal + identity — the paper's 68 % of phases."""
+        return sum(self.phase_fraction(k) for k in MappingKind if k.easily_overlapped)
+
+    def easily_overlapped_line_fraction(self) -> float:
+        """Universal + identity — the paper's 68 % of lines."""
+        return sum(self.line_fraction(k) for k in MappingKind if k.easily_overlapped)
+
+    def amenable_phase_fraction(self) -> float:
+        """Every non-null kind — the paper's "with extended effort" set."""
+        return sum(self.phase_fraction(k) for k in MappingKind if k.overlappable)
+
+    def rows(self) -> list[tuple[str, int, float, int, float]]:
+        """``(kind, phases, phase %, lines, line %)`` rows in taxonomy order."""
+        out = []
+        for kind in _SEVERITY[::-1]:
+            if self.phase_counts.get(kind, 0) or self.line_counts.get(kind, 0):
+                out.append(
+                    (
+                        kind.value,
+                        self.phase_counts.get(kind, 0),
+                        100.0 * self.phase_fraction(kind),
+                        self.line_counts.get(kind, 0),
+                        100.0 * self.line_fraction(kind),
+                    )
+                )
+        return out
+
+
+def classify_program(program: PhaseProgram, wrap: bool = False) -> MappingCensus:
+    """Classify every adjacent phase pair of a program's schedule.
+
+    With ``wrap=True`` the last scheduled phase is also classified against
+    the first, modelling an iterated outer loop (CASPER's 22 phases each
+    have a successor because the solver cycles).  A serial action at the
+    very start or end of the schedule marks the wrap seam as serial.
+    """
+    census = MappingCensus()
+    pairs = program.adjacent_pairs()
+    if wrap:
+        seq = program.phase_sequence()
+        if len(seq) >= 2:
+            from repro.core.phase import SerialAction  # local: avoid cycle
+
+            wrap_serial = isinstance(program.schedule[-1], SerialAction) or isinstance(
+                program.schedule[0], SerialAction
+            )
+            pairs = pairs + [(seq[-1], seq[0], wrap_serial)]
+    for pred_name, succ_name, serial_between in pairs:
+        pred = program.phases[pred_name]
+        succ = program.phases[succ_name]
+        census.add(classify_pair(pred, succ, serial_between), pred.lines)
+    return census

@@ -1,0 +1,265 @@
+"""Composite granule maps and enablement counters.
+
+For the indirect mappings the paper prescribes exactly this machinery:
+
+    "Once the values of the information selection map … have been
+    determined, it is a simple matter to produce a composite map of first
+    phase granules that must be completed in order to enable a particular
+    second phase granule."
+
+    "during completion processing, a status bit … can be checked and, if
+    it is set, an enablement counter decremented.  When the enablement
+    counter reaches zero, it can be taken as a signal that the
+    successor-phase granules are computable."
+
+    "It would seem appropriate to identify a subset group of
+    successor-phase granules that are to be the subject of the enablement
+    operation so as to avoid solving an unnecessarily large enablement
+    problem."
+
+:class:`CompositeGranuleMap` is the executive-built table from successor
+subset groups to required predecessor granule sets;
+:class:`EnablementCounter` is the per-group countdown;
+:class:`EnablementEngine` drives either the counter machinery (indirect
+mappings) or direct incremental evaluation (universal / identity / seam)
+during completion processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.granule import GranuleSet
+from repro.core.mapping import EnablementMapping
+
+__all__ = ["EnablementCounter", "CompositeGroup", "CompositeGranuleMap", "EnablementEngine"]
+
+
+class EnablementCounter:
+    """Countdown over a required predecessor granule set.
+
+    The successor work it guards becomes computable when every required
+    granule has completed — "it is enabled not by the completion of any
+    one such granule but by the completion of all the identified
+    granules."
+    """
+
+    def __init__(self, required: GranuleSet) -> None:
+        self._remaining = required
+        self._required = required
+        self.fired = len(required) == 0
+
+    @property
+    def required(self) -> GranuleSet:
+        """The full original requirement."""
+        return self._required
+
+    @property
+    def remaining(self) -> GranuleSet:
+        """Required granules not yet completed."""
+        return self._remaining
+
+    @property
+    def count(self) -> int:
+        """The enablement counter value (granules still outstanding)."""
+        return len(self._remaining)
+
+    def on_complete(self, done: GranuleSet) -> bool:
+        """Credit completed granules; True exactly when the counter hits zero."""
+        if self.fired:
+            return False
+        self._remaining = self._remaining - done
+        if not self._remaining:
+            self.fired = True
+            return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class CompositeGroup:
+    """One composite-map entry: a successor subset and its requirement."""
+
+    successors: GranuleSet
+    required: GranuleSet
+
+
+class CompositeGranuleMap:
+    """Executive-generated table: successor subset group -> required set.
+
+    Parameters
+    ----------
+    groups:
+        The composite entries.  Successor subsets must be disjoint.
+
+    Notes
+    -----
+    Generation cost matters: on the paper's UNIVAC test bed "executive
+    computation was done at the direct expense of worker computation …
+    extensive composite granule map generation could be self defeating."
+    :meth:`build_cost` quantifies it so the simulator can charge the
+    executive.
+    """
+
+    def __init__(self, groups: list[CompositeGroup]) -> None:
+        covered = GranuleSet.empty()
+        for g in groups:
+            if not covered.isdisjoint(g.successors):
+                raise ValueError("composite map successor groups must be disjoint")
+            covered = covered | g.successors
+        self.groups = list(groups)
+        self.covered = covered
+
+    @classmethod
+    def build(
+        cls,
+        mapping: EnablementMapping,
+        n_pred: int,
+        n_succ: int,
+        maps: Mapping[str, np.ndarray] | None = None,
+        group_size: int = 1,
+        target: GranuleSet | None = None,
+    ) -> "CompositeGranuleMap":
+        """Build the composite map via the mapping's reverse direction.
+
+        ``group_size`` granules per subset group trades table size against
+        enablement latency (bigger groups fire later but cost less to
+        build and check).  ``target`` restricts generation to a subset of
+        the successor space — the paper's "subset group … to avoid
+        solving an unnecessarily large enablement problem".
+        """
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        space = target if target is not None else GranuleSet.universe(n_succ)
+        groups: list[CompositeGroup] = []
+        rest = space
+        while rest:
+            head, rest = rest.take(group_size)
+            required = mapping.required_for(head, n_pred, n_succ, maps)
+            groups.append(CompositeGroup(successors=head, required=required))
+        return cls(groups)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def total_required(self) -> int:
+        """Sum of requirement sizes — the map-generation workload measure."""
+        return sum(len(g.required) for g in self.groups)
+
+    def build_cost(self, cost_per_entry: float) -> float:
+        """Executive time to generate this map."""
+        if cost_per_entry < 0:
+            raise ValueError(f"negative cost_per_entry {cost_per_entry}")
+        return cost_per_entry * self.total_required()
+
+    def required_union(self) -> GranuleSet:
+        """All predecessor granules that enable anything in the map.
+
+        The control strategy elevates these in the waiting queue: "they
+        should be split into individual descriptions and placed in the
+        waiting computation queue in such a manner as to elevate their
+        computational priority."
+        """
+        out = GranuleSet.empty()
+        for g in self.groups:
+            out = out | g.required
+        return out
+
+
+class EnablementEngine:
+    """Per-link enablement tracker driven by completion processing.
+
+    Two operating modes, chosen from the mapping kind:
+
+    * **direct** — universal, identity, seam, null: evaluate the forward
+      mapping incrementally on each completion;
+    * **counter** — reverse / forward indirect: build a
+      :class:`CompositeGranuleMap` (costed separately by the executive)
+      and decrement :class:`EnablementCounter` instances.
+
+    ``notify(delta)`` returns the successor granules that have *just*
+    become enabled, never repeating earlier answers.
+    """
+
+    def __init__(
+        self,
+        mapping: EnablementMapping,
+        n_pred: int,
+        n_succ: int,
+        maps: Mapping[str, np.ndarray] | None = None,
+        group_size: int = 1,
+        target: GranuleSet | None = None,
+    ) -> None:
+        self.mapping = mapping
+        self.n_pred = n_pred
+        self.n_succ = n_succ
+        self.maps = maps
+        self.completed = GranuleSet.empty()
+        self._enabled = GranuleSet.empty()
+        self.composite: CompositeGranuleMap | None = None
+        self._counters: list[tuple[GranuleSet, EnablementCounter]] = []
+        self._deferred: GranuleSet = GranuleSet.empty()
+
+        if mapping.kind.indirect:
+            self.composite = CompositeGranuleMap.build(
+                mapping, n_pred, n_succ, maps, group_size=group_size, target=target
+            )
+            for g in self.composite.groups:
+                self._counters.append((g.successors, EnablementCounter(g.required)))
+            # successor granules outside the targeted subset wait for phase end
+            self._deferred = GranuleSet.universe(n_succ) - self.composite.covered
+            # groups with empty requirements are enabled immediately
+            for succ, counter in self._counters:
+                if counter.fired:
+                    self._enabled = self._enabled | succ
+        else:
+            self._enabled = mapping.enabled_by(self.completed, n_pred, n_succ, maps)
+
+    @property
+    def enabled(self) -> GranuleSet:
+        """Every successor granule enabled so far."""
+        return self._enabled
+
+    @property
+    def pending(self) -> GranuleSet:
+        """Successor granules not yet enabled."""
+        return GranuleSet.universe(self.n_succ) - self._enabled
+
+    def initially_enabled(self) -> GranuleSet:
+        """Successor granules enabled before any completion (universal etc.)."""
+        return self._enabled
+
+    def notify(self, delta: GranuleSet) -> GranuleSet:
+        """Process completion of ``delta`` predecessor granules.
+
+        Returns the *newly* enabled successor granules.
+        """
+        if not delta:
+            return GranuleSet.empty()
+        self.completed = self.completed | delta
+        newly = GranuleSet.empty()
+        if self._counters:
+            for succ, counter in self._counters:
+                if counter.on_complete(delta):
+                    newly = newly | succ
+            if self._deferred and len(self.completed) >= self.n_pred:
+                newly = newly | self._deferred
+                self._deferred = GranuleSet.empty()
+        else:
+            now_enabled = self.mapping.enabled_by(self.completed, self.n_pred, self.n_succ, self.maps)
+            newly = now_enabled - self._enabled
+        self._enabled = self._enabled | newly
+        return newly
+
+    def complete_all(self) -> GranuleSet:
+        """Force phase completion; returns whatever was still pending."""
+        remaining = GranuleSet.universe(self.n_pred) - self.completed
+        newly = self.notify(remaining) if remaining else GranuleSet.empty()
+        # Even with every predecessor complete, counters for targeted groups
+        # have fired; anything left in the successor space is now free.
+        leftover = GranuleSet.universe(self.n_succ) - self._enabled
+        self._enabled = GranuleSet.universe(self.n_succ)
+        return newly | leftover

@@ -1,0 +1,260 @@
+"""Granules and interval-set algebra.
+
+The paper's unit of work is the *granule* — "distinct computational
+granules of the same parallel computational phase".  PAX described
+computations as "large, contiguous collections of granules" that are
+"split apart as necessary to produce conveniently sized tasks for workers
+and then merged back into single descriptions when the work was
+completed".  That makes a half-open integer interval the natural
+representation (:class:`GranuleRange`), and a sorted list of disjoint
+intervals (:class:`GranuleSet`) the natural bookkeeping structure for
+completed-granule tracking, enablement checks and merge-on-completion.
+
+All operations keep the canonical form invariant: ranges sorted, disjoint,
+non-adjacent and non-empty.  :class:`GranuleSet` is a value type — every
+operation returns a new set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["GranuleRange", "GranuleSet"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class GranuleRange:
+    """A half-open range ``[start, stop)`` of granule indices."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(f"range stops before it starts: [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, granule: int) -> bool:
+        return self.start <= granule < self.stop
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop))
+
+    @property
+    def empty(self) -> bool:
+        return self.stop == self.start
+
+    def overlaps(self, other: "GranuleRange") -> bool:
+        """True when the ranges share at least one granule."""
+        return self.start < other.stop and other.start < self.stop
+
+    def adjacent(self, other: "GranuleRange") -> bool:
+        """True when the ranges abut exactly (mergeable without overlap)."""
+        return self.stop == other.start or other.stop == self.start
+
+    def intersection(self, other: "GranuleRange") -> "GranuleRange":
+        """The common sub-range (possibly empty, anchored at overlap start)."""
+        lo = max(self.start, other.start)
+        hi = min(self.stop, other.stop)
+        if hi < lo:
+            return GranuleRange(lo, lo)
+        return GranuleRange(lo, hi)
+
+    def split_at(self, point: int) -> tuple["GranuleRange", "GranuleRange"]:
+        """Split into ``[start, point)`` and ``[point, stop)``.
+
+        ``point`` must lie inside ``[start, stop]``.
+        """
+        if not (self.start <= point <= self.stop):
+            raise ValueError(f"split point {point} outside [{self.start}, {self.stop}]")
+        return GranuleRange(self.start, point), GranuleRange(point, self.stop)
+
+    def take(self, n: int) -> tuple["GranuleRange", "GranuleRange"]:
+        """Split off the first ``n`` granules (clamped to the range size)."""
+        n = max(0, min(n, len(self)))
+        return self.split_at(self.start + n)
+
+    def __repr__(self) -> str:
+        return f"[{self.start},{self.stop})"
+
+
+class GranuleSet:
+    """An immutable set of granule indices stored as disjoint ranges.
+
+    Supports the set algebra the enablement engine needs: union,
+    intersection, difference, subset tests, and counting — all in
+    O(number of ranges), independent of the number of granules.
+
+    Examples
+    --------
+    >>> s = GranuleSet.from_ranges([(0, 5), (10, 12)])
+    >>> len(s)
+    7
+    >>> 11 in s
+    True
+    >>> (s | GranuleSet.from_ranges([(5, 10)])).ranges
+    ([0,15),)
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self, ranges: Iterable[GranuleRange] = ()) -> None:
+        self._ranges: tuple[GranuleRange, ...] = self._normalize(ranges)
+
+    # ------------------------------------------------------------------ builders
+    @staticmethod
+    def _normalize(ranges: Iterable[GranuleRange]) -> tuple[GranuleRange, ...]:
+        spans = sorted((r.start, r.stop) for r in ranges if not r.empty)
+        out: list[tuple[int, int]] = []
+        for s, e in spans:
+            if out and s <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], e))
+            else:
+                out.append((s, e))
+        return tuple(GranuleRange(s, e) for s, e in out)
+
+    @classmethod
+    def from_ranges(cls, pairs: Iterable[tuple[int, int]]) -> "GranuleSet":
+        """Build from ``(start, stop)`` pairs (overlap/adjacency merged)."""
+        return cls(GranuleRange(s, e) for s, e in pairs)
+
+    @classmethod
+    def from_ids(cls, ids: Iterable[int]) -> "GranuleSet":
+        """Build from individual granule indices."""
+        return cls(GranuleRange(i, i + 1) for i in ids)
+
+    @classmethod
+    def empty(cls) -> "GranuleSet":
+        return cls(())
+
+    @classmethod
+    def universe(cls, n: int) -> "GranuleSet":
+        """The full granule set ``[0, n)`` of an ``n``-granule phase."""
+        return cls((GranuleRange(0, n),))
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def ranges(self) -> tuple[GranuleRange, ...]:
+        return self._ranges
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __contains__(self, granule: int) -> bool:
+        # binary search over disjoint sorted ranges
+        lo, hi = 0, len(self._ranges)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            r = self._ranges[mid]
+            if granule < r.start:
+                hi = mid
+            elif granule >= r.stop:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[int]:
+        for r in self._ranges:
+            yield from r
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GranuleSet):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(self._ranges)
+
+    def min(self) -> int:
+        """Smallest granule index; raises on an empty set."""
+        if not self._ranges:
+            raise ValueError("empty granule set has no minimum")
+        return self._ranges[0].start
+
+    def max(self) -> int:
+        """Largest granule index; raises on an empty set."""
+        if not self._ranges:
+            raise ValueError("empty granule set has no maximum")
+        return self._ranges[-1].stop - 1
+
+    # ------------------------------------------------------------------ algebra
+    def __or__(self, other: "GranuleSet") -> "GranuleSet":
+        return GranuleSet(self._ranges + other._ranges)
+
+    def __and__(self, other: "GranuleSet") -> "GranuleSet":
+        out: list[GranuleRange] = []
+        i = j = 0
+        a, b = self._ranges, other._ranges
+        while i < len(a) and j < len(b):
+            inter = a[i].intersection(b[j])
+            if not inter.empty:
+                out.append(inter)
+            if a[i].stop <= b[j].stop:
+                i += 1
+            else:
+                j += 1
+        return GranuleSet(out)
+
+    def __sub__(self, other: "GranuleSet") -> "GranuleSet":
+        out: list[GranuleRange] = []
+        j = 0
+        b = other._ranges
+        for r in self._ranges:
+            cur = r.start
+            while j < len(b) and b[j].stop <= cur:
+                j += 1
+            k = j
+            while k < len(b) and b[k].start < r.stop:
+                if b[k].start > cur:
+                    out.append(GranuleRange(cur, b[k].start))
+                cur = max(cur, b[k].stop)
+                if cur >= r.stop:
+                    break
+                k += 1
+            if cur < r.stop:
+                out.append(GranuleRange(cur, r.stop))
+        return GranuleSet(out)
+
+    def issubset(self, other: "GranuleSet") -> bool:
+        """True when every granule of ``self`` is in ``other``."""
+        return not (self - other)
+
+    def isdisjoint(self, other: "GranuleSet") -> bool:
+        """True when the sets share no granule."""
+        return not (self & other)
+
+    def complement(self, n: int) -> "GranuleSet":
+        """Granules of ``[0, n)`` *not* in this set."""
+        return GranuleSet.universe(n) - self
+
+    # ------------------------------------------------------------------ misc
+    def take(self, n: int) -> tuple["GranuleSet", "GranuleSet"]:
+        """Split off the ``n`` smallest granules: ``(head, rest)``."""
+        if n <= 0:
+            return GranuleSet.empty(), self
+        head: list[GranuleRange] = []
+        rest: list[GranuleRange] = []
+        remaining = n
+        for r in self._ranges:
+            if remaining <= 0:
+                rest.append(r)
+            elif len(r) <= remaining:
+                head.append(r)
+                remaining -= len(r)
+            else:
+                a, b2 = r.take(remaining)
+                head.append(a)
+                rest.append(b2)
+                remaining = 0
+        return GranuleSet(head), GranuleSet(rest)
+
+    def __repr__(self) -> str:
+        body = ",".join(repr(r) for r in self._ranges)
+        return f"GranuleSet({body})"

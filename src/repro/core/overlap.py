@@ -1,0 +1,96 @@
+"""Overlap policies and control-strategy configuration.
+
+These dataclasses parameterize the PAX executive's rundown behaviour; the
+ablation benchmarks (F1–F7) sweep them.  Each knob corresponds to a
+decision discussed in the paper's "Control Strategies" section.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OverlapPolicy", "SplitStrategy", "OverlapConfig"]
+
+
+class OverlapPolicy(enum.Enum):
+    """Whether successor phases may start during the current phase's rundown."""
+
+    #: Strict sequential phases — the baseline whose rundown the paper
+    #: wants to defeat.
+    NONE = "none"
+    #: Overlap into the immediately succeeding phase, per its enablement
+    #: mapping (the paper's proposal; lookahead depth is one phase).
+    NEXT_PHASE = "next_phase"
+
+
+class SplitStrategy(enum.Enum):
+    """How queued successor descriptions are split to mirror current splits.
+
+    "PAX computation splitting was demand driven by the presence of an
+    idle worker … the additional delays of splitting queued successor
+    computation descriptions may represent an unacceptable situation.
+    Two possible solutions exist."
+    """
+
+    #: Split the queued successor description inline during the same
+    #: executive action that splits the current description (the naive
+    #: approach whose delay the paper worries about).
+    DEMAND = "demand"
+    #: "Presplit the tasks before idle workers present themselves to the
+    #: executive.  This would allow the executive to work ahead in
+    #: otherwise idle time."
+    PRESPLIT = "presplit"
+    #: "The splitting of a computation could generate a successor-splitting
+    #: task that could be quickly queued for later attention when the
+    #: executive would again be idle."
+    SUCCESSOR_TASK = "successor_task"
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapConfig:
+    """Full control-strategy configuration for one executive run.
+
+    Attributes
+    ----------
+    policy:
+        Barrier baseline or next-phase overlap.
+    split_strategy:
+        Successor-description split handling (see :class:`SplitStrategy`).
+    elevate_enabling_granules:
+        For indirect mappings, split the current-phase granules that
+        enable the targeted successor subset into individual descriptions
+        and place them at the head of the waiting queue ("elevate their
+        computational priority").
+    composite_group_size:
+        Successor granules per composite-map subset group (indirect
+        mappings); bigger groups cost less executive time but enable
+        later.
+    target_fraction:
+        Fraction of the successor granule space targeted for early
+        enablement by the composite map (the paper's "subset group …
+        to avoid solving an unnecessarily large enablement problem").
+        The untargeted remainder waits for phase completion.
+    verify_safety:
+        Machine-check the ``PARALLEL(q, r)`` overlap theorem for each
+        phase pair before overlapping it, falling back to a barrier when
+        the check fails or cannot run (missing footprints).
+    """
+
+    policy: OverlapPolicy = OverlapPolicy.NEXT_PHASE
+    split_strategy: SplitStrategy = SplitStrategy.SUCCESSOR_TASK
+    elevate_enabling_granules: bool = False
+    composite_group_size: int = 8
+    target_fraction: float = 1.0
+    verify_safety: bool = False
+
+    def __post_init__(self) -> None:
+        if self.composite_group_size < 1:
+            raise ValueError(f"composite_group_size must be >= 1, got {self.composite_group_size}")
+        if not (0.0 < self.target_fraction <= 1.0):
+            raise ValueError(f"target_fraction must be in (0, 1], got {self.target_fraction}")
+
+    @classmethod
+    def barrier(cls) -> "OverlapConfig":
+        """The no-overlap baseline."""
+        return cls(policy=OverlapPolicy.NONE)

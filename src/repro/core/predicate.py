@@ -1,0 +1,186 @@
+"""The logical predicate ``PARALLEL(x, y)`` and the overlap-safety theorem.
+
+From the paper:
+
+    "Let the logical predicate PARALLEL(x, y) return the condition TRUE
+    when x and y are such that parallel computations are allowed.
+    Clearly, PARALLEL(n, m) must always be TRUE if n and m are distinct
+    computational granules of the same parallel computational phase.  Let
+    q be an uncompleted granule of the current phase and r be a granule of
+    the next phase that has been enabled by some completed granule, p, of
+    the current phase.  If PARALLEL(q, r) necessarily returns the value
+    TRUE, then the current-phase and next-phase can be correctly
+    overlapped."
+
+The paper leaves the predicate's "exact nature" open ("different parallel
+systems may identify different logical predicates"); the concrete
+instance provided here is the Bernstein-condition test over declared array
+footprints (:class:`AccessConflictPredicate`).  :func:`overlap_is_safe`
+machine-checks the quoted theorem for a phase pair and mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol
+
+import numpy as np
+
+from repro.core.access import conflicts
+from repro.core.granule import GranuleSet
+from repro.core.mapping import EnablementMapping
+from repro.core.phase import PhaseSpec
+
+__all__ = [
+    "ParallelPredicate",
+    "AccessConflictPredicate",
+    "AlwaysParallel",
+    "SafetyReport",
+    "overlap_is_safe",
+    "check_intra_phase",
+]
+
+
+class ParallelPredicate(Protocol):
+    """``PARALLEL(x, y)``: may granule ``gx`` of ``px`` run concurrently
+    with granule ``gy`` of ``py``?"""
+
+    def __call__(
+        self,
+        px: PhaseSpec,
+        gx: int,
+        py: PhaseSpec,
+        gy: int,
+        maps: Mapping[str, np.ndarray] | None = None,
+    ) -> bool: ...
+
+
+class AccessConflictPredicate:
+    """Bernstein-condition instance of ``PARALLEL``.
+
+    Two granules may run in parallel exactly when neither writes an array
+    element the other reads or writes.  Granules of phases with no
+    declared footprint are conservatively assumed parallel *within* a
+    phase (the paper's axiom) and conflicting *across* phases — a missing
+    declaration must not silently authorize overlap.
+    """
+
+    def __call__(self, px, gx, py, gy, maps=None) -> bool:
+        if px.access is None or py.access is None:
+            return px.name == py.name
+        return not conflicts(px.access, gx, py.access, gy, maps)
+
+
+class AlwaysParallel:
+    """Degenerate predicate for purely synthetic timing studies."""
+
+    def __call__(self, px, gx, py, gy, maps=None) -> bool:
+        return True
+
+
+@dataclass
+class SafetyReport:
+    """Result of machine-checking the overlap theorem for a phase pair."""
+
+    pred: str
+    succ: str
+    safe: bool
+    pairs_checked: int
+    exhaustive: bool
+    #: Sampled violating ``(uncompleted_current, enabled_next)`` pairs.
+    violations: list[tuple[int, int]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.safe
+
+
+def check_intra_phase(
+    phase: PhaseSpec,
+    predicate: ParallelPredicate | None = None,
+    maps: Mapping[str, np.ndarray] | None = None,
+    sample_limit: int = 512,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Verify the paper's axiom: distinct granules of one phase are parallel.
+
+    Exhaustive for small phases, sampled beyond ``sample_limit`` pairs.
+    """
+    predicate = predicate or AccessConflictPredicate()
+    n = phase.n_granules
+    if n * (n - 1) <= sample_limit:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    else:
+        rng = rng or np.random.default_rng(0)
+        a = rng.integers(0, n, size=sample_limit)
+        b = rng.integers(0, n, size=sample_limit)
+        pairs = [(int(i), int(j)) for i, j in zip(a, b) if i != j]
+    return all(predicate(phase, i, phase, j, maps) for i, j in pairs)
+
+
+def overlap_is_safe(
+    pred_phase: PhaseSpec,
+    succ_phase: PhaseSpec,
+    mapping: EnablementMapping,
+    predicate: ParallelPredicate | None = None,
+    maps: Mapping[str, np.ndarray] | None = None,
+    sample_limit: int = 4096,
+    rng: np.random.Generator | None = None,
+) -> SafetyReport:
+    """Machine-check the overlap theorem for ``pred_phase -> succ_phase``.
+
+    For every (sampled) completed-set frontier, every enabled successor
+    granule ``r`` must satisfy ``PARALLEL(q, r)`` against every uncompleted
+    current-phase granule ``q``.
+
+    The check enumerates prefix frontiers (granules complete in index
+    order) plus random subset frontiers, which covers both the contiguous
+    splits PAX actually produces and adversarial completion orders.
+
+    Returns a :class:`SafetyReport`; ``report.safe`` is the verdict.
+    """
+    predicate = predicate or AccessConflictPredicate()
+    rng = rng or np.random.default_rng(0)
+    n_pred, n_succ = pred_phase.n_granules, succ_phase.n_granules
+
+    frontiers: list[GranuleSet] = [GranuleSet.empty()]
+    for cut in sorted({n_pred // 4, n_pred // 2, (3 * n_pred) // 4, max(1, n_pred - 1)}):
+        frontiers.append(GranuleSet.from_ranges([(0, cut)]))
+    for _ in range(3):
+        mask = rng.random(n_pred) < 0.5
+        frontiers.append(GranuleSet.from_ids(int(i) for i in np.flatnonzero(mask)))
+
+    report = SafetyReport(pred=pred_phase.name, succ=succ_phase.name, safe=True,
+                          pairs_checked=0, exhaustive=True)
+    budget = sample_limit
+    for completed in frontiers:
+        enabled = mapping.enabled_by(completed, n_pred, n_succ, maps)
+        uncompleted = GranuleSet.universe(n_pred) - completed
+        if not enabled or not uncompleted:
+            continue
+        q_list = list(uncompleted)
+        r_list = list(enabled)
+        total = len(q_list) * len(r_list)
+        if total > budget:
+            report.exhaustive = False
+            qs = rng.choice(q_list, size=min(len(q_list), 64))
+            rs = rng.choice(r_list, size=min(len(r_list), 64))
+            pairs = [(int(q), int(r)) for q in qs for r in rs][:budget]
+        else:
+            pairs = [(q, r) for q in q_list for r in r_list]
+        for q, r in pairs:
+            report.pairs_checked += 1
+            try:
+                allowed = predicate(pred_phase, q, succ_phase, r, maps)
+            except KeyError:
+                # a selection map the footprints reference is not
+                # materialized: the theorem cannot be checked — refuse the
+                # overlap rather than guess
+                allowed = False
+            if not allowed:
+                report.safe = False
+                if len(report.violations) < 16:
+                    report.violations.append((q, r))
+        budget = max(0, budget - len(pairs))
+        if budget == 0 and not report.exhaustive:
+            break
+    return report

@@ -1,0 +1,126 @@
+"""Executive per-action time charges.
+
+The paper's feasibility argument hinges on these costs: "this presumes
+that completion processing and task scheduling time is small with respect
+to task execution time.  In particular, it assumes that one such
+completion, enablement, and scheduling cycle for each of the processors in
+the system can be completed in a single task execution time."  The
+operational PAX/CASPER ratio of computation to management was "in the
+neighborhood of 200".
+
+Every cost is a duration in the same units as granule execution times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ExecutiveCosts"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutiveCosts:
+    """Durations charged to the executive per management action.
+
+    Attributes
+    ----------
+    phase_init:
+        Initiating a computational phase (building its root description).
+    assign:
+        Assigning one task to one idle worker.
+    completion:
+        Processing one task completion (includes merging the completed
+        description back).
+    split:
+        Splitting a description to produce a conveniently sized task.
+    successor_split:
+        Splitting a queued successor computation description so it mirrors
+        a current-description split (the extra delay the paper worries
+        about for directly enabled successor phases).
+    enablement:
+        Recognizing enablement relationships during one completion
+        processing step (checking status bits, decrementing counters,
+        moving released descriptions to the waiting queue).
+    map_entry:
+        Generating one entry (one required predecessor granule reference)
+        of a composite granule map for an indirect mapping.
+    dispatch_overhead:
+        Fixed cost of the DISPATCH language action itself (interlock
+        verification, branch lookahead); charged once per phase dispatch.
+    """
+
+    phase_init: float = 1.0
+    assign: float = 1.0
+    completion: float = 1.0
+    split: float = 0.5
+    successor_split: float = 0.5
+    enablement: float = 0.5
+    map_entry: float = 0.01
+    dispatch_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "phase_init",
+            "assign",
+            "completion",
+            "split",
+            "successor_split",
+            "enablement",
+            "map_entry",
+            "dispatch_overhead",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative executive cost {name}")
+
+    def scaled(self, factor: float) -> "ExecutiveCosts":
+        """All costs multiplied by ``factor`` (overhead-sensitivity sweeps)."""
+        if factor < 0:
+            raise ValueError(f"negative scale factor {factor}")
+        return replace(
+            self,
+            phase_init=self.phase_init * factor,
+            assign=self.assign * factor,
+            completion=self.completion * factor,
+            split=self.split * factor,
+            successor_split=self.successor_split * factor,
+            enablement=self.enablement * factor,
+            map_entry=self.map_entry * factor,
+            dispatch_overhead=self.dispatch_overhead * factor,
+        )
+
+    def cycle_time(self) -> float:
+        """One completion + enablement + scheduling cycle for one processor.
+
+        This is the quantity the paper requires to fit ``n_processors``
+        times within a single task execution time.
+        """
+        return self.completion + self.enablement + self.assign
+
+    @classmethod
+    def free(cls) -> "ExecutiveCosts":
+        """Zero-cost executive (isolates pure scheduling effects)."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def pax_like(cls, granule_time: float = 1.0, ratio: float = 200.0) -> "ExecutiveCosts":
+        """Costs tuned so computation-to-management lands near ``ratio``.
+
+        For PAX/CASPER-like granularity, each assigned task of ``g``
+        granules costs the executive roughly one assign + one completion +
+        one enablement; picking each as ``granule_time * g / (3 * ratio)``
+        keeps worker time ≈ ``ratio`` × management time when tasks carry
+        ``g`` granules.  Callers pass ``g`` via the task sizer; the default
+        here assumes single-granule accounting and is rescaled by
+        :meth:`scaled` in the benchmarks.
+        """
+        c = granule_time / (3.0 * ratio)
+        return cls(
+            phase_init=c,
+            assign=c,
+            completion=c,
+            split=c / 2,
+            successor_split=c / 2,
+            enablement=c,
+            map_entry=c / 10,
+            dispatch_overhead=0.0,
+        )

@@ -1,0 +1,75 @@
+"""The paper's identified follow-on strategies, as executive extensions.
+
+From the introduction: "There are additional strategies which have been
+identified for development.  These include a middle management scheme to
+parallelize the serial management function, a direct worker-to-worker
+lateral communication scheme, and a data-proximity work assignment
+algorithm.  These strategies combined with the overlapping of
+computational phases should enhance the management overhead situation."
+
+:class:`Extensions` switches all three on the simulated executive:
+
+* **middle management** — ``middle_managers > 1`` runs a pool of
+  executive servers; worker-facing jobs (assignment, completion
+  processing, deferred splits) distribute across the pool while
+  phase-level decisions stay on the chief (server 0);
+* **lateral hand-off** — on completing a chunk whose identity-mapped
+  successor granules it just enabled, a worker starts the successor chunk
+  itself, bypassing the executive round trip (a small per-hand-off cost
+  is charged to the worker);
+* **data proximity** — assignment prefers the chunk adjacent to the
+  granules the worker just computed, and non-adjacent chunks pay a
+  ``remote_penalty`` duration factor (data movement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Extensions"]
+
+
+@dataclass(frozen=True, slots=True)
+class Extensions:
+    """Configuration of the three follow-on strategies.
+
+    Attributes
+    ----------
+    middle_managers:
+        Executive-server pool size (1 = the paper's baseline serial
+        executive).
+    lateral_handoff:
+        Workers self-dispatch the successor granules their completed
+        chunk enabled (identity mappings only — with identity enablement
+        the completing worker *knows* those granules are computable
+        without consulting the executive).
+    lateral_cost:
+        Worker time per lateral hand-off (the direct worker-to-worker
+        communication cost).
+    data_proximity:
+        Prefer assigning each worker the chunk that continues the granule
+        range it just computed.
+    remote_penalty:
+        Task-duration multiplier when a worker's chunk does *not* continue
+        its previous range (>= 1; 1.0 disables the penalty).
+    proximity_scan:
+        How many waiting-queue descriptions the assignment examines when
+        searching for an adjacent chunk.
+    """
+
+    middle_managers: int = 1
+    lateral_handoff: bool = False
+    lateral_cost: float = 0.0
+    data_proximity: bool = False
+    remote_penalty: float = 1.0
+    proximity_scan: int = 8
+
+    def __post_init__(self) -> None:
+        if self.middle_managers < 1:
+            raise ValueError(f"need at least one executive, got {self.middle_managers}")
+        if self.lateral_cost < 0:
+            raise ValueError(f"negative lateral cost {self.lateral_cost}")
+        if self.remote_penalty < 1.0:
+            raise ValueError(f"remote_penalty must be >= 1, got {self.remote_penalty}")
+        if self.proximity_scan < 1:
+            raise ValueError(f"proximity_scan must be >= 1, got {self.proximity_scan}")

@@ -1,0 +1,911 @@
+"""The event-driven PAX executive.
+
+Runs one or more :class:`~repro.core.phase.PhaseProgram` *job streams* on
+a simulated :class:`~repro.sim.machine.Machine` under an
+:class:`~repro.core.overlap.OverlapConfig`, producing a
+:class:`RunResult` with the full trace.
+
+Scheduling model (one-to-one with the paper's description):
+
+* Each phase run starts as a single **root computation description**
+  covering the whole granule space, placed in the waiting computation
+  queue.  Idle workers trigger executive *assignment* jobs that split a
+  conveniently sized task off the head description (demand-driven
+  splitting).
+* Task completion triggers an executive *completion processing* job that
+  credits the completed granules, recognizes enablement relationships,
+  and moves now-computable successor descriptions from the completing
+  description's conflict queue into the waiting queue.
+* With ``OverlapPolicy.NEXT_PHASE``, initiating phase *k* also initiates
+  phase *k+1* in overlapped mode per the declared enablement mapping.
+  Lookahead is exactly one phase: granules of run *k+1* may execute while
+  run *k* is active, but run *k+2* must wait for run *k* to finish.
+* Indirect mappings require the executive to materialize the information-
+  selection maps and build a composite granule map first; its generation
+  is charged at ``map_entry`` per required-granule reference ("extensive
+  composite granule map generation could be self defeating").
+* A serial action scheduled between two phases forces a barrier (the
+  paper's null-mapping cause) and occupies the executive for its
+  duration.
+* Multiple job streams realize the paper's "multi-parallel-job-stream
+  environment": each stream is an independent phase chain; their
+  descriptions share the one waiting queue, so one stream's work fills
+  another's rundown — raising utilization while stretching each job's
+  wall clock.
+
+The executive is strictly serial: every management action is a job on the
+machine's management queue, charged per
+:class:`~repro.executive.costs.ExecutiveCosts`, hosted either on worker 0
+(SHARED) or on a separate server (DEDICATED).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.enablement import EnablementEngine
+from repro.core.granule import GranuleSet
+from repro.core.mapping import EnablementMapping, MappingKind
+from repro.core.overlap import OverlapConfig, OverlapPolicy, SplitStrategy
+from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec, SerialAction
+from repro.core.predicate import overlap_is_safe
+from repro.executive.costs import ExecutiveCosts
+from repro.executive.descriptions import ComputationDescription, DescriptionState
+from repro.executive.extensions import Extensions
+from repro.executive.queues import WaitingComputationQueue
+from repro.executive.splitting import TaskSizer
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+from repro.sim.machine import CHIEF_LANE, ExecutivePlacement, Machine, Processor
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Trace
+
+__all__ = ["PhaseRunStats", "StreamStats", "RunResult", "ExecutiveSimulation", "run_program"]
+
+
+@dataclass
+class PhaseRunStats:
+    """Per-phase-run timing and bookkeeping, extracted after a run."""
+
+    stream: int
+    index: int
+    name: str
+    n_granules: int
+    init_time: float | None = None
+    overlap_init_time: float | None = None
+    first_task_start: float | None = None
+    last_assign_time: float | None = None
+    complete_time: float | None = None
+    tasks: int = 0
+    overlapped: bool = False
+
+    @property
+    def rundown_window(self) -> tuple[float, float] | None:
+        """``[last task assigned, phase complete]`` — the rundown interval."""
+        if self.last_assign_time is None or self.complete_time is None:
+            return None
+        return (self.last_assign_time, self.complete_time)
+
+
+@dataclass
+class StreamStats:
+    """Whole-job timing for one job stream."""
+
+    stream: int
+    start_time: float
+    complete_time: float
+
+    @property
+    def wall_clock(self) -> float:
+        """Elapsed time of the job — the quantity batch mixing stretches."""
+        return self.complete_time - self.start_time
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one simulated execution."""
+
+    trace: Trace
+    n_workers: int
+    placement: ExecutivePlacement
+    config: OverlapConfig
+    phase_stats: list[PhaseRunStats]
+    stream_stats: list[StreamStats]
+    makespan: float
+    compute_time: float
+    mgmt_time: float
+    serial_time: float
+    tasks_executed: int
+    granules_executed: int
+    #: Worker-to-worker direct successor starts (lateral hand-off extension).
+    lateral_handoffs: int = 0
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of worker capacity spent computing."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.compute_time / (self.n_workers * self.makespan)
+
+    @property
+    def comp_mgmt_ratio(self) -> float:
+        """The paper's computation-to-management ratio (≈ 200 for PAX/CASPER)."""
+        if self.mgmt_time <= 0:
+            return math.inf
+        return self.compute_time / self.mgmt_time
+
+    def stats_for(self, name: str) -> list[PhaseRunStats]:
+        """All run stats for a phase name (may occur several times)."""
+        return [s for s in self.phase_stats if s.name == name]
+
+
+class _RunState:
+    """Mutable executive-internal state of one scheduled phase run."""
+
+    __slots__ = (
+        "gid",
+        "stream",
+        "index",
+        "spec",
+        "n",
+        "initiated",
+        "init_submitted",
+        "overlap_active",
+        "current",
+        "enabled",
+        "queued",
+        "assigned",
+        "completed",
+        "engine_to_next",
+        "maps",
+        "overlap_aborted",
+        "presplit_watermark",
+        "inline_split_chunks",
+        "stats",
+    )
+
+    def __init__(self, gid: int, stream: "_Stream", index: int, spec: PhaseSpec) -> None:
+        self.gid = gid  # global run id (index into ExecutiveSimulation.runs)
+        self.stream = stream
+        self.index = index  # position within the stream's schedule
+        self.spec = spec
+        self.n = spec.n_granules
+        self.initiated = False
+        self.init_submitted = False  # an initiation job is queued or done
+        self.overlap_active = False  # initiated as an overlapped successor
+        self.current = False
+        self.enabled = GranuleSet.empty()
+        self.queued = GranuleSet.empty()
+        self.assigned = GranuleSet.empty()
+        self.completed = GranuleSet.empty()
+        self.engine_to_next: EnablementEngine | None = None
+        self.maps: dict[str, np.ndarray] = {}
+        self.overlap_aborted = False
+        self.presplit_watermark = 0
+        self.inline_split_chunks: set[int] = set()
+        self.stats = PhaseRunStats(
+            stream=stream.index, index=index, name=spec.name, n_granules=spec.n_granules
+        )
+
+    @property
+    def complete(self) -> bool:
+        return len(self.completed) >= self.n
+
+    @property
+    def fully_assigned(self) -> bool:
+        return len(self.assigned) >= self.n
+
+
+class _Stream:
+    """One job stream: a phase program with its own frontier."""
+
+    __slots__ = ("index", "program", "runs", "serial_before", "frontier", "start_time", "complete_time")
+
+    def __init__(self, index: int, program: PhaseProgram) -> None:
+        self.index = index
+        self.program = program
+        self.runs: list[_RunState] = []
+        self.serial_before: list[SerialAction | None] = []
+        self.frontier = 0
+        self.start_time: float | None = None
+        self.complete_time: float | None = None
+
+    @property
+    def complete(self) -> bool:
+        return all(r.complete for r in self.runs)
+
+
+def _task_duration(spec: PhaseSpec, granules: GranuleSet, rng: np.random.Generator) -> float:
+    """Total execution time of a chunk of granules."""
+    cost = spec.cost
+    if isinstance(cost, ConstantCost):
+        return cost.value * len(granules)
+    sample_total = getattr(cost, "sample_total", None)
+    if sample_total is not None:
+        return float(sample_total(granules, rng))
+    return float(sum(cost.sample(g, rng) for g in granules))
+
+
+class ExecutiveSimulation:
+    """Binds job streams, a machine and a control-strategy configuration.
+
+    Parameters
+    ----------
+    program:
+        One phase program, or a sequence of programs (independent job
+        streams sharing the machine — the paper's batch environment).
+    n_workers:
+        Worker processor count.
+    config:
+        Overlap policy and control strategies.
+    costs:
+        Executive per-action charges.
+    sizer:
+        Task-size policy.
+    placement:
+        Executive placement (shared worker 0 or dedicated).
+    seed:
+        Master seed for service times and map generation.
+    extensions:
+        The paper's identified follow-on strategies (middle management,
+        lateral hand-off, data proximity); defaults to all off.
+    """
+
+    def __init__(
+        self,
+        program: PhaseProgram | list[PhaseProgram] | tuple[PhaseProgram, ...],
+        n_workers: int,
+        config: OverlapConfig | None = None,
+        costs: ExecutiveCosts | None = None,
+        sizer: TaskSizer | None = None,
+        placement: ExecutivePlacement = ExecutivePlacement.DEDICATED,
+        seed: int = 0,
+        extensions: Extensions | None = None,
+    ) -> None:
+        programs = [program] if isinstance(program, PhaseProgram) else list(program)
+        if not programs:
+            raise ValueError("need at least one program")
+        self.config = config or OverlapConfig()
+        self.costs = costs or ExecutiveCosts()
+        self.sizer = sizer or TaskSizer()
+        self.ext = extensions or Extensions()
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.machine = Machine(
+            self.sim, self.trace, n_workers, placement,
+            n_executives=self.ext.middle_managers,
+        )
+        self.machine.on_processor_idle = self._on_idle
+        #: worker index -> (start, stop) of the granule *data region* it
+        #: last computed.  Granule indices name data regions (identity and
+        #: seam mappings preserve them across phases), so affinity is
+        #: deliberately phase-agnostic: the worker that computed
+        #: predecessor granules [a, b) is local to successor granules
+        #: [a, b) as well as to the continuation [b, ...).
+        self._affinity: dict[int, tuple[int, int]] = {}
+        self.lateral_handoffs = 0
+        self.streams_rng = RngStreams(seed)
+        self.queue = WaitingComputationQueue()
+
+        self.runs: list[_RunState] = []
+        self.streams: list[_Stream] = []
+        for s_idx, prog in enumerate(programs):
+            seq = prog.phase_sequence()
+            if not seq:
+                raise ValueError(f"program {s_idx} schedule contains no phases")
+            stream = _Stream(s_idx, prog)
+            for i, name in enumerate(seq):
+                run = _RunState(len(self.runs), stream, i, prog.phases[name])
+                self.runs.append(run)
+                stream.runs.append(run)
+            stream.serial_before = [None] * len(stream.runs)
+            idx = -1
+            pending_serial: SerialAction | None = None
+            for entry in prog.schedule:
+                if isinstance(entry, SerialAction):
+                    pending_serial = entry
+                else:
+                    idx += 1
+                    if idx > 0:
+                        stream.serial_before[idx] = pending_serial
+                    pending_serial = None
+            self.streams.append(stream)
+
+        self._assign_pending: set[int] = set()
+        self.tasks_executed = 0
+        self.granules_executed = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------ helpers
+    def _rng(self, name: str) -> np.random.Generator:
+        return self.streams_rng.get(name)
+
+    def _next_run(self, run: _RunState) -> _RunState | None:
+        if run.index + 1 < len(run.stream.runs):
+            return run.stream.runs[run.index + 1]
+        return None
+
+    def _mapping_to_next(self, run: _RunState) -> EnablementMapping | None:
+        succ = self._next_run(run)
+        if succ is None:
+            return None
+        return run.stream.program.mapping_between(run.spec.name, succ.spec.name)
+
+    def _identity_like_overlap(self, run: _RunState) -> bool:
+        """Does this run's overlap link need successor-description splits?"""
+        if run.engine_to_next is None:
+            return False
+        return run.engine_to_next.mapping.kind in (MappingKind.IDENTITY, MappingKind.SEAM)
+
+    # ------------------------------------------------------------------ lifecycle
+    def run(self, max_events: int | None = None) -> RunResult:
+        """Execute every job stream to completion; returns the result bundle."""
+        if self._finished:
+            raise RuntimeError("ExecutiveSimulation.run may only be called once")
+        for stream in self.streams:
+            self._initiate(stream.runs[0])
+        self.sim.run(max_events=max_events)
+        self._finished = True
+        for stream in self.streams:
+            if not stream.complete:
+                incomplete = [r.spec.name for r in stream.runs if not r.complete]
+                raise RuntimeError(
+                    f"simulation drained with incomplete phases in stream "
+                    f"{stream.index}: {incomplete}"
+                )
+        return self._result()
+
+    def _result(self) -> RunResult:
+        stream_stats = [
+            StreamStats(
+                stream=s.index,
+                start_time=s.start_time if s.start_time is not None else 0.0,
+                complete_time=s.complete_time if s.complete_time is not None else self.sim.now,
+            )
+            for s in self.streams
+        ]
+        mgmt_time = sum(
+            self.trace.busy_time(res, "mgmt") for res in self.machine.exec_resources()
+        )
+        serial_time = sum(
+            self.trace.busy_time(res, "serial") for res in self.machine.exec_resources()
+        )
+        return RunResult(
+            trace=self.trace,
+            n_workers=self.machine.n_workers,
+            placement=self.machine.placement,
+            config=self.config,
+            phase_stats=[r.stats for r in self.runs],
+            stream_stats=stream_stats,
+            makespan=self.sim.now,
+            compute_time=self.machine.compute_time(),
+            mgmt_time=mgmt_time,
+            serial_time=serial_time,
+            tasks_executed=self.tasks_executed,
+            granules_executed=self.granules_executed,
+            lateral_handoffs=self.lateral_handoffs,
+        )
+
+    # ------------------------------------------------------------------ initiation
+    def _initiate(self, run: _RunState) -> None:
+        """Submit the executive job that fully initiates a phase run."""
+        run.init_submitted = True
+
+        def done() -> None:
+            run.initiated = True
+            run.current = True
+            run.stats.init_time = self.sim.now
+            if run.stream.start_time is None:
+                run.stream.start_time = self.sim.now
+            run.enabled = GranuleSet.universe(run.n)
+            root = ComputationDescription(run.gid, run.spec.name, run.enabled)
+            self.queue.push(root)
+            run.queued = run.enabled
+            self.trace.log(self.sim.now, EventKind.PHASE_START, run.spec.name, run=run.gid)
+            self._maybe_overlap_next(run)
+            self._dispatch_idle()
+
+        self.machine.submit_mgmt(
+            self.costs.phase_init + self.costs.dispatch_overhead,
+            done,
+            label=f"init:{run.spec.name}#{run.gid}",
+            lane=CHIEF_LANE,
+        )
+
+    def _maybe_overlap_next(self, run: _RunState) -> None:
+        """At phase initiation, also initiate the successor in overlap mode."""
+        if self.config.policy is not OverlapPolicy.NEXT_PHASE:
+            return
+        succ = self._next_run(run)
+        if succ is None or succ.initiated or succ.init_submitted:
+            return
+        if run.stream.serial_before[succ.index] is not None:
+            return  # a serial action between the phases forces the barrier
+        mapping = self._mapping_to_next(run)
+        assert mapping is not None
+        if not mapping.kind.overlappable:
+            return
+        succ.init_submitted = True
+
+        new_descs: list[ComputationDescription] = []
+
+        def duration() -> float:
+            d = self.costs.phase_init + self.costs.dispatch_overhead
+            maps: dict[str, np.ndarray] = {}
+            if mapping.kind.indirect:
+                map_name = getattr(mapping, "map_name", None)
+                if map_name is not None:
+                    gen = run.stream.program.map_generators.get(map_name)
+                    if gen is None:
+                        raise KeyError(
+                            f"mapping between {run.spec.name!r} and {succ.spec.name!r} "
+                            f"references map {map_name!r} but no generator is registered"
+                        )
+                    maps[map_name] = gen(self._rng(f"map:{map_name}:{run.gid}"))
+            if self.config.verify_safety:
+                # materialize every selection map the two phases' declared
+                # footprints reference, so the PARALLEL check can evaluate
+                # mapped accesses (best effort: unmaterializable maps make
+                # the check refuse the overlap, never guess)
+                from repro.core.access import MappedIndex
+
+                for spec in (run.spec, succ.spec):
+                    if spec.access is None:
+                        continue
+                    for ref in spec.access.reads + spec.access.writes:
+                        name = getattr(ref.index, "map_name", None)
+                        if not isinstance(ref.index, MappedIndex) or name in maps:
+                            continue
+                        gen = run.stream.program.map_generators.get(name)
+                        if gen is not None:
+                            maps[name] = gen(self._rng(f"map:{name}:{run.gid}"))
+            if self.config.verify_safety:
+                report = overlap_is_safe(run.spec, succ.spec, mapping, maps=maps or None)
+                if not report.safe:
+                    run.overlap_aborted = True
+                    return d
+            target = None
+            if mapping.kind.indirect and self.config.target_fraction < 1.0:
+                n_target = max(1, int(self.config.target_fraction * succ.n))
+                target = GranuleSet.universe(n_target)
+            engine = EnablementEngine(
+                mapping,
+                n_pred=run.n,
+                n_succ=succ.n,
+                maps=maps or None,
+                group_size=self.config.composite_group_size,
+                target=target,
+            )
+            run.maps = maps
+            run.engine_to_next = engine
+            if engine.composite is not None:
+                d += self.costs.map_entry * engine.composite.total_required()
+                if self.config.elevate_enabling_granules:
+                    d += self._elevate_enabling_granules(run, engine, new_descs)
+            initially = engine.initially_enabled()
+            if initially:
+                desc = ComputationDescription(succ.gid, succ.spec.name, initially)
+                new_descs.append(desc)
+            return d
+
+        def done() -> None:
+            if run.overlap_aborted or run.engine_to_next is None:
+                # fall back to a strict barrier: the successor will be
+                # initiated normally when this run completes
+                succ.init_submitted = False
+                if run.stream.frontier == succ.index:
+                    self._make_current(succ)
+                return
+            succ.initiated = True
+            succ.overlap_active = True
+            succ.stats.overlapped = True
+            succ.stats.overlap_init_time = self.sim.now
+            for desc in new_descs:
+                self.queue.push(desc, elevated=desc.elevated)
+                if desc.phase_run == succ.gid:
+                    succ.enabled = succ.enabled | desc.granules
+                    succ.queued = succ.queued | desc.granules
+            if (
+                self.config.split_strategy is SplitStrategy.PRESPLIT
+                and self._identity_like_overlap(run)
+            ):
+                self._schedule_presplits(run)
+            if run.stream.frontier == succ.index:
+                # the predecessor finished while this job was queued
+                self._make_current(succ)
+            self._dispatch_idle()
+
+        self.machine.submit_mgmt(
+            duration, done, label=f"overlap-init:{succ.spec.name}#{succ.gid}", lane=CHIEF_LANE
+        )
+
+    def _elevate_enabling_granules(
+        self,
+        run: _RunState,
+        engine: EnablementEngine,
+        new_descs: list[ComputationDescription],
+    ) -> float:
+        """Split enabling current-phase granules into elevated descriptions.
+
+        Returns the executive time charged (one split per new description).
+        "they should be split into individual descriptions and placed in
+        the waiting computation queue in such a manner as to elevate
+        their computational priority."  Descriptions are created in
+        composite-group order — "this map could also be used to direct a
+        preferred order of first phase granule dispatching so as to
+        enable a known second phase granule as early as possible" — so
+        the enablers of the first successor subset run first.
+        """
+        assert engine.composite is not None
+        charged = 0.0
+        covered = GranuleSet.empty()
+        for group in engine.composite.groups:
+            need = group.required - covered
+            if not need:
+                continue
+            covered = covered | need
+            for desc in list(self.queue):
+                if desc.phase_run != run.gid:
+                    continue
+                inter = desc.granules & need
+                if not inter:
+                    continue
+                desc.granules = desc.granules - inter
+                if not desc.granules:
+                    self.queue.remove(desc)
+                child = ComputationDescription(run.gid, run.spec.name, inter, elevated=True)
+                new_descs.append(child)
+                charged += self.costs.split
+        return charged
+
+    def _schedule_presplits(self, run: _RunState) -> None:
+        """Queue background jobs that pre-split the run's task chunks.
+
+        "One possibility is to presplit the tasks before idle workers
+        present themselves to the executive.  This would allow the
+        executive to work ahead in otherwise idle time."
+        """
+        tsize = self.sizer.task_size(run.n, self.machine.n_workers)
+        n_chunks = math.ceil(run.n / tsize)
+
+        def make_job(chunk_index: int):
+            def duration() -> float:
+                if run.presplit_watermark > chunk_index:
+                    return 0.0  # already covered (demand split outran us)
+                return self.costs.split + self.costs.successor_split
+
+            def done() -> None:
+                run.presplit_watermark = max(run.presplit_watermark, chunk_index + 1)
+
+            return duration, done
+
+        for c in range(n_chunks):
+            dur, done = make_job(c)
+            self.machine.submit_mgmt(
+                dur, done, label=f"presplit:{run.spec.name}#{run.gid}:{c}", background=True
+            )
+
+    # ------------------------------------------------------------------ dispatch
+    def _on_idle(self, proc: Processor) -> None:
+        self._request_work(proc)
+
+    def _dispatch_idle(self) -> None:
+        if not self.queue:
+            return
+        for proc in self.machine.idle_processors():
+            if proc.index in self._assign_pending:
+                continue
+            self._request_work(proc)
+
+    def _select_desc(self, proc: Processor) -> ComputationDescription:
+        """The description the assignment serves next.
+
+        Default: the head of the waiting queue ("kept in a known order").
+        With the data-proximity extension, the executive first scans a few
+        queue entries for the chunk that continues the granule range the
+        worker just computed.
+        """
+        if not self.ext.data_proximity:
+            return self.queue.peek()
+        affinity = self._affinity.get(proc.index)
+        if affinity is None:
+            return self.queue.peek()
+        start, stop = affinity
+        for i, desc in enumerate(self.queue):
+            if i >= self.ext.proximity_scan:
+                break
+            if start <= desc.granules.min() <= stop:
+                return desc
+        return self.queue.peek()
+
+    def _chunk_is_local(self, proc: Processor, desc: ComputationDescription) -> bool:
+        affinity = self._affinity.get(proc.index)
+        if affinity is None:
+            return False
+        start, stop = affinity
+        return start <= desc.granules.min() <= stop
+
+    def _request_work(self, proc: Processor) -> None:
+        if proc.index in self._assign_pending:
+            return
+        if not self.queue:
+            return
+        self._assign_pending.add(proc.index)
+        chosen: dict[str, ComputationDescription] = {}
+
+        def duration() -> float:
+            if not self.queue:
+                return 0.0
+            head = self._select_desc(proc)
+            run = self.runs[head.phase_run]
+            tsize = self.sizer.task_size(run.n, self.machine.n_workers)
+            d = self.costs.assign
+            if len(head) > tsize:
+                chunk_index = len(run.assigned) // tsize
+                presplit_covers = run.presplit_watermark > chunk_index
+                if not presplit_covers:
+                    d += self.costs.split
+                child = head.split(tsize)
+            else:
+                self.queue.remove(head)
+                child = head
+            if (
+                self.config.split_strategy is SplitStrategy.DEMAND
+                and self._identity_like_overlap(run)
+            ):
+                chunk_index = len(run.assigned) // max(1, tsize)
+                if run.presplit_watermark <= chunk_index:
+                    d += self.costs.successor_split
+                    run.inline_split_chunks.add(child.id)
+            chosen["desc"] = child
+            return d
+
+        def done() -> None:
+            self._assign_pending.discard(proc.index)
+            desc = chosen.get("desc")
+            if desc is None:
+                return
+            run = self.runs[desc.phase_run]
+            task_time = _task_duration(run.spec, desc.granules, self._rng(f"cost:{run.gid}"))
+            if self.ext.remote_penalty > 1.0 and not self._chunk_is_local(proc, desc):
+                task_time *= self.ext.remote_penalty
+            started = self.machine.start_task(
+                proc,
+                task_time,
+                lambda p, d=desc: self._on_task_done(d, p),
+                label=f"{run.spec.name}#{run.gid}:{desc.granules!r}",
+            )
+            if not started:
+                # the executive's host processor was reclaimed; requeue at
+                # the front so the known order is preserved
+                self.queue.push_front(desc, elevated=desc.elevated)
+                return
+            self._note_assignment(run, desc, proc)
+            if (
+                self.config.split_strategy is SplitStrategy.SUCCESSOR_TASK
+                and self._identity_like_overlap(run)
+                and desc.id not in run.inline_split_chunks
+            ):
+                self._schedule_successor_split(run, desc)
+            self._dispatch_idle()
+
+        self.machine.submit_mgmt(duration, done, label=f"assign:P{proc.index}")
+
+    def _note_assignment(
+        self, run: _RunState, desc: ComputationDescription, proc: Processor
+    ) -> None:
+        """Shared bookkeeping for executive and lateral assignments."""
+        desc.state = DescriptionState.RUNNING
+        run.assigned = run.assigned | desc.granules
+        run.queued = run.queued - desc.granules
+        run.stats.tasks += 1
+        self._affinity[proc.index] = (desc.granules.min(), desc.granules.max() + 1)
+        if run.stats.first_task_start is None:
+            run.stats.first_task_start = self.sim.now
+        if run.fully_assigned and run.stats.last_assign_time is None:
+            run.stats.last_assign_time = self.sim.now
+
+    def _schedule_successor_split(self, run: _RunState, desc: ComputationDescription) -> None:
+        """Queue the deferred successor-splitting task for one chunk.
+
+        "the splitting of a computation could generate a successor-
+        splitting task that could be quickly queued for later attention
+        when the executive would again be idle."
+        """
+
+        def duration() -> float:
+            if desc.id in run.inline_split_chunks:
+                return 0.0  # completion processing already paid inline
+            return self.costs.successor_split
+
+        def done() -> None:
+            run.inline_split_chunks.add(desc.id)
+
+        self.machine.submit_mgmt(
+            duration, done, label=f"succ-split:{run.spec.name}:{desc.id}", background=True
+        )
+
+    # ------------------------------------------------------------------ lateral
+    def _try_lateral_handoff(self, desc: ComputationDescription, proc: Processor) -> None:
+        """Worker-to-worker hand-off: start the enabled successor chunk now.
+
+        With an identity mapping, the worker that just completed granules
+        ``g`` of the current phase *knows* granules ``g`` of the successor
+        are computable — no executive consultation needed.  The worker
+        starts them directly, paying only the lateral communication cost.
+        """
+        run = self.runs[desc.phase_run]
+        succ = self._next_run(run)
+        if (
+            run.engine_to_next is None
+            or succ is None
+            or not succ.overlap_active
+            or run.engine_to_next.mapping.kind is not MappingKind.IDENTITY
+        ):
+            return
+        candidate = (
+            (desc.granules & GranuleSet.universe(succ.n)) - succ.assigned
+        ) - succ.queued
+        if not candidate:
+            return
+        child = ComputationDescription(succ.gid, succ.spec.name, candidate)
+        task_time = self.ext.lateral_cost + _task_duration(
+            succ.spec, candidate, self._rng(f"cost:{succ.gid}")
+        )
+        started = self.machine.start_task(
+            proc,
+            task_time,
+            lambda p, d=child: self._on_task_done(d, p),
+            label=f"lateral:{succ.spec.name}#{succ.gid}:{candidate!r}",
+        )
+        if not started:
+            return
+        succ.enabled = succ.enabled | candidate
+        self._note_assignment(succ, child, proc)
+        self.lateral_handoffs += 1
+
+    # ------------------------------------------------------------------ completion
+    def _on_task_done(self, desc: ComputationDescription, proc: Processor) -> None:
+        self.tasks_executed += 1
+        self.granules_executed += len(desc.granules)
+        if self.ext.lateral_handoff:
+            self._try_lateral_handoff(desc, proc)
+
+        def duration() -> float:
+            # Pricing only — completion processing's state changes happen
+            # atomically in done().  With a middle-management pool,
+            # completion jobs on different servers can *finish* out of
+            # order; mutating here would open a window between computing
+            # the enabled successor set and queueing it, during which
+            # another server could advance the frontier and queue the
+            # same granules again.
+            run = self.runs[desc.phase_run]
+            d = self.costs.completion
+            succ = self._next_run(run)
+            if run.engine_to_next is not None and succ is not None and succ.overlap_active:
+                d += self.costs.enablement
+                if (
+                    self._identity_like_overlap(run)
+                    and self.config.split_strategy is SplitStrategy.SUCCESSOR_TASK
+                    and desc.id not in run.inline_split_chunks
+                ):
+                    # deferred successor-splitting task has not run yet;
+                    # completion processing must pay inline
+                    d += self.costs.successor_split
+                    run.inline_split_chunks.add(desc.id)
+            return d
+
+        def done() -> None:
+            run = self.runs[desc.phase_run]
+            run.completed = run.completed | desc.granules
+            desc.state = DescriptionState.COMPLETE
+            succ = self._next_run(run)
+            if run.engine_to_next is not None and succ is not None and succ.overlap_active:
+                newly = run.engine_to_next.notify(desc.granules)
+                if run.complete:
+                    newly = newly | run.engine_to_next.complete_all()
+                fresh = (newly - succ.queued) - succ.assigned
+                if fresh:
+                    child = ComputationDescription(succ.gid, succ.spec.name, fresh)
+                    desc.queue_conflicting(child)
+            for child in desc.release_conflicts():
+                child.state = DescriptionState.WAITING
+                child_succ = self.runs[child.phase_run]
+                child_succ.enabled = child_succ.enabled | child.granules
+                child_succ.queued = child_succ.queued | child.granules
+                self.queue.push(child)
+            if run.complete and run.stats.complete_time is None:
+                run.stats.complete_time = self.sim.now
+                self.trace.log(self.sim.now, EventKind.PHASE_END, run.spec.name, run=run.gid)
+                self._advance_frontier(run.stream)
+            self._dispatch_idle()
+
+        self.machine.submit_mgmt(
+            duration, done, label=f"complete:{desc.phase_name}#{desc.phase_run}"
+        )
+
+    # ------------------------------------------------------------------ frontier
+    def _advance_frontier(self, stream: _Stream) -> None:
+        while stream.frontier < len(stream.runs) and stream.runs[stream.frontier].complete:
+            run = stream.runs[stream.frontier]
+            if run.stats.complete_time is None:
+                run.stats.complete_time = self.sim.now
+            stream.frontier += 1
+            if stream.frontier >= len(stream.runs):
+                stream.complete_time = self.sim.now
+                return
+            nxt = stream.runs[stream.frontier]
+            serial = stream.serial_before[stream.frontier]
+            if serial is not None and not nxt.initiated:
+                self._run_serial_action(serial, nxt)
+                return
+            self._make_current(nxt)
+            if not nxt.complete:
+                return
+
+    def _run_serial_action(self, serial: SerialAction, nxt: _RunState) -> None:
+        """Execute the inter-phase serial action, then continue."""
+
+        def done() -> None:
+            self.trace.log(self.sim.now, EventKind.SERIAL_ACTION, serial.name)
+            self._make_current(nxt)
+            if nxt.complete:
+                self._advance_frontier(nxt.stream)
+            self._dispatch_idle()
+
+        self.machine.submit_mgmt(
+            serial.duration, done, label=f"serial:{serial.name}", category="serial",
+            lane=CHIEF_LANE,
+        )
+
+    def _make_current(self, run: _RunState) -> None:
+        if not run.initiated:
+            if not run.init_submitted:
+                self._initiate(run)
+            # else: a queued initiation job will promote the run when it
+            # completes (see _maybe_overlap_next)
+            return
+        run.current = True
+        run.overlap_active = False
+        if run.stats.init_time is None:
+            run.stats.init_time = self.sim.now
+        # The predecessor's final completion processing released everything
+        # its enablement engine governed; anything never enabled (e.g. an
+        # untargeted remainder) is freed here.
+        remaining = (GranuleSet.universe(run.n) - run.enabled) - run.assigned
+        if remaining:
+            run.enabled = run.enabled | remaining
+            desc = ComputationDescription(run.gid, run.spec.name, remaining)
+            run.queued = run.queued | remaining
+            self.queue.push(desc)
+        self.trace.log(self.sim.now, EventKind.PHASE_START, run.spec.name, run=run.gid)
+        self._maybe_overlap_next(run)
+        self._dispatch_idle()
+
+
+def run_program(
+    program: PhaseProgram | list[PhaseProgram] | tuple[PhaseProgram, ...],
+    n_workers: int,
+    config: OverlapConfig | None = None,
+    costs: ExecutiveCosts | None = None,
+    sizer: TaskSizer | None = None,
+    placement: ExecutivePlacement = ExecutivePlacement.DEDICATED,
+    seed: int = 0,
+    max_events: int | None = 5_000_000,
+    extensions: Extensions | None = None,
+) -> RunResult:
+    """Convenience wrapper: build an :class:`ExecutiveSimulation` and run it."""
+    sim = ExecutiveSimulation(
+        program,
+        n_workers,
+        config=config,
+        costs=costs,
+        sizer=sizer,
+        placement=placement,
+        seed=seed,
+        extensions=extensions,
+    )
+    return sim.run(max_events=max_events)

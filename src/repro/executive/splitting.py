@@ -1,0 +1,63 @@
+"""Task sizing.
+
+"Certainly, there should be at the outset of the current-phase work at
+least two tasks for each processor so that at least one task execution
+time will be available to process the completion of the first task
+assigned to the processor and to schedule the enabled next-phase task."
+
+:class:`TaskSizer` turns a phase's granule count and the worker count into
+a task size (granules per assignment).  The split *strategies* — when a
+queued successor description mirrors a current split — are an
+:class:`~repro.core.overlap.SplitStrategy` handled by the scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TaskSizer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSizer:
+    """Granules-per-task policy.
+
+    Attributes
+    ----------
+    tasks_per_processor:
+        Target number of tasks each processor should see per phase; the
+        paper recommends at least 2.  The F2 benchmark sweeps this.
+    max_task_size:
+        Optional hard ceiling on granules per task.
+    min_task_size:
+        Floor on granules per task (amortizes management overhead).
+    """
+
+    tasks_per_processor: float = 2.0
+    max_task_size: int | None = None
+    min_task_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tasks_per_processor <= 0:
+            raise ValueError(f"tasks_per_processor must be positive, got {self.tasks_per_processor}")
+        if self.min_task_size < 1:
+            raise ValueError(f"min_task_size must be >= 1, got {self.min_task_size}")
+        if self.max_task_size is not None and self.max_task_size < self.min_task_size:
+            raise ValueError("max_task_size smaller than min_task_size")
+
+    def task_size(self, n_granules: int, n_workers: int) -> int:
+        """Granules per task for a phase of ``n_granules`` on ``n_workers``."""
+        if n_granules < 1:
+            raise ValueError(f"n_granules must be >= 1, got {n_granules}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        size = math.ceil(n_granules / (self.tasks_per_processor * n_workers))
+        size = max(size, self.min_task_size)
+        if self.max_task_size is not None:
+            size = min(size, self.max_task_size)
+        return max(1, min(size, n_granules))
+
+    def n_tasks(self, n_granules: int, n_workers: int) -> int:
+        """How many tasks the phase will be carved into."""
+        return math.ceil(n_granules / self.task_size(n_granules, n_workers))

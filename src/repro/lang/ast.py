@@ -1,0 +1,307 @@
+"""AST nodes for the PAX parallel language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Var",
+    "BinOp",
+    "Imod",
+    "Comparison",
+    "MappingOption",
+    "EnableItem",
+    "EnableClauseKind",
+    "EnableClause",
+    "IndexForm",
+    "LangRef",
+    "Stmt",
+    "DefinePhase",
+    "MapDecl",
+    "Dispatch",
+    "IfGoto",
+    "Goto",
+    "Label",
+    "SerialStmt",
+    "SetStmt",
+    "Program",
+]
+
+
+# ---------------------------------------------------------------- expressions
+class Expr:
+    """Base class of integer expressions in branch conditions."""
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Num(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A control variable looked up in the runtime environment."""
+
+    name: str
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        if self.name not in env:
+            raise KeyError(f"unbound variable {self.name!r} in branch condition")
+        return int(env[self.name])
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """Integer arithmetic: +, -, *."""
+
+    op: str  # '+', '-', '*'
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        a, b = self.left.evaluate(env), self.right.evaluate(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        raise ValueError(f"unknown operator {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Imod(Expr):
+    """Fortran ``IMOD(a, b)``."""
+
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        b = self.right.evaluate(env)
+        if b == 0:
+            raise ZeroDivisionError("IMOD by zero")
+        return self.left.evaluate(env) % b
+
+
+_REL_OPS = {
+    ".EQ.": lambda a, b: a == b,
+    ".NE.": lambda a, b: a != b,
+    ".LT.": lambda a, b: a < b,
+    ".LE.": lambda a, b: a <= b,
+    ".GT.": lambda a, b: a > b,
+    ".GE.": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A Fortran relational test, e.g. ``IMOD(LOOPCOUNTER,10).NE.0``."""
+
+    left: Expr
+    op: str
+    right: Expr
+
+    def evaluate(self, env: dict[str, int]) -> bool:
+        fn = _REL_OPS.get(self.op)
+        if fn is None:
+            raise ValueError(f"unknown relational operator {self.op!r}")
+        return bool(fn(self.left.evaluate(env), self.right.evaluate(env)))
+
+
+# ---------------------------------------------------------------- enable parts
+@dataclass(frozen=True, slots=True)
+class MappingOption:
+    """A ``MAPPING=`` option: kind name plus arguments.
+
+    ``REVERSE(map, fan_in)``, ``FORWARD(map)``, ``SEAM(o1, o2, ...)``;
+    ``UNIVERSAL``, ``IDENTITY`` and ``NULL`` take no arguments.
+    """
+
+    kind: str  # UNIVERSAL | IDENTITY | NULL | REVERSE | FORWARD | SEAM
+    args: tuple = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EnableItem:
+    """One ``phase-name/MAPPING=option`` entry."""
+
+    phase: str
+    mapping: MappingOption
+    line: int = 0
+
+
+class EnableClauseKind(enum.Enum):
+    """The four dispatch-site ENABLE forms of the paper."""
+
+    #: ``ENABLE/MAPPING=option`` — applies to whatever follows, unverified.
+    INLINE = "inline"
+    #: ``ENABLE [name/MAPPING=... ...]`` — verified against the follower.
+    LIST = "list"
+    #: ``ENABLE/BRANCHINDEPENDENT [ ... ]`` — branch preprocessing.
+    BRANCH_INDEPENDENT = "branch_independent"
+    #: ``ENABLE/BRANCHDEPENDENT`` — defer to DEFINE-time list at run time.
+    BRANCH_DEPENDENT = "branch_dependent"
+
+
+@dataclass(frozen=True, slots=True)
+class EnableClause:
+    """A dispatch-site ENABLE clause."""
+
+    kind: EnableClauseKind
+    items: tuple[EnableItem, ...] = ()
+    inline_mapping: MappingOption | None = None
+    line: int = 0
+
+
+# ---------------------------------------------------------------- access refs
+class IndexForm(enum.Enum):
+    """Index shapes expressible in READS/WRITES clauses.
+
+    ``A(I)`` / ``A(I+1)`` — affine in the granule index;
+    ``A(*)`` — the whole array; ``A(3)`` — one fixed element;
+    ``A(M(I))`` — through selection map ``M``;
+    ``A(M(J,I))`` — fan-in through ``M`` (fan declared by ``MAP M FANIN=k``).
+    """
+
+    AFFINE = "affine"
+    ALL = "all"
+    CONST = "const"
+    MAPPED = "mapped"
+    MAPPED_FAN = "mapped_fan"
+
+
+@dataclass(frozen=True, slots=True)
+class LangRef:
+    """One array reference in a READS/WRITES clause."""
+
+    array: str
+    form: IndexForm
+    #: AFFINE: the offset; CONST: the element index; MAPPED*: unused.
+    value: int = 0
+    #: MAPPED / MAPPED_FAN: the selection-map name.
+    map_name: str = ""
+
+
+# ---------------------------------------------------------------- statements
+class Stmt:
+    """Base class of statements."""
+
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class DefinePhase(Stmt):
+    """``DEFINE PHASE`` with its footprints and DEFINE-time enables."""
+
+    name: str
+    granules: int
+    cost: float = 1.0
+    lines_of_code: int = 0
+    enables: tuple[EnableItem, ...] = ()
+    reads: tuple[LangRef, ...] = ()
+    writes: tuple[LangRef, ...] = ()
+    #: True when a READS or WRITES clause appeared (even an empty one).
+    declares_access: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class MapDecl(Stmt):
+    """``MAP name FANIN=k`` — declares a dynamically generated selection map."""
+
+    name: str
+    fan_in: int = 1
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Dispatch(Stmt):
+    """``DISPATCH phase`` with an optional ENABLE clause."""
+
+    phase: str
+    enable: EnableClause | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class IfGoto(Stmt):
+    """``IF (cond) THEN GO TO label``."""
+
+    condition: Comparison
+    target: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Goto(Stmt):
+    """``GO TO label``."""
+
+    target: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Label(Stmt):
+    """A branch target (``name:``)."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SerialStmt(Stmt):
+    """An explicit serial action between phases (a null-mapping cause)."""
+
+    name: str
+    duration: float = 0.0
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SetStmt(Stmt):
+    """``SET var = expr`` — update a control variable (loop counters).
+
+    The paper's branch example tests ``IMOD(LOOPCOUNTER,10)``; SET is how
+    the counter advances between iterations, letting backward GOTOs form
+    terminating loops that the compiler unrolls.
+    """
+
+    name: str
+    expr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed PAX program: definitions plus an executable statement list."""
+
+    statements: list[Stmt] = field(default_factory=list)
+
+    def definitions(self) -> dict[str, DefinePhase]:
+        """Phase name -> its DEFINE PHASE statement."""
+        out: dict[str, DefinePhase] = {}
+        for s in self.statements:
+            if isinstance(s, DefinePhase):
+                out[s.name] = s
+        return out
+
+    def labels(self) -> dict[str, int]:
+        """Label name -> statement index."""
+        return {
+            s.name: i for i, s in enumerate(self.statements) if isinstance(s, Label)
+        }
+
+    def map_decls(self) -> dict[str, MapDecl]:
+        """Selection-map name -> its declaration."""
+        return {s.name: s for s in self.statements if isinstance(s, MapDecl)}

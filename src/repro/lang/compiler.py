@@ -1,0 +1,263 @@
+"""Compile a verified PAX program to an executable phase program.
+
+The compiler evaluates the program's control flow against a runtime
+environment (e.g. ``{"LOOPCOUNTER": 20}``) — every ``IF``/``GOTO`` is
+resolved, producing the linear dispatch sequence.  This is exactly the
+lookahead the paper assigns to the executive: "the executive could
+preprocess the branch and overlap the appropriate phase".
+
+Mapping declarations (inline, dispatch-list, branch-independent list or
+DEFINE-time list) become :class:`~repro.core.phase.PhaseLink` entries for
+the adjacent pairs that actually occur; ``SERIAL`` statements become
+:class:`~repro.core.phase.SerialAction` schedule entries.
+
+The resulting :class:`~repro.core.phase.PhaseProgram` runs directly on
+the simulated executive (:func:`repro.executive.run_program`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.access import (
+    AccessPattern,
+    AffineIndex,
+    AllIndex,
+    ArrayRef,
+    ConstIndex,
+    IndexExpr,
+    MappedIndex,
+)
+from repro.core.classifier import build_mapping, classify_pair
+from repro.core.mapping import (
+    EnablementMapping,
+    ForwardIndirectMapping,
+    IdentityMapping,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.phase import ConstantCost, PhaseLink, PhaseProgram, PhaseSpec, SerialAction
+from repro.lang.ast import (
+    DefinePhase,
+    Dispatch,
+    EnableClauseKind,
+    Goto,
+    IfGoto,
+    IndexForm,
+    Label,
+    LangRef,
+    MapDecl,
+    MappingOption,
+    Program,
+    SerialStmt,
+    SetStmt,
+)
+from repro.lang.errors import VerificationError
+from repro.lang.semantics import verify
+
+__all__ = ["compile_program", "mapping_from_option"]
+
+
+def _index_expr(ref: LangRef, map_decls: dict[str, MapDecl]) -> IndexExpr:
+    if ref.form is IndexForm.AFFINE:
+        return AffineIndex(1, ref.value)
+    if ref.form is IndexForm.ALL:
+        return AllIndex()
+    if ref.form is IndexForm.CONST:
+        return ConstIndex(ref.value)
+    if ref.form is IndexForm.MAPPED:
+        return MappedIndex(ref.map_name, fan_in=1)
+    return MappedIndex(ref.map_name, fan_in=map_decls[ref.map_name].fan_in)
+
+
+def _access_pattern(
+    define: DefinePhase, map_decls: dict[str, MapDecl]
+) -> AccessPattern | None:
+    """The phase's :class:`AccessPattern`, or ``None`` without declarations."""
+    if not define.declares_access:
+        return None
+    return AccessPattern(
+        reads=tuple(ArrayRef(r.array, _index_expr(r, map_decls)) for r in define.reads),
+        writes=tuple(ArrayRef(w.array, _index_expr(w, map_decls)) for w in define.writes),
+    )
+
+
+def mapping_from_option(option: MappingOption) -> EnablementMapping:
+    """Instantiate the runtime mapping for a ``MAPPING=`` option."""
+    kind = option.kind
+    if kind == "UNIVERSAL":
+        return UniversalMapping()
+    if kind == "IDENTITY":
+        return IdentityMapping()
+    if kind == "NULL":
+        return NullMapping()
+    if kind == "REVERSE":
+        map_name, fan_in = option.args
+        return ReverseIndirectMapping(map_name, fan_in=int(fan_in))
+    if kind == "FORWARD":
+        (map_name,) = option.args
+        return ForwardIndirectMapping(map_name)
+    if kind == "SEAM":
+        return SeamMapping(tuple(int(o) for o in option.args))
+    raise VerificationError(f"unknown mapping option {kind!r}")
+
+
+def compile_program(
+    source_or_ast: str | Program,
+    env: Mapping[str, int] | None = None,
+    map_generators: Mapping[str, Callable[[np.random.Generator], np.ndarray]] | None = None,
+    max_steps: int = 100_000,
+) -> PhaseProgram:
+    """Verify and compile PAX source (or a parsed AST) to a phase program.
+
+    Parameters
+    ----------
+    source_or_ast:
+        PAX-language text, or a pre-parsed :class:`~repro.lang.ast.Program`.
+    env:
+        Integer bindings for variables used in branch conditions.
+    map_generators:
+        Generators for the information-selection maps named by indirect
+        mapping options.
+    max_steps:
+        Guard against non-terminating control flow.
+
+    Raises
+    ------
+    VerificationError
+        On any failed interlock, unbound condition variable, or a
+        dispatch sequence exceeding ``max_steps``.
+    """
+    if isinstance(source_or_ast, str):
+        from repro.lang.parser import parse
+
+        ast = parse(source_or_ast)
+    else:
+        ast = source_or_ast
+    verified = verify(ast)
+    env = dict(env or {})
+
+    statements = ast.statements
+    labels = verified.labels
+
+    # ------------------------------------------------------------ control flow
+    dispatched: list[Dispatch] = []
+    schedule: list[str | SerialAction] = []
+    serial_pending: list[SerialStmt] = []
+    serial_between: list[bool] = []  # parallel to dispatched[1:]
+    i = 0
+    steps = 0
+    while i < len(statements):
+        steps += 1
+        if steps > max_steps:
+            raise VerificationError(f"control flow exceeded {max_steps} steps (infinite loop?)")
+        s = statements[i]
+        if isinstance(s, Dispatch):
+            if dispatched:
+                serial_between.append(bool(serial_pending))
+            for sp in serial_pending:
+                schedule.append(SerialAction(sp.name, sp.duration))
+            serial_pending = []
+            dispatched.append(s)
+            schedule.append(s.phase)
+            i += 1
+        elif isinstance(s, SerialStmt):
+            serial_pending.append(s)
+            i += 1
+        elif isinstance(s, SetStmt):
+            try:
+                env[s.name] = s.expr.evaluate(env)
+            except KeyError as exc:
+                raise VerificationError(str(exc), s.line) from exc
+            i += 1
+        elif isinstance(s, Goto):
+            i = labels[s.target]
+        elif isinstance(s, IfGoto):
+            try:
+                taken = s.condition.evaluate(env)
+            except KeyError as exc:
+                raise VerificationError(str(exc), s.line) from exc
+            i = labels[s.target] if taken else i + 1
+        else:  # Label / DefinePhase
+            i += 1
+
+    if not dispatched:
+        raise VerificationError("program dispatches no phases")
+
+    # ------------------------------------------------------------ phase specs
+    # A phase dispatched more than once needs distinct schedule names.
+    map_decls = ast.map_decls()
+    specs: dict[str, PhaseSpec] = {}
+    occurrence_names: list[str] = []
+    counts: dict[str, int] = {}
+    for d in dispatched:
+        base = verified.definitions[d.phase]
+        k = counts.get(d.phase, 0)
+        counts[d.phase] = k + 1
+        name = d.phase if k == 0 else f"{d.phase}@{k}"
+        occurrence_names.append(name)
+        if name not in specs:
+            specs[name] = PhaseSpec(
+                name=name,
+                n_granules=base.granules,
+                cost=ConstantCost(base.cost),
+                access=_access_pattern(base, map_decls),
+                lines=base.lines_of_code,
+            )
+    resolved_schedule: list[str | SerialAction] = []
+    it = iter(occurrence_names)
+    for entry in schedule:
+        resolved_schedule.append(next(it) if isinstance(entry, str) else entry)
+
+    # ------------------------------------------------------------ links
+    links: list[PhaseLink] = []
+    for j in range(len(dispatched) - 1):
+        pred, succ = dispatched[j], dispatched[j + 1]
+        pred_name, succ_name = occurrence_names[j], occurrence_names[j + 1]
+        if serial_between[j]:
+            continue  # a serial action forces the barrier; no link
+        option = _select_option(pred, succ, verified)
+        if option is None:
+            continue
+        if option.kind == "AUTO":
+            # derive the mapping from the declared footprints — the
+            # "language processor" doing the classification itself
+            verdict = classify_pair(specs[pred_name], specs[succ_name])
+            if not verdict.kind.overlappable:
+                continue  # conservative: no derivable overlap, barrier
+            mapping = build_mapping(verdict)
+        else:
+            mapping = mapping_from_option(option)
+        links.append(PhaseLink(pred_name, succ_name, mapping))
+
+    return PhaseProgram(
+        specs.values(), resolved_schedule, links, map_generators=map_generators
+    )
+
+
+def _select_option(pred: Dispatch, succ: Dispatch, verified) -> MappingOption | None:
+    """Pick the mapping option governing the pair ``pred -> succ``.
+
+    Priority: dispatch-site list (verified) > dispatch-site inline >
+    DEFINE-time list (used by the branch-dependent form and by bare
+    dispatches).  Returns ``None`` when nothing names the successor —
+    a strict barrier.
+    """
+    clause = pred.enable
+    if clause is not None:
+        if clause.kind in (EnableClauseKind.LIST, EnableClauseKind.BRANCH_INDEPENDENT):
+            for item in clause.items:
+                if item.phase == succ.phase:
+                    return item.mapping
+            return None
+        if clause.kind is EnableClauseKind.INLINE:
+            return clause.inline_mapping
+        # BRANCH_DEPENDENT falls through to the DEFINE-time list
+    for item in verified.definitions[pred.phase].enables:
+        if item.phase == succ.phase:
+            return item.mapping
+    return None

@@ -1,0 +1,32 @@
+"""Diagnostics for the PAX language front end."""
+
+from __future__ import annotations
+
+__all__ = ["LangError", "LexError", "ParseError", "VerificationError"]
+
+
+class LangError(Exception):
+    """Base class for PAX language diagnostics, carrying a line number."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class LexError(LangError):
+    """An unrecognizable character sequence."""
+
+
+class ParseError(LangError):
+    """A token stream that does not match the grammar."""
+
+
+class VerificationError(LangError):
+    """A failed executive interlock.
+
+    Raised when an ``ENABLE`` clause names a successor phase that is not
+    actually following, when a named phase is undefined, or when a
+    branch-independent clause cannot cover every branch target — exactly
+    the mistakes the paper's verified form exists to catch.
+    """

@@ -1,0 +1,155 @@
+"""Tokenizer for the PAX parallel language.
+
+Line-oriented Fortran-adjacent surface syntax: keywords are
+case-insensitive, ``!`` starts a comment, statements may span lines
+freely (brackets make the structure unambiguous).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of the PAX language."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    SLASH = "/"
+    EQUALS = "="
+    COLON = ":"
+    COMMA = ","
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    DOT_OP = "dot_op"  # Fortran relationals: .EQ. .NE. .LT. .LE. .GT. .GE.
+    EOF = "eof"
+
+
+#: Reserved words of the construct (paper spellings first).
+KEYWORDS = frozenset(
+    {
+        "DEFINE",
+        "PHASE",
+        "DISPATCH",
+        "ENABLE",
+        "MAPPING",
+        "BRANCHINDEPENDENT",
+        "BRANCHDEPENDENT",
+        "GRANULES",
+        "COST",
+        "LINES",
+        "IF",
+        "THEN",
+        "GO",
+        "TO",
+        "GOTO",
+        "SERIAL",
+        "DURATION",
+        "SET",
+        "READS",
+        "WRITES",
+        "MAP",
+        "FANIN",
+        "AUTO",
+        "UNIVERSAL",
+        "IDENTITY",
+        "NULL",
+        "REVERSE",
+        "FORWARD",
+        "SEAM",
+        "IMOD",
+    }
+)
+
+_SINGLE = {
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "/": TokenKind.SLASH,
+    "=": TokenKind.EQUALS,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+}
+
+_DOT_OPS = {".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexeme with its source line."""
+
+    kind: TokenKind
+    text: str
+    line: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize PAX-language source; raises :class:`LexError` on garbage."""
+    tokens: list[Token] = []
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        body = line.split("!", 1)[0]
+        i = 0
+        n = len(body)
+        while i < n:
+            c = body[i]
+            if c.isspace():
+                i += 1
+                continue
+            if c == "." and i + 3 < n and body[i : i + 4].upper() in _DOT_OPS:
+                tokens.append(Token(TokenKind.DOT_OP, body[i : i + 4].upper(), line_no))
+                i += 4
+                continue
+            if c in _SINGLE:
+                tokens.append(Token(_SINGLE[c], c, line_no))
+                i += 1
+                continue
+            if c.isdigit():
+                j = i
+                while j < n and (body[j].isdigit() or body[j] == "."):
+                    j += 1
+                text = body[i:j]
+                if text.count(".") > 1:
+                    raise LexError(f"malformed number {text!r}", line_no)
+                kind = TokenKind.FLOAT if "." in text else TokenKind.INT
+                tokens.append(Token(kind, text, line_no))
+                i = j
+                continue
+            if c.isalpha() or c == "_":
+                j = i
+                while j < n and (body[j].isalnum() or body[j] in "_-"):
+                    # hyphenated names like phase-name-1, but stop before
+                    # a hyphen that is really a minus (digit boundary ok)
+                    j += 1
+                text = body[i:j]
+                # trailing hyphen would be a minus operator
+                while text.endswith("-"):
+                    text = text[:-1]
+                    j -= 1
+                kind = TokenKind.KEYWORD if text.upper() in KEYWORDS else TokenKind.IDENT
+                tokens.append(Token(kind, text, line_no))
+                i = j
+                continue
+            raise LexError(f"unexpected character {c!r}", line_no)
+    last_line = source.count("\n") + 1
+    tokens.append(Token(TokenKind.EOF, "", last_line))
+    return tokens

@@ -1,0 +1,430 @@
+"""Recursive-descent parser for the PAX parallel language.
+
+Grammar (keywords case-insensitive, ``!`` comments)::
+
+    program      := statement*
+    statement    := define | dispatch | ifgoto | goto | serial | label
+    define       := DEFINE PHASE name GRANULES = INT
+                    [COST = NUMBER] [LINES = INT]
+                    [READS '[' access-ref* ']'] [WRITES '[' access-ref* ']']
+                    [ENABLE '[' enable-item+ ']']
+    access-ref   := name '(' index ')'
+    index        := 'I' [('+'|'-') INT] | '*' | signed-int
+                  | map-name '(' 'I' ')' | map-name '(' 'J' ',' 'I' ')'
+    map-decl     := MAP name [FANIN = INT]
+    dispatch     := DISPATCH name [enable-clause]
+    enable-clause:= ENABLE '/' MAPPING '=' option
+                  | ENABLE '[' enable-item+ ']'
+                  | ENABLE '/' BRANCHINDEPENDENT '[' enable-item+ ']'
+                  | ENABLE '/' BRANCHDEPENDENT
+    enable-item  := name '/' MAPPING '=' option
+    option       := UNIVERSAL | IDENTITY | NULL | AUTO
+                  | REVERSE '(' name ',' INT ')'
+                  | FORWARD '(' name ')'
+                  | SEAM '(' signed-int (',' signed-int)* ')'
+    ifgoto       := IF '(' comparison ')' THEN (GO TO | GOTO) name
+    goto         := (GO TO | GOTO) name
+    serial       := SERIAL name [DURATION = NUMBER]
+    set          := SET name '=' expr
+    label        := name ':'
+    comparison   := expr DOT_OP expr
+    expr         := term (('+'|'-') term)*
+    term         := factor ('*' factor)*
+    factor       := INT | name | IMOD '(' expr ',' expr ')' | '(' expr ')'
+                  | '-' factor
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.lang.ast import (
+    BinOp,
+    Comparison,
+    DefinePhase,
+    Dispatch,
+    EnableClause,
+    EnableClauseKind,
+    EnableItem,
+    Goto,
+    IfGoto,
+    Imod,
+    IndexForm,
+    Label,
+    LangRef,
+    MapDecl,
+    MappingOption,
+    Num,
+    Program,
+    SerialStmt,
+    SetStmt,
+    Var,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -------------------------------------------------------------- plumbing
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_keyword(self, word: str, offset: int = 0) -> bool:
+        t = self.peek(offset)
+        return t.kind is TokenKind.KEYWORD and t.upper == word
+
+    def expect_keyword(self, word: str) -> Token:
+        t = self.advance()
+        if t.kind is not TokenKind.KEYWORD or t.upper != word:
+            raise ParseError(f"expected {word}, got {t.text!r}", t.line)
+        return t
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        t = self.advance()
+        if t.kind is not kind:
+            raise ParseError(f"expected {what or kind.value}, got {t.text!r}", t.line)
+        return t
+
+    def expect_name(self) -> Token:
+        t = self.advance()
+        if t.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+            raise ParseError(f"expected a name, got {t.text!r}", t.line)
+        if t.kind is TokenKind.KEYWORD:
+            raise ParseError(f"{t.text!r} is a reserved word", t.line)
+        return t
+
+    # -------------------------------------------------------------- numbers
+    def parse_int(self) -> int:
+        neg = False
+        if self.peek().kind is TokenKind.MINUS:
+            self.advance()
+            neg = True
+        t = self.expect(TokenKind.INT, "an integer")
+        v = int(t.text)
+        return -v if neg else v
+
+    def parse_number(self) -> float:
+        neg = False
+        if self.peek().kind is TokenKind.MINUS:
+            self.advance()
+            neg = True
+        t = self.advance()
+        if t.kind not in (TokenKind.INT, TokenKind.FLOAT):
+            raise ParseError(f"expected a number, got {t.text!r}", t.line)
+        v = float(t.text)
+        return -v if neg else v
+
+    # -------------------------------------------------------------- options
+    def parse_mapping_option(self) -> MappingOption:
+        t = self.advance()
+        kind = t.upper
+        if kind in ("UNIVERSAL", "IDENTITY", "NULL", "AUTO"):
+            return MappingOption(kind)
+        if kind == "REVERSE":
+            self.expect(TokenKind.LPAREN)
+            map_name = self.expect_name().text
+            fan_in = 1
+            if self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                fan_in = self.parse_int()
+            self.expect(TokenKind.RPAREN)
+            return MappingOption("REVERSE", (map_name, fan_in))
+        if kind == "FORWARD":
+            self.expect(TokenKind.LPAREN)
+            map_name = self.expect_name().text
+            self.expect(TokenKind.RPAREN)
+            return MappingOption("FORWARD", (map_name,))
+        if kind == "SEAM":
+            self.expect(TokenKind.LPAREN)
+            offsets = [self.parse_int()]
+            while self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                offsets.append(self.parse_int())
+            self.expect(TokenKind.RPAREN)
+            return MappingOption("SEAM", tuple(offsets))
+        raise ParseError(f"unknown mapping option {t.text!r}", t.line)
+
+    def parse_enable_items(self) -> tuple[EnableItem, ...]:
+        self.expect(TokenKind.LBRACKET)
+        items: list[EnableItem] = []
+        while self.peek().kind is not TokenKind.RBRACKET:
+            name_tok = self.expect_name()
+            self.expect(TokenKind.SLASH)
+            self.expect_keyword("MAPPING")
+            self.expect(TokenKind.EQUALS)
+            option = self.parse_mapping_option()
+            items.append(EnableItem(name_tok.text, option, name_tok.line))
+        self.expect(TokenKind.RBRACKET)
+        if not items:
+            raise ParseError("empty ENABLE list", self.peek().line)
+        return tuple(items)
+
+    def parse_enable_clause(self) -> EnableClause:
+        enable_tok = self.expect_keyword("ENABLE")
+        if self.peek().kind is TokenKind.LBRACKET:
+            return EnableClause(EnableClauseKind.LIST, self.parse_enable_items(), line=enable_tok.line)
+        self.expect(TokenKind.SLASH)
+        t = self.peek()
+        if t.kind is TokenKind.KEYWORD and t.upper == "MAPPING":
+            self.advance()
+            self.expect(TokenKind.EQUALS)
+            return EnableClause(
+                EnableClauseKind.INLINE,
+                inline_mapping=self.parse_mapping_option(),
+                line=enable_tok.line,
+            )
+        if t.kind is TokenKind.KEYWORD and t.upper == "BRANCHINDEPENDENT":
+            self.advance()
+            return EnableClause(
+                EnableClauseKind.BRANCH_INDEPENDENT,
+                self.parse_enable_items(),
+                line=enable_tok.line,
+            )
+        if t.kind is TokenKind.KEYWORD and t.upper == "BRANCHDEPENDENT":
+            self.advance()
+            return EnableClause(EnableClauseKind.BRANCH_DEPENDENT, line=enable_tok.line)
+        raise ParseError(f"expected MAPPING, BRANCHINDEPENDENT or BRANCHDEPENDENT, got {t.text!r}", t.line)
+
+    # -------------------------------------------------------------- expressions
+    def parse_factor(self):
+        t = self.peek()
+        if t.kind is TokenKind.MINUS:
+            self.advance()
+            return BinOp("-", Num(0), self.parse_factor())
+        if t.kind is TokenKind.INT:
+            self.advance()
+            return Num(int(t.text))
+        if t.kind is TokenKind.KEYWORD and t.upper == "IMOD":
+            self.advance()
+            self.expect(TokenKind.LPAREN)
+            left = self.parse_expr()
+            self.expect(TokenKind.COMMA)
+            right = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return Imod(left, right)
+        if t.kind is TokenKind.LPAREN:
+            self.advance()
+            e = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return e
+        if t.kind is TokenKind.IDENT:
+            self.advance()
+            return Var(t.text)
+        raise ParseError(f"expected an expression, got {t.text!r}", t.line)
+
+    def parse_term(self):
+        e = self.parse_factor()
+        while self.peek().kind is TokenKind.STAR:
+            self.advance()
+            e = BinOp("*", e, self.parse_factor())
+        return e
+
+    def parse_expr(self):
+        e = self.parse_term()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.advance().text
+            e = BinOp(op, e, self.parse_term())
+        return e
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_expr()
+        op_tok = self.expect(TokenKind.DOT_OP, "a relational operator (.EQ. etc.)")
+        right = self.parse_expr()
+        return Comparison(left, op_tok.text, right)
+
+    # -------------------------------------------------------------- access refs
+    def parse_access_ref(self) -> LangRef:
+        """One ``array(index)`` reference inside READS/WRITES brackets."""
+        array_tok = self.expect_name()
+        self.expect(TokenKind.LPAREN)
+        t = self.peek()
+        ref: LangRef
+        if t.kind is TokenKind.STAR:
+            self.advance()
+            ref = LangRef(array_tok.text, IndexForm.ALL)
+        elif t.kind in (TokenKind.INT, TokenKind.MINUS):
+            ref = LangRef(array_tok.text, IndexForm.CONST, value=self.parse_int())
+        elif t.kind is TokenKind.IDENT and t.upper == "I":
+            self.advance()
+            offset = 0
+            if self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+                sign = 1 if self.advance().kind is TokenKind.PLUS else -1
+                offset = sign * int(self.expect(TokenKind.INT, "an offset").text)
+            ref = LangRef(array_tok.text, IndexForm.AFFINE, value=offset)
+        elif t.kind is TokenKind.IDENT and re.fullmatch(r"I-\d+", t.upper):
+            # the lexer folds hyphens into identifiers (phase-name-1), so
+            # "I-2" arrives as one token
+            self.advance()
+            ref = LangRef(array_tok.text, IndexForm.AFFINE, value=-int(t.upper[2:]))
+        elif t.kind is TokenKind.IDENT:
+            # a selection map: M(I) or M(J, I)
+            map_name = self.advance().text
+            self.expect(TokenKind.LPAREN)
+            first = self.expect_name()
+            if first.upper == "J":
+                self.expect(TokenKind.COMMA)
+                second = self.expect_name()
+                if second.upper != "I":
+                    raise ParseError(
+                        f"expected I as the map's second index, got {second.text!r}",
+                        second.line,
+                    )
+                form = IndexForm.MAPPED_FAN
+            elif first.upper == "I":
+                form = IndexForm.MAPPED
+            else:
+                raise ParseError(
+                    f"expected I or J,I inside map reference, got {first.text!r}", first.line
+                )
+            self.expect(TokenKind.RPAREN)
+            ref = LangRef(array_tok.text, form, map_name=map_name)
+        else:
+            raise ParseError(f"unexpected index expression {t.text!r}", t.line)
+        self.expect(TokenKind.RPAREN)
+        return ref
+
+    def parse_access_refs(self) -> tuple[LangRef, ...]:
+        self.expect(TokenKind.LBRACKET)
+        refs: list[LangRef] = []
+        while self.peek().kind is not TokenKind.RBRACKET:
+            refs.append(self.parse_access_ref())
+        self.expect(TokenKind.RBRACKET)
+        return tuple(refs)
+
+    # -------------------------------------------------------------- statements
+    def parse_define(self) -> DefinePhase:
+        start = self.expect_keyword("DEFINE")
+        self.expect_keyword("PHASE")
+        name = self.expect_name().text
+        self.expect_keyword("GRANULES")
+        self.expect(TokenKind.EQUALS)
+        granules = self.parse_int()
+        cost = 1.0
+        lines_of_code = 0
+        reads: tuple[LangRef, ...] = ()
+        writes: tuple[LangRef, ...] = ()
+        declares_access = False
+        while self.peek().kind is TokenKind.KEYWORD and self.peek().upper in (
+            "COST",
+            "LINES",
+            "READS",
+            "WRITES",
+        ):
+            kw = self.advance().upper
+            if kw == "COST":
+                self.expect(TokenKind.EQUALS)
+                cost = self.parse_number()
+            elif kw == "LINES":
+                self.expect(TokenKind.EQUALS)
+                lines_of_code = self.parse_int()
+            elif kw == "READS":
+                reads = self.parse_access_refs()
+                declares_access = True
+            else:
+                writes = self.parse_access_refs()
+                declares_access = True
+        enables: tuple[EnableItem, ...] = ()
+        if self.at_keyword("ENABLE"):
+            self.advance()
+            enables = self.parse_enable_items()
+        return DefinePhase(
+            name=name,
+            granules=granules,
+            cost=cost,
+            lines_of_code=lines_of_code,
+            enables=enables,
+            reads=reads,
+            writes=writes,
+            declares_access=declares_access,
+            line=start.line,
+        )
+
+    def parse_map_decl(self) -> MapDecl:
+        start = self.expect_keyword("MAP")
+        name = self.expect_name().text
+        fan_in = 1
+        if self.at_keyword("FANIN"):
+            self.advance()
+            self.expect(TokenKind.EQUALS)
+            fan_in = self.parse_int()
+        return MapDecl(name=name, fan_in=fan_in, line=start.line)
+
+    def parse_goto_target(self) -> str:
+        t = self.peek()
+        if t.kind is TokenKind.KEYWORD and t.upper == "GOTO":
+            self.advance()
+        else:
+            self.expect_keyword("GO")
+            self.expect_keyword("TO")
+        return self.expect_name().text
+
+    def parse_statement(self):
+        t = self.peek()
+        if t.kind is TokenKind.KEYWORD:
+            word = t.upper
+            if word == "DEFINE":
+                return self.parse_define()
+            if word == "MAP":
+                return self.parse_map_decl()
+            if word == "DISPATCH":
+                self.advance()
+                name = self.expect_name().text
+                enable = None
+                if self.at_keyword("ENABLE"):
+                    enable = self.parse_enable_clause()
+                return Dispatch(phase=name, enable=enable, line=t.line)
+            if word == "IF":
+                self.advance()
+                self.expect(TokenKind.LPAREN)
+                cond = self.parse_comparison()
+                self.expect(TokenKind.RPAREN)
+                self.expect_keyword("THEN")
+                target = self.parse_goto_target()
+                return IfGoto(condition=cond, target=target, line=t.line)
+            if word in ("GO", "GOTO"):
+                target = self.parse_goto_target()
+                return Goto(target=target, line=t.line)
+            if word == "SET":
+                self.advance()
+                name = self.expect_name().text
+                self.expect(TokenKind.EQUALS)
+                expr = self.parse_expr()
+                return SetStmt(name=name, expr=expr, line=t.line)
+            if word == "SERIAL":
+                self.advance()
+                name = self.expect_name().text
+                duration = 0.0
+                if self.at_keyword("DURATION"):
+                    self.advance()
+                    self.expect(TokenKind.EQUALS)
+                    duration = self.parse_number()
+                return SerialStmt(name=name, duration=duration, line=t.line)
+            raise ParseError(f"unexpected keyword {t.text!r}", t.line)
+        if t.kind is TokenKind.IDENT and self.peek(1).kind is TokenKind.COLON:
+            self.advance()
+            self.advance()
+            return Label(name=t.text, line=t.line)
+        raise ParseError(f"unexpected token {t.text!r}", t.line)
+
+    def parse_program(self) -> Program:
+        prog = Program()
+        while self.peek().kind is not TokenKind.EOF:
+            prog.statements.append(self.parse_statement())
+        return prog
+
+
+def parse(source: str) -> Program:
+    """Parse PAX-language source into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()

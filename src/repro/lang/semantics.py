@@ -1,0 +1,273 @@
+"""Executive interlock verification for PAX programs.
+
+The paper's progression of constructs is driven by verifiability:
+
+* ``ENABLE/MAPPING=option`` — "simple and explicit; however, it leaves
+  the door wide open to user mistakes.  There is no interlock between
+  this phase and the next that can be verified by the executive."
+  Verification accepts it but flags it as unverified.
+* ``ENABLE [phase-name/MAPPING=option]`` — the executive verifies "that,
+  in fact, that phase is following".
+* ``ENABLE/BRANCHINDEPENDENT [...]`` — a phase-independent conditional
+  branch follows; every branch outcome's next dispatch must be listed so
+  the executive "could preprocess the branch and overlap the appropriate
+  phase".
+* ``ENABLE/BRANCHDEPENDENT`` — matching happens at DEFINE time; the
+  dispatch site only marks that the follower is branch-dependent, and
+  the executive performs "the appropriate lookahead" at run time against
+  the DEFINE-time list.
+
+:func:`verify` performs all static checks and raises
+:class:`~repro.lang.errors.VerificationError` on the first violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast import (
+    DefinePhase,
+    Dispatch,
+    EnableClause,
+    EnableClauseKind,
+    Goto,
+    IfGoto,
+    IndexForm,
+    Label,
+    MapDecl,
+    Program,
+    SerialStmt,
+    SetStmt,
+    Stmt,
+)
+from repro.lang.errors import VerificationError
+
+__all__ = ["VerifiedProgram", "verify", "next_dispatch_phases"]
+
+
+@dataclass
+class VerifiedProgram:
+    """The result of verification: the program plus derived indexes."""
+
+    program: Program
+    definitions: dict[str, DefinePhase]
+    labels: dict[str, int]
+    #: Dispatch statement indexes flagged as using the unverified inline
+    #: form (legal, but the paper's "door wide open to user mistakes").
+    unverified_dispatches: list[int] = field(default_factory=list)
+
+
+def _next_statement_chain(
+    statements: list[Stmt], labels: dict[str, int], start: int, follow_branches: bool
+) -> list[str]:
+    """Phase names of every dispatch that can be "the next" after ``start``.
+
+    Walks forward from statement index ``start`` through labels, serial
+    statements and unconditional gotos.  At a conditional branch:
+
+    * with ``follow_branches`` both arms are explored (branch-independent
+      preprocessing);
+    * without it, the walk reports *both arms anyway* so the caller can
+      decide whether the ambiguity is an error.
+
+    Cycles terminate via a visited set; a program end contributes no
+    phase.
+    """
+    results: list[str] = []
+    seen_states: set[int] = set()
+    stack = [start]
+    while stack:
+        i = stack.pop()
+        while i < len(statements):
+            if i in seen_states:
+                break
+            seen_states.add(i)
+            s = statements[i]
+            if isinstance(s, Dispatch):
+                results.append(s.phase)
+                break
+            if isinstance(s, (Label, SerialStmt, DefinePhase, MapDecl, SetStmt)):
+                i += 1
+                continue
+            if isinstance(s, Goto):
+                if s.target not in labels:
+                    raise VerificationError(f"GOTO to undefined label {s.target!r}", s.line)
+                i = labels[s.target]
+                continue
+            if isinstance(s, IfGoto):
+                if s.target not in labels:
+                    raise VerificationError(f"IF branch to undefined label {s.target!r}", s.line)
+                stack.append(labels[s.target])
+                i += 1
+                continue
+            raise VerificationError(f"unhandled statement {type(s).__name__}", getattr(s, "line", None))
+        # fell off the end: no following dispatch on this path
+    return results
+
+
+def next_dispatch_phases(program: Program, dispatch_index: int, follow_branches: bool = True) -> list[str]:
+    """All phases that can follow the dispatch at ``dispatch_index``."""
+    labels = program.labels()
+    return _next_statement_chain(
+        program.statements, labels, dispatch_index + 1, follow_branches
+    )
+
+
+def _has_branch_before_next_dispatch(program: Program, dispatch_index: int) -> bool:
+    """Is there a conditional branch between this dispatch and the next?"""
+    labels = program.labels()
+    i = dispatch_index + 1
+    statements = program.statements
+    visited: set[int] = set()
+    while i < len(statements) and i not in visited:
+        visited.add(i)
+        s = statements[i]
+        if isinstance(s, IfGoto):
+            return True
+        if isinstance(s, Dispatch):
+            return False
+        if isinstance(s, Goto):
+            if s.target not in labels:
+                raise VerificationError(f"GOTO to undefined label {s.target!r}", s.line)
+            i = labels[s.target]
+            continue
+        i += 1
+    return False
+
+
+def _check_enable_items(clause_items, definitions, line_hint) -> None:
+    for item in clause_items:
+        if item.phase not in definitions:
+            raise VerificationError(
+                f"ENABLE names undefined phase {item.phase!r}", item.line or line_hint
+            )
+
+
+def verify(program: Program) -> VerifiedProgram:
+    """Run every static interlock check; raises on the first violation."""
+    definitions = program.definitions()
+    labels = program.labels()
+
+    # duplicate labels / phases
+    seen_labels: set[str] = set()
+    for s in program.statements:
+        if isinstance(s, Label):
+            if s.name in seen_labels:
+                raise VerificationError(f"duplicate label {s.name!r}", s.line)
+            seen_labels.add(s.name)
+    map_decls = program.map_decls()
+    seen_maps: set[str] = set()
+    for s in program.statements:
+        if isinstance(s, MapDecl):
+            if s.name in seen_maps:
+                raise VerificationError(f"duplicate map declaration {s.name!r}", s.line)
+            seen_maps.add(s.name)
+            if s.fan_in < 1:
+                raise VerificationError(
+                    f"map {s.name!r} declares FANIN={s.fan_in}", s.line
+                )
+
+    seen_defs: set[str] = set()
+    for s in program.statements:
+        if isinstance(s, DefinePhase):
+            if s.name in seen_defs:
+                raise VerificationError(f"duplicate phase definition {s.name!r}", s.line)
+            seen_defs.add(s.name)
+            if s.granules < 1:
+                raise VerificationError(
+                    f"phase {s.name!r} declares {s.granules} granules", s.line
+                )
+            _check_enable_items(s.enables, definitions, s.line)
+            for ref in s.reads + s.writes:
+                if ref.form in (IndexForm.MAPPED, IndexForm.MAPPED_FAN):
+                    if ref.map_name not in map_decls:
+                        raise VerificationError(
+                            f"phase {s.name!r} references undeclared selection map "
+                            f"{ref.map_name!r} (add a MAP statement)",
+                            s.line,
+                        )
+            for item in s.enables:
+                if item.mapping.kind == "AUTO" and not s.declares_access:
+                    raise VerificationError(
+                        f"phase {s.name!r} uses MAPPING=AUTO but declares no "
+                        f"READS/WRITES footprint",
+                        s.line,
+                    )
+
+    result = VerifiedProgram(program=program, definitions=definitions, labels=labels)
+
+    for idx, s in enumerate(program.statements):
+        if isinstance(s, (Goto, IfGoto)):
+            if s.target not in labels:
+                raise VerificationError(f"branch to undefined label {s.target!r}", s.line)
+        if not isinstance(s, Dispatch):
+            continue
+        if s.phase not in definitions:
+            raise VerificationError(f"DISPATCH of undefined phase {s.phase!r}", s.line)
+        clause = s.enable
+        if clause is None:
+            continue
+        if clause.kind is EnableClauseKind.INLINE:
+            # legal but unverifiable — record it
+            result.unverified_dispatches.append(idx)
+            if (
+                clause.inline_mapping is not None
+                and clause.inline_mapping.kind == "AUTO"
+                and not definitions[s.phase].declares_access
+            ):
+                raise VerificationError(
+                    f"DISPATCH {s.phase}: MAPPING=AUTO needs a READS/WRITES "
+                    f"footprint on the phase",
+                    s.line,
+                )
+            continue
+        if clause.kind is EnableClauseKind.BRANCH_DEPENDENT:
+            if not definitions[s.phase].enables:
+                raise VerificationError(
+                    f"DISPATCH {s.phase} ENABLE/BRANCHDEPENDENT needs a DEFINE-time "
+                    f"ENABLE list on the phase",
+                    s.line,
+                )
+            continue
+        _check_enable_items(clause.items, definitions, s.line)
+        for item in clause.items:
+            if item.mapping.kind == "AUTO":
+                for side in (s.phase, item.phase):
+                    if not definitions[side].declares_access:
+                        raise VerificationError(
+                            f"MAPPING=AUTO between {s.phase!r} and {item.phase!r} "
+                            f"needs READS/WRITES footprints on both phases "
+                            f"(missing on {side!r})",
+                            s.line,
+                        )
+        followers = next_dispatch_phases(program, idx, follow_branches=True)
+        listed = {item.phase for item in clause.items}
+        if clause.kind is EnableClauseKind.LIST:
+            if _has_branch_before_next_dispatch(program, idx):
+                raise VerificationError(
+                    f"DISPATCH {s.phase}: a conditional branch separates this phase "
+                    f"from its successor; use ENABLE/BRANCHINDEPENDENT",
+                    s.line,
+                )
+            for f in followers:
+                if f not in listed:
+                    raise VerificationError(
+                        f"DISPATCH {s.phase}: following phase {f!r} is not in the "
+                        f"ENABLE list {sorted(listed)}",
+                        s.line,
+                    )
+        elif clause.kind is EnableClauseKind.BRANCH_INDEPENDENT:
+            if not followers:
+                raise VerificationError(
+                    f"DISPATCH {s.phase}: ENABLE/BRANCHINDEPENDENT but no "
+                    f"following dispatch on any path",
+                    s.line,
+                )
+            for f in followers:
+                if f not in listed:
+                    raise VerificationError(
+                        f"DISPATCH {s.phase}: branch target dispatches {f!r} which "
+                        f"is not in the ENABLE list {sorted(listed)}",
+                        s.line,
+                    )
+    return result

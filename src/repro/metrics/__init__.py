@@ -1,0 +1,34 @@
+"""Measurement layer: utilization, rundown accounting, text reports.
+
+Everything here is a pure function of a finished
+:class:`~repro.executive.scheduler.RunResult` (or its
+:class:`~repro.sim.trace.Trace`) — no simulation state is mutated.
+"""
+
+from repro.metrics.utilization import (
+    mean_utilization,
+    utilization_between,
+    idle_processor_time,
+    busy_counts_at,
+)
+from repro.metrics.rundown import RundownReport, rundown_report, rundown_reports, total_rundown_idle
+from repro.metrics.report import format_table, census_table, comparison_table
+from repro.metrics.gantt import render_gantt
+from repro.metrics.ascii_plot import bar_chart, line_plot
+
+__all__ = [
+    "render_gantt",
+    "bar_chart",
+    "line_plot",
+    "mean_utilization",
+    "utilization_between",
+    "idle_processor_time",
+    "busy_counts_at",
+    "RundownReport",
+    "rundown_report",
+    "rundown_reports",
+    "total_rundown_idle",
+    "format_table",
+    "census_table",
+    "comparison_table",
+]

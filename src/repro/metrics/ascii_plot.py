@@ -1,0 +1,97 @@
+"""ASCII charts for the benchmark harness.
+
+The paper's evaluation is textual; the benchmark harness regenerates its
+quantities as tables plus these dependency-free charts, so a sweep's
+*shape* (where the overlap gain peaks, where the overhead boundary bites)
+is visible directly in the pytest output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_plot"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+    baseline: float | None = None,
+) -> str:
+    """Horizontal bar chart.
+
+    ``baseline`` draws a ``|`` marker at that value on every row (e.g.
+    gain = 1.0 in an overlap-gain sweep).
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if not values:
+        return title or "(no data)"
+    vmax = max(max(values), baseline if baseline is not None else float("-inf"))
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = int(round(width * max(value, 0.0) / vmax))
+        bar = "#" * n
+        if baseline is not None:
+            b = int(round(width * baseline / vmax))
+            if b >= len(bar):
+                bar = bar + "." * (b - len(bar)) + "|"
+            else:
+                bar = bar[:b] + "|" + bar[b + 1 :]
+        suffix = f" {value:g}{unit}"
+        lines.append(f"{label:>{label_w}} {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Character-grid line plot of one or more series over shared x values.
+
+    Each series is drawn with the first letter of its name; collisions
+    show ``*``.
+    """
+    if width < 4 or height < 3:
+        raise ValueError("plot area too small")
+    if not xs:
+        return title or "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} has {len(ys)} points for {len(xs)} xs")
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        return title or "(no data)"
+    ymin, ymax = min(all_y), max(all_y)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        ch = name[0]
+        for x, y in zip(xs, ys):
+            col = int(round((width - 1) * (x - xmin) / (xmax - xmin)))
+            row = height - 1 - int(round((height - 1) * (y - ymin) / (ymax - ymin)))
+            grid[row][col] = "*" if grid[row][col] not in (" ", ch) else ch
+    lines = [title] if title else []
+    lines.append(f"{ymax:>10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{ymin:>10.3g} +" + "-" * width)
+    lines.append(" " * 12 + f"{xmin:<10.3g}{'':^{max(0, width - 20)}}{xmax:>10.3g}")
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Plain-text tables for experiment output.
+
+The benchmarks print the same rows the paper reports (mapping census,
+utilization comparisons); these helpers keep the formatting consistent
+and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.classifier import MappingCensus
+
+__all__ = ["format_table", "census_table", "comparison_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def census_table(census: MappingCensus, title: str = "Enablement mapping census") -> str:
+    """The paper's census as a table: kind, phases, phase %, lines, line %."""
+    rows = [
+        (kind, phases, f"{pf:.0f}%", lines, f"{lf:.0f}%")
+        for kind, phases, pf, lines, lf in census.rows()
+    ]
+    rows.append(
+        (
+            "easily overlapped",
+            "",
+            f"{100 * census.easily_overlapped_phase_fraction():.0f}%",
+            "",
+            f"{100 * census.easily_overlapped_line_fraction():.0f}%",
+        )
+    )
+    return format_table(
+        ["mapping", "phases", "phase %", "lines", "line %"], rows, title=title
+    )
+
+
+def comparison_table(
+    rows: Iterable[tuple[str, float, float]],
+    value_name: str = "makespan",
+    title: str = "",
+) -> str:
+    """Baseline-vs-treatment table with a ratio column."""
+    out_rows = []
+    for label, baseline, treatment in rows:
+        ratio = treatment / baseline if baseline else float("inf")
+        out_rows.append((label, baseline, treatment, f"{ratio:.3f}"))
+    return format_table(
+        ["case", f"barrier {value_name}", f"overlap {value_name}", "ratio"],
+        out_rows,
+        title=title,
+    )

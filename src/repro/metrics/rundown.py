@@ -1,0 +1,88 @@
+"""Rundown-window accounting.
+
+A phase's *rundown* is the interval from the moment its last task is
+assigned (no more current-phase work to hand out) to the moment its last
+task completes.  In a strict-barrier system every processor that finishes
+early in this window sits idle — "712 processors with nothing to do while
+the final 288 computations are carried out".  With phase overlap the
+window is filled by enabled successor-phase tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.executive.scheduler import RunResult
+from repro.metrics.utilization import idle_processor_time, utilization_between
+
+__all__ = ["RundownReport", "rundown_report", "rundown_reports", "total_rundown_idle"]
+
+
+@dataclass(frozen=True, slots=True)
+class RundownReport:
+    """Rundown measurements for one phase run."""
+
+    phase: str
+    run_index: int
+    window_start: float
+    window_end: float
+    #: Mean compute utilization inside the window (all phases' tasks count).
+    utilization: float
+    #: Processor-time wasted inside the window.
+    idle_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.window_end - self.window_start
+
+
+def rundown_report(result: RunResult, run_index: int) -> RundownReport | None:
+    """Rundown report for one phase run; ``None`` if it had no window.
+
+    A run whose last assignment coincides with its completion (e.g. a
+    single-task phase finishing instantly) yields a zero-width window and
+    returns ``None``.
+    """
+    stats = result.phase_stats[run_index]
+    window = stats.rundown_window
+    if window is None or window[1] <= window[0]:
+        return None
+    t0, t1 = window
+    return RundownReport(
+        phase=stats.name,
+        run_index=run_index,
+        window_start=t0,
+        window_end=t1,
+        utilization=utilization_between(result.trace, result.n_workers, t0, t1),
+        idle_time=idle_processor_time(result.trace, result.n_workers, t0, t1),
+    )
+
+
+def rundown_reports(result: RunResult) -> list[RundownReport]:
+    """Rundown reports for every phase run that had a rundown window."""
+    out = []
+    for i in range(len(result.phase_stats)):
+        r = rundown_report(result, i)
+        if r is not None:
+            out.append(r)
+    return out
+
+
+def total_rundown_idle(result: RunResult) -> float:
+    """Processor-time wasted across all rundown windows.
+
+    Overlapping windows (a successor's rundown can begin inside its
+    predecessor's) are merged so idle time is not double counted.
+    """
+    spans = sorted(
+        (r.window_start, r.window_end) for r in rundown_reports(result)
+    )
+    merged: list[tuple[float, float]] = []
+    for s, e in spans:
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return sum(
+        idle_processor_time(result.trace, result.n_workers, s, e) for s, e in merged
+    )

@@ -1,0 +1,42 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package stands in for the physical multiprocessor of the paper's
+PAX/CASPER test bed (a UNIVAC 1100).  The paper's claims are about event
+ordering and service times — which processors are busy when, how long the
+executive spends on completion processing, how quickly enabled successor
+work reaches an idle worker — so a discrete-event simulator reproduces the
+reported quantities (utilization, rundown idle loss, computation-to-
+management ratio) exactly and deterministically, something real Python
+threads cannot do under the GIL.
+
+Modules
+-------
+``engine``
+    Event heap and simulation clock with deterministic tie-breaking.
+``events``
+    Event record types shared by the engine and the trace.
+``machine``
+    Worker processors and the executive resource (shared or dedicated).
+``trace``
+    Busy/idle interval recording and utilization timelines.
+``rng``
+    Named, seeded random substreams for reproducible stochastic workloads.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.machine import ExecutivePlacement, Machine, Processor
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Interval, Trace, utilization_timeline
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "ExecutivePlacement",
+    "Machine",
+    "Processor",
+    "RngStreams",
+    "Interval",
+    "Trace",
+    "utilization_timeline",
+]

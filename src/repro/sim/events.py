@@ -1,0 +1,69 @@
+"""Event record types shared by the engine, the machine model and the trace.
+
+The simulator is callback-driven: an :class:`~repro.sim.engine.Event` holds a
+time, a deterministic tie-break key and a zero-argument callback.  The record
+types here are *log* entries — what happened, to whom, when — kept separate
+from the live event objects so that traces can be serialized and analysed
+without holding references into the simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "LogRecord"]
+
+
+class EventKind(enum.Enum):
+    """Classification of trace log records."""
+
+    #: A worker processor started executing a computation task.
+    TASK_START = "task_start"
+    #: A worker processor finished a computation task.
+    TASK_END = "task_end"
+    #: The executive started a management action (assignment, completion
+    #: processing, splitting, enablement, phase initiation, ...).
+    MGMT_START = "mgmt_start"
+    #: The executive finished a management action.
+    MGMT_END = "mgmt_end"
+    #: A worker went idle (no work available).
+    WORKER_IDLE = "worker_idle"
+    #: A worker left the idle state.
+    WORKER_RESUME = "worker_resume"
+    #: A parallel computational phase was initiated.
+    PHASE_START = "phase_start"
+    #: All granules of a phase completed.
+    PHASE_END = "phase_end"
+    #: A serial inter-phase action ran (the paper's "null mapping" cause).
+    SERIAL_ACTION = "serial_action"
+    #: Free-form annotation.
+    NOTE = "note"
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One timestamped entry in a simulation trace.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence.
+    kind:
+        What happened.
+    subject:
+        Who it happened to — a processor id, the string ``"executive"``, or
+        a phase name.
+    detail:
+        Free-form payload (task ranges, management action names, ...).
+    """
+
+    time: float
+    kind: EventKind
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative event time {self.time!r}")

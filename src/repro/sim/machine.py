@@ -1,0 +1,358 @@
+"""Machine model: worker processors plus one or more executive servers.
+
+The paper's PAX executive ran on a UNIVAC 1100 where "executive computation
+was done at the direct expense of worker computation"; it also notes that
+"some real parallel machines may provide separate executive computing
+resources".  Both placements are modelled:
+
+``ExecutivePlacement.SHARED``
+    Executive server *i* is hosted on worker processor *i*.  Management
+    work and computation tasks mutually exclude each other on that
+    processor, and management has priority: a queued management job blocks
+    new task assignment to the host until it drains (non-preemptive — a
+    task already in progress finishes first).
+
+``ExecutivePlacement.DEDICATED``
+    Executives are separate serial servers; their busy time costs the
+    workers nothing.
+
+**Middle management.**  The paper lists "a middle management scheme to
+parallelize the serial management function" among its identified
+strategies.  ``n_executives > 1`` provides it: worker-facing management
+jobs (assignment, completion processing) are distributed over the server
+pool, while *chief* jobs (phase initiation, overlap setup, serial
+inter-phase actions) stay on server 0 so phase-level decisions remain
+serialized.
+
+The machine is mechanical: it executes tasks and management jobs with
+given durations and fires callbacks.  All policy (who gets which task,
+when to split, what to enable) lives in :mod:`repro.executive`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventKind
+from repro.sim.trace import Trace
+
+__all__ = ["ExecutivePlacement", "ProcessorState", "Processor", "Machine", "CHIEF_LANE"]
+
+#: Lane constant routing a management job to executive server 0.
+CHIEF_LANE = 0
+
+
+class ExecutivePlacement(enum.Enum):
+    """Where executive (management) computation runs."""
+
+    SHARED = "shared"
+    DEDICATED = "dedicated"
+
+
+class ProcessorState(enum.Enum):
+    """What a worker processor is doing."""
+
+    IDLE = "idle"
+    COMPUTING = "computing"
+    MGMT = "mgmt"
+
+
+@dataclass
+class Processor:
+    """One worker processor."""
+
+    index: int
+    state: ProcessorState = ProcessorState.IDLE
+    tasks_completed: int = 0
+    current_label: str = field(default="", repr=False)
+
+    @property
+    def name(self) -> str:
+        return f"P{self.index}"
+
+
+@dataclass
+class _MgmtJob:
+    duration: "float | Callable[[], float]"
+    on_done: Callable[[], None] | None
+    label: str
+    category: str
+
+    def resolve_duration(self) -> float:
+        """Evaluate the job's duration at start time.
+
+        Callable durations let the executive decide the work (and its
+        cost) when the job actually begins — e.g. an assignment examines
+        the waiting queue as it runs, not as it was requested.
+        """
+        d = self.duration() if callable(self.duration) else self.duration
+        if d < 0:
+            raise ValueError(f"management job {self.label!r} resolved a negative duration {d}")
+        return d
+
+
+class _ExecServer:
+    """One serial executive server with urgent and background queues."""
+
+    __slots__ = ("index", "busy", "urgent", "background", "host", "resource")
+
+    def __init__(self, index: int, host: Processor | None) -> None:
+        self.index = index
+        self.busy = False
+        self.urgent: deque[_MgmtJob] = deque()
+        self.background: deque[_MgmtJob] = deque()
+        self.host = host
+        self.resource = "EXEC" if index == 0 else f"EXEC{index}"
+
+    def pending(self) -> int:
+        return len(self.urgent) + len(self.background)
+
+
+class Machine:
+    """``n_workers`` processors and ``n_executives`` serial executive servers.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator that owns the clock.
+    trace:
+        Receives busy intervals and log records.
+    n_workers:
+        Number of worker processors (>= 1).
+    placement:
+        Executive placement (see module docstring).
+    n_executives:
+        Size of the executive pool (middle management when > 1).  In
+        SHARED placement, at most ``n_workers`` executives are allowed
+        (server *i* is hosted on worker *i*).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: Trace,
+        n_workers: int,
+        placement: ExecutivePlacement = ExecutivePlacement.SHARED,
+        n_executives: int = 1,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        if n_executives < 1:
+            raise ValueError(f"need at least one executive, got {n_executives}")
+        if placement is ExecutivePlacement.SHARED and n_executives > n_workers:
+            raise ValueError(
+                f"shared placement hosts each executive on a worker: "
+                f"{n_executives} executives > {n_workers} workers"
+            )
+        self.sim = sim
+        self.trace = trace
+        self.placement = placement
+        self.processors = [Processor(i) for i in range(n_workers)]
+        hosts: list[Processor | None]
+        if placement is ExecutivePlacement.SHARED:
+            hosts = [self.processors[i] for i in range(n_executives)]
+        else:
+            hosts = [None] * n_executives
+        self._servers = [_ExecServer(i, hosts[i]) for i in range(n_executives)]
+        self._host_server: dict[int, _ExecServer] = {
+            s.host.index: s for s in self._servers if s.host is not None
+        }
+        # incrementally maintained set of IDLE processor indices, so that
+        # dispatch after each event costs O(idle), not O(n_workers) — at
+        # 1000 simulated processors the difference is the feasibility of
+        # the paper's full-scale example
+        self._idle_indices: set[int] = set(range(n_workers))
+        self.mgmt_jobs_done = 0
+        #: Hook invoked with the processor each time one returns to IDLE.
+        self.on_processor_idle: Callable[[Processor], None] | None = None
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def n_workers(self) -> int:
+        return len(self.processors)
+
+    @property
+    def n_executives(self) -> int:
+        return len(self._servers)
+
+    @property
+    def exec_host(self) -> Processor | None:
+        """The worker hosting executive 0, or ``None`` when dedicated."""
+        return self._servers[0].host
+
+    def exec_resources(self) -> list[str]:
+        """Trace resource names of all executive servers."""
+        return [s.resource for s in self._servers]
+
+    def _server_for(self, proc: Processor) -> _ExecServer | None:
+        return self._host_server.get(proc.index)
+
+    def idle_processors(self) -> list[Processor]:
+        """Workers currently able to accept a task, in index order.
+
+        In SHARED placement a host is excluded while its executive has
+        urgent work pending or running — management has priority on its
+        processor.
+        """
+        out = []
+        for i in sorted(self._idle_indices):
+            p = self.processors[i]
+            server = self._server_for(p)
+            if server is not None and (server.busy or server.urgent):
+                continue
+            out.append(p)
+        return out
+
+    def executive_pending(self) -> int:
+        """Queued (not yet started) management jobs across all servers."""
+        return sum(s.pending() for s in self._servers)
+
+    @property
+    def executive_busy(self) -> bool:
+        """True when any executive server is mid-job."""
+        return any(s.busy for s in self._servers)
+
+    # ------------------------------------------------------------------ tasks
+    def start_task(
+        self,
+        proc: Processor,
+        duration: float,
+        on_done: Callable[[Processor], None],
+        label: str = "",
+    ) -> bool:
+        """Begin a computation task on ``proc``; returns False if refused.
+
+        Refusal happens when the processor is busy, or when it hosts an
+        executive with urgent management work (executive priority).
+        """
+        if duration < 0:
+            raise ValueError(f"negative task duration {duration}")
+        if proc.state is not ProcessorState.IDLE:
+            return False
+        server = self._server_for(proc)
+        if server is not None and (server.busy or server.urgent):
+            return False
+        proc.state = ProcessorState.COMPUTING
+        self._idle_indices.discard(proc.index)
+        proc.current_label = label
+        self.trace.begin(proc.name, self.sim.now, "compute", label)
+        self.trace.log(self.sim.now, EventKind.TASK_START, proc.name, label=label)
+
+        def _finish() -> None:
+            self.trace.end(proc.name, self.sim.now, "compute")
+            self.trace.log(self.sim.now, EventKind.TASK_END, proc.name, label=label)
+            proc.state = ProcessorState.IDLE
+            self._idle_indices.add(proc.index)
+            proc.current_label = ""
+            proc.tasks_completed += 1
+            on_done(proc)
+            # Management may have queued while this task ran on the host.
+            host_server = self._server_for(proc)
+            if host_server is not None:
+                self._try_start_mgmt(host_server)
+            if self.on_processor_idle is not None and proc.state is ProcessorState.IDLE:
+                self.on_processor_idle(proc)
+
+        self.sim.schedule_after(duration, _finish, priority=0)
+        return True
+
+    # ------------------------------------------------------------------ mgmt
+    def submit_mgmt(
+        self,
+        duration: "float | Callable[[], float]",
+        on_done: Callable[[], None] | None = None,
+        label: str = "",
+        category: str = "mgmt",
+        background: bool = False,
+        lane: int | None = None,
+    ) -> None:
+        """Queue a serial executive job.
+
+        ``duration`` may be a number or a zero-argument callable evaluated
+        when the job starts (the executive decides the work — and its
+        cost — as it runs).  Urgent jobs (``background=False``) are served
+        FIFO and always before background jobs.  Background jobs model
+        work the executive does "in otherwise idle time" — presplitting
+        and queued successor-splitting tasks.
+
+        ``lane`` pins the job to a specific server (``CHIEF_LANE`` = 0 for
+        phase-level decisions); ``None`` lets the machine pick an idle (or
+        least-loaded) server — the middle-management distribution.
+        """
+        if not callable(duration) and duration < 0:
+            raise ValueError(f"negative management duration {duration}")
+        if lane is not None:
+            if not (0 <= lane < len(self._servers)):
+                raise ValueError(f"lane {lane} out of range for {len(self._servers)} executives")
+            server = self._servers[lane]
+        else:
+            server = self._pick_server()
+        job = _MgmtJob(duration, on_done, label, category)
+        (server.background if background else server.urgent).append(job)
+        self._try_start_mgmt(server)
+
+    def _pick_server(self) -> _ExecServer:
+        """Least-loaded server; deterministic tie-break by index."""
+        best = self._servers[0]
+        best_load = best.pending() + (1 if best.busy else 0)
+        for s in self._servers[1:]:
+            load = s.pending() + (1 if s.busy else 0)
+            if load < best_load:
+                best, best_load = s, load
+        return best
+
+    def _try_start_mgmt(self, server: _ExecServer) -> None:
+        if server.busy or not (server.urgent or server.background):
+            return
+        host = server.host
+        if host is not None and host.state is ProcessorState.COMPUTING:
+            return  # non-preemptive: wait for the host's task to finish
+        job = server.urgent.popleft() if server.urgent else server.background.popleft()
+        server.busy = True
+        job_duration = job.resolve_duration()
+        if host is not None:
+            host.state = ProcessorState.MGMT
+            self._idle_indices.discard(host.index)
+            self.trace.begin(host.name, self.sim.now, job.category, job.label)
+        self.trace.begin(server.resource, self.sim.now, job.category, job.label)
+        self.trace.log(self.sim.now, EventKind.MGMT_START, server.resource, label=job.label)
+
+        def _finish() -> None:
+            self.trace.end(server.resource, self.sim.now, job.category)
+            if host is not None:
+                self.trace.end(host.name, self.sim.now, job.category)
+                host.state = ProcessorState.IDLE
+                self._idle_indices.add(host.index)
+            self.trace.log(self.sim.now, EventKind.MGMT_END, server.resource, label=job.label)
+            server.busy = False
+            self.mgmt_jobs_done += 1
+            if job.on_done is not None:
+                job.on_done()
+            self._try_start_mgmt(server)
+            if (
+                host is not None
+                and host.state is ProcessorState.IDLE
+                and not server.busy
+                and not server.pending()
+                and self.on_processor_idle is not None
+            ):
+                self.on_processor_idle(host)
+
+        self.sim.schedule_after(job_duration, _finish, priority=-1)
+
+    # ------------------------------------------------------------------ stats
+    def compute_time(self) -> float:
+        """Total productive computation time across all workers."""
+        return sum(self.trace.busy_time(p.name, "compute") for p in self.processors)
+
+    def mgmt_time(self) -> float:
+        """Total executive busy time (management plus serial actions)."""
+        total = 0.0
+        for s in self._servers:
+            total += self.trace.busy_time(s.resource, "mgmt")
+            total += self.trace.busy_time(s.resource, "serial")
+        return total

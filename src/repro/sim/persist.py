@@ -1,0 +1,138 @@
+"""Trace and result persistence (JSON).
+
+Simulation runs are deterministic, but saving a run's trace lets the
+benchmark harness (or a downstream user) analyse schedules without
+re-simulating — diff two configurations' Gantt charts, feed utilization
+timelines into external plotting, archive the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.sim.events import EventKind, LogRecord
+from repro.sim.trace import Interval, Trace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_trace",
+    "load_trace",
+    "result_summary",
+    "save_result",
+]
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """A JSON-serializable representation of a finished trace."""
+    return {
+        "records": [
+            {
+                "time": r.time,
+                "kind": r.kind.value,
+                "subject": r.subject,
+                "detail": {k: v for k, v in r.detail.items() if _jsonable(v)},
+            }
+            for r in trace.records
+        ],
+        "intervals": [
+            {
+                "resource": iv.resource,
+                "start": iv.start,
+                "end": iv.end,
+                "category": iv.category,
+                "label": iv.label,
+            }
+            for iv in trace.intervals()
+        ],
+    }
+
+
+def _jsonable(v: Any) -> bool:
+    return isinstance(v, (str, int, float, bool, type(None)))
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    """Rebuild a :class:`Trace` saved by :func:`trace_to_dict`."""
+    trace = Trace()
+    for r in data.get("records", []):
+        trace.records.append(
+            LogRecord(
+                time=float(r["time"]),
+                kind=EventKind(r["kind"]),
+                subject=r["subject"],
+                detail=dict(r.get("detail", {})),
+            )
+        )
+    for iv in data.get("intervals", []):
+        trace.add_interval(
+            Interval(
+                resource=iv["resource"],
+                start=float(iv["start"]),
+                end=float(iv["end"]),
+                category=iv.get("category", "compute"),
+                label=iv.get("label", ""),
+            )
+        )
+    return trace
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write the trace to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)), encoding="utf-8")
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def result_summary(result) -> dict[str, Any]:
+    """The scalar facts of a :class:`~repro.executive.scheduler.RunResult`."""
+    return {
+        "makespan": result.makespan,
+        "n_workers": result.n_workers,
+        "placement": result.placement.value,
+        "utilization": result.utilization,
+        "compute_time": result.compute_time,
+        "mgmt_time": result.mgmt_time,
+        "serial_time": result.serial_time,
+        "tasks_executed": result.tasks_executed,
+        "granules_executed": result.granules_executed,
+        "lateral_handoffs": result.lateral_handoffs,
+        "phases": [
+            {
+                "stream": s.stream,
+                "index": s.index,
+                "name": s.name,
+                "n_granules": s.n_granules,
+                "init_time": s.init_time,
+                "overlap_init_time": s.overlap_init_time,
+                "first_task_start": s.first_task_start,
+                "last_assign_time": s.last_assign_time,
+                "complete_time": s.complete_time,
+                "tasks": s.tasks,
+                "overlapped": s.overlapped,
+            }
+            for s in result.phase_stats
+        ],
+        "streams": [
+            {
+                "stream": s.stream,
+                "start_time": s.start_time,
+                "complete_time": s.complete_time,
+                "wall_clock": s.wall_clock,
+            }
+            for s in result.stream_stats
+        ],
+    }
+
+
+def save_result(result, path: str | Path, include_trace: bool = True) -> None:
+    """Write a run's summary (and optionally its trace) to JSON."""
+    payload: dict[str, Any] = {"summary": result_summary(result)}
+    if include_trace:
+        payload["trace"] = trace_to_dict(result.trace)
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")

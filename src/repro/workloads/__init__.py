@@ -1,0 +1,55 @@
+"""Workloads: the computations the paper's executive schedules.
+
+* :mod:`repro.workloads.generators` — stochastic cost models capturing
+  CASPER's "no definite execution times" and conditional granules;
+* :mod:`repro.workloads.fragments` — the paper's four Fortran fragments
+  as executable phase programs with declared access patterns;
+* :mod:`repro.workloads.casper` — a synthetic 22-phase suite with exactly
+  the PAX/CASPER mapping census;
+* :mod:`repro.workloads.checkerboard` — the red/black successive
+  over-relaxation potential-field solver of the introduction;
+* :mod:`repro.workloads.navier_stokes` — a small 2-D projection-method
+  Navier–Stokes pipeline standing in for CASPER's solver;
+* :mod:`repro.workloads.particles` — a particle chain whose neighbour
+  lists are genuinely dynamically generated selection maps (the paper's
+  reverse-indirect situation in the wild).
+"""
+
+from repro.workloads.generators import (
+    UniformCost,
+    ExponentialCost,
+    LognormalCost,
+    ConditionalCost,
+    synthetic_chain,
+)
+from repro.workloads.fragments import (
+    universal_fragment,
+    identity_fragment,
+    reverse_indirect_fragment,
+    forward_indirect_fragment,
+)
+from repro.workloads.casper import casper_suite, CASPER_KIND_SEQUENCE, CASPER_LINE_WEIGHTS
+from repro.workloads.checkerboard import CheckerboardSOR, checkerboard_program
+from repro.workloads.navier_stokes import NavierStokes2D, navier_stokes_program
+from repro.workloads.particles import ParticleChain, particle_program
+
+__all__ = [
+    "UniformCost",
+    "ExponentialCost",
+    "LognormalCost",
+    "ConditionalCost",
+    "synthetic_chain",
+    "universal_fragment",
+    "identity_fragment",
+    "reverse_indirect_fragment",
+    "forward_indirect_fragment",
+    "casper_suite",
+    "CASPER_KIND_SEQUENCE",
+    "CASPER_LINE_WEIGHTS",
+    "CheckerboardSOR",
+    "checkerboard_program",
+    "NavierStokes2D",
+    "navier_stokes_program",
+    "ParticleChain",
+    "particle_program",
+]

@@ -1,0 +1,247 @@
+"""The checkerboard successive over-relaxation potential-field solver.
+
+This is the paper's running example: "the checkerboard approach to the
+successive over-relaxation solution of the potential field problem
+divides into two such phases: the 'odd' locations phase and the 'even'
+locations phase."  And its overlap condition: "If all the 'odd'
+locations adjacent to a particular 'even' location have been updated with
+new values from the current computational phase, then the new value for
+that particular 'even' location for the next computational phase can be
+correctly computed."
+
+Two artifacts:
+
+* :class:`CheckerboardSOR` — a real numpy red/black SOR solver for the
+  Poisson/Laplace potential problem (Dirichlet boundaries), used by the
+  examples and by the threaded runtime to validate numerics;
+* :func:`checkerboard_program` — the same computation as a
+  :class:`~repro.core.phase.PhaseProgram` of alternating red/black phases
+  whose granules are row blocks, linked by the *seam mapping* the paper
+  foresees (block *i* of the next colour needs blocks *i−1, i, i+1* of
+  the current colour).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.access import AccessPattern, AffineIndex, ArrayRef
+from repro.core.mapping import SeamMapping
+from repro.core.phase import ConstantCost, PhaseLink, PhaseProgram, PhaseSpec
+
+__all__ = [
+    "CheckerboardSOR",
+    "checkerboard_program",
+    "checkerboard_program_blocks",
+    "phase_computations",
+]
+
+
+def phase_computations(grid_side: int) -> int:
+    """Individual computations per colour phase — half the grid points.
+
+    The paper's example: a 1024-points-per-side grid has 2**20 points and
+    "each computational phase will provide 524,288 individual
+    computations".
+    """
+    if grid_side < 1:
+        raise ValueError(f"grid side must be >= 1, got {grid_side}")
+    return (grid_side * grid_side) // 2
+
+
+class CheckerboardSOR:
+    """Red/black SOR for ``∇²u = f`` on a square grid with Dirichlet edges.
+
+    Parameters
+    ----------
+    n:
+        Interior points per side (the grid is ``(n+2)²`` with fixed
+        boundary).
+    omega:
+        Over-relaxation factor in ``(0, 2)``; ``None`` picks the optimal
+        SOR omega for the Laplacian, ``2 / (1 + sin(pi/(n+1)))``.
+    f:
+        Right-hand side over the interior (defaults to zero — the
+        potential/Laplace problem).
+    """
+
+    def __init__(self, n: int, omega: float | None = None, f: np.ndarray | None = None) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one interior point, got n={n}")
+        self.n = n
+        if omega is None:
+            omega = 2.0 / (1.0 + math.sin(math.pi / (n + 1)))
+        if not (0.0 < omega < 2.0):
+            raise ValueError(f"omega must lie in (0, 2), got {omega}")
+        self.omega = omega
+        self.u = np.zeros((n + 2, n + 2))
+        if f is None:
+            f = np.zeros((n, n))
+        f = np.asarray(f, dtype=float)
+        if f.shape != (n, n):
+            raise ValueError(f"f must have shape ({n}, {n}), got {f.shape}")
+        self.f = f
+        ii, jj = np.meshgrid(np.arange(1, n + 1), np.arange(1, n + 1), indexing="ij")
+        self._red = ((ii + jj) % 2 == 0)
+        self._black = ~self._red
+        self.sweeps = 0
+
+    def set_boundary(self, top=0.0, bottom=0.0, left=0.0, right=0.0) -> None:
+        """Set Dirichlet boundary values (scalars or length-(n+2) arrays)."""
+        self.u[0, :] = top
+        self.u[-1, :] = bottom
+        self.u[:, 0] = left
+        self.u[:, -1] = right
+
+    def _sweep(self, mask: np.ndarray) -> None:
+        u = self.u
+        interior = u[1:-1, 1:-1]
+        nb = u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:]
+        gs = 0.25 * (nb - self.f)  # h = 1 grid spacing, f pre-scaled by h^2
+        updated = (1.0 - self.omega) * interior + self.omega * gs
+        interior[mask] = updated[mask]
+
+    def sweep_red(self) -> None:
+        """Update every red (even-parity) interior point."""
+        self._sweep(self._red)
+        self.sweeps += 1
+
+    def sweep_black(self) -> None:
+        """Update every black (odd-parity) interior point."""
+        self._sweep(self._black)
+        self.sweeps += 1
+
+    def iterate(self) -> None:
+        """One full red/black iteration."""
+        self.sweep_red()
+        self.sweep_black()
+
+    def residual(self) -> float:
+        """Max-norm of the discrete residual ``f − ∇²u`` over the interior."""
+        u = self.u
+        lap = u[:-2, 1:-1] + u[2:, 1:-1] + u[1:-1, :-2] + u[1:-1, 2:] - 4.0 * u[1:-1, 1:-1]
+        return float(np.abs(self.f - lap).max())
+
+    def solve(self, tol: float = 1e-8, max_iters: int = 100_000) -> int:
+        """Iterate until the residual max-norm falls below ``tol``.
+
+        Returns the iteration count; raises if ``max_iters`` is hit.
+        """
+        for it in range(1, max_iters + 1):
+            self.iterate()
+            if self.residual() < tol:
+                return it
+        raise RuntimeError(f"SOR did not converge to {tol} within {max_iters} iterations")
+
+
+def _color_phase(
+    name: str,
+    own: str,
+    other: str,
+    n_blocks: int,
+    cells_per_block: int,
+    cost_per_cell: float,
+) -> PhaseSpec:
+    """A colour-sweep phase over row blocks with the stencil footprint."""
+    access = AccessPattern(
+        reads=(
+            ArrayRef(other, AffineIndex(1, -1)),
+            ArrayRef(other, AffineIndex(1, 0)),
+            ArrayRef(other, AffineIndex(1, 1)),
+        ),
+        writes=(ArrayRef(own, AffineIndex(1, 0)),),
+    )
+    return PhaseSpec(
+        name=name,
+        n_granules=n_blocks,
+        cost=ConstantCost(cost_per_cell * cells_per_block),
+        access=access,
+        lines=8,
+    )
+
+
+def checkerboard_program_blocks(
+    grid_side: int,
+    block_side: int = 8,
+    n_iterations: int = 1,
+    cost_per_cell: float = 1.0,
+) -> PhaseProgram:
+    """The red/black sweeps over a true 2-D block decomposition.
+
+    Granules are ``block_side × block_side`` tiles in row-major order; a
+    next-colour tile is computable once the current colour finished the
+    tile and its four edge neighbours —
+    :meth:`~repro.core.mapping.SeamMapping.grid` with the von Neumann
+    neighbourhood.  This is the full 2-D form of the seam the paper
+    foresees for "the checkerboard approach to the successive
+    over-relaxation problem".
+    """
+    if grid_side < 1 or block_side < 1:
+        raise ValueError("grid_side and block_side must be >= 1")
+    if n_iterations < 1:
+        raise ValueError(f"need at least one iteration, got {n_iterations}")
+    blocks_x = math.ceil(grid_side / block_side)
+    n_blocks = blocks_x * blocks_x
+    cells_per_block = (block_side * block_side) // 2
+
+    phases: list[PhaseSpec] = []
+    links: list[PhaseLink] = []
+    prev_name: str | None = None
+    for t in range(n_iterations):
+        for color in ("red", "black"):
+            spec = PhaseSpec(
+                name=f"{color}{t}",
+                n_granules=n_blocks,
+                cost=ConstantCost(cost_per_cell * cells_per_block),
+                lines=8,
+            )
+            phases.append(spec)
+            if prev_name is not None:
+                links.append(PhaseLink(prev_name, spec.name, SeamMapping.grid(blocks_x)))
+            prev_name = spec.name
+    return PhaseProgram(phases, [p.name for p in phases], links)
+
+
+def checkerboard_program(
+    grid_side: int,
+    rows_per_granule: int = 1,
+    n_iterations: int = 1,
+    cost_per_cell: float = 1.0,
+) -> PhaseProgram:
+    """The red/black sweeps as a phase program with seam enablement.
+
+    Granules are blocks of ``rows_per_granule`` grid rows; a next-colour
+    block is computable once the current colour has updated the block and
+    both its neighbours — the :class:`~repro.core.mapping.SeamMapping`
+    with offsets ``(-1, 0, 1)``.
+
+    Each iteration contributes a red phase and a black phase; the black
+    phase of iteration *t* seams into the red phase of iteration *t+1*.
+    """
+    if grid_side < 1:
+        raise ValueError(f"grid side must be >= 1, got {grid_side}")
+    if rows_per_granule < 1:
+        raise ValueError(f"rows_per_granule must be >= 1, got {rows_per_granule}")
+    if n_iterations < 1:
+        raise ValueError(f"need at least one iteration, got {n_iterations}")
+    n_blocks = math.ceil(grid_side / rows_per_granule)
+    cells_per_block = (grid_side * rows_per_granule) // 2
+
+    phases: list[PhaseSpec] = []
+    links: list[PhaseLink] = []
+    prev_name: str | None = None
+    for t in range(n_iterations):
+        red = _color_phase(
+            f"red{t}", "u_red", "u_black", n_blocks, cells_per_block, cost_per_cell
+        )
+        black = _color_phase(
+            f"black{t}", "u_black", "u_red", n_blocks, cells_per_block, cost_per_cell
+        )
+        phases.extend([red, black])
+        if prev_name is not None:
+            links.append(PhaseLink(prev_name, red.name, SeamMapping((-1, 0, 1))))
+        links.append(PhaseLink(red.name, black.name, SeamMapping((-1, 0, 1))))
+        prev_name = black.name
+    return PhaseProgram(phases, [p.name for p in phases], links)

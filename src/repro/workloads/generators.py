@@ -1,0 +1,227 @@
+"""Stochastic cost models and synthetic phase-chain generators.
+
+The paper is explicit that CASPER granules were nothing like the
+fixed-cost checkerboard ideal:
+
+    "Most computations carried out by the author's parallel Navier-Stokes
+    solver … could not even be ascribed with definite execution times.
+    In some instances, whether or not the computation was even to be
+    carried out in a particular instance was a conditional part of the
+    algorithm. … Also, shared information access times were
+    unpredictable and unrepeatable from instance to instance."
+
+The cost models here reproduce those properties; all sampling flows
+through the executive's named RNG streams so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.granule import GranuleSet
+from repro.core.mapping import (
+    EnablementMapping,
+    ForwardIndirectMapping,
+    IdentityMapping,
+    MappingKind,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec
+
+__all__ = ["UniformCost", "ExponentialCost", "LognormalCost", "ConditionalCost", "synthetic_chain", "mapping_of_kind"]
+
+
+@dataclass(frozen=True, slots=True)
+class UniformCost:
+    """Granule time uniform in ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid uniform bounds [{self.low}, {self.high}]")
+
+    def sample(self, granule: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def sample_total(self, granules: GranuleSet, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high, size=len(granules)).sum())
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True, slots=True)
+class ExponentialCost:
+    """Memoryless granule times — the cleanest "no definite execution
+    time" model, and the one with a closed-form wave-idle expectation
+    (:func:`repro.analysis.exponential_wave_idle`)."""
+
+    mean_value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_value}")
+
+    def sample(self, granule: int, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def sample_total(self, granules: GranuleSet, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value, size=len(granules)).sum())
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True, slots=True)
+class LognormalCost:
+    """Heavy-tailed granule times — unpredictable shared-access stalls.
+
+    ``mean`` is the distribution mean; ``sigma`` the log-space spread.
+    """
+
+    mean_value: float = 1.0
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError(f"mean must be positive, got {self.mean_value}")
+        if self.sigma < 0:
+            raise ValueError(f"negative sigma {self.sigma}")
+
+    @property
+    def _mu(self) -> float:
+        return float(np.log(self.mean_value) - 0.5 * self.sigma**2)
+
+    def sample(self, granule: int, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def sample_total(self, granules: GranuleSet, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma, size=len(granules)).sum())
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionalCost:
+    """Granules that may not execute at all.
+
+    With probability ``skip_probability`` a granule costs ``skip_cost``
+    (the conditional test only); otherwise the base model's sample.
+    """
+
+    base_mean: float = 1.0
+    skip_probability: float = 0.3
+    skip_cost: float = 0.05
+    sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.skip_probability <= 1.0):
+            raise ValueError(f"skip_probability must be in [0, 1], got {self.skip_probability}")
+        if self.base_mean <= 0 or self.skip_cost < 0:
+            raise ValueError("invalid conditional-cost parameters")
+
+    def sample(self, granule: int, rng: np.random.Generator) -> float:
+        if rng.random() < self.skip_probability:
+            return self.skip_cost
+        mu = float(np.log(self.base_mean) - 0.5 * self.sigma**2)
+        return float(rng.lognormal(mu, self.sigma))
+
+    def sample_total(self, granules: GranuleSet, rng: np.random.Generator) -> float:
+        n = len(granules)
+        skipped = rng.random(n) < self.skip_probability
+        mu = float(np.log(self.base_mean) - 0.5 * self.sigma**2)
+        times = rng.lognormal(mu, self.sigma, size=n)
+        times[skipped] = self.skip_cost
+        return float(times.sum())
+
+    def mean(self) -> float:
+        return (
+            self.skip_probability * self.skip_cost
+            + (1.0 - self.skip_probability) * self.base_mean
+        )
+
+
+def mapping_of_kind(
+    kind: MappingKind,
+    map_name: str = "IMAP",
+    fan_in: int = 2,
+    offsets: tuple[int, ...] = (-1, 0, 1),
+    serial_cost: float = 0.0,
+) -> EnablementMapping:
+    """Instantiate the canonical mapping object for a taxonomy kind."""
+    if kind is MappingKind.UNIVERSAL:
+        return UniversalMapping()
+    if kind is MappingKind.IDENTITY:
+        return IdentityMapping()
+    if kind is MappingKind.NULL:
+        return NullMapping(serial_cost=serial_cost)
+    if kind is MappingKind.REVERSE_INDIRECT:
+        return ReverseIndirectMapping(map_name, fan_in=fan_in)
+    if kind is MappingKind.FORWARD_INDIRECT:
+        return ForwardIndirectMapping(map_name)
+    if kind is MappingKind.SEAM:
+        return SeamMapping(offsets)
+    raise ValueError(f"unknown mapping kind {kind}")  # pragma: no cover
+
+
+def synthetic_chain(
+    kinds: Sequence[MappingKind],
+    n_granules: int | Sequence[int] = 64,
+    cost=None,
+    fan_in: int = 2,
+    serial_cost: float = 0.0,
+    name_prefix: str = "S",
+) -> PhaseProgram:
+    """A phase chain whose link kinds follow ``kinds``.
+
+    ``len(kinds)`` links produce ``len(kinds) + 1`` phases.  Indirect
+    links get per-link map generators drawing uniform indices over the
+    predecessor/successor space.
+    """
+    n_phases = len(kinds) + 1
+    if isinstance(n_granules, int):
+        sizes = [n_granules] * n_phases
+    else:
+        sizes = list(n_granules)
+        if len(sizes) != n_phases:
+            raise ValueError(f"need {n_phases} granule counts, got {len(sizes)}")
+    if cost is None:
+        cost = ConstantCost(1.0)
+    phases = [PhaseSpec(f"{name_prefix}{i}", sizes[i], cost) for i in range(n_phases)]
+    mappings: list[EnablementMapping] = []
+    generators = {}
+    for i, kind in enumerate(kinds):
+        map_name = f"MAP{i}"
+        mappings.append(
+            mapping_of_kind(kind, map_name=map_name, fan_in=fan_in, serial_cost=serial_cost)
+        )
+        if kind is MappingKind.REVERSE_INDIRECT:
+            n_pred, n_succ = sizes[i], sizes[i + 1]
+            generators[map_name] = _reverse_map_gen(n_pred, n_succ, fan_in)
+        elif kind is MappingKind.FORWARD_INDIRECT:
+            n_pred, n_succ = sizes[i], sizes[i + 1]
+            generators[map_name] = _forward_map_gen(n_pred, n_succ)
+    return PhaseProgram.chain(phases, mappings, map_generators=generators)
+
+
+def _reverse_map_gen(n_pred: int, n_succ: int, fan_in: int):
+    def gen(rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, n_pred, size=(fan_in, n_succ))
+
+    return gen
+
+
+def _forward_map_gen(n_pred: int, n_succ: int):
+    def gen(rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, n_succ, size=n_pred)
+
+    return gen

@@ -1,0 +1,214 @@
+"""A particle system whose neighbour lists *are* the selection map.
+
+The paper's reverse-indirect fragment is abstract (``B(I) += A(IMAP(J,I))``
+with a random ``IMAP``); this workload grounds it: a 1-D periodic chain of
+interacting particles where each particle's force sums contributions from
+its ``k`` nearest neighbours.  The neighbour list is rebuilt between
+steps — a *dynamically generated information-selection map*, exactly the
+situation the paper flags ("both occurrences of this situation involved a
+dynamically generated information selection map").
+
+Per time step the phase structure is:
+
+* ``forces`` — reads positions through ``NLIST(J, I)`` (reverse indirect
+  from the previous integrate);
+* ``integrate`` — reads its own particle's force (identity);
+* neighbour-list rebuild — a serial executive decision between steps
+  (the null-mapping cause), since the list depends on all new positions.
+
+:class:`ParticleChain` is the real numpy integrator (velocity Verlet with
+a softened spring interaction); :func:`particle_program` is the matching
+phase program for the simulated executive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.access import AccessPattern, AffineIndex, ArrayRef, MappedIndex
+from repro.core.mapping import IdentityMapping, NullMapping
+from repro.core.phase import (
+    ConstantCost,
+    PhaseLink,
+    PhaseProgram,
+    PhaseSpec,
+    SerialAction,
+)
+
+__all__ = ["ParticleChain", "particle_program"]
+
+
+class ParticleChain:
+    """N particles on a periodic ring with softened spring interactions.
+
+    Each particle interacts with its ``n_neighbors`` nearest neighbours
+    (by current position); the neighbour list is rebuilt every
+    ``rebuild_every`` steps.
+
+    Parameters
+    ----------
+    n:
+        Particle count (>= 4).
+    n_neighbors:
+        Neighbours per particle (the reverse mapping's fan-in).
+    dt:
+        Velocity-Verlet time step.
+    stiffness, rest_length:
+        Spring parameters of the pair interaction.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        n_neighbors: int = 4,
+        dt: float = 0.01,
+        stiffness: float = 1.0,
+        rest_length: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n < 4:
+            raise ValueError(f"need at least 4 particles, got {n}")
+        if not (1 <= n_neighbors < n):
+            raise ValueError(f"n_neighbors must be in [1, {n}), got {n_neighbors}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.n = n
+        self.k = n_neighbors
+        self.dt = dt
+        self.stiffness = stiffness
+        self.rest_length = rest_length
+        self.box = n * rest_length
+        rng = np.random.default_rng(seed)
+        self.x = np.arange(n) * rest_length + 0.1 * rng.standard_normal(n)
+        self.x %= self.box
+        self.v = 0.05 * rng.standard_normal(n)
+        self.v -= self.v.mean()  # zero total momentum
+        self.steps = 0
+        self.rebuilds = 0
+        self.nlist = self.build_neighbor_list()
+
+    # ------------------------------------------------------------------ physics
+    def _min_image(self, d: np.ndarray) -> np.ndarray:
+        """Minimum-image displacement on the periodic ring."""
+        return d - self.box * np.round(d / self.box)
+
+    def build_neighbor_list(self) -> np.ndarray:
+        """The ``(k, n)`` nearest-neighbour map — the dynamic ``IMAP``."""
+        d = self._min_image(self.x[None, :] - self.x[:, None])
+        np.fill_diagonal(d, np.inf)
+        order = np.argsort(np.abs(d), axis=1, kind="stable")
+        self.rebuilds += 1
+        return order[:, : self.k].T.copy()
+
+    def forces(self) -> np.ndarray:
+        """Phase 1: per-particle force through the neighbour list."""
+        disp = self._min_image(self.x[self.nlist] - self.x[None, :])
+        dist = np.abs(disp) + 1e-12
+        mag = self.stiffness * (dist - self.rest_length)
+        return (mag * np.sign(disp)).sum(axis=0)
+
+    def integrate(self, f: np.ndarray) -> None:
+        """Phase 2: symplectic Euler update of one step."""
+        self.v += self.dt * f
+        self.x = (self.x + self.dt * self.v) % self.box
+
+    def step(self, rebuild: bool = True) -> None:
+        """One full step: forces, integrate, optional list rebuild."""
+        self.integrate(self.forces())
+        if rebuild:
+            self.nlist = self.build_neighbor_list()
+        self.steps += 1
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * np.sum(self.v**2))
+
+    def potential_energy(self) -> float:
+        disp = self._min_image(self.x[self.nlist] - self.x[None, :])
+        dist = np.abs(disp)
+        # each pair counted from both sides when mutual; halve accordingly
+        return float(0.25 * self.stiffness * ((dist - self.rest_length) ** 2).sum())
+
+    def total_energy(self) -> float:
+        """Approximate conserved quantity (softened by list asymmetry)."""
+        return self.kinetic_energy() + self.potential_energy()
+
+
+def particle_program(
+    n: int,
+    n_neighbors: int = 4,
+    n_steps: int = 2,
+    force_cost: float = 4.0,
+    integrate_cost: float = 1.0,
+    rebuild_cost: float = 5.0,
+    seed: int = 0,
+) -> PhaseProgram:
+    """The per-step phase chain for the simulated executive.
+
+    ``forces`` is reverse-indirect from the previous ``integrate``
+    (through the ``NLIST{t}`` map the executive materializes); the
+    neighbour-list rebuild between steps is a serial action, making the
+    ``integrate -> next forces`` pair a null mapping — the paper's exact
+    "serial actions and decisions had to occur between the phases".
+
+    The map generators run the *real* physics: generator ``t`` advances a
+    private :class:`ParticleChain` to step ``t`` and returns its actual
+    neighbour list.
+    """
+    if n_steps < 1:
+        raise ValueError(f"need at least one step, got {n_steps}")
+
+    def nlist_gen(step: int):
+        def gen(rng: np.random.Generator) -> np.ndarray:
+            chain = ParticleChain(n, n_neighbors, seed=seed)
+            for _ in range(step):
+                chain.step()
+            return chain.nlist
+
+        return gen
+
+    phases: list[PhaseSpec] = []
+    links: list[PhaseLink] = []
+    schedule: list[str | SerialAction] = []
+    map_generators = {}
+    prev_integrate: str | None = None
+    for t in range(n_steps):
+        map_name = f"NLIST{t}"
+        map_generators[map_name] = nlist_gen(t)
+        # positions are double-buffered (x{t} -> x{t+1}): integrate must
+        # not overwrite elements uncompleted force granules still read
+        # through the neighbour list
+        forces = PhaseSpec(
+            f"forces{t}",
+            n,
+            ConstantCost(force_cost),
+            access=AccessPattern(
+                reads=(ArrayRef(f"x{t}", MappedIndex(map_name, fan_in=n_neighbors)),),
+                writes=(ArrayRef(f"f{t}", AffineIndex()),),
+            ),
+            lines=12,
+        )
+        integrate = PhaseSpec(
+            f"integrate{t}",
+            n,
+            ConstantCost(integrate_cost),
+            access=AccessPattern(
+                reads=(ArrayRef(f"f{t}", AffineIndex()), ArrayRef(f"x{t}", AffineIndex())),
+                writes=(ArrayRef(f"x{t + 1}", AffineIndex()), ArrayRef("v", AffineIndex())),
+            ),
+            lines=6,
+        )
+        phases.extend([forces, integrate])
+        if prev_integrate is not None:
+            schedule.append(SerialAction(f"rebuild_nlist{t}", rebuild_cost))
+            links.append(PhaseLink(prev_integrate, forces.name, NullMapping()))
+        schedule.append(forces.name)
+        schedule.append(integrate.name)
+        links.append(
+            PhaseLink(
+                forces.name,
+                integrate.name,
+                IdentityMapping(),
+            )
+        )
+        prev_integrate = integrate.name
+    return PhaseProgram(phases, schedule, links, map_generators)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.overlap import OverlapConfig, OverlapPolicy
+from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, TaskSizer
+
+
+@pytest.fixture
+def small_costs() -> ExecutiveCosts:
+    """Modest management costs: visible but not dominating."""
+    return ExecutiveCosts(
+        phase_init=0.1,
+        assign=0.1,
+        completion=0.1,
+        split=0.05,
+        successor_split=0.05,
+        enablement=0.05,
+        map_entry=0.001,
+        dispatch_overhead=0.0,
+    )
+
+
+@pytest.fixture
+def free_costs() -> ExecutiveCosts:
+    """Zero-cost executive: isolates pure scheduling effects."""
+    return ExecutiveCosts.free()
+
+
+@pytest.fixture
+def sizer() -> TaskSizer:
+    return TaskSizer(tasks_per_processor=2.0)
+
+
+@pytest.fixture
+def barrier_config() -> OverlapConfig:
+    return OverlapConfig.barrier()
+
+
+@pytest.fixture
+def overlap_config() -> OverlapConfig:
+    return OverlapConfig(policy=OverlapPolicy.NEXT_PHASE)
+
+
+def two_phase_program(mapping, n=64, cost=1.0) -> PhaseProgram:
+    """A simple two-phase chain used across scheduler tests."""
+    return PhaseProgram.chain(
+        [PhaseSpec("A", n, ConstantCost(cost)), PhaseSpec("B", n, ConstantCost(cost))],
+        [mapping],
+    )

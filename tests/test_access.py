@@ -1,0 +1,150 @@
+"""Tests for symbolic access patterns and the Bernstein conflict test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.access import (
+    AccessPattern,
+    AffineIndex,
+    AllIndex,
+    ArrayRef,
+    ConstIndex,
+    MappedIndex,
+    conflicts,
+)
+
+
+class TestIndexExprs:
+    def test_affine_identity(self):
+        idx = AffineIndex(1, 0)
+        assert idx.is_identity
+        assert idx.elements(7) == frozenset({7})
+
+    def test_affine_stride_offset(self):
+        idx = AffineIndex(2, 3)
+        assert not idx.is_identity
+        assert idx.elements(5) == frozenset({13})
+
+    def test_affine_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            AffineIndex(0, 1)
+
+    def test_const_index(self):
+        assert ConstIndex(9).elements(123) == frozenset({9})
+
+    def test_all_index_returns_sentinel(self):
+        assert AllIndex().elements(0) is None
+
+    def test_mapped_1d(self):
+        maps = {"M": np.array([4, 5, 6])}
+        assert MappedIndex("M").elements(1, maps) == frozenset({5})
+
+    def test_mapped_fan_in(self):
+        maps = {"M": np.array([[1, 2], [3, 4], [1, 6]])}
+        assert MappedIndex("M", fan_in=3).elements(0, maps) == frozenset({1, 3})
+        assert MappedIndex("M", fan_in=3).elements(1, maps) == frozenset({2, 4, 6})
+
+    def test_mapped_missing_map_raises(self):
+        with pytest.raises(KeyError):
+            MappedIndex("M").elements(0, None)
+        with pytest.raises(KeyError):
+            MappedIndex("M").elements(0, {})
+
+    def test_mapped_shape_validation(self):
+        with pytest.raises(ValueError):
+            MappedIndex("M", fan_in=2).elements(0, {"M": np.array([1, 2, 3])})
+        with pytest.raises(ValueError):
+            MappedIndex("M").elements(0, {"M": np.zeros((2, 3), dtype=int)})
+
+    def test_mapped_fan_in_validation(self):
+        with pytest.raises(ValueError):
+            MappedIndex("M", fan_in=0)
+
+
+class TestAccessPattern:
+    def test_make_coerces_strings(self):
+        p = AccessPattern.make(reads=["A"], writes=["B"])
+        assert p.reads[0] == ArrayRef("A", AffineIndex())
+        assert p.arrays_read() == frozenset({"A"})
+        assert p.arrays_written() == frozenset({"B"})
+
+    def test_concrete_merges_same_array(self):
+        p = AccessPattern(
+            reads=(ArrayRef("A", AffineIndex(1, -1)), ArrayRef("A", AffineIndex(1, 1))),
+        )
+        reads, writes = p.concrete(5)
+        assert reads["A"] == frozenset({4, 6})
+        assert writes == {}
+
+    def test_concrete_all_dominates(self):
+        p = AccessPattern(reads=(ArrayRef("A", AffineIndex()), ArrayRef("A", AllIndex())))
+        reads, _ = p.concrete(3)
+        assert reads["A"] is None
+
+
+class TestConflicts:
+    def identity_copy(self, src: str, dst: str) -> AccessPattern:
+        return AccessPattern(
+            reads=(ArrayRef(src, AffineIndex()),), writes=(ArrayRef(dst, AffineIndex()),)
+        )
+
+    def test_same_granule_flow_conflict(self):
+        p1 = self.identity_copy("A", "B")
+        p2 = self.identity_copy("B", "C")
+        assert conflicts(p1, 5, p2, 5)
+
+    def test_distinct_granules_no_conflict(self):
+        p1 = self.identity_copy("A", "B")
+        p2 = self.identity_copy("B", "C")
+        assert not conflicts(p1, 5, p2, 6)
+
+    def test_disjoint_arrays_never_conflict(self):
+        p1 = self.identity_copy("A", "B")
+        p2 = self.identity_copy("C", "D")
+        for i in range(4):
+            for j in range(4):
+                assert not conflicts(p1, i, p2, j)
+
+    def test_write_write_conflict(self):
+        p1 = AccessPattern(writes=(ArrayRef("X", AffineIndex()),))
+        p2 = AccessPattern(writes=(ArrayRef("X", AffineIndex()),))
+        assert conflicts(p1, 3, p2, 3)
+        assert not conflicts(p1, 3, p2, 4)
+
+    def test_anti_dependence_detected(self):
+        # p2 writes what p1 reads
+        p1 = AccessPattern(reads=(ArrayRef("X", AffineIndex()),))
+        p2 = AccessPattern(writes=(ArrayRef("X", AffineIndex()),))
+        assert conflicts(p1, 2, p2, 2)
+
+    def test_read_read_never_conflicts(self):
+        p1 = AccessPattern(reads=(ArrayRef("X", AllIndex()),))
+        p2 = AccessPattern(reads=(ArrayRef("X", AllIndex()),))
+        assert not conflicts(p1, 0, p2, 1)
+
+    def test_all_write_conflicts_with_any_read(self):
+        p1 = AccessPattern(writes=(ArrayRef("X", AllIndex()),))
+        p2 = AccessPattern(reads=(ArrayRef("X", AffineIndex()),))
+        assert conflicts(p1, 0, p2, 99)
+
+    def test_mapped_conflict_depends_on_map(self):
+        p1 = AccessPattern(writes=(ArrayRef("A", AffineIndex()),))
+        p2 = AccessPattern(reads=(ArrayRef("A", MappedIndex("M")),))
+        maps = {"M": np.array([3, 7])}
+        assert conflicts(p1, 3, p2, 0, maps)
+        assert not conflicts(p1, 3, p2, 1, maps)
+
+    def test_stencil_conflict(self):
+        writer = AccessPattern(writes=(ArrayRef("u", AffineIndex()),))
+        reader = AccessPattern(
+            reads=(
+                ArrayRef("u", AffineIndex(1, -1)),
+                ArrayRef("u", AffineIndex(1, 0)),
+                ArrayRef("u", AffineIndex(1, 1)),
+            )
+        )
+        assert conflicts(writer, 4, reader, 5)  # 5 reads u[4]
+        assert conflicts(writer, 4, reader, 3)  # 3 reads u[4]
+        assert not conflicts(writer, 4, reader, 6)

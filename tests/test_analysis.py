@@ -1,0 +1,220 @@
+"""Tests for closed-form models, cross-checked against the simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.models import (
+    barrier_makespan_uniform,
+    checkerboard_phase_computations,
+    leftover_wave,
+    management_cycle_feasible,
+    min_tasks_per_processor,
+    overlap_makespan_uniform,
+    rundown_idle_uniform,
+)
+from repro.core.mapping import NullMapping, UniversalMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+
+
+class TestLeftoverWave:
+    def test_paper_example_exactly(self):
+        """1024² grid, 1000 processors: 524 each, 288 left, 712 idle."""
+        w = leftover_wave(524_288, 1000)
+        assert w.per_processor == 524
+        assert w.leftover == 288
+        assert w.idle_processors == 712
+        assert w.waves == 525
+        assert w.idle_fraction_final_wave == pytest.approx(0.712)
+
+    def test_exact_division_no_idle(self):
+        w = leftover_wave(1000, 10)
+        assert w.leftover == 0 and w.idle_processors == 0
+        assert w.waves == 100
+        assert w.utilization_bound == 1.0
+
+    def test_fewer_computations_than_processors(self):
+        w = leftover_wave(3, 10)
+        assert w.per_processor == 0 and w.leftover == 3
+        assert w.idle_processors == 7 and w.waves == 1
+
+    def test_zero_computations(self):
+        w = leftover_wave(0, 5)
+        assert w.waves == 0 and w.idle_processors == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            leftover_wave(-1, 10)
+        with pytest.raises(ValueError):
+            leftover_wave(10, 0)
+
+    def test_checkerboard_phase_computations(self):
+        assert checkerboard_phase_computations(1024) == 524_288
+        with pytest.raises(ValueError):
+            checkerboard_phase_computations(0)
+
+
+class TestUniformMakespans:
+    def test_barrier_formula(self):
+        assert barrier_makespan_uniform([16, 16], 8, 1.0) == 4.0
+        assert barrier_makespan_uniform([17, 16], 8, 1.0) == 5.0
+
+    def test_overlap_bound(self):
+        assert overlap_makespan_uniform([17, 15], 8, 1.0) == 4.0
+
+    def test_overlap_never_exceeds_barrier(self):
+        assert overlap_makespan_uniform([9, 9, 9], 4) <= barrier_makespan_uniform([9, 9, 9], 4)
+
+    def test_rundown_idle_formula(self):
+        assert rundown_idle_uniform(17, 8, 2.0) == 7 * 2.0
+        assert rundown_idle_uniform(16, 8, 2.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barrier_makespan_uniform([4], 0)
+        with pytest.raises(ValueError):
+            overlap_makespan_uniform([4], 0)
+
+
+class TestFeasibility:
+    def test_paper_rule(self):
+        assert min_tasks_per_processor() == 2
+
+    def test_cycle_feasibility(self):
+        assert management_cycle_feasible(10, 0.1, 1.0)
+        assert not management_cycle_feasible(11, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            management_cycle_feasible(0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            management_cycle_feasible(1, -0.1, 1.0)
+
+
+class TestCrossCheckWithSimulator:
+    """The simulator with a free executive must reproduce the closed forms."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_barrier_makespan_matches_formula(self, t1, t2, p):
+        # one granule per task (min_task_size=max_task_size=1)
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", t1), PhaseSpec("b", t2)], [NullMapping()]
+        )
+        r = run_program(
+            prog, p,
+            config=OverlapConfig.barrier(),
+            costs=ExecutiveCosts.free(),
+            sizer=TaskSizer(tasks_per_processor=1e9, max_task_size=1),
+        )
+        assert r.makespan == pytest.approx(barrier_makespan_uniform([t1, t2], p))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_universal_overlap_achieves_work_bound(self, t1, t2, p):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", t1), PhaseSpec("b", t2)], [UniversalMapping()]
+        )
+        r = run_program(
+            prog, p,
+            config=OverlapConfig(),
+            costs=ExecutiveCosts.free(),
+            sizer=TaskSizer(tasks_per_processor=1e9, max_task_size=1),
+        )
+        assert r.makespan == pytest.approx(overlap_makespan_uniform([t1, t2], p))
+
+    def test_rundown_idle_matches_simulated_final_wave(self):
+        from repro.metrics.rundown import rundown_report
+
+        prog = PhaseProgram([PhaseSpec("a", 17)])
+        r = run_program(
+            prog, 8,
+            costs=ExecutiveCosts.free(),
+            sizer=TaskSizer(tasks_per_processor=1e9, max_task_size=1),
+        )
+        rep = rundown_report(r, 0)
+        assert rep is not None
+        assert rep.idle_time == pytest.approx(rundown_idle_uniform(17, 8, 1.0))
+
+
+class TestExecutiveBound:
+    def test_formula(self):
+        from repro.analysis.models import executive_bound_makespan
+
+        assert executive_bound_makespan(100, 0.5) == 50.0
+        assert executive_bound_makespan(100, 0.5, n_executives=4) == 12.5
+
+    def test_validation(self):
+        from repro.analysis.models import executive_bound_makespan
+
+        with pytest.raises(ValueError):
+            executive_bound_makespan(-1, 0.5)
+        with pytest.raises(ValueError):
+            executive_bound_makespan(10, -0.5)
+        with pytest.raises(ValueError):
+            executive_bound_makespan(10, 0.5, n_executives=0)
+
+    def test_saturated_simulation_respects_bound(self):
+        """In the management-bound regime the simulated makespan tracks
+        the serial-executive bound, and a middle-management pool divides
+        it."""
+        from repro.analysis.models import executive_bound_makespan
+        from repro.executive import Extensions
+
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 64), PhaseSpec("b", 64)], [NullMapping()]
+        )
+        costs = ExecutiveCosts(0.0, 2.0, 2.0, 0.0, 0.0, 2.0, 0.0)
+        sizer = TaskSizer(tasks_per_processor=1e9, max_task_size=1)
+        r1 = run_program(prog, 8, config=OverlapConfig.barrier(), costs=costs, sizer=sizer)
+        bound1 = executive_bound_makespan(128, costs.assign + costs.completion)
+        assert r1.makespan >= bound1
+        assert r1.makespan <= bound1 * 1.25
+        r4 = run_program(
+            prog, 8, config=OverlapConfig.barrier(), costs=costs, sizer=sizer,
+            extensions=Extensions(middle_managers=4),
+        )
+        assert r4.makespan < r1.makespan / 2
+
+
+class TestExponentialWaveIdle:
+    def test_single_processor_no_idle(self):
+        from repro.analysis import exponential_wave_idle
+
+        assert exponential_wave_idle(1, 2.0) == 0.0
+
+    def test_grows_superlinearly(self):
+        from repro.analysis import exponential_wave_idle
+
+        per_proc_8 = exponential_wave_idle(8) / 8
+        per_proc_64 = exponential_wave_idle(64) / 64
+        assert per_proc_64 > per_proc_8  # ~ln p per processor
+
+    def test_validation(self):
+        from repro.analysis import exponential_wave_idle
+
+        with pytest.raises(ValueError):
+            exponential_wave_idle(0)
+        with pytest.raises(ValueError):
+            exponential_wave_idle(4, -1.0)
+
+    def test_matches_monte_carlo(self):
+        import numpy as np
+
+        from repro.analysis import exponential_wave_idle
+
+        p, mean = 12, 1.5
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(mean, size=(20_000, p))
+        idle = (samples.max(axis=1, keepdims=True) - samples).sum(axis=1)
+        assert idle.mean() == pytest.approx(exponential_wave_idle(p, mean), rel=0.02)

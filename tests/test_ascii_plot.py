@@ -1,0 +1,76 @@
+"""Tests for ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.ascii_plot import bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        txt = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].strip().startswith("a")
+        # the larger value has the longer bar
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_values_appended(self):
+        txt = bar_chart(["x"], [3.5], width=10)
+        assert "3.5" in txt
+
+    def test_baseline_marker(self):
+        txt = bar_chart(["x", "y"], [0.5, 2.0], width=20, baseline=1.0)
+        for line in txt.splitlines():
+            assert "|" in line
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=1)
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_negative_values_clamped(self):
+        txt = bar_chart(["neg"], [-5.0], width=10)
+        assert "#" not in txt
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart(["a"], [2.0], unit="ms")
+
+
+class TestLinePlot:
+    def test_basic_grid(self):
+        txt = line_plot([0, 1, 2], {"alpha": [0, 1, 2]}, width=10, height=5)
+        lines = txt.splitlines()
+        assert any("a" in l for l in lines)
+        assert "a=alpha" in lines[-1]
+
+    def test_two_series_distinct_chars(self):
+        txt = line_plot([0, 1], {"up": [0, 1], "down": [1, 0]}, width=10, height=5)
+        assert "u" in txt and "d" in txt
+
+    def test_collision_marker(self):
+        txt = line_plot([0], {"aa": [1.0], "bb": [1.0]}, width=10, height=5)
+        assert "*" in txt
+
+    def test_constant_series(self):
+        txt = line_plot([0, 1], {"c": [2.0, 2.0]}, width=10, height=5)
+        assert "c" in txt
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"s": [1.0]})
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([0], {"s": [1.0]}, width=2)
+
+    def test_axis_labels(self):
+        txt = line_plot([0, 10], {"s": [5.0, 15.0]}, width=20, height=5)
+        assert "15" in txt and "5" in txt and "10" in txt

@@ -1,0 +1,125 @@
+"""Tests for the synthetic CASPER suite — the paper's census, exactly."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.classifier import classify_program
+from repro.core.mapping import MappingKind
+from repro.core.overlap import OverlapConfig
+from repro.executive import ExecutiveCosts, TaskSizer, run_program
+from repro.workloads.casper import (
+    CASPER_KIND_SEQUENCE,
+    CASPER_LINE_WEIGHTS,
+    casper_suite,
+)
+
+
+class TestCensusNumbers:
+    """Every number the paper reports about PAX/CASPER."""
+
+    def setup_method(self):
+        self.census = classify_program(casper_suite(), wrap=True)
+
+    def test_22_phases(self):
+        assert self.census.n_pairs == 22
+        assert len(CASPER_KIND_SEQUENCE) == 22
+
+    def test_1188_lines(self):
+        assert self.census.total_lines == 1188
+        assert sum(CASPER_LINE_WEIGHTS) == 1188
+
+    def test_universal_6_of_22_266_lines(self):
+        assert self.census.phase_counts[MappingKind.UNIVERSAL] == 6
+        assert self.census.line_counts[MappingKind.UNIVERSAL] == 266
+        assert self.census.phase_fraction(MappingKind.UNIVERSAL) == pytest.approx(0.27, abs=0.005)
+        assert self.census.line_fraction(MappingKind.UNIVERSAL) == pytest.approx(0.22, abs=0.005)
+
+    def test_identity_9_of_22_551_lines(self):
+        assert self.census.phase_counts[MappingKind.IDENTITY] == 9
+        assert self.census.line_counts[MappingKind.IDENTITY] == 551
+        assert self.census.phase_fraction(MappingKind.IDENTITY) == pytest.approx(0.41, abs=0.005)
+        assert self.census.line_fraction(MappingKind.IDENTITY) == pytest.approx(0.46, abs=0.005)
+
+    def test_null_4_of_22_262_lines(self):
+        assert self.census.phase_counts[MappingKind.NULL] == 4
+        assert self.census.line_counts[MappingKind.NULL] == 262
+        assert self.census.phase_fraction(MappingKind.NULL) == pytest.approx(0.18, abs=0.005)
+        assert self.census.line_fraction(MappingKind.NULL) == pytest.approx(0.22, abs=0.005)
+
+    def test_reverse_2_of_22_78_lines(self):
+        assert self.census.phase_counts[MappingKind.REVERSE_INDIRECT] == 2
+        assert self.census.line_counts[MappingKind.REVERSE_INDIRECT] == 78
+        assert self.census.phase_fraction(MappingKind.REVERSE_INDIRECT) == pytest.approx(0.09, abs=0.005)
+        assert self.census.line_fraction(MappingKind.REVERSE_INDIRECT) == pytest.approx(0.07, abs=0.01)
+
+    def test_forward_1_of_22_31_lines(self):
+        assert self.census.phase_counts[MappingKind.FORWARD_INDIRECT] == 1
+        assert self.census.line_counts[MappingKind.FORWARD_INDIRECT] == 31
+        assert self.census.phase_fraction(MappingKind.FORWARD_INDIRECT) == pytest.approx(0.05, abs=0.005)
+
+    def test_easily_overlapped_68_percent(self):
+        assert self.census.easily_overlapped_phase_fraction() == pytest.approx(0.682, abs=0.001)
+        assert self.census.easily_overlapped_line_fraction() == pytest.approx(0.688, abs=0.001)
+
+    def test_amenable_with_extended_effort(self):
+        # all non-null kinds: 18/22 ≈ 82 %.  The paper claims > 90 % when
+        # the serial decisions behind nulls are restructured; our census
+        # reports the as-coded figure.
+        assert self.census.amenable_phase_fraction() == pytest.approx(18 / 22)
+
+    def test_census_from_footprints_not_labels(self):
+        # the kinds come from classification of declared array accesses
+        got = Counter(c.kind for c in self.census.classifications)
+        want = Counter(CASPER_KIND_SEQUENCE)
+        assert got == want
+
+
+class TestSuiteConstruction:
+    def test_granule_scale(self):
+        small = casper_suite(granule_scale=0.5)
+        base = casper_suite()
+        assert small.total_granules() < base.total_granules()
+
+    def test_custom_granules_validated(self):
+        with pytest.raises(ValueError):
+            casper_suite(granules=[10, 20])
+
+    def test_serial_actions_present_for_null_pairs(self):
+        from repro.core.phase import SerialAction
+
+        prog = casper_suite(serial_cost=3.0)
+        serials = [s for s in prog.schedule if isinstance(s, SerialAction)]
+        # 3 interior null pairs + 1 wrap marker
+        assert len(serials) == 4
+        assert all(s.duration == 3.0 for s in serials)
+
+    def test_map_generators_registered(self):
+        prog = casper_suite()
+        reverse_maps = [k for k in prog.map_generators if k.startswith("RMAP")]
+        forward_maps = [k for k in prog.map_generators if k.startswith("FMAP")]
+        assert len(reverse_maps) == 2
+        assert len(forward_maps) == 1
+
+
+class TestSuiteExecution:
+    def test_runs_both_ways_and_overlap_helps(self):
+        prog = casper_suite(granule_scale=0.5)
+        costs = ExecutiveCosts.pax_like()
+        rb = run_program(prog, 8, config=OverlapConfig.barrier(), costs=costs,
+                         sizer=TaskSizer(3.0), seed=9)
+        ro = run_program(prog, 8, config=OverlapConfig(), costs=costs,
+                         sizer=TaskSizer(3.0), seed=9)
+        assert rb.granules_executed == ro.granules_executed == prog.total_granules()
+        assert ro.makespan < rb.makespan
+        assert ro.utilization > rb.utilization
+
+    def test_comp_mgmt_ratio_in_pax_neighbourhood(self):
+        prog = casper_suite(granule_scale=0.5)
+        r = run_program(prog, 8, config=OverlapConfig.barrier(),
+                        costs=ExecutiveCosts.pax_like(ratio=200.0),
+                        sizer=TaskSizer(3.0), seed=9)
+        # the paper reports "something in the neighborhood of 200"
+        assert 50 <= r.comp_mgmt_ratio <= 1000

@@ -1,0 +1,172 @@
+"""Tests for the checkerboard SOR solver and its phase program."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import classify_pair
+from repro.core.mapping import MappingKind, SeamMapping
+from repro.workloads.checkerboard import (
+    CheckerboardSOR,
+    checkerboard_program,
+    phase_computations,
+)
+
+
+class TestPhaseComputations:
+    def test_paper_example(self):
+        assert phase_computations(1024) == 524_288
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase_computations(0)
+
+
+class TestCheckerboardSOR:
+    def test_laplace_converges_to_boundary_interpolation(self):
+        s = CheckerboardSOR(15)
+        s.set_boundary(top=1.0, bottom=1.0, left=1.0, right=1.0)
+        iters = s.solve(tol=1e-10)
+        # with all-1 boundary and zero f, the solution is identically 1
+        assert np.allclose(s.u[1:-1, 1:-1], 1.0, atol=1e-8)
+        assert iters > 0
+
+    def test_matches_dense_solution(self):
+        # cross-check against a direct linear solve of the 5-point system
+        n = 8
+        rng = np.random.default_rng(0)
+        f = rng.normal(size=(n, n))
+        s = CheckerboardSOR(n, f=f)
+        s.solve(tol=1e-12, max_iters=10_000)
+
+        # build the dense Laplacian: u_{i-1,j}+u_{i+1,j}+u_{i,j-1}+u_{i,j+1}-4u = f
+        N = n * n
+        A = np.zeros((N, N))
+        for i in range(n):
+            for j in range(n):
+                k = i * n + j
+                A[k, k] = -4.0
+                for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    ii, jj = i + di, j + dj
+                    if 0 <= ii < n and 0 <= jj < n:
+                        A[k, ii * n + jj] = 1.0
+        u_direct = np.linalg.solve(A, f.ravel()).reshape(n, n)
+        assert np.allclose(s.u[1:-1, 1:-1], u_direct, atol=1e-8)
+
+    def test_red_black_masks_partition_interior(self):
+        s = CheckerboardSOR(10)
+        assert (s._red ^ s._black).all()
+        assert s._red.sum() + s._black.sum() == 100
+
+    def test_sweep_updates_only_one_color(self):
+        s = CheckerboardSOR(6)
+        s.set_boundary(top=1.0)
+        before = s.u.copy()
+        s.sweep_red()
+        changed = s.u[1:-1, 1:-1] != before[1:-1, 1:-1]
+        assert not changed[s._black].any()
+
+    def test_residual_decreases(self):
+        s = CheckerboardSOR(12)
+        s.set_boundary(top=1.0, left=-1.0)
+        r0 = s.residual()
+        for _ in range(20):
+            s.iterate()
+        assert s.residual() < r0
+
+    def test_optimal_omega_default(self):
+        s = CheckerboardSOR(31)
+        assert s.omega == pytest.approx(2.0 / (1.0 + math.sin(math.pi / 32)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckerboardSOR(0)
+        with pytest.raises(ValueError):
+            CheckerboardSOR(4, omega=2.5)
+        with pytest.raises(ValueError):
+            CheckerboardSOR(4, f=np.zeros((3, 3)))
+
+    def test_max_iters_guard(self):
+        s = CheckerboardSOR(12)
+        s.set_boundary(top=1.0)
+        with pytest.raises(RuntimeError):
+            s.solve(tol=1e-16, max_iters=1)
+
+
+class TestCheckerboardProgram:
+    def test_phase_structure(self):
+        prog = checkerboard_program(64, rows_per_granule=4, n_iterations=2)
+        assert prog.phase_sequence() == ["red0", "black0", "red1", "black1"]
+        assert prog.phases["red0"].n_granules == 16
+
+    def test_all_links_are_seam(self):
+        prog = checkerboard_program(32, rows_per_granule=2, n_iterations=2)
+        for a, b, _ in prog.adjacent_pairs():
+            m = prog.mapping_between(a, b)
+            assert isinstance(m, SeamMapping)
+            assert m.offsets == (-1, 0, 1)
+
+    def test_footprints_classify_as_seam(self):
+        prog = checkerboard_program(32, rows_per_granule=2)
+        red, black = prog.phases["red0"], prog.phases["black0"]
+        c = classify_pair(red, black)
+        assert c.kind is MappingKind.SEAM
+        assert set(c.offsets) == {-1, 0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            checkerboard_program(0)
+        with pytest.raises(ValueError):
+            checkerboard_program(8, rows_per_granule=0)
+        with pytest.raises(ValueError):
+            checkerboard_program(8, n_iterations=0)
+
+    def test_runs_on_executive_with_overlap(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import ExecutiveCosts, run_program
+
+        prog = checkerboard_program(32, rows_per_granule=2, n_iterations=2, cost_per_cell=0.01)
+        rb = run_program(prog, 4, config=OverlapConfig.barrier(), costs=ExecutiveCosts.free())
+        ro = run_program(prog, 4, config=OverlapConfig(), costs=ExecutiveCosts.free())
+        assert ro.makespan <= rb.makespan
+        assert ro.granules_executed == rb.granules_executed
+
+
+class TestCheckerboardBlocks:
+    def test_block_count(self):
+        from repro.workloads.checkerboard import checkerboard_program_blocks
+
+        prog = checkerboard_program_blocks(64, block_side=8, n_iterations=2)
+        assert prog.phases["red0"].n_granules == 64  # 8x8 blocks
+        assert prog.phase_sequence() == ["red0", "black0", "red1", "black1"]
+
+    def test_grid_seam_links(self):
+        from repro.workloads.checkerboard import checkerboard_program_blocks
+
+        prog = checkerboard_program_blocks(64, block_side=8)
+        m = prog.mapping_between("red0", "black0")
+        assert isinstance(m, SeamMapping)
+        assert m.offsets == (-8, -1, 0, 1, 8)
+
+    def test_validation(self):
+        from repro.workloads.checkerboard import checkerboard_program_blocks
+
+        with pytest.raises(ValueError):
+            checkerboard_program_blocks(0)
+        with pytest.raises(ValueError):
+            checkerboard_program_blocks(8, n_iterations=0)
+
+    def test_runs_with_overlap_gain(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import ExecutiveCosts, run_program
+        from repro.workloads.checkerboard import checkerboard_program_blocks
+
+        prog = checkerboard_program_blocks(48, block_side=6, n_iterations=2, cost_per_cell=0.1)
+        costs = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001)
+        rb = run_program(prog, 6, config=OverlapConfig.barrier(), costs=costs)
+        ro = run_program(prog, 6, config=OverlapConfig(), costs=costs)
+        assert ro.granules_executed == rb.granules_executed
+        assert ro.makespan < rb.makespan

@@ -1,0 +1,200 @@
+"""Tests for the automatic mapping classifier and the census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.access import AccessPattern, AffineIndex, AllIndex, ArrayRef, ConstIndex, MappedIndex
+from repro.core.classifier import MappingCensus, build_mapping, classify_pair, classify_program
+from repro.core.mapping import (
+    ForwardIndirectMapping,
+    IdentityMapping,
+    MappingKind,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.workloads.fragments import (
+    forward_indirect_fragment,
+    identity_fragment,
+    reverse_indirect_fragment,
+    universal_fragment,
+)
+
+
+def phase(name: str, reads=(), writes=(), n: int = 8, lines: int = 0) -> PhaseSpec:
+    return PhaseSpec(
+        name, n, access=AccessPattern(reads=tuple(reads), writes=tuple(writes)), lines=lines
+    )
+
+
+class TestClassifyPair:
+    def test_no_shared_information_is_universal(self):
+        a = phase("a", reads=[ArrayRef("A")], writes=[ArrayRef("B")])
+        b = phase("b", reads=[ArrayRef("C")], writes=[ArrayRef("D")])
+        assert classify_pair(a, b).kind is MappingKind.UNIVERSAL
+
+    def test_identity_dependence(self):
+        a = phase("a", reads=[ArrayRef("A")], writes=[ArrayRef("B")])
+        b = phase("b", reads=[ArrayRef("B")], writes=[ArrayRef("C")])
+        assert classify_pair(a, b).kind is MappingKind.IDENTITY
+
+    def test_serial_action_forces_null(self):
+        a = phase("a", writes=[ArrayRef("B")])
+        b = phase("b", reads=[ArrayRef("B")])
+        assert classify_pair(a, b, serial_between=True).kind is MappingKind.NULL
+
+    def test_missing_footprint_is_null(self):
+        a = PhaseSpec("a", 4)
+        b = phase("b")
+        assert classify_pair(a, b).kind is MappingKind.NULL
+        assert classify_pair(b, a).kind is MappingKind.NULL
+
+    def test_reduction_read_is_null(self):
+        a = phase("a", writes=[ArrayRef("B")])
+        b = phase("b", reads=[ArrayRef("B", AllIndex())], writes=[ArrayRef("s")])
+        assert classify_pair(a, b).kind is MappingKind.NULL
+
+    def test_mapped_read_is_reverse_indirect(self):
+        a = phase("a", writes=[ArrayRef("A")])
+        b = phase("b", reads=[ArrayRef("A", MappedIndex("IMAP", fan_in=3))], writes=[ArrayRef("B")])
+        c = classify_pair(a, b)
+        assert c.kind is MappingKind.REVERSE_INDIRECT
+        assert c.map_name == "IMAP"
+
+    def test_mapped_write_is_forward_indirect(self):
+        a = phase("a", writes=[ArrayRef("B", MappedIndex("FMAP"))])
+        b = phase("b", reads=[ArrayRef("B")], writes=[ArrayRef("C")])
+        c = classify_pair(a, b)
+        assert c.kind is MappingKind.FORWARD_INDIRECT
+        assert c.map_name == "FMAP"
+
+    def test_stencil_is_seam_with_offsets(self):
+        a = phase("a", writes=[ArrayRef("u")])
+        b = phase(
+            "b",
+            reads=[ArrayRef("u", AffineIndex(1, -1)), ArrayRef("u", AffineIndex(1, 1))],
+            writes=[ArrayRef("v")],
+        )
+        c = classify_pair(a, b)
+        assert c.kind is MappingKind.SEAM
+        assert set(c.offsets) >= {-1, 1}
+
+    def test_anti_dependence_counts(self):
+        # successor overwrites what the predecessor reads
+        a = phase("a", reads=[ArrayRef("A")], writes=[ArrayRef("B")])
+        b = phase("b", reads=[ArrayRef("C")], writes=[ArrayRef("A")])
+        assert classify_pair(a, b).kind is MappingKind.IDENTITY
+
+    def test_shared_scalar_is_null(self):
+        a = phase("a", writes=[ArrayRef("flag", ConstIndex(0))])
+        b = phase("b", reads=[ArrayRef("flag", ConstIndex(0))], writes=[ArrayRef("B")])
+        assert classify_pair(a, b).kind is MappingKind.NULL
+
+    def test_non_unit_stride_is_conservative_null(self):
+        a = phase("a", writes=[ArrayRef("A", AffineIndex(2, 0))])
+        b = phase("b", reads=[ArrayRef("A", AffineIndex(1, 0))], writes=[ArrayRef("B")])
+        assert classify_pair(a, b).kind is MappingKind.NULL
+
+    def test_most_restrictive_wins(self):
+        # identity through B but reduction through S -> NULL dominates
+        a = phase("a", writes=[ArrayRef("B"), ArrayRef("S")])
+        b = phase("b", reads=[ArrayRef("B"), ArrayRef("S", AllIndex())], writes=[ArrayRef("C")])
+        assert classify_pair(a, b).kind is MappingKind.NULL
+
+    def test_identity_plus_stencil_becomes_seam(self):
+        a = phase("a", writes=[ArrayRef("u"), ArrayRef("w")])
+        b = phase(
+            "b",
+            reads=[ArrayRef("u", AffineIndex(1, 1)), ArrayRef("w")],
+            writes=[ArrayRef("v")],
+        )
+        c = classify_pair(a, b)
+        assert c.kind is MappingKind.SEAM
+        assert 0 in c.offsets and 1 in c.offsets
+
+
+class TestBuildMapping:
+    def test_each_kind_materializes(self):
+        cases = [
+            (MappingKind.UNIVERSAL, UniversalMapping),
+            (MappingKind.IDENTITY, IdentityMapping),
+            (MappingKind.NULL, NullMapping),
+            (MappingKind.REVERSE_INDIRECT, ReverseIndirectMapping),
+            (MappingKind.FORWARD_INDIRECT, ForwardIndirectMapping),
+            (MappingKind.SEAM, SeamMapping),
+        ]
+        for kind, cls in cases:
+            from repro.core.classifier import PairClassification
+
+            c = PairClassification("a", "b", kind, offsets=(-1, 0, 1), map_name="M")
+            assert isinstance(build_mapping(c), cls)
+
+
+class TestFragmentsClassify:
+    """The paper's four fragments must classify to the paper's verdicts."""
+
+    def test_universal_fragment(self):
+        f = universal_fragment(16)
+        pairs = f.program.adjacent_pairs()
+        (pred, succ, serial) = pairs[0]
+        c = classify_pair(f.program.phases[pred], f.program.phases[succ], serial)
+        assert c.kind is MappingKind.UNIVERSAL
+
+    def test_identity_fragment(self):
+        f = identity_fragment(16)
+        (pred, succ, serial) = f.program.adjacent_pairs()[0]
+        c = classify_pair(f.program.phases[pred], f.program.phases[succ], serial)
+        assert c.kind is MappingKind.IDENTITY
+
+    def test_reverse_fragment(self):
+        f = reverse_indirect_fragment(16, fan_in=3)
+        (pred, succ, serial) = f.program.adjacent_pairs()[0]
+        c = classify_pair(f.program.phases[pred], f.program.phases[succ], serial)
+        assert c.kind is MappingKind.REVERSE_INDIRECT
+
+    def test_forward_fragment(self):
+        f = forward_indirect_fragment(16, 12)
+        (pred, succ, serial) = f.program.adjacent_pairs()[0]
+        c = classify_pair(f.program.phases[pred], f.program.phases[succ], serial)
+        assert c.kind is MappingKind.FORWARD_INDIRECT
+
+
+class TestCensus:
+    def test_fractions(self):
+        census = MappingCensus()
+        from repro.core.classifier import PairClassification
+
+        census.add(PairClassification("a", "b", MappingKind.IDENTITY), lines=60)
+        census.add(PairClassification("b", "c", MappingKind.NULL), lines=40)
+        assert census.n_pairs == 2
+        assert census.phase_fraction(MappingKind.IDENTITY) == 0.5
+        assert census.line_fraction(MappingKind.IDENTITY) == 0.6
+        assert census.easily_overlapped_phase_fraction() == 0.5
+        assert census.amenable_phase_fraction() == 0.5
+
+    def test_empty_census(self):
+        census = MappingCensus()
+        assert census.phase_fraction(MappingKind.IDENTITY) == 0.0
+        assert census.line_fraction(MappingKind.IDENTITY) == 0.0
+
+    def test_classify_program_wrap(self):
+        a = phase("a", reads=[ArrayRef("X")], writes=[ArrayRef("Y")], lines=10)
+        b = phase("b", reads=[ArrayRef("Y")], writes=[ArrayRef("X")], lines=20)
+        prog = PhaseProgram([a, b], ["a", "b"])
+        census = classify_program(prog, wrap=True)
+        assert census.n_pairs == 2
+        # a->b identity through Y; b->a identity through X (wrap)
+        assert census.phase_counts[MappingKind.IDENTITY] == 2
+
+    def test_rows_ordering(self):
+        census = MappingCensus()
+        from repro.core.classifier import PairClassification
+
+        census.add(PairClassification("a", "b", MappingKind.NULL), lines=1)
+        census.add(PairClassification("b", "c", MappingKind.UNIVERSAL), lines=1)
+        rows = census.rows()
+        assert rows[0][0] == "universal"  # least restrictive first
+        assert rows[-1][0] == "null"

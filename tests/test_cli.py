@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestLeftover:
+    def test_paper_numbers(self):
+        code, text = run_cli("leftover", "524288", "1000")
+        assert code == 0
+        assert "524" in text and "288" in text and "712" in text
+
+    def test_exact_division(self):
+        code, text = run_cli("leftover", "100", "10")
+        assert code == 0
+        assert "idle processors final wave : 0" in text
+
+
+class TestCensus:
+    def test_prints_paper_table(self):
+        code, text = run_cli("census")
+        assert code == 0
+        assert "identity" in text and "551" in text
+        assert "68%" in text
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("workload", ["identity", "universal", "checkerboard", "particles"])
+    def test_workloads_run(self, workload):
+        code, text = run_cli("simulate", workload, "--workers", "4")
+        assert code == 0
+        assert "makespan" in text and "utilization" in text
+
+    def test_barrier_flag(self):
+        _, overlap_text = run_cli("simulate", "identity", "--workers", "4")
+        _, barrier_text = run_cli("simulate", "identity", "--workers", "4", "--barrier")
+        assert "barrier" in barrier_text
+        assert "overlap" in overlap_text
+
+    def test_gantt_output(self):
+        code, text = run_cli("simulate", "identity", "--workers", "2", "--gantt",
+                             "--gantt-width", "40")
+        assert code == 0
+        assert "P0" in text and "|" in text
+
+    def test_extensions_flags(self):
+        code, text = run_cli(
+            "simulate", "identity", "--workers", "4",
+            "--middle-managers", "2", "--lateral-handoff",
+        )
+        assert code == 0
+        assert "lateral hand-offs" in text
+
+    def test_shared_executive(self):
+        code, _ = run_cli("simulate", "identity", "--workers", "4", "--shared-executive")
+        assert code == 0
+
+
+class TestCompile:
+    SOURCE = (
+        "DEFINE PHASE a GRANULES=16\n"
+        "DEFINE PHASE b GRANULES=16\n"
+        "DISPATCH a ENABLE [b/MAPPING=IDENTITY]\n"
+        "DISPATCH b\n"
+    )
+
+    def test_compile_prints_schedule_and_links(self, tmp_path):
+        f = tmp_path / "prog.pax"
+        f.write_text(self.SOURCE)
+        code, text = run_cli("compile", str(f))
+        assert code == 0
+        assert "schedule : ['a', 'b']" in text
+        assert "a -> b" in text and "identity" in text
+
+    def test_compile_and_run(self, tmp_path):
+        f = tmp_path / "prog.pax"
+        f.write_text(self.SOURCE)
+        code, text = run_cli("compile", str(f), "--run", "--workers", "4")
+        assert code == 0
+        assert "makespan" in text
+
+    def test_verification_failure_exit_code(self, tmp_path):
+        f = tmp_path / "bad.pax"
+        f.write_text(
+            "DEFINE PHASE a GRANULES=4\nDEFINE PHASE b GRANULES=4\nDEFINE PHASE c GRANULES=4\n"
+            "DISPATCH a ENABLE [b/MAPPING=IDENTITY]\nDISPATCH c\n"
+        )
+        code, _ = run_cli("compile", str(f))
+        assert code == 1
+
+    def test_missing_file(self):
+        code, _ = run_cli("compile", "/nonexistent/file.pax")
+        assert code == 2
+
+    def test_env_bindings(self, tmp_path):
+        f = tmp_path / "branch.pax"
+        f.write_text(
+            "DEFINE PHASE m GRANULES=8\nDEFINE PHASE x GRANULES=8\nDEFINE PHASE y GRANULES=8\n"
+            "DISPATCH m ENABLE/BRANCHINDEPENDENT [x/MAPPING=IDENTITY y/MAPPING=UNIVERSAL]\n"
+            "IF (K .EQ. 0) THEN GOTO other\nDISPATCH x\nGOTO end\nother:\nDISPATCH y\nend:\n"
+        )
+        code, text = run_cli("compile", str(f), "--set", "K=0")
+        assert code == 0 and "'y'" in text
+        code, text = run_cli("compile", str(f), "--set", "K=1")
+        assert code == 0 and "'x'" in text
+
+    def test_bad_binding(self, tmp_path):
+        f = tmp_path / "p.pax"
+        f.write_text(self.SOURCE)
+        code, _ = run_cli("compile", str(f), "--set", "K=abc")
+        assert code == 2
+
+
+class TestGanttCommand:
+    def test_save_and_render(self, tmp_path):
+        path = tmp_path / "run.json"
+        code, text = run_cli("simulate", "identity", "--workers", "2", "--save", str(path))
+        assert code == 0 and path.exists()
+        code, chart = run_cli("gantt", str(path), "--width", "40")
+        assert code == 0
+        assert "P0" in chart and "|" in chart
+
+    def test_window_options(self, tmp_path):
+        path = tmp_path / "run.json"
+        run_cli("simulate", "identity", "--workers", "2", "--save", str(path))
+        code, chart = run_cli("gantt", str(path), "--width", "30", "--from", "0", "--to", "5")
+        assert code == 0
+
+    def test_missing_file(self):
+        code, _ = run_cli("gantt", "/nonexistent.json")
+        assert code == 2
+
+    def test_bare_trace_accepted(self, tmp_path):
+        from repro.core.mapping import IdentityMapping
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import run_program
+        from repro.sim.persist import save_trace
+        from tests.conftest import two_phase_program
+
+        r = run_program(two_phase_program(IdentityMapping(), n=16), 2, config=OverlapConfig())
+        path = tmp_path / "trace.json"
+        save_trace(r.trace, path)
+        code, chart = run_cli("gantt", str(path), "--width", "30")
+        assert code == 0 and "EXEC" in chart

@@ -1,0 +1,36 @@
+"""Tests for executive cost configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.executive.costs import ExecutiveCosts
+
+
+class TestExecutiveCosts:
+    def test_defaults_nonnegative(self):
+        c = ExecutiveCosts()
+        assert c.cycle_time() == c.completion + c.enablement + c.assign
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutiveCosts(assign=-1.0)
+
+    def test_free_is_all_zero(self):
+        c = ExecutiveCosts.free()
+        assert c.cycle_time() == 0.0
+        assert c.phase_init == 0.0 and c.map_entry == 0.0
+
+    def test_scaled(self):
+        c = ExecutiveCosts(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0).scaled(0.5)
+        assert c.assign == 0.5 and c.map_entry == 0.5
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutiveCosts().scaled(-1.0)
+
+    def test_pax_like_targets_ratio(self):
+        c = ExecutiveCosts.pax_like(granule_time=1.0, ratio=200.0)
+        # one assign+completion+enablement cycle per granule of work:
+        # worker time / mgmt time = 1 / (3c) = ratio
+        assert 1.0 / c.cycle_time() == pytest.approx(200.0)

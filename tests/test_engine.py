@@ -1,0 +1,149 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(3.0, lambda: order.append("c"))
+        while (ev := q.pop()) is not None:
+            ev.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("low"), priority=1)
+        q.push(1.0, lambda: order.append("high"), priority=-1)
+        q.push(1.0, lambda: order.append("mid"), priority=0)
+        while (ev := q.pop()) is not None:
+            ev.callback()
+        assert order == ["high", "mid", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: order.append(i))
+        while (ev := q.pop()) is not None:
+            ev.callback()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        ev = q.push(1.0, lambda: fired.append(1))
+        q.push(2.0, lambda: fired.append(2))
+        ev.cancel()
+        assert len(q) == 1
+        got = q.pop()
+        got.callback()
+        assert fired == [2]
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_empty_pop(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+
+class TestSimulator:
+    def test_run_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(3.5, lambda: None)
+        assert sim.run() == 3.5
+        assert sim.now == 3.5
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: sim.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_schedule_after_negative_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule_after(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()  # finish the rest
+        assert fired == [1, 10]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule_after(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_stop_requests_exit(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def inner():
+            try:
+                sim.run()
+            except RuntimeError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, inner)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        ev = sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.pending() == 1

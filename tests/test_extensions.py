@@ -1,0 +1,213 @@
+"""Tests for the paper's identified follow-on strategies.
+
+"These include a middle management scheme to parallelize the serial
+management function, a direct worker-to-worker lateral communication
+scheme, and a data-proximity work assignment algorithm."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mapping import IdentityMapping, SeamMapping, UniversalMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import PhaseProgram, PhaseSpec
+from repro.executive import ExecutiveCosts, Extensions, TaskSizer, run_program
+from repro.sim.engine import Simulator
+from repro.sim.machine import ExecutivePlacement, Machine
+from repro.sim.trace import Trace
+
+HEAVY_MGMT = ExecutiveCosts(0.5, 0.5, 0.5, 0.25, 0.25, 0.25, 0.01)
+LIGHT_MGMT = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001)
+
+
+def chain(n_phases=3, n=128, mapping=None):
+    mapping = mapping or IdentityMapping()
+    return PhaseProgram.chain(
+        [PhaseSpec(f"p{i}", n) for i in range(n_phases)],
+        [mapping] * (n_phases - 1),
+    )
+
+
+class TestExtensionsValidation:
+    def test_defaults_are_all_off(self):
+        e = Extensions()
+        assert e.middle_managers == 1
+        assert not e.lateral_handoff and not e.data_proximity
+        assert e.remote_penalty == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Extensions(middle_managers=0)
+        with pytest.raises(ValueError):
+            Extensions(lateral_cost=-1)
+        with pytest.raises(ValueError):
+            Extensions(remote_penalty=0.5)
+        with pytest.raises(ValueError):
+            Extensions(proximity_scan=0)
+
+
+class TestMultiExecutiveMachine:
+    def test_pool_runs_jobs_in_parallel(self):
+        sim, tr = Simulator(), Trace()
+        m = Machine(sim, tr, 4, ExecutivePlacement.DEDICATED, n_executives=2)
+        done = []
+        m.submit_mgmt(5.0, lambda: done.append("a"))
+        m.submit_mgmt(5.0, lambda: done.append("b"))
+        sim.run()
+        assert sim.now == 5.0  # parallel, not 10
+        assert sorted(done) == ["a", "b"]
+        assert m.mgmt_time() == 10.0
+
+    def test_lane_pins_to_server(self):
+        sim, tr = Simulator(), Trace()
+        m = Machine(sim, tr, 4, ExecutivePlacement.DEDICATED, n_executives=2)
+        m.submit_mgmt(5.0, lane=0)
+        m.submit_mgmt(5.0, lane=0)
+        sim.run()
+        assert sim.now == 10.0  # serialized on the chief
+
+    def test_lane_out_of_range(self):
+        sim, tr = Simulator(), Trace()
+        m = Machine(sim, tr, 4, ExecutivePlacement.DEDICATED, n_executives=2)
+        with pytest.raises(ValueError):
+            m.submit_mgmt(1.0, lane=2)
+
+    def test_shared_needs_enough_workers(self):
+        sim, tr = Simulator(), Trace()
+        with pytest.raises(ValueError):
+            Machine(sim, tr, 2, ExecutivePlacement.SHARED, n_executives=3)
+
+    def test_shared_hosts_each_executive(self):
+        sim, tr = Simulator(), Trace()
+        m = Machine(sim, tr, 4, ExecutivePlacement.SHARED, n_executives=2)
+        m.submit_mgmt(2.0, lane=0)
+        m.submit_mgmt(2.0, lane=1)
+        # both host workers are excluded while management runs
+        assert [p.index for p in m.idle_processors()] == [2, 3]
+        sim.run()
+        assert tr.busy_time("P0", "mgmt") == 2.0
+        assert tr.busy_time("P1", "mgmt") == 2.0
+
+    def test_exec_resources_named(self):
+        sim, tr = Simulator(), Trace()
+        m = Machine(sim, tr, 4, ExecutivePlacement.DEDICATED, n_executives=3)
+        assert m.exec_resources() == ["EXEC", "EXEC1", "EXEC2"]
+
+
+class TestMiddleManagement:
+    def test_relieves_executive_bottleneck(self):
+        prog = chain()
+        base = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                           sizer=TaskSizer(4.0))
+        pooled = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                             sizer=TaskSizer(4.0), extensions=Extensions(middle_managers=4))
+        assert pooled.granules_executed == base.granules_executed
+        assert pooled.makespan < base.makespan * 0.7
+        assert pooled.utilization > base.utilization
+
+    def test_no_effect_when_executive_is_not_bottleneck(self):
+        prog = chain(n=64)
+        base = run_program(prog, 4, config=OverlapConfig(), costs=ExecutiveCosts.free())
+        pooled = run_program(prog, 4, config=OverlapConfig(), costs=ExecutiveCosts.free(),
+                             extensions=Extensions(middle_managers=4))
+        assert pooled.makespan == pytest.approx(base.makespan)
+
+    def test_correct_under_every_mapping(self):
+        for mapping in (IdentityMapping(), UniversalMapping(), SeamMapping((-1, 0, 1))):
+            prog = chain(mapping=mapping, n=96)
+            r = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                            sizer=TaskSizer(3.0), extensions=Extensions(middle_managers=3))
+            assert r.granules_executed == 3 * 96
+
+    def test_deterministic(self):
+        prog = chain()
+        a = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                        extensions=Extensions(middle_managers=4), seed=5)
+        b = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                        extensions=Extensions(middle_managers=4), seed=5)
+        assert a.makespan == b.makespan
+
+    def test_shared_placement_pool(self):
+        prog = chain(n=64)
+        r = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                        placement=ExecutivePlacement.SHARED,
+                        extensions=Extensions(middle_managers=2))
+        assert r.granules_executed == 3 * 64
+
+
+class TestLateralHandoff:
+    def test_handoffs_happen_for_identity(self):
+        prog = chain()
+        r = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                        sizer=TaskSizer(4.0),
+                        extensions=Extensions(lateral_handoff=True, lateral_cost=0.05))
+        assert r.lateral_handoffs > 0
+        assert r.granules_executed == 3 * 128
+
+    def test_no_handoffs_for_universal(self):
+        # universal successors are queued wholesale at overlap init; the
+        # lateral path is identity-only by design
+        prog = chain(mapping=UniversalMapping())
+        r = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                        extensions=Extensions(lateral_handoff=True))
+        assert r.lateral_handoffs == 0
+        assert r.granules_executed == 3 * 128
+
+    def test_no_handoffs_under_barrier(self):
+        prog = chain()
+        r = run_program(prog, 8, config=OverlapConfig.barrier(), costs=HEAVY_MGMT,
+                        extensions=Extensions(lateral_handoff=True))
+        assert r.lateral_handoffs == 0
+
+    def test_reduces_makespan_when_executive_bound(self):
+        prog = chain()
+        base = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                           sizer=TaskSizer(4.0))
+        lat = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                          sizer=TaskSizer(4.0),
+                          extensions=Extensions(lateral_handoff=True, lateral_cost=0.05))
+        assert lat.makespan < base.makespan
+        assert lat.mgmt_time < base.mgmt_time  # fewer executive round trips
+
+    def test_combines_with_middle_management(self):
+        prog = chain()
+        r = run_program(prog, 8, config=OverlapConfig(), costs=HEAVY_MGMT,
+                        sizer=TaskSizer(4.0),
+                        extensions=Extensions(middle_managers=4, lateral_handoff=True,
+                                              lateral_cost=0.05))
+        assert r.granules_executed == 3 * 128
+        assert r.lateral_handoffs > 0
+
+
+class TestDataProximity:
+    def test_policy_reduces_remote_penalty_cost(self):
+        prog = chain(n_phases=4)
+        base = run_program(prog, 8, config=OverlapConfig(), costs=LIGHT_MGMT,
+                           sizer=TaskSizer(4.0),
+                           extensions=Extensions(remote_penalty=2.0))
+        prox = run_program(prog, 8, config=OverlapConfig(), costs=LIGHT_MGMT,
+                           sizer=TaskSizer(4.0),
+                           extensions=Extensions(data_proximity=True, remote_penalty=2.0))
+        assert prox.granules_executed == base.granules_executed
+        assert prox.makespan < base.makespan
+
+    def test_penalty_one_means_no_timing_change_from_penalty(self):
+        prog = chain(n=64)
+        plain = run_program(prog, 4, config=OverlapConfig.barrier(), costs=LIGHT_MGMT)
+        pen = run_program(prog, 4, config=OverlapConfig.barrier(), costs=LIGHT_MGMT,
+                          extensions=Extensions(remote_penalty=1.0))
+        assert plain.makespan == pytest.approx(pen.makespan)
+
+    def test_lateral_tasks_are_local_by_construction(self):
+        # lateral hand-off keeps the data on the worker: no penalty applies
+        prog = chain(n_phases=4)
+        prox = run_program(prog, 8, config=OverlapConfig(), costs=LIGHT_MGMT,
+                           sizer=TaskSizer(4.0),
+                           extensions=Extensions(data_proximity=True, remote_penalty=2.0))
+        lat = run_program(prog, 8, config=OverlapConfig(), costs=LIGHT_MGMT,
+                          sizer=TaskSizer(4.0),
+                          extensions=Extensions(data_proximity=True, remote_penalty=2.0,
+                                                lateral_handoff=True))
+        assert lat.makespan < prox.makespan
+        assert lat.lateral_handoffs > 0

@@ -1,0 +1,86 @@
+"""Tests for the paper's Fortran fragments: semantics and structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import MappingKind
+from repro.workloads.fragments import (
+    forward_indirect_fragment,
+    identity_fragment,
+    reverse_indirect_fragment,
+    universal_fragment,
+)
+
+ALL_FRAGMENTS = [
+    ("universal", lambda: universal_fragment(32)),
+    ("identity", lambda: identity_fragment(32)),
+    ("reverse", lambda: reverse_indirect_fragment(32, fan_in=4)),
+    ("forward", lambda: forward_indirect_fragment(40, 32)),
+]
+
+
+@pytest.mark.parametrize("name,make", ALL_FRAGMENTS)
+def test_fragment_has_two_phases_and_kernels(name, make):
+    f = make()
+    assert len(f.program.phase_sequence()) == 2
+    assert f.kernels is not None
+    for phase_name in f.program.phase_sequence():
+        assert phase_name in f.kernels
+
+
+@pytest.mark.parametrize("name,make", ALL_FRAGMENTS)
+def test_kernels_reproduce_reference_sequentially(name, make):
+    """Running kernels granule by granule, phase by phase, must equal the
+    vectorized reference."""
+    f = make()
+    rng = np.random.default_rng(7)
+    inputs = f.make_inputs(rng)
+    expected = f.reference({k: v.copy() for k, v in inputs.items()})
+    arrays = {k: v.copy() for k, v in inputs.items()}
+    for phase_name in f.program.phase_sequence():
+        spec = f.program.phases[phase_name]
+        for g in range(spec.n_granules):
+            f.kernels[phase_name](g, arrays)
+    for key, val in expected.items():
+        assert np.allclose(arrays[key], val), f"{name}: array {key} diverged"
+
+
+def test_fragment_mappings_match_kinds():
+    cases = {
+        "universal": MappingKind.UNIVERSAL,
+        "identity": MappingKind.IDENTITY,
+        "reverse": MappingKind.REVERSE_INDIRECT,
+        "forward": MappingKind.FORWARD_INDIRECT,
+    }
+    for name, make in ALL_FRAGMENTS:
+        f = make()
+        (a, b, _) = f.program.adjacent_pairs()[0]
+        assert f.program.mapping_between(a, b).kind is cases[name], name
+
+
+def test_reverse_fragment_map_generator_shape():
+    f = reverse_indirect_fragment(16, fan_in=10)
+    rng = np.random.default_rng(0)
+    m = f.program.map_generators["IMAP"](rng)
+    assert m.shape == (10, 16)
+    assert m.min() >= 0 and m.max() < 16
+
+
+def test_forward_fragment_map_generator_shape():
+    f = forward_indirect_fragment(24, 16)
+    rng = np.random.default_rng(0)
+    m = f.program.map_generators["FMAP"](rng)
+    assert m.shape == (24,)
+    assert m.min() >= 0 and m.max() < 16
+
+
+def test_fragments_run_on_executive():
+    from repro.core.overlap import OverlapConfig
+    from repro.executive import run_program
+
+    for name, make in ALL_FRAGMENTS:
+        f = make()
+        r = run_program(f.program, 4, config=OverlapConfig(), seed=1)
+        assert r.granules_executed == f.program.total_granules(), name

@@ -1,0 +1,76 @@
+"""Tests for ASCII Gantt rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.gantt import render_gantt
+from repro.sim.trace import Interval, Trace
+
+
+def simple_trace() -> Trace:
+    tr = Trace()
+    tr.add_interval(Interval("P0", 0.0, 5.0, "compute", "alpha"))
+    tr.add_interval(Interval("P1", 5.0, 10.0, "compute", "beta"))
+    tr.add_interval(Interval("EXEC", 0.0, 1.0, "mgmt", "assign"))
+    tr.add_interval(Interval("EXEC", 4.0, 5.0, "serial", "decide"))
+    return tr
+
+
+class TestRenderGantt:
+    def test_rows_and_ordering(self):
+        txt = render_gantt(simple_trace(), width=10)
+        lines = txt.splitlines()
+        assert lines[1].startswith("P0")
+        assert lines[2].startswith("P1")
+        assert lines[3].startswith("EXEC")
+
+    def test_phase_initial_letters(self):
+        txt = render_gantt(simple_trace(), width=10)
+        p0 = next(l for l in txt.splitlines() if l.startswith("P0"))
+        p1 = next(l for l in txt.splitlines() if l.startswith("P1"))
+        assert "a" in p0 and "b" not in p0
+        assert "b" in p1 and p1.index("b") > p0.index("a")
+
+    def test_mgmt_and_serial_chars(self):
+        txt = render_gantt(simple_trace(), width=10)
+        ex = next(l for l in txt.splitlines() if l.startswith("EXEC"))
+        assert "m" in ex and "s" in ex
+
+    def test_idle_dots(self):
+        txt = render_gantt(simple_trace(), width=10)
+        p0 = next(l for l in txt.splitlines() if l.startswith("P0"))
+        assert p0.rstrip("|").endswith(".....")
+
+    def test_window_restriction(self):
+        txt = render_gantt(simple_trace(), width=10, t0=0.0, t1=5.0)
+        p1 = next(l for l in txt.splitlines() if l.startswith("P1"))
+        assert "b" not in p1  # beta lies outside the window
+
+    def test_resource_selection(self):
+        txt = render_gantt(simple_trace(), width=10, resources=["P1"])
+        assert "P0" not in txt and "EXEC" not in txt
+
+    def test_empty_trace(self):
+        assert render_gantt(Trace()) == "(empty trace)"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_gantt(simple_trace(), width=0)
+
+    def test_row_width_constant(self):
+        txt = render_gantt(simple_trace(), width=17)
+        rows = [l for l in txt.splitlines()[1:]]
+        widths = {len(l[l.index("|") :]) for l in rows}
+        assert widths == {19}  # 17 cells + two pipes
+
+    def test_from_real_run(self):
+        from repro.core.mapping import IdentityMapping
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import run_program
+        from tests.conftest import two_phase_program
+
+        r = run_program(two_phase_program(IdentityMapping(), n=32), 4, config=OverlapConfig())
+        txt = render_gantt(r.trace, width=40)
+        assert "P0" in txt and "EXEC" in txt
+        assert "A"[0] in txt  # phase letters present

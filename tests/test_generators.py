@@ -1,0 +1,133 @@
+"""Tests for stochastic cost models and synthetic chain builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.granule import GranuleSet
+from repro.core.mapping import MappingKind
+from repro.workloads.generators import (
+    ConditionalCost,
+    LognormalCost,
+    UniformCost,
+    mapping_of_kind,
+    synthetic_chain,
+)
+
+
+class TestUniformCost:
+    def test_bounds(self):
+        c = UniformCost(0.5, 1.5)
+        rng = np.random.default_rng(0)
+        xs = [c.sample(i, rng) for i in range(200)]
+        assert all(0.5 <= x <= 1.5 for x in xs)
+        assert c.mean() == 1.0
+
+    def test_sample_total_matches_scale(self):
+        c = UniformCost(1.0, 1.0)
+        rng = np.random.default_rng(0)
+        assert c.sample_total(GranuleSet.universe(10), rng) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformCost(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformCost(-1.0, 1.0)
+
+
+class TestLognormalCost:
+    def test_mean_calibration(self):
+        c = LognormalCost(mean_value=2.0, sigma=0.7)
+        rng = np.random.default_rng(1)
+        xs = c.sample_total(GranuleSet.universe(20000), rng) / 20000
+        assert xs == pytest.approx(2.0, rel=0.05)
+        assert c.mean() == 2.0
+
+    def test_positive(self):
+        c = LognormalCost(1.0, 1.0)
+        rng = np.random.default_rng(2)
+        assert all(c.sample(i, rng) > 0 for i in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalCost(0.0)
+        with pytest.raises(ValueError):
+            LognormalCost(1.0, -0.1)
+
+
+class TestConditionalCost:
+    def test_skip_fraction(self):
+        c = ConditionalCost(base_mean=1.0, skip_probability=0.4, skip_cost=0.0)
+        rng = np.random.default_rng(3)
+        xs = np.array([c.sample(i, rng) for i in range(5000)])
+        assert np.mean(xs == 0.0) == pytest.approx(0.4, abs=0.03)
+
+    def test_mean(self):
+        c = ConditionalCost(base_mean=2.0, skip_probability=0.5, skip_cost=0.0)
+        assert c.mean() == 1.0
+
+    def test_sample_total_consistent_with_mean(self):
+        c = ConditionalCost(base_mean=1.0, skip_probability=0.25, skip_cost=0.05)
+        rng = np.random.default_rng(4)
+        total = c.sample_total(GranuleSet.universe(20000), rng)
+        assert total / 20000 == pytest.approx(c.mean(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConditionalCost(skip_probability=1.5)
+        with pytest.raises(ValueError):
+            ConditionalCost(base_mean=-1.0)
+
+
+class TestSyntheticChain:
+    def test_phase_count_and_names(self):
+        prog = synthetic_chain([MappingKind.IDENTITY, MappingKind.NULL], n_granules=8)
+        assert prog.phase_sequence() == ["S0", "S1", "S2"]
+
+    def test_per_phase_granule_counts(self):
+        prog = synthetic_chain([MappingKind.IDENTITY], n_granules=[4, 9])
+        assert prog.phases["S0"].n_granules == 4
+        assert prog.phases["S1"].n_granules == 9
+
+    def test_granule_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_chain([MappingKind.IDENTITY], n_granules=[4])
+
+    def test_indirect_links_get_generators(self):
+        prog = synthetic_chain(
+            [MappingKind.REVERSE_INDIRECT, MappingKind.FORWARD_INDIRECT], n_granules=8, fan_in=3
+        )
+        assert "MAP0" in prog.map_generators and "MAP1" in prog.map_generators
+        rng = np.random.default_rng(0)
+        assert prog.map_generators["MAP0"](rng).shape == (3, 8)
+        assert prog.map_generators["MAP1"](rng).shape == (8,)
+
+    def test_mapping_of_kind_covers_taxonomy(self):
+        for kind in MappingKind:
+            m = mapping_of_kind(kind)
+            assert m.kind is kind
+
+
+class TestExponentialCost:
+    def test_mean_calibration(self):
+        from repro.workloads.generators import ExponentialCost
+
+        c = ExponentialCost(mean_value=2.0)
+        rng = np.random.default_rng(5)
+        total = c.sample_total(GranuleSet.universe(20000), rng)
+        assert total / 20000 == pytest.approx(2.0, rel=0.05)
+        assert c.mean() == 2.0
+
+    def test_positive_samples(self):
+        from repro.workloads.generators import ExponentialCost
+
+        c = ExponentialCost()
+        rng = np.random.default_rng(1)
+        assert all(c.sample(i, rng) > 0 for i in range(100))
+
+    def test_validation(self):
+        from repro.workloads.generators import ExponentialCost
+
+        with pytest.raises(ValueError):
+            ExponentialCost(0.0)

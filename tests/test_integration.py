@@ -1,0 +1,177 @@
+"""Cross-module integration tests and system-level invariants.
+
+These exercise full pipelines (language → executive → metrics; workloads
+→ classifier → safety check → simulation) and, crucially, a
+property-based guard over the whole configuration space: *no granule is
+ever executed twice and none is ever lost*, whatever the combination of
+mapping kinds, overlap policy, split strategy, extensions, placement and
+worker count.  (The middle-management extension once exposed exactly this
+class of bug — out-of-order completion processing double-queueing
+successor granules.)
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import classify_pair, classify_program, build_mapping
+from repro.core.mapping import MappingKind
+from repro.core.overlap import OverlapConfig, OverlapPolicy, SplitStrategy
+from repro.core.phase import PhaseLink, PhaseProgram
+from repro.core.predicate import overlap_is_safe
+from repro.executive import ExecutiveCosts, Extensions, TaskSizer, run_program
+from repro.sim.events import EventKind
+from repro.sim.machine import ExecutivePlacement
+from repro.workloads.generators import synthetic_chain
+
+
+def executed_granule_multiset(result) -> Counter:
+    """(run gid, granule) -> execution count, parsed from the task trace."""
+    counts: Counter = Counter()
+    for rec in result.trace.records:
+        if rec.kind is not EventKind.TASK_START:
+            continue
+        label = rec.detail["label"]
+        m = re.search(r"#(\d+):GranuleSet\((.*)\)$", label)
+        if not m:
+            continue
+        gid, ranges = m.groups()
+        for a, b in re.findall(r"\[(\d+),(\d+)\)", ranges):
+            for g in range(int(a), int(b)):
+                counts[(int(gid), g)] += 1
+    return counts
+
+
+KINDS = [
+    MappingKind.UNIVERSAL,
+    MappingKind.IDENTITY,
+    MappingKind.SEAM,
+    MappingKind.NULL,
+    MappingKind.REVERSE_INDIRECT,
+    MappingKind.FORWARD_INDIRECT,
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kinds=st.lists(st.sampled_from(KINDS), min_size=1, max_size=3),
+    workers=st.integers(min_value=1, max_value=10),
+    granules=st.integers(min_value=5, max_value=50),
+    policy=st.sampled_from(list(OverlapPolicy)),
+    strategy=st.sampled_from(list(SplitStrategy)),
+    middle_managers=st.integers(min_value=1, max_value=4),
+    lateral=st.booleans(),
+    proximity=st.booleans(),
+    placement=st.sampled_from(list(ExecutivePlacement)),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_exactly_once_execution_across_configuration_space(
+    kinds, workers, granules, policy, strategy, middle_managers, lateral, proximity,
+    placement, seed,
+):
+    """Every granule of every phase executes exactly once — always."""
+    if placement is ExecutivePlacement.SHARED:
+        middle_managers = min(middle_managers, workers)
+    prog = synthetic_chain(kinds, n_granules=granules, fan_in=2)
+    result = run_program(
+        prog,
+        workers,
+        config=OverlapConfig(policy=policy, split_strategy=strategy),
+        costs=ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001),
+        sizer=TaskSizer(2.0),
+        placement=placement,
+        seed=seed,
+        extensions=Extensions(
+            middle_managers=middle_managers,
+            lateral_handoff=lateral,
+            lateral_cost=0.01,
+            data_proximity=proximity,
+            remote_penalty=1.25 if proximity else 1.0,
+        ),
+    )
+    expected_total = (len(kinds) + 1) * granules
+    assert result.granules_executed == expected_total
+    counts = executed_granule_multiset(result)
+    dupes = {k: v for k, v in counts.items() if v != 1}
+    assert not dupes, f"granules executed != once: {dupes}"
+    assert len(counts) == expected_total
+
+
+class TestLanguageToMetricsPipeline:
+    def test_full_stack(self):
+        source = (
+            "DEFINE PHASE load GRANULES=60 COST=1.0\n"
+            "DEFINE PHASE transform GRANULES=60 COST=1.0\n"
+            "DEFINE PHASE store GRANULES=40 COST=0.5\n"
+            "DISPATCH load ENABLE [transform/MAPPING=IDENTITY]\n"
+            "DISPATCH transform ENABLE [store/MAPPING=UNIVERSAL]\n"
+            "DISPATCH store\n"
+        )
+        from repro.lang import compile_program
+        from repro.metrics import render_gantt, rundown_reports
+
+        program = compile_program(source)
+        result = run_program(program, 6, config=OverlapConfig(), seed=1)
+        assert result.granules_executed == 160
+        reports = rundown_reports(result)
+        assert reports
+        chart = render_gantt(result.trace, width=60)
+        assert "P0" in chart
+
+    def test_language_program_with_extensions(self):
+        from repro.lang import compile_program
+
+        source = (
+            "DEFINE PHASE a GRANULES=64\nDEFINE PHASE b GRANULES=64\n"
+            "DISPATCH a ENABLE [b/MAPPING=IDENTITY]\nDISPATCH b\n"
+        )
+        program = compile_program(source)
+        result = run_program(
+            program, 8,
+            costs=ExecutiveCosts(0.3, 0.3, 0.3, 0.1, 0.1, 0.1, 0.01),
+            extensions=Extensions(middle_managers=2, lateral_handoff=True),
+        )
+        assert result.granules_executed == 128
+        assert result.lateral_handoffs > 0
+
+
+class TestClassifierToSchedulerPipeline:
+    def test_classified_mappings_are_safe_and_runnable(self):
+        """Classify the checkerboard pair, build the mapping it names,
+        machine-check safety, then run it — the full autonomy loop."""
+        from repro.workloads.checkerboard import checkerboard_program
+
+        base = checkerboard_program(48, rows_per_granule=2, n_iterations=2)
+        phases = list(base.phases.values())
+        links = []
+        for a, b, serial in base.adjacent_pairs():
+            verdict = classify_pair(base.phases[a], base.phases[b], serial)
+            mapping = build_mapping(verdict)
+            report = overlap_is_safe(base.phases[a], base.phases[b], mapping)
+            assert report.safe, (a, b, verdict)
+            links.append(PhaseLink(a, b, mapping))
+        rebuilt = PhaseProgram(phases, base.phase_sequence(), links)
+        result = run_program(rebuilt, 6, config=OverlapConfig(verify_safety=True), seed=2)
+        assert result.granules_executed == rebuilt.total_granules()
+        # the safety-verified overlap actually engaged
+        assert any(s.overlapped for s in result.phase_stats[1:])
+
+    def test_casper_census_drives_overlap_expectations(self):
+        """The fraction of overlapped phase transitions in an actual CASPER
+        run matches what the census predicts is overlappable."""
+        from repro.workloads.casper import casper_suite
+
+        prog = casper_suite(granule_scale=0.4)
+        census = classify_program(prog, wrap=False)  # linear run: 21 pairs
+        result = run_program(prog, 8, config=OverlapConfig(),
+                             costs=ExecutiveCosts.pax_like(), seed=3)
+        overlapped = sum(1 for s in result.phase_stats[1:] if s.overlapped)
+        expected = sum(
+            1 for c in census.classifications if c.kind.overlappable
+        )
+        assert overlapped == expected

@@ -1,0 +1,355 @@
+"""Tests for the PAX language: lexer, parser, verification, compilation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import (
+    ForwardIndirectMapping,
+    IdentityMapping,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.phase import SerialAction
+from repro.lang import LexError, ParseError, VerificationError, compile_program, parse, tokenize, verify
+from repro.lang.ast import Comparison, Dispatch, EnableClauseKind, Imod, Num, Var
+from repro.lang.lexer import TokenKind
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("dispatch Phase-A")
+        assert toks[0].kind is TokenKind.KEYWORD and toks[0].upper == "DISPATCH"
+        assert toks[1].kind is TokenKind.IDENT and toks[1].text == "Phase-A"
+
+    def test_comments_stripped(self):
+        toks = tokenize("DISPATCH x ! this is a comment [ ] /")
+        assert [t.text for t in toks[:-1]] == ["DISPATCH", "x"]
+
+    def test_numbers(self):
+        toks = tokenize("GRANULES=12 COST=3.5")
+        kinds = [t.kind for t in toks[:-1]]
+        assert TokenKind.INT in kinds and TokenKind.FLOAT in kinds
+
+    def test_malformed_number_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("COST=1.2.3")
+
+    def test_dot_operators(self):
+        toks = tokenize("a .NE. b .LE. c")
+        ops = [t.text for t in toks if t.kind is TokenKind.DOT_OP]
+        assert ops == [".NE.", ".LE."]
+
+    def test_hyphenated_identifiers(self):
+        toks = tokenize("phase-name-1")
+        assert toks[0].text == "phase-name-1"
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("DISPATCH $x")
+
+    def test_line_numbers(self):
+        toks = tokenize("a:\nb:\n")
+        assert toks[0].line == 1
+        assert toks[2].line == 2
+
+
+class TestParser:
+    def test_define_phase_full(self):
+        prog = parse(
+            "DEFINE PHASE p GRANULES=10 COST=2.5 LINES=7 ENABLE [ q/MAPPING=IDENTITY ]\n"
+            "DEFINE PHASE q GRANULES=5"
+        )
+        d = prog.definitions()["p"]
+        assert d.granules == 10 and d.cost == 2.5 and d.lines_of_code == 7
+        assert d.enables[0].phase == "q"
+        assert d.enables[0].mapping.kind == "IDENTITY"
+
+    def test_dispatch_inline(self):
+        prog = parse("DEFINE PHASE p GRANULES=1\nDISPATCH p ENABLE/MAPPING=UNIVERSAL")
+        d = prog.statements[-1]
+        assert isinstance(d, Dispatch)
+        assert d.enable.kind is EnableClauseKind.INLINE
+        assert d.enable.inline_mapping.kind == "UNIVERSAL"
+
+    def test_dispatch_branch_dependent(self):
+        prog = parse(
+            "DEFINE PHASE p GRANULES=1 ENABLE [p/MAPPING=NULL]\nDISPATCH p ENABLE/BRANCHDEPENDENT"
+        )
+        assert prog.statements[-1].enable.kind is EnableClauseKind.BRANCH_DEPENDENT
+
+    def test_mapping_options_with_args(self):
+        prog = parse(
+            "DEFINE PHASE p GRANULES=1 ENABLE [\n"
+            "  a/MAPPING=REVERSE(IMAP,4)\n"
+            "  b/MAPPING=FORWARD(FMAP)\n"
+            "  c/MAPPING=SEAM(-1,0,1)\n"
+            "]\n"
+            "DEFINE PHASE a GRANULES=1\nDEFINE PHASE b GRANULES=1\nDEFINE PHASE c GRANULES=1"
+        )
+        items = prog.definitions()["p"].enables
+        assert items[0].mapping.args == ("IMAP", 4)
+        assert items[1].mapping.args == ("FMAP",)
+        assert items[2].mapping.args == (-1, 0, 1)
+
+    def test_if_goto_condition(self):
+        prog = parse(
+            "DEFINE PHASE p GRANULES=1\n"
+            "IF (IMOD(LOOPCOUNTER,10).NE.0) THEN GO TO tgt\n"
+            "DISPATCH p\n"
+            "tgt:\n"
+        )
+        cond = prog.statements[1].condition
+        assert isinstance(cond, Comparison)
+        assert isinstance(cond.left, Imod)
+        assert cond.evaluate({"LOOPCOUNTER": 20}) is False
+        assert cond.evaluate({"LOOPCOUNTER": 21}) is True
+
+    def test_expression_arithmetic(self):
+        prog = parse("IF (2*K + 1 .GE. 7) THEN GOTO x\nx:")
+        cond = prog.statements[0].condition
+        assert cond.evaluate({"K": 3})
+        assert not cond.evaluate({"K": 2})
+
+    def test_serial_statement(self):
+        prog = parse("SERIAL decide DURATION=2.5")
+        s = prog.statements[0]
+        assert s.name == "decide" and s.duration == 2.5
+
+    def test_empty_enable_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse("DEFINE PHASE p GRANULES=1 ENABLE [ ]")
+
+    def test_reserved_word_as_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse("DISPATCH ENABLE")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("] DISPATCH")
+
+
+class TestVerification:
+    def test_undefined_dispatch_rejected(self):
+        with pytest.raises(VerificationError):
+            verify(parse("DISPATCH ghost"))
+
+    def test_enable_names_undefined_phase(self):
+        src = "DEFINE PHASE a GRANULES=1\nDISPATCH a ENABLE [ghost/MAPPING=IDENTITY]\n"
+        with pytest.raises(VerificationError, match="ghost"):
+            verify(parse(src))
+
+    def test_interlock_wrong_follower(self):
+        src = (
+            "DEFINE PHASE a GRANULES=1\nDEFINE PHASE b GRANULES=1\nDEFINE PHASE c GRANULES=1\n"
+            "DISPATCH a ENABLE [b/MAPPING=IDENTITY]\nDISPATCH c\n"
+        )
+        with pytest.raises(VerificationError, match="'c'"):
+            verify(parse(src))
+
+    def test_interlock_correct_follower_passes(self):
+        src = (
+            "DEFINE PHASE a GRANULES=1\nDEFINE PHASE b GRANULES=1\n"
+            "DISPATCH a ENABLE [b/MAPPING=IDENTITY]\nDISPATCH b\n"
+        )
+        v = verify(parse(src))
+        assert not v.unverified_dispatches
+
+    def test_inline_form_flagged_unverified(self):
+        src = "DEFINE PHASE a GRANULES=1\nDISPATCH a ENABLE/MAPPING=UNIVERSAL\n"
+        v = verify(parse(src))
+        assert v.unverified_dispatches
+
+    def test_branch_requires_branchindependent(self):
+        src = (
+            "DEFINE PHASE a GRANULES=1\nDEFINE PHASE b GRANULES=1\n"
+            "DISPATCH a ENABLE [b/MAPPING=IDENTITY]\n"
+            "IF (X .EQ. 0) THEN GOTO other\nDISPATCH b\nother:\nDISPATCH b\n"
+        )
+        with pytest.raises(VerificationError, match="BRANCHINDEPENDENT"):
+            verify(parse(src))
+
+    def test_branchindependent_covers_all_targets(self):
+        src = (
+            "DEFINE PHASE a GRANULES=1\nDEFINE PHASE b GRANULES=1\nDEFINE PHASE c GRANULES=1\n"
+            "DISPATCH a ENABLE/BRANCHINDEPENDENT [b/MAPPING=IDENTITY c/MAPPING=UNIVERSAL]\n"
+            "IF (X .EQ. 0) THEN GOTO other\nDISPATCH b\nGOTO end\nother:\nDISPATCH c\nend:\n"
+        )
+        verify(parse(src))  # must not raise
+
+    def test_branchindependent_missing_target_rejected(self):
+        src = (
+            "DEFINE PHASE a GRANULES=1\nDEFINE PHASE b GRANULES=1\nDEFINE PHASE c GRANULES=1\n"
+            "DISPATCH a ENABLE/BRANCHINDEPENDENT [b/MAPPING=IDENTITY]\n"
+            "IF (X .EQ. 0) THEN GOTO other\nDISPATCH b\nGOTO end\nother:\nDISPATCH c\nend:\n"
+        )
+        with pytest.raises(VerificationError, match="'c'"):
+            verify(parse(src))
+
+    def test_branchdependent_needs_define_time_list(self):
+        src = "DEFINE PHASE a GRANULES=1\nDISPATCH a ENABLE/BRANCHDEPENDENT\n"
+        with pytest.raises(VerificationError, match="DEFINE-time"):
+            verify(parse(src))
+
+    def test_undefined_label_rejected(self):
+        src = "DEFINE PHASE a GRANULES=1\nDISPATCH a\nGOTO nowhere\n"
+        with pytest.raises(VerificationError, match="nowhere"):
+            verify(parse(src))
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(VerificationError, match="duplicate label"):
+            verify(parse("x:\nx:\n"))
+
+    def test_duplicate_phase_rejected(self):
+        with pytest.raises(VerificationError, match="duplicate phase"):
+            verify(parse("DEFINE PHASE a GRANULES=1\nDEFINE PHASE a GRANULES=2\n"))
+
+
+class TestCompiler:
+    def test_mapping_kinds_materialize(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8\nDEFINE PHASE b GRANULES=8\nDEFINE PHASE c GRANULES=8\n"
+            "DEFINE PHASE d GRANULES=8\nDEFINE PHASE e GRANULES=8\nDEFINE PHASE f GRANULES=8\n"
+            "DISPATCH a ENABLE [b/MAPPING=UNIVERSAL]\n"
+            "DISPATCH b ENABLE [c/MAPPING=IDENTITY]\n"
+            "DISPATCH c ENABLE [d/MAPPING=SEAM(-1,0,1)]\n"
+            "DISPATCH d ENABLE [e/MAPPING=REVERSE(IMAP,2)]\n"
+            "DISPATCH e ENABLE [f/MAPPING=FORWARD(FMAP)]\n"
+            "DISPATCH f\n"
+        )
+        gens = {
+            "IMAP": lambda rng: rng.integers(0, 8, size=(2, 8)),
+            "FMAP": lambda rng: rng.integers(0, 8, size=8),
+        }
+        prog = compile_program(src, map_generators=gens)
+        types = [type(prog.mapping_between(a, b)) for a, b, _ in prog.adjacent_pairs()]
+        assert types == [
+            UniversalMapping,
+            IdentityMapping,
+            SeamMapping,
+            ReverseIndirectMapping,
+            ForwardIndirectMapping,
+        ]
+
+    def test_branch_resolution(self):
+        src = (
+            "DEFINE PHASE main GRANULES=4\nDEFINE PHASE odd GRANULES=4\nDEFINE PHASE even GRANULES=4\n"
+            "DISPATCH main ENABLE/BRANCHINDEPENDENT [odd/MAPPING=IDENTITY even/MAPPING=UNIVERSAL]\n"
+            "IF (IMOD(K,2).EQ.0) THEN GOTO even-path\n"
+            "DISPATCH odd\nGOTO done\neven-path:\nDISPATCH even\ndone:\n"
+        )
+        p_even = compile_program(src, env={"K": 4})
+        assert p_even.phase_sequence() == ["main", "even"]
+        p_odd = compile_program(src, env={"K": 5})
+        assert p_odd.phase_sequence() == ["main", "odd"]
+        assert isinstance(p_odd.mapping_between("main", "odd"), IdentityMapping)
+
+    def test_serial_statement_compiles_to_serial_action(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4\nDEFINE PHASE b GRANULES=4\n"
+            "DISPATCH a\nSERIAL decide DURATION=3.0\nDISPATCH b\n"
+        )
+        prog = compile_program(src)
+        serials = [s for s in prog.schedule if isinstance(s, SerialAction)]
+        assert len(serials) == 1 and serials[0].duration == 3.0
+        assert isinstance(prog.mapping_between("a", "b"), NullMapping)
+
+    def test_repeated_dispatch_gets_unique_occurrence(self):
+        src = "DEFINE PHASE a GRANULES=4\nDISPATCH a\nDISPATCH a\n"
+        prog = compile_program(src)
+        assert prog.phase_sequence() == ["a", "a@1"]
+
+    def test_loop_with_counter_terminates_or_errors(self):
+        src = (
+            "DEFINE PHASE a GRANULES=2\n"
+            "top:\nDISPATCH a\nGOTO top\n"
+        )
+        with pytest.raises(VerificationError, match="steps"):
+            compile_program(src, max_steps=50)
+
+    def test_unbound_variable_reported(self):
+        src = (
+            "DEFINE PHASE a GRANULES=2\nDEFINE PHASE b GRANULES=2\n"
+            "DISPATCH a\nIF (NOPE .EQ. 0) THEN GOTO x\nDISPATCH b\nx:\nDISPATCH b\n"
+        )
+        with pytest.raises(VerificationError):
+            compile_program(src)
+
+    def test_no_dispatch_rejected(self):
+        with pytest.raises(VerificationError, match="no phases|dispatches"):
+            compile_program("DEFINE PHASE a GRANULES=1\n")
+
+    def test_define_time_enable_used_by_bare_dispatch(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4 ENABLE [b/MAPPING=IDENTITY]\n"
+            "DEFINE PHASE b GRANULES=4\n"
+            "DISPATCH a\nDISPATCH b\n"
+        )
+        prog = compile_program(src)
+        assert isinstance(prog.mapping_between("a", "b"), IdentityMapping)
+
+    def test_compiled_program_runs_on_executive(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import run_program
+
+        src = (
+            "DEFINE PHASE load GRANULES=24\nDEFINE PHASE solve GRANULES=24\n"
+            "DEFINE PHASE output GRANULES=12\n"
+            "DISPATCH load ENABLE [solve/MAPPING=IDENTITY]\n"
+            "DISPATCH solve ENABLE [output/MAPPING=UNIVERSAL]\n"
+            "DISPATCH output\n"
+        )
+        prog = compile_program(src)
+        r = run_program(prog, 4, config=OverlapConfig())
+        assert r.granules_executed == 60
+
+
+class TestSetStatement:
+    def test_set_binds_variable(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4\nDEFINE PHASE b GRANULES=4\n"
+            "SET K = 2\n"
+            "DISPATCH a\n"
+            "IF (K .EQ. 2) THEN GOTO two\nDISPATCH a\nGOTO done\n"
+            "two:\nDISPATCH b\ndone:\n"
+        )
+        prog = compile_program(src)
+        assert prog.phase_sequence() == ["a", "b"]
+
+    def test_set_forms_terminating_loop(self):
+        src = (
+            "DEFINE PHASE body GRANULES=4 ENABLE [body/MAPPING=UNIVERSAL]\n"
+            "SET K = 0\n"
+            "top:\nDISPATCH body ENABLE/BRANCHDEPENDENT\n"
+            "SET K = K + 1\n"
+            "IF (K .LT. 5) THEN GOTO top\n"
+        )
+        prog = compile_program(src)
+        assert len(prog.phase_sequence()) == 5
+        # self-link applies at every unrolled boundary
+        assert ("body", "body@1") in prog.links
+
+    def test_set_with_expression(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4\n"
+            "SET K = 3\nSET K = K * 2 + 1\n"
+            "IF (K .EQ. 7) THEN GOTO ok\nDISPATCH a\nDISPATCH a\nok:\nDISPATCH a\n"
+        )
+        prog = compile_program(src)
+        assert prog.phase_sequence() == ["a"]
+
+    def test_set_unbound_rhs_reported(self):
+        src = "DEFINE PHASE a GRANULES=4\nSET K = MISSING + 1\nDISPATCH a\n"
+        with pytest.raises(VerificationError, match="MISSING"):
+            compile_program(src)
+
+    def test_infinite_set_loop_caught(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4\n"
+            "SET K = 0\ntop:\nDISPATCH a\nSET K = K\nGOTO top\n"
+        )
+        with pytest.raises(VerificationError, match="steps"):
+            compile_program(src, max_steps=200)

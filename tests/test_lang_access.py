@@ -1,0 +1,186 @@
+"""Tests for READS/WRITES access declarations and MAPPING=AUTO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.access import AffineIndex, AllIndex, ConstIndex, MappedIndex
+from repro.core.mapping import MappingKind
+from repro.lang import ParseError, VerificationError, compile_program, parse, verify
+from repro.lang.ast import IndexForm, MapDecl
+
+
+class TestAccessParsing:
+    def test_affine_forms(self):
+        prog = parse(
+            "DEFINE PHASE p GRANULES=4 READS [ A(I) B(I+2) C(I-3) ] WRITES [ D(I) ]"
+        )
+        d = prog.definitions()["p"]
+        assert [(r.array, r.form, r.value) for r in d.reads] == [
+            ("A", IndexForm.AFFINE, 0),
+            ("B", IndexForm.AFFINE, 2),
+            ("C", IndexForm.AFFINE, -3),
+        ]
+        assert d.declares_access
+
+    def test_star_and_const(self):
+        prog = parse("DEFINE PHASE p GRANULES=4 READS [ A(*) F(0) ]")
+        d = prog.definitions()["p"]
+        assert d.reads[0].form is IndexForm.ALL
+        assert d.reads[1].form is IndexForm.CONST and d.reads[1].value == 0
+
+    def test_mapped_forms(self):
+        prog = parse(
+            "MAP M FANIN=4\nDEFINE PHASE p GRANULES=4 READS [ A(M(I)) B(M(J,I)) ]"
+        )
+        d = prog.definitions()["p"]
+        assert d.reads[0].form is IndexForm.MAPPED and d.reads[0].map_name == "M"
+        assert d.reads[1].form is IndexForm.MAPPED_FAN
+
+    def test_map_decl(self):
+        prog = parse("MAP M FANIN=7\nMAP N\n")
+        decls = prog.map_decls()
+        assert decls["M"].fan_in == 7
+        assert decls["N"].fan_in == 1
+
+    def test_empty_access_lists_still_declare(self):
+        prog = parse("DEFINE PHASE p GRANULES=4 READS [ ] WRITES [ ]")
+        assert prog.definitions()["p"].declares_access
+
+    def test_no_access_clause(self):
+        prog = parse("DEFINE PHASE p GRANULES=4")
+        assert not prog.definitions()["p"].declares_access
+
+    def test_bad_map_index_rejected(self):
+        with pytest.raises(ParseError):
+            parse("DEFINE PHASE p GRANULES=4 READS [ A(M(K)) ]")
+        with pytest.raises(ParseError):
+            parse("DEFINE PHASE p GRANULES=4 READS [ A(M(J,K)) ]")
+
+
+class TestAccessVerification:
+    def test_undeclared_map_rejected(self):
+        src = "DEFINE PHASE p GRANULES=4 READS [ A(M(I)) ]\nDISPATCH p\n"
+        with pytest.raises(VerificationError, match="undeclared selection map"):
+            verify(parse(src))
+
+    def test_duplicate_map_rejected(self):
+        with pytest.raises(VerificationError, match="duplicate map"):
+            verify(parse("MAP M\nMAP M\n"))
+
+    def test_bad_fanin_rejected(self):
+        with pytest.raises(VerificationError, match="FANIN"):
+            verify(parse("MAP M FANIN=0\n"))
+
+    def test_auto_requires_footprints_on_both_sides(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4 WRITES [ X(I) ]\n"
+            "DEFINE PHASE b GRANULES=4\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        with pytest.raises(VerificationError, match="missing on 'b'"):
+            verify(parse(src))
+
+    def test_auto_inline_requires_footprint(self):
+        src = "DEFINE PHASE a GRANULES=4\nDISPATCH a ENABLE/MAPPING=AUTO\n"
+        with pytest.raises(VerificationError, match="READS/WRITES"):
+            verify(parse(src))
+
+    def test_define_time_auto_requires_footprint(self):
+        src = (
+            "DEFINE PHASE a GRANULES=4 ENABLE [b/MAPPING=AUTO]\n"
+            "DEFINE PHASE b GRANULES=4 READS [ X(I) ]\n"
+        )
+        with pytest.raises(VerificationError, match="no\nREADS|no READS"):
+            verify(parse(src))
+
+
+class TestAutoCompilation:
+    def _compile(self, src, **kw):
+        return compile_program(src, **kw)
+
+    def test_identity_derived(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ Y(I) ] WRITES [ Z(I) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        prog = self._compile(src)
+        assert prog.mapping_between("a", "b").kind is MappingKind.IDENTITY
+
+    def test_universal_derived(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        prog = self._compile(src)
+        assert prog.mapping_between("a", "b").kind is MappingKind.UNIVERSAL
+
+    def test_seam_derived_with_offsets(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 WRITES [ U(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        m = self._compile(src).mapping_between("a", "b")
+        assert m.kind is MappingKind.SEAM
+        assert m.offsets == (-1, 0, 1)
+
+    def test_reverse_derived_with_fanin(self):
+        src = (
+            "MAP M FANIN=5\n"
+            "DEFINE PHASE a GRANULES=8 WRITES [ X(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ X(M(J,I)) ] WRITES [ Y(I) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        m = self._compile(src).mapping_between("a", "b")
+        assert m.kind is MappingKind.REVERSE_INDIRECT
+        assert m.map_name == "M" and m.fan_in == 5
+
+    def test_forward_derived(self):
+        src = (
+            "MAP F\n"
+            "DEFINE PHASE a GRANULES=8 WRITES [ X(F(I)) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        m = self._compile(src).mapping_between("a", "b")
+        assert m.kind is MappingKind.FORWARD_INDIRECT
+
+    def test_reduction_derives_barrier(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 WRITES [ X(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ X(*) ] WRITES [ s(0) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        prog = self._compile(src)
+        assert ("a", "b") not in prog.links  # null verdict -> no link
+
+    def test_compiled_access_patterns_attached(self):
+        src = (
+            "MAP M FANIN=2\n"
+            "DEFINE PHASE a GRANULES=8 READS [ X(M(J,I)) W(*) K(3) ] WRITES [ Y(I+1) ]\n"
+            "DISPATCH a\n"
+        )
+        prog = self._compile(src)
+        access = prog.phases["a"].access
+        assert access is not None
+        kinds = {type(r.index) for r in access.reads}
+        assert kinds == {MappedIndex, AllIndex, ConstIndex}
+        assert access.writes[0].index == AffineIndex(1, 1)
+
+    def test_auto_program_runs_with_safety_verification(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import run_program
+
+        src = (
+            "DEFINE PHASE a GRANULES=40 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DEFINE PHASE b GRANULES=40 READS [ Y(I) ] WRITES [ Z(I) ]\n"
+            "DISPATCH a ENABLE [b/MAPPING=AUTO]\nDISPATCH b\n"
+        )
+        prog = self._compile(src)
+        r = run_program(prog, 4, config=OverlapConfig(verify_safety=True), seed=2)
+        assert r.granules_executed == 80
+        assert r.phase_stats[1].overlapped

@@ -1,0 +1,172 @@
+"""Tests for the machine model: tasks, management jobs, placements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.machine import ExecutivePlacement, Machine, ProcessorState
+from repro.sim.trace import Trace
+
+
+def make(n=2, placement=ExecutivePlacement.DEDICATED):
+    sim = Simulator()
+    tr = Trace()
+    return sim, tr, Machine(sim, tr, n, placement)
+
+
+class TestBasics:
+    def test_requires_workers(self):
+        sim, tr = Simulator(), Trace()
+        with pytest.raises(ValueError):
+            Machine(sim, tr, 0)
+
+    def test_task_runs_and_completes(self):
+        sim, tr, m = make()
+        done = []
+        assert m.start_task(m.processors[0], 2.0, lambda p: done.append(p.index))
+        sim.run()
+        assert done == [0]
+        assert m.processors[0].tasks_completed == 1
+        assert tr.busy_time("P0", "compute") == 2.0
+
+    def test_busy_processor_refuses(self):
+        sim, tr, m = make()
+        m.start_task(m.processors[0], 2.0, lambda p: None)
+        assert not m.start_task(m.processors[0], 1.0, lambda p: None)
+
+    def test_negative_duration_rejected(self):
+        sim, tr, m = make()
+        with pytest.raises(ValueError):
+            m.start_task(m.processors[0], -1.0, lambda p: None)
+        with pytest.raises(ValueError):
+            m.submit_mgmt(-1.0)
+
+    def test_mgmt_fifo(self):
+        sim, tr, m = make()
+        order = []
+        m.submit_mgmt(1.0, lambda: order.append("a"))
+        m.submit_mgmt(1.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b"]
+        assert m.mgmt_time() == 2.0
+        assert m.mgmt_jobs_done == 2
+
+    def test_callable_duration_evaluated_at_start(self):
+        sim, tr, m = make()
+        state = {"d": 1.0}
+        m.submit_mgmt(5.0, lambda: state.update(d=3.0))  # runs first
+        m.submit_mgmt(lambda: state["d"], None, "late")
+        sim.run()
+        assert sim.now == 8.0  # 5 + 3, not 5 + 1
+
+    def test_callable_duration_negative_rejected(self):
+        sim, tr, m = make()
+        # executive is idle, so the job starts (and resolves) at submit time
+        with pytest.raises(ValueError):
+            m.submit_mgmt(lambda: -1.0)
+
+    def test_background_waits_for_urgent(self):
+        sim, tr, m = make()
+        order = []
+        m.submit_mgmt(1.0, lambda: order.append("bg"), background=True)
+        m.submit_mgmt(1.0, lambda: order.append("urgent1"))
+        m.submit_mgmt(1.0, lambda: order.append("urgent2"))
+        sim.run()
+        # bg was already running (submitted first), but both urgents beat
+        # any not-yet-started background work
+        assert order[0] == "bg"  # started immediately when idle
+        m2_sim, _, m2 = make()
+        order2 = []
+        m2.submit_mgmt(1.0, lambda: order2.append("u1"))
+        m2.submit_mgmt(1.0, lambda: order2.append("bg"), background=True)
+        m2.submit_mgmt(1.0, lambda: order2.append("u2"))
+        m2_sim.run()
+        assert order2 == ["u1", "u2", "bg"]
+
+    def test_executive_pending_counts_both_queues(self):
+        sim, tr, m = make()
+        m.submit_mgmt(1.0)  # starts immediately
+        m.submit_mgmt(1.0)
+        m.submit_mgmt(1.0, background=True)
+        assert m.executive_pending() == 2
+
+
+class TestDedicatedPlacement:
+    def test_mgmt_does_not_block_workers(self):
+        sim, tr, m = make(2, ExecutivePlacement.DEDICATED)
+        m.submit_mgmt(10.0)
+        assert len(m.idle_processors()) == 2
+        done = []
+        m.start_task(m.processors[0], 1.0, lambda p: done.append(p.index))
+        sim.run()
+        assert done == [0]
+        assert sim.now == 10.0  # mgmt ran in parallel
+
+    def test_no_exec_host(self):
+        _, _, m = make(2, ExecutivePlacement.DEDICATED)
+        assert m.exec_host is None
+
+
+class TestSharedPlacement:
+    def test_host_excluded_while_mgmt_pending(self):
+        sim, tr, m = make(2, ExecutivePlacement.SHARED)
+        m.submit_mgmt(5.0)
+        idle = m.idle_processors()
+        assert [p.index for p in idle] == [1]
+        assert not m.start_task(m.processors[0], 1.0, lambda p: None)
+
+    def test_host_computes_when_no_mgmt(self):
+        sim, tr, m = make(2, ExecutivePlacement.SHARED)
+        assert m.start_task(m.processors[0], 1.0, lambda p: None)
+
+    def test_mgmt_waits_for_host_task(self):
+        sim, tr, m = make(1, ExecutivePlacement.SHARED)
+        events = []
+        m.start_task(m.processors[0], 3.0, lambda p: events.append(("task", sim.now)))
+        m.submit_mgmt(1.0, lambda: events.append(("mgmt", sim.now)))
+        sim.run()
+        assert events == [("task", 3.0), ("mgmt", 4.0)]
+        # host busy time includes both compute and mgmt
+        assert tr.busy_time("P0") == 4.0
+
+    def test_mgmt_charged_to_host(self):
+        sim, tr, m = make(1, ExecutivePlacement.SHARED)
+        m.submit_mgmt(2.0)
+        sim.run()
+        assert tr.busy_time("P0", "mgmt") == 2.0
+        assert tr.busy_time("EXEC", "mgmt") == 2.0
+
+    def test_host_state_transitions(self):
+        sim, tr, m = make(1, ExecutivePlacement.SHARED)
+        states = []
+        m.submit_mgmt(1.0, lambda: states.append(m.processors[0].state))
+        sim.run()
+        # during on_done the host is back to IDLE
+        assert states == [ProcessorState.IDLE]
+
+    def test_on_processor_idle_fires_after_mgmt_drain(self):
+        sim, tr, m = make(1, ExecutivePlacement.SHARED)
+        idles = []
+        m.on_processor_idle = lambda p: idles.append((p.index, sim.now))
+        m.submit_mgmt(1.0)
+        m.submit_mgmt(1.0)
+        sim.run()
+        assert idles == [(0, 2.0)]
+
+
+class TestStats:
+    def test_compute_time_sums_workers(self):
+        sim, tr, m = make(3)
+        for p in m.processors:
+            m.start_task(p, 2.0, lambda _: None)
+        sim.run()
+        assert m.compute_time() == 6.0
+
+    def test_serial_category_counts_in_mgmt_time(self):
+        sim, tr, m = make()
+        m.submit_mgmt(3.0, category="serial")
+        sim.run()
+        assert m.mgmt_time() == 3.0
+        assert tr.busy_time("EXEC", "serial") == 3.0
+        assert tr.busy_time("EXEC", "mgmt") == 0.0

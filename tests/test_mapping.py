@@ -1,0 +1,282 @@
+"""Tests for the enablement-mapping taxonomy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.granule import GranuleSet
+from repro.core.mapping import (
+    ForwardIndirectMapping,
+    IdentityMapping,
+    MappingKind,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+
+
+class TestMappingKind:
+    def test_overlappable(self):
+        assert not MappingKind.NULL.overlappable
+        for k in MappingKind:
+            if k is not MappingKind.NULL:
+                assert k.overlappable
+
+    def test_easily_overlapped_is_universal_and_identity(self):
+        easy = {k for k in MappingKind if k.easily_overlapped}
+        assert easy == {MappingKind.UNIVERSAL, MappingKind.IDENTITY}
+
+    def test_indirect_kinds(self):
+        ind = {k for k in MappingKind if k.indirect}
+        assert ind == {MappingKind.REVERSE_INDIRECT, MappingKind.FORWARD_INDIRECT}
+
+
+class TestUniversal:
+    def test_enabled_by_null_set(self):
+        m = UniversalMapping()
+        assert m.enabled_by(GranuleSet.empty(), 10, 8) == GranuleSet.universe(8)
+
+    def test_required_is_empty(self):
+        m = UniversalMapping()
+        assert not m.required_for(GranuleSet.universe(8), 10, 8)
+
+
+class TestIdentity:
+    def test_enabled_mirrors_completed(self):
+        m = IdentityMapping()
+        done = GranuleSet.from_ranges([(0, 3), (5, 7)])
+        assert m.enabled_by(done, 10, 10) == done
+
+    def test_required_mirrors_successors(self):
+        m = IdentityMapping()
+        want = GranuleSet.from_ids([2, 9])
+        assert m.required_for(want, 10, 10) == want
+
+    def test_successor_space_larger(self):
+        # successor granules beyond the predecessor space are free
+        m = IdentityMapping()
+        got = m.enabled_by(GranuleSet.from_ranges([(0, 2)]), 4, 8)
+        assert got == GranuleSet.from_ranges([(0, 2), (4, 8)])
+
+    def test_successor_space_smaller(self):
+        m = IdentityMapping()
+        got = m.enabled_by(GranuleSet.from_ranges([(0, 6)]), 8, 4)
+        assert got == GranuleSet.universe(4)
+
+    def test_newly_enabled_delta(self):
+        m = IdentityMapping()
+        before = GranuleSet.from_ranges([(0, 2)])
+        after = GranuleSet.from_ranges([(0, 4)])
+        assert m.newly_enabled(before, after, 8, 8) == GranuleSet.from_ranges([(2, 4)])
+
+
+class TestNull:
+    def test_nothing_until_everything(self):
+        m = NullMapping()
+        assert not m.enabled_by(GranuleSet.from_ranges([(0, 9)]), 10, 5)
+        assert m.enabled_by(GranuleSet.universe(10), 10, 5) == GranuleSet.universe(5)
+
+    def test_required_is_everything(self):
+        m = NullMapping()
+        assert m.required_for(GranuleSet.from_ids([0]), 10, 5) == GranuleSet.universe(10)
+        assert not m.required_for(GranuleSet.empty(), 10, 5)
+
+    def test_negative_serial_cost_rejected(self):
+        with pytest.raises(ValueError):
+            NullMapping(serial_cost=-1)
+
+
+class TestReverseIndirect:
+    def setup_method(self):
+        # successor i needs predecessors IMAP[:, i]
+        self.maps = {"IMAP": np.array([[0, 1, 2, 0], [1, 2, 3, 0]])}
+        self.m = ReverseIndirectMapping("IMAP", fan_in=2)
+
+    def test_enabled_requires_all_fan_in(self):
+        done = GranuleSet.from_ranges([(0, 2)])  # {0,1}
+        got = self.m.enabled_by(done, 4, 4, self.maps)
+        # succ 0 needs {0,1} ok; succ 1 needs {1,2} no; succ 3 needs {0} ok
+        assert got == GranuleSet.from_ids([0, 3])
+
+    def test_required_union(self):
+        got = self.m.required_for(GranuleSet.from_ids([1, 2]), 4, 4, self.maps)
+        assert got == GranuleSet.from_ids([1, 2, 3])
+
+    def test_required_empty_successors(self):
+        assert not self.m.required_for(GranuleSet.empty(), 4, 4, self.maps)
+
+    def test_missing_map_raises(self):
+        with pytest.raises(KeyError):
+            self.m.enabled_by(GranuleSet.empty(), 4, 4, None)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            self.m.enabled_by(GranuleSet.empty(), 4, 4, {"IMAP": np.zeros((3, 4), dtype=int)})
+
+    def test_1d_map_accepted_for_fan_in_one(self):
+        m = ReverseIndirectMapping("M", fan_in=1)
+        got = m.enabled_by(GranuleSet.from_ids([2]), 3, 2, {"M": np.array([2, 0])})
+        assert got == GranuleSet.from_ids([0])
+
+    def test_fan_in_validation(self):
+        with pytest.raises(ValueError):
+            ReverseIndirectMapping("M", fan_in=0)
+
+    def test_complete_predecessors_enable_everything(self):
+        got = self.m.enabled_by(GranuleSet.universe(4), 4, 4, self.maps)
+        assert got == GranuleSet.universe(4)
+
+
+class TestForwardIndirect:
+    def test_duplicates_need_all_writers(self):
+        # predecessors 0 and 1 both write successor 2
+        maps = {"FMAP": np.array([2, 2, 0])}
+        m = ForwardIndirectMapping("FMAP")
+        assert 2 not in m.enabled_by(GranuleSet.from_ids([0]), 3, 4, maps)
+        assert 2 in m.enabled_by(GranuleSet.from_ids([0, 1]), 3, 4, maps)
+
+    def test_untouched_successors_enabled_immediately(self):
+        maps = {"FMAP": np.array([0, 1])}
+        m = ForwardIndirectMapping("FMAP")
+        got = m.enabled_by(GranuleSet.empty(), 2, 5, maps)
+        assert got == GranuleSet.from_ranges([(2, 5)])
+
+    def test_required_for(self):
+        maps = {"FMAP": np.array([2, 2, 0, 1])}
+        m = ForwardIndirectMapping("FMAP")
+        assert m.required_for(GranuleSet.from_ids([2]), 4, 3, maps) == GranuleSet.from_ids([0, 1])
+        assert m.required_for(GranuleSet.from_ids([1]), 4, 3, maps) == GranuleSet.from_ids([3])
+
+    def test_shape_validation(self):
+        m = ForwardIndirectMapping("FMAP")
+        with pytest.raises(ValueError):
+            m.enabled_by(GranuleSet.empty(), 3, 3, {"FMAP": np.array([0, 1])})
+
+    def test_missing_map_raises(self):
+        with pytest.raises(KeyError):
+            ForwardIndirectMapping("F").enabled_by(GranuleSet.empty(), 2, 2, {})
+
+
+class TestSeam:
+    def test_stencil_enablement(self):
+        m = SeamMapping((-1, 0, 1))
+        done = GranuleSet.from_ranges([(0, 3)])
+        # succ 0 needs {0,1}; succ 1 needs {0,1,2}; succ 2 needs {1,2,3}
+        assert m.enabled_by(done, 8, 8) == GranuleSet.from_ranges([(0, 2)])
+
+    def test_boundary_clamping(self):
+        m = SeamMapping((-1, 0, 1))
+        # last successor granule's +1 neighbour is clamped away
+        done = GranuleSet.from_ranges([(6, 8)])
+        assert 7 in m.enabled_by(done, 8, 8)
+
+    def test_required_for(self):
+        m = SeamMapping((-1, 0, 1))
+        assert m.required_for(GranuleSet.from_ids([4]), 8, 8) == GranuleSet.from_ids([3, 4, 5])
+        assert m.required_for(GranuleSet.from_ids([0]), 8, 8) == GranuleSet.from_ids([0, 1])
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            SeamMapping(())
+
+    def test_offsets_deduplicated_and_sorted(self):
+        assert SeamMapping((1, -1, 1, 0)).offsets == (-1, 0, 1)
+
+    def test_full_completion_enables_all(self):
+        m = SeamMapping((-2, 0, 2))
+        assert m.enabled_by(GranuleSet.universe(6), 6, 6) == GranuleSet.universe(6)
+
+
+# ---------------------------------------------------------------- properties
+@st.composite
+def _mapping_case(draw):
+    n_pred = draw(st.integers(min_value=1, max_value=40))
+    n_succ = draw(st.integers(min_value=1, max_value=40))
+    kind = draw(st.sampled_from(["universal", "identity", "null", "reverse", "forward", "seam"]))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10_000)))
+    maps = None
+    if kind == "universal":
+        m = UniversalMapping()
+    elif kind == "identity":
+        m = IdentityMapping()
+    elif kind == "null":
+        m = NullMapping()
+    elif kind == "reverse":
+        fan = draw(st.integers(min_value=1, max_value=4))
+        m = ReverseIndirectMapping("M", fan_in=fan)
+        maps = {"M": rng.integers(0, n_pred, size=(fan, n_succ))}
+    elif kind == "forward":
+        m = ForwardIndirectMapping("M")
+        maps = {"M": rng.integers(0, n_succ, size=n_pred)}
+    else:
+        offsets = tuple(draw(st.sets(st.integers(-3, 3), min_size=1, max_size=4)))
+        m = SeamMapping(offsets)
+    completed_ids = draw(st.sets(st.integers(0, n_pred - 1), max_size=n_pred))
+    return m, n_pred, n_succ, maps, GranuleSet.from_ids(completed_ids)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_mapping_case())
+def test_enabled_monotone_in_completed(case):
+    """More completed predecessors never disables a successor granule."""
+    m, n_pred, n_succ, maps, completed = case
+    before = m.enabled_by(completed, n_pred, n_succ, maps)
+    after = m.enabled_by(GranuleSet.universe(n_pred), n_pred, n_succ, maps)
+    assert before.issubset(after)
+    assert after == GranuleSet.universe(n_succ)  # full completion enables all
+
+
+@settings(max_examples=150, deadline=None)
+@given(_mapping_case())
+def test_forward_reverse_consistency(case):
+    """enabled_by and required_for agree: a granule is enabled exactly
+    when its required set is completed."""
+    m, n_pred, n_succ, maps, completed = case
+    enabled = m.enabled_by(completed, n_pred, n_succ, maps)
+    for succ in range(n_succ):
+        req = m.required_for(GranuleSet.from_ids([succ]), n_pred, n_succ, maps)
+        should_be_enabled = req.issubset(completed)
+        assert (succ in enabled) == should_be_enabled, (
+            f"succ={succ} required={req!r} completed={completed!r}"
+        )
+
+
+class TestSeamGrid:
+    def test_von_neumann_offsets(self):
+        m = SeamMapping.grid(8)
+        assert m.offsets == (-8, -1, 0, 1, 8)
+
+    def test_moore_offsets(self):
+        m = SeamMapping.grid(8, neighborhood="moore")
+        assert m.offsets == (-9, -8, -7, -1, 0, 1, 7, 8, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeamMapping.grid(0)
+        with pytest.raises(ValueError):
+            SeamMapping.grid(4, neighborhood="hex")
+
+    def test_block_enablement_semantics(self):
+        # a 4x4 block grid: block 5 (row 1, col 1) needs blocks 1, 4, 5, 6, 9
+        m = SeamMapping.grid(4)
+        need = m.required_for(GranuleSet.from_ids([5]), 16, 16)
+        assert need == GranuleSet.from_ids([1, 4, 5, 6, 9])
+
+    def test_runs_on_executive(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.core.phase import PhaseProgram, PhaseSpec
+        from repro.executive import ExecutiveCosts, run_program
+
+        bx = 6
+        prog = PhaseProgram.chain(
+            [PhaseSpec("sweep_a", bx * bx), PhaseSpec("sweep_b", bx * bx)],
+            [SeamMapping.grid(bx)],
+        )
+        rb = run_program(prog, 8, config=OverlapConfig.barrier(), costs=ExecutiveCosts.free())
+        ro = run_program(prog, 8, config=OverlapConfig(), costs=ExecutiveCosts.free())
+        assert ro.granules_executed == rb.granules_executed == 2 * bx * bx
+        assert ro.makespan <= rb.makespan

@@ -1,0 +1,127 @@
+"""Tests for utilization metrics and rundown accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import IdentityMapping, NullMapping
+from repro.core.overlap import OverlapConfig
+from repro.executive import ExecutiveCosts, run_program
+from repro.metrics.report import census_table, comparison_table, format_table
+from repro.metrics.rundown import rundown_report, rundown_reports, total_rundown_idle
+from repro.metrics.utilization import (
+    busy_counts_at,
+    idle_processor_time,
+    mean_utilization,
+    utilization_between,
+)
+from repro.sim.trace import Interval, Trace
+from tests.conftest import two_phase_program
+
+
+def hand_trace() -> Trace:
+    """P0 busy [0,4); P1 busy [0,2); makespan 4."""
+    tr = Trace()
+    tr.add_interval(Interval("P0", 0.0, 4.0))
+    tr.add_interval(Interval("P1", 0.0, 2.0))
+    return tr
+
+
+class TestUtilization:
+    def test_mean_utilization(self):
+        assert mean_utilization(hand_trace(), 2) == pytest.approx(6.0 / 8.0)
+
+    def test_empty_trace(self):
+        assert mean_utilization(Trace(), 4) == 0.0
+
+    def test_window_utilization(self):
+        tr = hand_trace()
+        assert utilization_between(tr, 2, 0.0, 2.0) == pytest.approx(1.0)
+        assert utilization_between(tr, 2, 2.0, 4.0) == pytest.approx(0.5)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            utilization_between(hand_trace(), 2, 3.0, 3.0)
+
+    def test_idle_processor_time(self):
+        tr = hand_trace()
+        assert idle_processor_time(tr, 2) == pytest.approx(2.0)
+        assert idle_processor_time(tr, 2, 2.0, 4.0) == pytest.approx(2.0)
+        assert idle_processor_time(tr, 2, 0.0, 2.0) == pytest.approx(0.0)
+
+    def test_mgmt_counts_as_idle(self):
+        tr = hand_trace()
+        tr.add_interval(Interval("P1", 2.0, 4.0, "mgmt"))
+        # mgmt time on a worker is not productive computation
+        assert idle_processor_time(tr, 2) == pytest.approx(2.0)
+
+    def test_busy_counts_at(self):
+        tr = hand_trace()
+        got = busy_counts_at(tr, np.array([-1.0, 0.0, 1.0, 2.0, 3.9, 4.0]))
+        assert list(got) == [0, 2, 2, 1, 1, 0]
+
+    def test_exec_resource_excluded(self):
+        tr = hand_trace()
+        tr.add_interval(Interval("EXEC", 0.0, 100.0, "mgmt"))
+        assert mean_utilization(tr, 2) == pytest.approx(6.0 / (2 * 100.0))
+        # EXEC contributes to makespan but never to worker busy time
+
+
+class TestRundown:
+    def test_barrier_rundown_has_idle(self, small_costs):
+        r = run_program(two_phase_program(IdentityMapping(), n=68), 8,
+                        config=OverlapConfig.barrier(), costs=small_costs)
+        reports = rundown_reports(r)
+        assert reports
+        assert any(rep.idle_time > 0 for rep in reports)
+
+    def test_overlap_shrinks_rundown_idle(self, small_costs):
+        prog = two_phase_program(IdentityMapping(), n=68)
+        rb = run_program(prog, 8, config=OverlapConfig.barrier(), costs=small_costs)
+        ro = run_program(prog, 8, config=OverlapConfig(), costs=small_costs)
+        # compare the predecessor phase's rundown specifically
+        idle_b = rundown_report(rb, 0).idle_time
+        idle_o = rundown_report(ro, 0).idle_time
+        assert idle_o < idle_b
+
+    def test_total_rundown_idle_merges_windows(self, small_costs):
+        r = run_program(two_phase_program(NullMapping(), n=68), 8,
+                        config=OverlapConfig.barrier(), costs=small_costs)
+        total = total_rundown_idle(r)
+        assert total >= 0
+        # merged total never exceeds the sum of the individual windows
+        assert total <= sum(rep.idle_time for rep in rundown_reports(r)) + 1e-9
+
+    def test_report_fields(self, small_costs):
+        r = run_program(two_phase_program(IdentityMapping(), n=68), 8,
+                        config=OverlapConfig.barrier(), costs=small_costs)
+        rep = rundown_report(r, 0)
+        assert rep.phase == "A"
+        assert rep.duration == pytest.approx(rep.window_end - rep.window_start)
+        assert 0.0 <= rep.utilization <= 1.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        txt = format_table(["a", "bb"], [["x", 1], ["yy", 2.5]], title="T")
+        lines = txt.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_census_table_includes_summary_row(self):
+        from repro.core.classifier import classify_program
+        from repro.workloads.casper import casper_suite
+
+        txt = census_table(classify_program(casper_suite(), wrap=True))
+        assert "easily overlapped" in txt
+        assert "68%" in txt
+
+    def test_comparison_table_ratio(self):
+        txt = comparison_table([("x", 10.0, 5.0)])
+        assert "0.500" in txt

@@ -1,0 +1,108 @@
+"""Tests for the Navier–Stokes workload (solver numerics and program)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import classify_pair
+from repro.core.mapping import MappingKind, SeamMapping
+from repro.workloads.navier_stokes import NavierStokes2D, navier_stokes_program
+
+
+class TestSolver:
+    def make(self, n=32):
+        ns = NavierStokes2D(n, viscosity=1e-3, dt=0.002, n_jacobi=40)
+        ns.init_shear_layer()
+        return ns
+
+    def test_projection_reduces_divergence(self):
+        ns = self.make()
+        ns.u += 0.1 * np.sin(np.linspace(0, 6, ns.n))[:, None]  # pollute
+        div_before = float(np.abs(ns.divergence()).max())
+        ns.step()
+        div_after = float(np.abs(ns.divergence()).max())
+        assert div_after < div_before
+
+    def test_energy_does_not_explode(self):
+        ns = self.make()
+        e0 = ns.kinetic_energy()
+        for _ in range(20):
+            ns.step()
+        assert ns.kinetic_energy() < 1.5 * e0
+
+    def test_viscosity_decays_energy(self):
+        ns = NavierStokes2D(32, viscosity=5e-2, dt=0.002, n_jacobi=30)
+        ns.init_shear_layer()
+        e0 = ns.kinetic_energy()
+        for _ in range(30):
+            ns.step()
+        assert ns.kinetic_energy() < e0
+
+    def test_zero_field_stays_zero(self):
+        ns = NavierStokes2D(16)
+        ns.step()
+        assert np.allclose(ns.u, 0) and np.allclose(ns.v, 0)
+
+    def test_pressure_nullspace_pinned(self):
+        ns = self.make(16)
+        ns.step()
+        assert abs(ns.p.mean()) < 1e-10
+
+    def test_steps_counted(self):
+        ns = self.make(16)
+        ns.step()
+        ns.step()
+        assert ns.steps == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NavierStokes2D(2)
+        with pytest.raises(ValueError):
+            NavierStokes2D(16, dt=0.0)
+        with pytest.raises(ValueError):
+            NavierStokes2D(16, n_jacobi=0)
+
+
+class TestProgram:
+    def test_phase_chain_structure(self):
+        prog = navier_stokes_program(16, n_jacobi=3, rows_per_granule=2, n_steps=2)
+        seq = prog.phase_sequence()
+        assert seq[0] == "momentum0"
+        assert seq.count("momentum0") == 1
+        assert len([s for s in seq if s.startswith("jacobi0")]) == 3
+        assert seq[-1] == "correct1"
+
+    def test_link_kinds(self):
+        prog = navier_stokes_program(16, n_jacobi=2)
+        kinds = {
+            (a, b): prog.mapping_between(a, b).kind for a, b, _ in prog.adjacent_pairs()
+        }
+        assert kinds[("momentum0", "rhs0")] is MappingKind.SEAM
+        # the first Jacobi sweep depends on its predecessor only through
+        # the right-hand side -> identity; later sweeps carry the stencil
+        assert kinds[("rhs0", "jacobi0_0")] is MappingKind.IDENTITY
+        assert kinds[("jacobi0_0", "jacobi0_1")] is MappingKind.SEAM
+        assert kinds[("jacobi0_1", "correct0")] is MappingKind.SEAM
+
+    def test_footprints_classify_to_declared_kinds(self):
+        prog = navier_stokes_program(16, n_jacobi=2)
+        for a, b, serial in prog.adjacent_pairs():
+            c = classify_pair(prog.phases[a], prog.phases[b], serial)
+            declared = prog.mapping_between(a, b).kind
+            assert c.kind is declared, (a, b, c.kind, declared, c.reason)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            navier_stokes_program(16, rows_per_granule=0)
+
+    def test_runs_with_overlap_and_gains(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import ExecutiveCosts, TaskSizer, run_program
+
+        prog = navier_stokes_program(24, n_jacobi=4, rows_per_granule=2, cost_per_cell=0.01)
+        costs = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.001)
+        rb = run_program(prog, 6, config=OverlapConfig.barrier(), costs=costs, sizer=TaskSizer(2.0))
+        ro = run_program(prog, 6, config=OverlapConfig(), costs=costs, sizer=TaskSizer(2.0))
+        assert ro.granules_executed == rb.granules_executed
+        assert ro.makespan < rb.makespan

@@ -1,0 +1,80 @@
+"""Tests for trace/result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.mapping import IdentityMapping
+from repro.core.overlap import OverlapConfig
+from repro.executive import run_program
+from repro.metrics import mean_utilization, render_gantt
+from repro.sim.events import EventKind
+from repro.sim.persist import (
+    load_trace,
+    result_summary,
+    save_result,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from tests.conftest import two_phase_program
+
+
+@pytest.fixture
+def result():
+    return run_program(two_phase_program(IdentityMapping(), n=32), 4, config=OverlapConfig())
+
+
+class TestTraceRoundtrip:
+    def test_intervals_survive(self, result):
+        rebuilt = trace_from_dict(trace_to_dict(result.trace))
+        assert rebuilt.resources() == result.trace.resources()
+        for r in result.trace.resources():
+            assert rebuilt.busy_time(r) == pytest.approx(result.trace.busy_time(r))
+
+    def test_records_survive(self, result):
+        rebuilt = trace_from_dict(trace_to_dict(result.trace))
+        assert len(rebuilt.records) == len(result.trace.records)
+        starts = rebuilt.records_of(EventKind.PHASE_START)
+        assert [r.subject for r in starts] == [
+            r.subject for r in result.trace.records_of(EventKind.PHASE_START)
+        ]
+
+    def test_metrics_identical_after_roundtrip(self, result):
+        rebuilt = trace_from_dict(trace_to_dict(result.trace))
+        assert mean_utilization(rebuilt, 4) == pytest.approx(mean_utilization(result.trace, 4))
+        assert render_gantt(rebuilt, width=40) == render_gantt(result.trace, width=40)
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(result.trace, path)
+        rebuilt = load_trace(path)
+        assert rebuilt.makespan() == pytest.approx(result.trace.makespan())
+
+    def test_serialized_is_plain_json(self, result, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(result.trace, path)
+        data = json.loads(path.read_text())
+        assert set(data) == {"records", "intervals"}
+
+
+class TestResultSummary:
+    def test_summary_fields(self, result):
+        s = result_summary(result)
+        assert s["granules_executed"] == 64
+        assert s["makespan"] == pytest.approx(result.makespan)
+        assert len(s["phases"]) == 2
+        assert s["phases"][1]["overlapped"] is True
+        assert s["streams"][0]["wall_clock"] >= 0
+
+    def test_save_result_with_and_without_trace(self, result, tmp_path):
+        p1 = tmp_path / "with.json"
+        p2 = tmp_path / "without.json"
+        save_result(result, p1, include_trace=True)
+        save_result(result, p2, include_trace=False)
+        d1 = json.loads(p1.read_text())
+        d2 = json.loads(p2.read_text())
+        assert "trace" in d1 and "trace" not in d2
+        assert d1["summary"] == d2["summary"]

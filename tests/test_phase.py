@@ -1,0 +1,181 @@
+"""Tests for phase specifications and phase programs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import IdentityMapping, NullMapping, UniversalMapping
+from repro.core.phase import (
+    ConstantCost,
+    PhaseLink,
+    PhaseProgram,
+    PhaseSpec,
+    SerialAction,
+)
+
+
+class TestConstantCost:
+    def test_sample_and_mean(self):
+        c = ConstantCost(2.5)
+        rng = np.random.default_rng(0)
+        assert c.sample(0, rng) == 2.5
+        assert c.mean() == 2.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantCost(-1.0)
+
+
+class TestPhaseSpec:
+    def test_valid(self):
+        p = PhaseSpec("a", 10, lines=5)
+        assert p.n_granules == 10 and p.lines == 5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("", 10)
+
+    def test_zero_granules_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("a", 0)
+
+    def test_negative_lines_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSpec("a", 1, lines=-1)
+
+
+class TestSerialAction:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SerialAction("s", -0.5)
+
+
+class TestPhaseProgram:
+    def phases(self, n=3):
+        return [PhaseSpec(f"p{i}", 8) for i in range(n)]
+
+    def test_chain_builds_links_and_schedule(self):
+        prog = PhaseProgram.chain(self.phases(), [IdentityMapping(), UniversalMapping()])
+        assert prog.phase_sequence() == ["p0", "p1", "p2"]
+        assert isinstance(prog.mapping_between("p0", "p1"), IdentityMapping)
+        assert isinstance(prog.mapping_between("p1", "p2"), UniversalMapping)
+
+    def test_chain_mapping_count_validation(self):
+        with pytest.raises(ValueError):
+            PhaseProgram.chain(self.phases(3), [IdentityMapping()])
+
+    def test_unlinked_pair_defaults_to_barrier(self):
+        prog = PhaseProgram(self.phases(2), ["p0", "p1"])
+        assert isinstance(prog.mapping_between("p0", "p1"), NullMapping)
+
+    def test_duplicate_phase_name_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProgram([PhaseSpec("a", 1), PhaseSpec("a", 2)])
+
+    def test_duplicate_link_rejected(self):
+        phases = self.phases(2)
+        links = [
+            PhaseLink("p0", "p1", IdentityMapping()),
+            PhaseLink("p0", "p1", UniversalMapping()),
+        ]
+        with pytest.raises(ValueError):
+            PhaseProgram(phases, ["p0", "p1"], links)
+
+    def test_dangling_schedule_name_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProgram(self.phases(2), ["p0", "nope"])
+
+    def test_dangling_link_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProgram(self.phases(2), ["p0", "p1"], [PhaseLink("p0", "zz", IdentityMapping())])
+
+    def test_serial_action_with_overlappable_mapping_rejected(self):
+        phases = self.phases(2)
+        schedule = ["p0", SerialAction("s", 1.0), "p1"]
+        links = [PhaseLink("p0", "p1", IdentityMapping())]
+        with pytest.raises(ValueError):
+            PhaseProgram(phases, schedule, links)
+
+    def test_serial_action_with_null_mapping_ok(self):
+        phases = self.phases(2)
+        schedule = ["p0", SerialAction("s", 1.0), "p1"]
+        prog = PhaseProgram(phases, schedule, [PhaseLink("p0", "p1", NullMapping())])
+        assert prog.adjacent_pairs() == [("p0", "p1", True)]
+
+    def test_chain_inserts_serial_action_for_costed_null(self):
+        prog = PhaseProgram.chain(self.phases(2), [NullMapping(serial_cost=3.0)])
+        serials = [s for s in prog.schedule if isinstance(s, SerialAction)]
+        assert len(serials) == 1 and serials[0].duration == 3.0
+
+    def test_adjacent_pairs_skip_serials(self):
+        prog = PhaseProgram.chain(
+            self.phases(3), [NullMapping(serial_cost=1.0), IdentityMapping()]
+        )
+        assert prog.adjacent_pairs() == [("p0", "p1", True), ("p1", "p2", False)]
+
+    def test_total_granules_counts_schedule_occurrences(self):
+        phases = self.phases(2)
+        prog = PhaseProgram(phases, ["p0", "p1", "p0"])
+        assert prog.total_granules() == 24
+
+    def test_total_lines(self):
+        phases = [PhaseSpec("a", 1, lines=10), PhaseSpec("b", 1, lines=20)]
+        assert PhaseProgram(phases).total_lines() == 30
+
+    def test_default_schedule_is_phase_order(self):
+        prog = PhaseProgram(self.phases(3))
+        assert prog.phase_sequence() == ["p0", "p1", "p2"]
+
+
+class TestRepeat:
+    def phases(self):
+        return [PhaseSpec("p0", 8), PhaseSpec("p1", 8)]
+
+    def test_repeat_concatenates_schedule(self):
+        prog = PhaseProgram.chain(self.phases(), [IdentityMapping()])
+        tripled = prog.repeat(3)
+        assert tripled.phase_sequence() == ["p0", "p1"] * 3
+        assert tripled.total_granules() == 48
+
+    def test_repeat_preserves_links_at_boundaries(self):
+        phases = self.phases()
+        links = [
+            PhaseLink("p0", "p1", IdentityMapping()),
+            PhaseLink("p1", "p0", UniversalMapping()),  # the cycle seam
+        ]
+        prog = PhaseProgram(phases, ["p0", "p1"], links)
+        doubled = prog.repeat(2)
+        pairs = doubled.adjacent_pairs()
+        assert pairs == [("p0", "p1", False), ("p1", "p0", False), ("p0", "p1", False)]
+        assert isinstance(doubled.mapping_between("p1", "p0"), UniversalMapping)
+
+    def test_repeat_carries_serial_boundaries(self):
+        prog = PhaseProgram(
+            self.phases(),
+            ["p0", "p1", SerialAction("wrap", 2.0)],
+            [PhaseLink("p0", "p1", IdentityMapping())],
+        )
+        doubled = prog.repeat(2)
+        assert doubled.adjacent_pairs() == [
+            ("p0", "p1", False),
+            ("p1", "p0", True),
+            ("p0", "p1", False),
+        ]
+
+    def test_repeat_one_is_identity_shape(self):
+        prog = PhaseProgram.chain(self.phases(), [IdentityMapping()])
+        assert prog.repeat(1).phase_sequence() == prog.phase_sequence()
+
+    def test_repeat_validation(self):
+        prog = PhaseProgram.chain(self.phases(), [IdentityMapping()])
+        with pytest.raises(ValueError):
+            prog.repeat(0)
+
+    def test_repeated_program_executes(self):
+        from repro.core.overlap import OverlapConfig
+        from repro.executive import run_program
+
+        prog = PhaseProgram.chain(self.phases(), [IdentityMapping()]).repeat(4)
+        r = run_program(prog, 4, config=OverlapConfig())
+        assert r.granules_executed == 64

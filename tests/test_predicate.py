@@ -1,0 +1,128 @@
+"""Tests for PARALLEL(x, y) and the overlap-safety theorem check."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.access import AccessPattern, AffineIndex, AllIndex, ArrayRef
+from repro.core.mapping import IdentityMapping, SeamMapping, UniversalMapping
+from repro.core.phase import PhaseSpec
+from repro.core.predicate import (
+    AccessConflictPredicate,
+    AlwaysParallel,
+    check_intra_phase,
+    overlap_is_safe,
+)
+
+
+def copy_phase(name: str, src: str, dst: str, n: int = 16) -> PhaseSpec:
+    return PhaseSpec(
+        name,
+        n,
+        access=AccessPattern(
+            reads=(ArrayRef(src, AffineIndex()),), writes=(ArrayRef(dst, AffineIndex()),)
+        ),
+    )
+
+
+class TestAccessConflictPredicate:
+    def test_intra_phase_axiom_holds_for_identity_copy(self):
+        p = copy_phase("c", "A", "B")
+        assert check_intra_phase(p)
+
+    def test_intra_phase_axiom_fails_for_shared_scalar(self):
+        p = PhaseSpec(
+            "bad",
+            8,
+            access=AccessPattern(writes=(ArrayRef("acc", AllIndex()),)),
+        )
+        assert not check_intra_phase(p)
+
+    def test_missing_footprints_conservative(self):
+        pred = AccessConflictPredicate()
+        a = PhaseSpec("a", 4)
+        b = PhaseSpec("b", 4)
+        # same phase: the paper's axiom grants parallelism
+        assert pred(a, 0, a, 1)
+        # cross phase without declarations: refuse
+        assert not pred(a, 0, b, 0)
+
+    def test_always_parallel(self):
+        p = AlwaysParallel()
+        assert p(PhaseSpec("a", 1), 0, PhaseSpec("b", 1), 0)
+
+
+class TestOverlapIsSafe:
+    def test_identity_chain_is_safe(self):
+        p1 = copy_phase("p1", "A", "B")
+        p2 = copy_phase("p2", "B", "C")
+        report = overlap_is_safe(p1, p2, IdentityMapping())
+        assert report.safe
+        assert report.pairs_checked > 0
+
+    def test_universal_disjoint_is_safe(self):
+        p1 = copy_phase("p1", "A", "B")
+        p2 = copy_phase("p2", "C", "D")
+        assert overlap_is_safe(p1, p2, UniversalMapping()).safe
+
+    def test_universal_on_dependent_phases_is_unsafe(self):
+        # claiming a universal mapping for a true dependence must fail:
+        # successor granule i reads B(i) which uncompleted current granules
+        # will still write
+        p1 = copy_phase("p1", "A", "B")
+        p2 = copy_phase("p2", "B", "C")
+        report = overlap_is_safe(p1, p2, UniversalMapping())
+        assert not report.safe
+        assert report.violations
+
+    def test_identity_too_weak_for_stencil_is_unsafe(self):
+        # successor reads neighbours; identity enablement releases granule i
+        # after only granule i completed — neighbour i+1 still pending
+        writer = PhaseSpec(
+            "w", 16, access=AccessPattern(writes=(ArrayRef("u", AffineIndex()),))
+        )
+        reader = PhaseSpec(
+            "r",
+            16,
+            access=AccessPattern(
+                reads=(
+                    ArrayRef("u", AffineIndex(1, -1)),
+                    ArrayRef("u", AffineIndex(1, 0)),
+                    ArrayRef("u", AffineIndex(1, 1)),
+                ),
+                writes=(ArrayRef("v", AffineIndex()),),
+            ),
+        )
+        assert not overlap_is_safe(writer, reader, IdentityMapping()).safe
+        # ...but the seam mapping with the right offsets is safe
+        assert overlap_is_safe(writer, reader, SeamMapping((-1, 0, 1))).safe
+
+    def test_missing_footprint_is_unsafe(self):
+        p1 = PhaseSpec("p1", 8)
+        p2 = PhaseSpec("p2", 8)
+        assert not overlap_is_safe(p1, p2, UniversalMapping()).safe
+
+    def test_report_truthiness(self):
+        p1 = copy_phase("p1", "A", "B")
+        p2 = copy_phase("p2", "B", "C")
+        assert bool(overlap_is_safe(p1, p2, IdentityMapping()))
+
+    def test_large_phase_sampled(self):
+        p1 = copy_phase("p1", "A", "B", n=5000)
+        p2 = copy_phase("p2", "B", "C", n=5000)
+        report = overlap_is_safe(p1, p2, IdentityMapping(), sample_limit=500)
+        assert report.safe
+        assert not report.exhaustive
+
+    def test_custom_predicate_injection(self):
+        p1 = PhaseSpec("p1", 8)
+        p2 = PhaseSpec("p2", 8)
+        report = overlap_is_safe(p1, p2, UniversalMapping(), predicate=AlwaysParallel())
+        assert report.safe
+
+    def test_deterministic_given_rng(self):
+        p1 = copy_phase("p1", "A", "B", n=300)
+        p2 = copy_phase("p2", "B", "C", n=300)
+        r1 = overlap_is_safe(p1, p2, IdentityMapping(), rng=np.random.default_rng(5))
+        r2 = overlap_is_safe(p1, p2, IdentityMapping(), rng=np.random.default_rng(5))
+        assert r1.pairs_checked == r2.pairs_checked

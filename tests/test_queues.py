@@ -1,0 +1,175 @@
+"""Tests for the conflict queue (DCLL) and the waiting computation queue."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executive.queues import ConflictQueue, WaitingComputationQueue
+
+
+class TestConflictQueue:
+    def test_append_popleft_fifo(self):
+        q = ConflictQueue()
+        for x in "abc":
+            q.append(x)
+        assert [q.popleft() for _ in range(3)] == ["a", "b", "c"]
+        assert len(q) == 0
+
+    def test_appendleft(self):
+        q = ConflictQueue()
+        q.append("b")
+        q.appendleft("a")
+        assert list(q) == ["a", "b"]
+
+    def test_remove_interior(self):
+        q = ConflictQueue()
+        a, b, c = ["a"], ["b"], ["c"]  # unique objects: removal is by identity
+        for x in (a, b, c):
+            q.append(x)
+        q.remove(b)
+        assert list(q) == [a, c]
+        assert q.check_ring()
+
+    def test_remove_missing_raises(self):
+        q = ConflictQueue()
+        with pytest.raises(KeyError):
+            q.remove("nope")
+
+    def test_popleft_empty_raises(self):
+        with pytest.raises(IndexError):
+            ConflictQueue().popleft()
+
+    def test_contains(self):
+        q = ConflictQueue()
+        q.append("x")
+        assert "x" in q
+        q.popleft()
+        assert "x" not in q
+
+    def test_ring_structure_maintained(self):
+        q = ConflictQueue()
+        for i in range(10):
+            q.append(i)
+        q.remove(0)
+        q.remove(9)
+        q.remove(5)
+        assert q.check_ring()
+        assert list(q) == [1, 2, 3, 4, 6, 7, 8]
+
+    def test_removal_during_iteration_safe(self):
+        q = ConflictQueue()
+        for i in range(5):
+            q.append(i)
+        for v in q:
+            if v % 2 == 0:
+                q.remove(v)
+        assert list(q) == [1, 3]
+
+    def test_identity_not_equality(self):
+        # two equal-but-distinct values are tracked separately
+        q = ConflictQueue()
+        a, b = [1], [1]
+        q.append(a)
+        q.append(b)
+        q.remove(a)
+        assert list(q) == [b]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["append", "appendleft", "popleft", "remove"]), st.integers(0, 20)),
+        max_size=60,
+    )
+)
+def test_conflict_queue_matches_deque_model(ops):
+    """The DCLL behaves exactly like collections.deque under the same ops."""
+    q = ConflictQueue()
+    model: deque = deque()
+    counter = 0
+    live: dict[int, object] = {}
+    for op, arg in ops:
+        if op == "append":
+            obj = ("v", counter)
+            counter += 1
+            q.append(obj)
+            model.append(obj)
+            live[id(obj)] = obj
+        elif op == "appendleft":
+            obj = ("v", counter)
+            counter += 1
+            q.appendleft(obj)
+            model.appendleft(obj)
+        elif op == "popleft":
+            if model:
+                assert q.popleft() == model.popleft()
+            else:
+                with pytest.raises(IndexError):
+                    q.popleft()
+        else:  # remove the arg-th element of the model, if any
+            if model:
+                obj = model[arg % len(model)]
+                model.remove(obj)
+                q.remove(obj)
+        assert list(q) == list(model)
+        assert len(q) == len(model)
+        assert q.check_ring()
+
+
+class TestWaitingComputationQueue:
+    def test_elevated_served_first(self):
+        q = WaitingComputationQueue()
+        q.push("n1")
+        q.push("e1", elevated=True)
+        q.push("n2")
+        q.push("e2", elevated=True)
+        assert [q.pop() for _ in range(4)] == ["e1", "e2", "n1", "n2"]
+
+    def test_push_front_within_class(self):
+        q = WaitingComputationQueue()
+        q.push("a")
+        q.push_front("b")
+        assert q.pop() == "b"
+
+    def test_peek_does_not_remove(self):
+        q = WaitingComputationQueue()
+        q.push("x")
+        assert q.peek() == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            WaitingComputationQueue().peek()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            WaitingComputationQueue().pop()
+
+    def test_remove_from_either_class(self):
+        q = WaitingComputationQueue()
+        q.push("n")
+        q.push("e", elevated=True)
+        q.remove("e")
+        q.remove("n")
+        assert len(q) == 0
+
+    def test_iteration_order(self):
+        q = WaitingComputationQueue()
+        q.push("n1")
+        q.push("e1", elevated=True)
+        assert list(q) == ["e1", "n1"]
+
+    def test_contains(self):
+        q = WaitingComputationQueue()
+        q.push("x")
+        assert "x" in q and "y" not in q
+
+    def test_bool(self):
+        q = WaitingComputationQueue()
+        assert not q
+        q.push("x")
+        assert q

@@ -1,0 +1,240 @@
+"""Tests for the threaded runtime: functional correctness of overlap."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.mapping import IdentityMapping, SeamMapping, UniversalMapping
+from repro.core.overlap import OverlapPolicy
+from repro.runtime import KernelPhase, ThreadedExecutor, run_fragment_threaded
+from repro.workloads.fragments import (
+    forward_indirect_fragment,
+    identity_fragment,
+    reverse_indirect_fragment,
+    universal_fragment,
+)
+
+FRAGMENTS = [
+    ("universal", lambda: universal_fragment(300)),
+    ("identity", lambda: identity_fragment(300)),
+    ("reverse", lambda: reverse_indirect_fragment(200, fan_in=6)),
+    ("forward", lambda: forward_indirect_fragment(240, 200)),
+]
+
+
+@pytest.mark.parametrize("name,make", FRAGMENTS)
+@pytest.mark.parametrize("policy", [OverlapPolicy.NONE, OverlapPolicy.NEXT_PHASE])
+def test_threaded_matches_sequential_reference(name, make, policy):
+    produced, expected = run_fragment_threaded(make(), n_workers=8, policy=policy, seed=5)
+    for key, val in expected.items():
+        assert np.allclose(produced[key], val), f"{name}/{policy.value}: {key} corrupted"
+
+
+@pytest.mark.parametrize("workers", [1, 2, 16])
+def test_worker_count_does_not_change_results(workers):
+    frag = identity_fragment(256)
+    produced, expected = run_fragment_threaded(frag, n_workers=workers, seed=2)
+    assert np.allclose(produced["C"], expected["C"])
+
+
+def test_overlap_actually_happens():
+    """With NEXT_PHASE, two phases must be in flight simultaneously.
+
+    The kernels sleep (releasing the GIL) so the phase-boundary overlap
+    window is macroscopic and the concurrency is guaranteed, not racy.
+    """
+    import time
+
+    n = 48
+
+    def sleepy(i, arrays):
+        time.sleep(0.002)
+
+    executor = ThreadedExecutor(n_workers=8, policy=OverlapPolicy.NEXT_PHASE)
+    executor.execute(
+        [KernelPhase("one", n, sleepy), KernelPhase("two", n, sleepy)],
+        [UniversalMapping()],
+        {},
+    )
+    assert executor.max_phases_in_flight >= 2
+
+
+def test_barrier_never_overlaps():
+    frag = universal_fragment(300)
+    executor = ThreadedExecutor(n_workers=8, policy=OverlapPolicy.NONE)
+    rng = np.random.default_rng(0)
+    inputs = frag.make_inputs(rng)
+    program = frag.program
+    phases = [
+        KernelPhase(n, program.phases[n].n_granules, frag.kernels[n])
+        for n in program.phase_sequence()
+    ]
+    mappings = [program.mapping_between(a, b) for a, b, _ in program.adjacent_pairs()]
+    executor.execute(phases, mappings, inputs)
+    assert executor.max_phases_in_flight == 1
+
+
+def test_kernel_exception_propagates():
+    def boom(i, arrays):
+        raise RuntimeError("kernel failure")
+
+    executor = ThreadedExecutor(n_workers=4)
+    with pytest.raises(RuntimeError, match="kernel failure"):
+        executor.execute([KernelPhase("p", 8, boom)], [], {})
+
+
+def test_mapping_count_validated():
+    executor = ThreadedExecutor(n_workers=2)
+    with pytest.raises(ValueError):
+        executor.execute(
+            [KernelPhase("p", 1, lambda i, a: None)], [IdentityMapping()], {}
+        )
+
+
+def test_fragment_without_kernels_rejected():
+    from repro.workloads.fragments import Fragment
+
+    frag = universal_fragment(8)
+    bare = Fragment(frag.program, frag.reference, frag.make_inputs, kernels=None)
+    with pytest.raises(ValueError):
+        run_fragment_threaded(bare)
+
+
+def test_worker_count_validation():
+    with pytest.raises(ValueError):
+        ThreadedExecutor(n_workers=0)
+
+
+def test_seam_mapped_checkerboard_sor_threaded():
+    """Overlapped red/black SOR sweeps on threads equal the solver exactly.
+
+    Granules are grid rows; the seam mapping with offsets (-1, 0, 1)
+    releases a black row only once its red row and both neighbours are
+    done — the paper's foreseen checkerboard seam.  A red-row kernel
+    writes only red cells and reads only black cells (and vice versa), so
+    any seam-respecting interleaving must reproduce the full-array sweep
+    bit for bit.
+    """
+    from repro.workloads.checkerboard import CheckerboardSOR
+
+    n = 24
+    n_iterations = 3
+    reference = CheckerboardSOR(n)
+    reference.set_boundary(top=1.0, left=-0.5)
+    omega = reference.omega
+
+    u = reference.u.copy()
+    f = reference.f.copy()
+    arrays = {"u": u}
+    col = np.arange(1, n + 1)
+
+    def sweep_row(parity: int):
+        def kernel(i: int, a: dict) -> None:
+            uu = a["u"]
+            r = i + 1
+            mask = (r + col) % 2 == parity
+            nb = uu[r - 1, 1:-1] + uu[r + 1, 1:-1] + uu[r, :-2] + uu[r, 2:]
+            gs = 0.25 * (nb - f[i])
+            row = uu[r, 1:-1]
+            row[mask] = (1.0 - omega) * row[mask] + omega * gs[mask]
+
+        return kernel
+
+    phases = []
+    mappings = []
+    for t in range(n_iterations):
+        phases.append(KernelPhase(f"red{t}", n, sweep_row(0)))
+        phases.append(KernelPhase(f"black{t}", n, sweep_row(1)))
+    for _ in range(len(phases) - 1):
+        mappings.append(SeamMapping((-1, 0, 1)))
+
+    executor = ThreadedExecutor(n_workers=8, policy=OverlapPolicy.NEXT_PHASE)
+    executor.execute(phases, mappings, arrays)
+
+    for _ in range(n_iterations):
+        reference.iterate()
+    assert np.array_equal(arrays["u"], reference.u)
+
+
+def test_three_phase_chain_threaded():
+    """A 3-phase identity pipeline: B=A, C=B, D=C."""
+    n = 200
+    phases = [
+        KernelPhase("ab", n, lambda i, a: a["B"].__setitem__(i, a["A"][i])),
+        KernelPhase("bc", n, lambda i, a: a["C"].__setitem__(i, a["B"][i])),
+        KernelPhase("cd", n, lambda i, a: a["D"].__setitem__(i, a["C"][i])),
+    ]
+    rng = np.random.default_rng(3)
+    arrays = {"A": rng.random(n), "B": np.zeros(n), "C": np.zeros(n), "D": np.zeros(n)}
+    expected = arrays["A"].copy()
+    executor = ThreadedExecutor(n_workers=6, policy=OverlapPolicy.NEXT_PHASE)
+    executor.execute(phases, [IdentityMapping(), IdentityMapping()], arrays)
+    assert np.array_equal(arrays["D"], expected)
+
+
+@st.composite
+def _chain_spec(draw):
+    n_phases = draw(st.integers(2, 4))
+    n = draw(st.integers(6, 40))
+    kinds = [draw(st.sampled_from(["identity", "universal", "seam"])) for _ in range(n_phases - 1)]
+    workers = draw(st.integers(1, 8))
+    return n_phases, n, kinds, workers
+
+
+@settings(max_examples=25, deadline=None)
+@given(_chain_spec(), st.integers(0, 999))
+def test_random_threaded_chains_equal_sequential(spec, seed):
+    """Random identity/universal/seam chains on threads reproduce the
+    sequential result exactly — the functional half of the overlap
+    theorem, fuzzed."""
+    n_phases, n, kinds, workers = spec
+    rng = np.random.default_rng(seed)
+    x0 = rng.random(n)
+
+    arrays = {"x0": x0.copy()}
+    for k in range(1, n_phases):
+        arrays[f"x{k}"] = np.zeros(n)
+
+    def make_kernel(k: int, kind_in: str):
+        src, dst = f"x{k - 1}", f"x{k}"
+        if kind_in == "seam":
+            def kernel(i, a):
+                lo, hi = max(0, i - 1), min(n, i + 2)
+                a[dst][i] = a[src][lo:hi].sum() / (hi - lo) + 0.01 * k
+        else:  # identity and universal both read only element i (or nothing)
+            def kernel(i, a):
+                a[dst][i] = 2.0 * a[src][i] + k
+        return kernel
+
+    phases = [
+        KernelPhase(
+            f"p{k}", n, make_kernel(k, kinds[k - 1]) if k > 0 else (lambda i, a: None)
+        )
+        for k in range(n_phases)
+    ]
+    mappings = []
+    for kind in kinds:
+        if kind == "identity":
+            mappings.append(IdentityMapping())
+        elif kind == "universal":
+            # universal is only SAFE when the successor reads nothing the
+            # predecessor writes; our kernels do read, so declare identity
+            # instead — 'universal' here only varies the chain shape
+            mappings.append(IdentityMapping())
+        else:
+            mappings.append(SeamMapping((-1, 0, 1)))
+
+    # sequential reference
+    ref = {k: v.copy() for k, v in arrays.items()}
+    for k in range(1, n_phases):
+        kernel = phases[k].kernel
+        for i in range(n):
+            kernel(i, ref)
+
+    executor = ThreadedExecutor(n_workers=workers, policy=OverlapPolicy.NEXT_PHASE)
+    executor.execute(phases, mappings, arrays)
+    for key in ref:
+        assert np.array_equal(arrays[key], ref[key]), key

@@ -1,0 +1,108 @@
+"""The keystone property: classification never authorizes unsafe overlap.
+
+The classifier inspects two phases' declared footprints and names an
+enablement mapping; the predicate machinery independently checks the
+paper's overlap theorem (every enabled successor granule must be
+PARALLEL with every uncompleted current granule).  If the classifier
+ever names a mapping the theorem rejects, the system would corrupt data
+while claiming safety — so we fuzz random footprint pairs and require:
+
+    classify_pair(p, q).kind overlappable
+        ⟹  overlap_is_safe(p, q, build_mapping(...)) is True.
+
+The converse need not hold (the classifier is allowed to be
+conservative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access import (
+    AccessPattern,
+    AffineIndex,
+    AllIndex,
+    ArrayRef,
+    ConstIndex,
+    MappedIndex,
+)
+from repro.core.classifier import build_mapping, classify_pair
+from repro.core.mapping import MappingKind
+from repro.core.phase import PhaseSpec
+from repro.core.predicate import overlap_is_safe
+
+ARRAYS = ["A", "B", "C"]
+N = 16
+FAN = 2
+
+
+@st.composite
+def _index(draw):
+    kind = draw(st.sampled_from(["ident", "offset", "mapped", "fanned", "all", "const"]))
+    if kind == "ident":
+        return AffineIndex(1, 0)
+    if kind == "offset":
+        return AffineIndex(1, draw(st.integers(-2, 2)))
+    if kind == "mapped":
+        return MappedIndex("M1", fan_in=1)
+    if kind == "fanned":
+        return MappedIndex("M2", fan_in=FAN)
+    if kind == "all":
+        return AllIndex()
+    return ConstIndex(draw(st.integers(0, N - 1)))
+
+
+@st.composite
+def _pattern(draw):
+    n_reads = draw(st.integers(0, 3))
+    n_writes = draw(st.integers(0, 2))
+    reads = tuple(
+        ArrayRef(draw(st.sampled_from(ARRAYS)), draw(_index())) for _ in range(n_reads)
+    )
+    writes = tuple(
+        ArrayRef(draw(st.sampled_from(ARRAYS)), draw(_index())) for _ in range(n_writes)
+    )
+    return AccessPattern(reads=reads, writes=writes)
+
+
+def _intra_phase_ok(pattern: AccessPattern) -> bool:
+    """Discard phases that violate the paper's intra-phase axiom
+    (distinct granules of one phase must themselves be parallel) —
+    such phases could not be executed in parallel at all."""
+    from repro.core.predicate import check_intra_phase
+
+    spec = PhaseSpec("tmp", N, access=pattern)
+    maps = {
+        "M1": np.arange(N) % N,
+        "M2": np.vstack([np.arange(N), (np.arange(N) + 3) % N]),
+    }
+    try:
+        return check_intra_phase(spec, maps=maps)
+    except KeyError:
+        return False
+
+
+@settings(max_examples=300, deadline=None)
+@given(_pattern(), _pattern(), st.integers(0, 9999))
+def test_classifier_never_authorizes_unsafe_overlap(pat_a, pat_b, seed):
+    rng = np.random.default_rng(seed)
+    maps = {
+        "M1": rng.integers(0, N, size=N),
+        "M2": rng.integers(0, N, size=(FAN, N)),
+    }
+    if not _intra_phase_ok(pat_a) or not _intra_phase_ok(pat_b):
+        return  # phases that are not internally parallel are out of scope
+    pred = PhaseSpec("pred", N, access=pat_a)
+    succ = PhaseSpec("succ", N, access=pat_b)
+    verdict = classify_pair(pred, succ)
+    if not verdict.kind.overlappable:
+        return  # conservative refusal is always fine
+    mapping = build_mapping(verdict)
+    report = overlap_is_safe(pred, succ, mapping, maps=maps, sample_limit=2048)
+    assert report.safe, (
+        f"classifier said {verdict.kind.value} ({verdict.reason}) but the overlap "
+        f"theorem found violations {report.violations} "
+        f"for pred={pat_a} succ={pat_b}"
+    )

@@ -1,0 +1,187 @@
+"""Edge-case and stress tests for the executive scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.granule import GranuleSet
+from repro.core.mapping import (
+    IdentityMapping,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.core.overlap import OverlapConfig, OverlapPolicy
+from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec, SerialAction
+from repro.executive import ExecutiveCosts, Extensions, TaskSizer, run_program
+from repro.sim.machine import ExecutivePlacement
+from repro.workloads.generators import ConditionalCost, LognormalCost, UniformCost
+
+
+class TestTinyPhases:
+    def test_single_granule_phases(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 1), PhaseSpec("b", 1), PhaseSpec("c", 1)],
+            [IdentityMapping(), UniversalMapping()],
+        )
+        r = run_program(prog, 4, config=OverlapConfig(), costs=small_costs)
+        assert r.granules_executed == 3
+
+    def test_one_worker_one_granule(self, small_costs):
+        prog = PhaseProgram([PhaseSpec("only", 1)])
+        r = run_program(prog, 1, costs=small_costs)
+        assert r.granules_executed == 1
+        assert r.phase_stats[0].tasks == 1
+
+    def test_more_phases_than_granules(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec(f"p{i}", 2) for i in range(10)],
+            [IdentityMapping()] * 9,
+        )
+        r = run_program(prog, 8, config=OverlapConfig(), costs=small_costs)
+        assert r.granules_executed == 20
+
+
+class TestStochasticCosts:
+    @pytest.mark.parametrize(
+        "cost",
+        [UniformCost(0.5, 1.5), LognormalCost(1.0, 0.6), ConditionalCost(1.0, 0.3, 0.01)],
+    )
+    def test_stochastic_cost_models_complete(self, cost, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 60, cost), PhaseSpec("b", 60, cost)], [IdentityMapping()]
+        )
+        r = run_program(prog, 6, config=OverlapConfig(), costs=small_costs, seed=7)
+        assert r.granules_executed == 120
+        assert r.compute_time > 0
+
+    def test_seed_changes_stochastic_makespan(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 60, LognormalCost(1.0, 0.8)), PhaseSpec("b", 60)],
+            [IdentityMapping()],
+        )
+        r1 = run_program(prog, 6, costs=small_costs, seed=1)
+        r2 = run_program(prog, 6, costs=small_costs, seed=2)
+        assert r1.makespan != r2.makespan
+
+    def test_same_seed_reproduces_stochastic_run(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 60, UniformCost()), PhaseSpec("b", 60, UniformCost())],
+            [SeamMapping((-1, 0, 1))],
+        )
+        r1 = run_program(prog, 6, config=OverlapConfig(), costs=small_costs, seed=42)
+        r2 = run_program(prog, 6, config=OverlapConfig(), costs=small_costs, seed=42)
+        assert r1.makespan == r2.makespan
+        assert r1.compute_time == r2.compute_time
+
+
+class TestRepeatedPhasesInSchedule:
+    def test_same_phase_multiple_occurrences(self, small_costs):
+        phases = [PhaseSpec("sweep", 24), PhaseSpec("reduce", 12)]
+        prog = PhaseProgram(phases, ["sweep", "reduce", "sweep", "reduce"])
+        r = run_program(prog, 4, costs=small_costs)
+        assert r.granules_executed == 72
+        assert len(r.phase_stats) == 4
+        names = [s.name for s in r.phase_stats]
+        assert names == ["sweep", "reduce", "sweep", "reduce"]
+
+    def test_links_apply_to_every_occurrence(self, small_costs):
+        from repro.core.phase import PhaseLink
+
+        phases = [PhaseSpec("a", 24), PhaseSpec("b", 24)]
+        prog = PhaseProgram(
+            phases,
+            ["a", "b", "a", "b"],
+            [PhaseLink("a", "b", IdentityMapping()), PhaseLink("b", "a", UniversalMapping())],
+        )
+        r = run_program(prog, 4, config=OverlapConfig(), costs=small_costs)
+        # every non-initial run was overlap-initiated
+        assert all(s.overlapped for s in r.phase_stats[1:])
+
+    def test_trailing_serial_action_never_runs(self, small_costs):
+        phases = [PhaseSpec("a", 8)]
+        prog = PhaseProgram(phases, ["a", SerialAction("tail", 99.0)])
+        r = run_program(prog, 2, costs=small_costs)
+        assert r.serial_time == 0.0
+
+
+class TestSharedPlacementEdges:
+    def test_single_worker_shared_executive(self, small_costs):
+        # worker 0 alternates between all management and all computation
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 12), PhaseSpec("b", 12)], [IdentityMapping()]
+        )
+        r = run_program(prog, 1, config=OverlapConfig(), costs=small_costs,
+                        placement=ExecutivePlacement.SHARED)
+        assert r.granules_executed == 24
+        # everything ran on P0: compute + mgmt account for the makespan
+        busy = r.trace.busy_time("P0")
+        assert busy == pytest.approx(r.makespan, rel=0.05)
+
+    def test_shared_with_max_middle_managers(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 40), PhaseSpec("b", 40)], [IdentityMapping()]
+        )
+        r = run_program(prog, 4, config=OverlapConfig(), costs=small_costs,
+                        placement=ExecutivePlacement.SHARED,
+                        extensions=Extensions(middle_managers=4))
+        assert r.granules_executed == 80
+
+
+class TestZeroCostEverything:
+    def test_all_zero_durations_terminate(self):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 16, ConstantCost(0.0)), PhaseSpec("b", 16, ConstantCost(0.0))],
+            [IdentityMapping()],
+        )
+        r = run_program(prog, 4, config=OverlapConfig(), costs=ExecutiveCosts.free())
+        assert r.makespan == 0.0
+        assert r.granules_executed == 32
+
+
+class TestGranuleAccounting:
+    def test_assigned_equals_completed_equals_universe(self, small_costs):
+        from repro.executive import ExecutiveSimulation
+
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 50), PhaseSpec("b", 50)], [IdentityMapping()]
+        )
+        sim = ExecutiveSimulation(prog, 6, config=OverlapConfig(), costs=small_costs)
+        sim.run()
+        for run in sim.runs:
+            assert run.assigned == GranuleSet.universe(run.n)
+            assert run.completed == GranuleSet.universe(run.n)
+            assert not run.queued
+
+    def test_reverse_indirect_duplicate_map_entries(self, small_costs):
+        # every successor granule requires the same single predecessor
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 30), PhaseSpec("b", 30)],
+            [ReverseIndirectMapping("M", fan_in=1)],
+            map_generators={"M": lambda rng: np.zeros(30, dtype=int)},
+        )
+        r = run_program(prog, 4, config=OverlapConfig(), costs=small_costs)
+        assert r.granules_executed == 60
+
+    def test_null_then_universal_sequence(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 20), PhaseSpec("b", 20), PhaseSpec("c", 20)],
+            [NullMapping(serial_cost=2.0), UniversalMapping()],
+        )
+        r = run_program(prog, 4, config=OverlapConfig(), costs=small_costs)
+        assert r.granules_executed == 60
+        assert r.serial_time == pytest.approx(2.0)
+        assert not r.phase_stats[1].overlapped
+        assert r.phase_stats[2].overlapped
+
+
+class TestBarrierPolicyIgnoresLinks:
+    def test_barrier_never_overlaps_even_with_links(self, small_costs):
+        prog = PhaseProgram.chain(
+            [PhaseSpec("a", 40), PhaseSpec("b", 40)], [UniversalMapping()]
+        )
+        r = run_program(prog, 4, config=OverlapConfig(policy=OverlapPolicy.NONE),
+                        costs=small_costs)
+        assert not any(s.overlapped for s in r.phase_stats)

@@ -1,0 +1,67 @@
+"""Tests for task sizing policy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executive.splitting import TaskSizer
+
+
+class TestTaskSizer:
+    def test_paper_rule_two_tasks_per_processor(self):
+        s = TaskSizer(tasks_per_processor=2.0)
+        # 64 granules / (2 * 8 workers) = 4 granules per task
+        assert s.task_size(64, 8) == 4
+        assert s.n_tasks(64, 8) == 16
+
+    def test_rounding_up(self):
+        s = TaskSizer(tasks_per_processor=2.0)
+        assert s.task_size(65, 8) == math.ceil(65 / 16)
+
+    def test_min_task_size_floor(self):
+        s = TaskSizer(tasks_per_processor=8.0, min_task_size=5)
+        assert s.task_size(16, 8) == 5
+
+    def test_max_task_size_ceiling(self):
+        s = TaskSizer(tasks_per_processor=0.5, max_task_size=10)
+        assert s.task_size(1000, 4) == 10
+
+    def test_never_exceeds_phase(self):
+        s = TaskSizer(tasks_per_processor=0.1, min_task_size=50)
+        assert s.task_size(8, 4) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSizer(tasks_per_processor=0)
+        with pytest.raises(ValueError):
+            TaskSizer(min_task_size=0)
+        with pytest.raises(ValueError):
+            TaskSizer(min_task_size=5, max_task_size=4)
+        s = TaskSizer()
+        with pytest.raises(ValueError):
+            s.task_size(0, 4)
+        with pytest.raises(ValueError):
+            s.task_size(4, 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=100_000),
+    st.integers(min_value=1, max_value=2000),
+    st.floats(min_value=0.25, max_value=16, allow_nan=False),
+)
+def test_task_size_invariants(n, p, tpp):
+    s = TaskSizer(tasks_per_processor=tpp)
+    size = s.task_size(n, p)
+    assert 1 <= size <= n
+    # task count achieves at least the requested parallel slack when the
+    # phase is large enough to allow it
+    n_tasks = s.n_tasks(n, p)
+    assert n_tasks * size >= n
+    if n >= tpp * p:
+        # double ceiling can halve the requested slack but no worse
+        assert n_tasks >= tpp * p / 2 or size == 1

@@ -1,0 +1,151 @@
+"""Tests for trace interval recording and utilization timelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventKind, LogRecord
+from repro.sim.trace import Interval, Trace, merge_intervals, utilization_timeline
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval("P0", 1.0, 3.5).duration == 2.5
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval("P0", 3.0, 1.0)
+
+    def test_overlaps(self):
+        a = Interval("P0", 0.0, 2.0)
+        assert a.overlaps(Interval("P0", 1.0, 3.0))
+        assert not a.overlaps(Interval("P0", 2.0, 3.0))
+
+
+class TestLogRecord:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LogRecord(-1.0, EventKind.NOTE, "x")
+
+
+class TestMergeIntervals:
+    def test_merges_overlap_and_adjacency(self):
+        got = merge_intervals([(0, 2), (1, 3), (3, 4), (10, 11)])
+        assert got == [(0, 4), (10, 11)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([(1, 1), (2, 2)]) == []
+
+
+class TestTrace:
+    def test_begin_end_records_interval(self):
+        tr = Trace()
+        tr.begin("P0", 1.0, "compute", "taskA")
+        iv = tr.end("P0", 4.0, "compute")
+        assert iv.duration == 3.0
+        assert tr.busy_time("P0", "compute") == 3.0
+
+    def test_double_begin_rejected(self):
+        tr = Trace()
+        tr.begin("P0", 0.0)
+        with pytest.raises(RuntimeError):
+            tr.begin("P0", 1.0)
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(RuntimeError):
+            Trace().end("P0", 1.0)
+
+    def test_categories_independent(self):
+        tr = Trace()
+        tr.begin("P0", 0.0, "compute")
+        tr.begin("P0", 0.0, "mgmt")  # same resource, different category: fine
+        tr.end("P0", 1.0, "compute")
+        tr.end("P0", 2.0, "mgmt")
+        assert tr.busy_time("P0", "compute") == 1.0
+        assert tr.busy_time("P0", "mgmt") == 2.0
+        # merged across categories
+        assert tr.busy_time("P0") == 2.0
+
+    def test_span_and_makespan(self):
+        tr = Trace()
+        tr.add_interval(Interval("P0", 1.0, 2.0))
+        tr.add_interval(Interval("P1", 0.5, 5.0))
+        assert tr.span() == (0.5, 5.0)
+        assert tr.makespan() == 5.0
+
+    def test_empty_trace(self):
+        tr = Trace()
+        assert tr.span() == (0.0, 0.0)
+        assert tr.busy_time() == 0.0
+        assert tr.resources() == []
+
+    def test_records_of(self):
+        tr = Trace()
+        tr.log(1.0, EventKind.PHASE_START, "a")
+        tr.log(2.0, EventKind.TASK_START, "P0")
+        tr.log(3.0, EventKind.PHASE_START, "b")
+        assert [r.subject for r in tr.records_of(EventKind.PHASE_START)] == ["a", "b"]
+
+
+class TestUtilizationTimeline:
+    def test_simple_step_function(self):
+        tr = Trace()
+        tr.add_interval(Interval("P0", 0.0, 2.0))
+        tr.add_interval(Interval("P1", 1.0, 3.0))
+        times, counts = utilization_timeline(tr, 2)
+        assert list(times) == [0.0, 1.0, 2.0, 3.0]
+        assert list(counts) == [1, 2, 1, 0]
+
+    def test_empty(self):
+        times, counts = utilization_timeline(Trace(), 4)
+        assert list(counts) == [0]
+
+    def test_coincident_boundaries(self):
+        tr = Trace()
+        tr.add_interval(Interval("P0", 0.0, 1.0))
+        tr.add_interval(Interval("P1", 1.0, 2.0))
+        times, counts = utilization_timeline(tr, 2)
+        # at t=1 the -1 and +1 cancel: still one busy processor
+        assert list(times) == [0.0, 1.0, 2.0]
+        assert list(counts) == [1, 1, 0]
+
+    def test_category_filter(self):
+        tr = Trace()
+        tr.add_interval(Interval("P0", 0.0, 1.0, "compute"))
+        tr.add_interval(Interval("P0", 1.0, 5.0, "mgmt"))
+        _, counts = utilization_timeline(tr, 1, category="compute")
+        assert max(counts) == 1
+        _, counts = utilization_timeline(tr, 1, category="mgmt")
+        assert max(counts) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 50, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_timeline_integral_equals_busy_time(raw):
+    """The integral of the busy-count step function equals total busy time."""
+    tr = Trace()
+    for proc, start, dur in raw:
+        tr.add_interval(Interval(f"P{proc}", start, start + dur))
+    times, counts = utilization_timeline(tr, 5)
+    if len(times) > 1:
+        integral = float(np.sum(counts[:-1] * np.diff(times)))
+    else:
+        integral = 0.0
+    total = sum(tr.busy_time(r) for r in tr.resources())
+    # busy_time merges per-resource overlap; the timeline counts overlapping
+    # intervals on one resource multiple times, so compare against raw sums
+    raw_total = sum(d for _, _, d in raw)
+    assert integral == pytest.approx(raw_total, rel=1e-9, abs=1e-9)
+    assert total <= raw_total + 1e-9
