@@ -1,0 +1,85 @@
+"""Observability overhead: instrumented simulate path vs a no-op bus.
+
+The telemetry layer claims to be cheap enough to leave on: hot paths
+cache metric handles, and every publish site is a single attribute call.
+This benchmark runs the same simulated workload with full telemetry
+(event bus delivering to the default metric subscriptions) and with a
+:class:`~repro.obs.events.NullEventBus` baseline (identical call sites,
+every event dropped), and asserts the full path stays within ~10 % —
+plus an absolute slack absorbing timer noise on runs this short.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core.mapping import IdentityMapping
+from repro.core.overlap import OverlapConfig
+from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec
+from repro.executive import run_program
+from repro.metrics.report import format_table
+from repro.obs import NullEventBus, Telemetry
+
+N = 256
+WORKERS = 8
+REPEATS = 5
+REL_BUDGET = 1.10  # full telemetry within 10 % of the no-op bus
+ABS_SLACK = 0.05  # seconds; noise/constant floor for sub-100 ms runs
+PER_EVENT_BUDGET_US = 15.0  # publish + metric handlers, per event
+
+
+def program() -> PhaseProgram:
+    return PhaseProgram.chain(
+        [
+            PhaseSpec("A", N, ConstantCost(1.0)),
+            PhaseSpec("B", N, ConstantCost(1.0)),
+            PhaseSpec("C", N, ConstantCost(1.0)),
+        ],
+        [IdentityMapping(), IdentityMapping()],
+    )
+
+
+def best_of(make_telemetry) -> tuple[float, Telemetry]:
+    """Minimum wall time over REPEATS runs (min filters scheduler noise)."""
+    best = float("inf")
+    telemetry = None
+    for _ in range(REPEATS):
+        t = make_telemetry()
+        t0 = time.perf_counter()
+        run_program(program(), WORKERS, config=OverlapConfig(), telemetry=t)
+        best = min(best, time.perf_counter() - t0)
+        telemetry = t
+    return best, telemetry
+
+
+def test_obs_overhead_within_budget():
+    null_s, _ = best_of(lambda: Telemetry(bus=NullEventBus()))
+    full_s, full_t = best_of(Telemetry)
+
+    ratio = full_s / null_s if null_s > 0 else 1.0
+    n_events = full_t.bus.events_published
+    per_event_us = (full_s - null_s) * 1e6 / n_events if n_events else 0.0
+    emit(
+        "OBS — instrumentation overhead on the simulate path",
+        format_table(
+            ["bus", "best of %d (s)" % REPEATS, "events", "us/event"],
+            [
+                ["null", f"{null_s:.4f}", "0", ""],
+                ["full", f"{full_s:.4f}", str(n_events), f"{per_event_us:.2f}"],
+                ["ratio", f"{ratio:.3f}", "", ""],
+            ],
+        ),
+    )
+
+    # the full bus actually did the work the null bus dropped
+    assert n_events > 0
+    assert full_t.metrics.get("scheduler.granules_completed_total").total() == 3 * N
+
+    assert full_s <= null_s * REL_BUDGET + ABS_SLACK, (
+        f"telemetry overhead {ratio:.2f}x exceeds {REL_BUDGET:.2f}x budget "
+        f"(full={full_s:.4f}s null={null_s:.4f}s)"
+    )
+    assert per_event_us <= PER_EVENT_BUDGET_US, (
+        f"per-event cost {per_event_us:.2f}us exceeds {PER_EVENT_BUDGET_US}us"
+    )

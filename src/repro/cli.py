@@ -9,6 +9,13 @@ Commands
 ``simulate``
     Run a built-in workload on the simulated executive and report
     makespan/utilization (optionally an ASCII Gantt chart).
+``stats``
+    Run a built-in workload with full telemetry and print the overlap
+    admission decisions, per-processor rundown idle attribution, and the
+    complete metrics snapshot.
+``export-trace FILE``
+    Convert a saved run (``simulate --save``) to a Chrome trace-event
+    JSON (loadable in Perfetto / chrome://tracing) or a spans JSONL.
 ``compile FILE``
     Verify and compile a PAX-language source file; print the resolved
     schedule and enablement links, optionally simulate it.
@@ -46,20 +53,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_left.add_argument("processors", type=int)
 
     p_sim = sub.add_parser("simulate", help="run a built-in workload")
-    p_sim.add_argument(
-        "workload",
-        choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
-    )
-    p_sim.add_argument("--workers", type=int, default=8)
-    p_sim.add_argument("--barrier", action="store_true", help="strict phase barriers")
-    p_sim.add_argument("--shared-executive", action="store_true")
-    p_sim.add_argument("--middle-managers", type=int, default=1)
-    p_sim.add_argument("--lateral-handoff", action="store_true")
-    p_sim.add_argument("--seed", type=int, default=0)
-    p_sim.add_argument("--tasks-per-processor", type=float, default=2.0)
+    _add_run_options(p_sim)
     p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p_sim.add_argument("--gantt-width", type=int, default=100)
     p_sim.add_argument("--save", metavar="FILE", help="write the run (summary + trace) to JSON")
+
+    p_stats = sub.add_parser(
+        "stats", help="run a workload with telemetry; print the metrics snapshot"
+    )
+    _add_run_options(p_stats)
+    p_stats.add_argument("--save", metavar="FILE", help="write the run (summary + trace) to JSON")
+
+    p_export = sub.add_parser(
+        "export-trace", help="convert a saved run to a Chrome trace / spans JSONL"
+    )
+    p_export.add_argument("file", help="JSON written by `simulate --save` (or save_trace)")
+    p_export.add_argument(
+        "--format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="chrome trace-event JSON (Perfetto-loadable) or spans JSONL",
+    )
+    p_export.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        help="output path (default: input stem + .trace.json / .spans.jsonl)",
+    )
 
     p_gantt = sub.add_parser("gantt", help="render a saved trace as an ASCII Gantt chart")
     p_gantt.add_argument("file", help="JSON written by `simulate --save` (or save_trace)")
@@ -80,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_comp.add_argument("--run", action="store_true", help="also simulate the program")
     p_comp.add_argument("--workers", type=int, default=8)
     return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """Workload/executive options shared by ``simulate`` and ``stats``."""
+    parser.add_argument(
+        "workload",
+        choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
+    )
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--barrier", action="store_true", help="strict phase barriers")
+    parser.add_argument("--shared-executive", action="store_true")
+    parser.add_argument("--middle-managers", type=int, default=1)
+    parser.add_argument("--lateral-handoff", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tasks-per-processor", type=float, default=2.0)
 
 
 def _workload(name: str):
@@ -126,7 +161,8 @@ def _cmd_leftover(args, out) -> int:
     return 0
 
 
-def _cmd_simulate(args, out) -> int:
+def _run_workload(args, telemetry=None):
+    """Build and run the workload described by shared ``_add_run_options``."""
     program = _workload(args.workload)
     config = OverlapConfig.barrier() if args.barrier else OverlapConfig()
     placement = (
@@ -136,7 +172,7 @@ def _cmd_simulate(args, out) -> int:
         middle_managers=args.middle_managers,
         lateral_handoff=args.lateral_handoff,
     )
-    result = run_program(
+    return run_program(
         program,
         args.workers,
         config=config,
@@ -145,7 +181,12 @@ def _cmd_simulate(args, out) -> int:
         placement=placement,
         seed=args.seed,
         extensions=extensions,
+        telemetry=telemetry,
     )
+
+
+def _cmd_simulate(args, out) -> int:
+    result = _run_workload(args)
     mode = "barrier" if args.barrier else "next-phase overlap"
     print(f"workload     : {args.workload} ({mode})", file=out)
     print(f"makespan     : {result.makespan:.2f}", file=out)
@@ -168,18 +209,98 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
-def _cmd_gantt(args, out) -> int:
+def _cmd_stats(args, out) -> int:
+    from repro.metrics import merged_rundown_windows, rundown_idle_by_processor
+    from repro.obs import Telemetry, record_rundown_metrics, render_snapshot
+
+    telemetry = Telemetry()
+    result = _run_workload(args, telemetry=telemetry)
+    record_rundown_metrics(result, telemetry.metrics)
+
+    mode = "barrier" if args.barrier else "next-phase overlap"
+    print(f"workload     : {args.workload} ({mode})", file=out)
+    print(f"makespan     : {result.makespan:.2f}", file=out)
+    print(f"utilization  : {result.utilization:.1%}", file=out)
+    print(f"bus events   : {telemetry.bus.events_published}", file=out)
+
+    print("\noverlap admissions", file=out)
+    if not result.admission_decisions:
+        print("  (no adjacent phase pairs considered)", file=out)
+    for d in result.admission_decisions:
+        verdict = "admitted" if d.admitted else f"rejected: {d.reason}"
+        kind = f" [{d.mapping_kind}]" if d.mapping_kind else ""
+        print(f"  {d.predecessor} -> {d.successor}{kind}  {verdict}", file=out)
+
+    windows = merged_rundown_windows(result)
+    idle = rundown_idle_by_processor(result)
+    window_total = sum(e - s for s, e in windows)
+    print("\nrundown idle attribution", file=out)
+    print(
+        f"  merged windows : {len(windows)} spanning {window_total:.2f} sim-seconds",
+        file=out,
+    )
+    for processor, seconds in idle.items():
+        share = seconds / window_total if window_total > 0 else 0.0
+        print(f"  {processor:<6} idle {seconds:10.2f}s  ({share:6.1%} of window)", file=out)
+    print(f"  total idle     : {sum(idle.values()):.2f} processor-seconds", file=out)
+
+    print("\nmetrics snapshot", file=out)
+    print(render_snapshot(telemetry.metrics.snapshot()), file=out)
+    if args.save:
+        from repro.sim.persist import save_result
+
+        save_result(result, args.save)
+        print(f"\nsaved run to {args.save}", file=out)
+    return 0
+
+
+def _load_run_json(path: str):
     import json
 
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return data.get("trace", data)  # accept bare traces too
+
+
+def _cmd_export_trace(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import chrome_trace_from_trace, export_jsonl, spans_from_trace
     from repro.sim.persist import trace_from_dict
 
     try:
-        with open(args.file, "r", encoding="utf-8") as fh:
-            data = json.load(fh)
+        trace_data = _load_run_json(args.file)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    trace_data = data.get("trace", data)  # accept bare traces too
+    trace = trace_from_dict(trace_data)
+    suffix = ".trace.json" if args.format == "chrome" else ".spans.jsonl"
+    output = args.output or str(Path(args.file).with_suffix("")) + suffix
+    try:
+        if args.format == "chrome":
+            payload = chrome_trace_from_trace(trace)
+            Path(output).write_text(json.dumps(payload), encoding="utf-8")
+            n = len(payload["traceEvents"])
+        else:
+            spans = spans_from_trace(trace)
+            export_jsonl(spans, output)
+            n = len(spans)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {n} {args.format} events to {output}", file=out)
+    return 0
+
+
+def _cmd_gantt(args, out) -> int:
+    from repro.sim.persist import trace_from_dict
+
+    try:
+        trace_data = _load_run_json(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     trace = trace_from_dict(trace_data)
     print(render_gantt(trace, width=args.width, t0=args.t0, t1=args.t1), file=out)
     return 0
@@ -225,6 +346,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_leftover(args, out)
         if args.command == "simulate":
             return _cmd_simulate(args, out)
+        if args.command == "stats":
+            return _cmd_stats(args, out)
+        if args.command == "export-trace":
+            return _cmd_export_trace(args, out)
         if args.command == "compile":
             return _cmd_compile(args, out)
         if args.command == "gantt":

@@ -10,7 +10,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["OverlapPolicy", "SplitStrategy", "OverlapConfig"]
+__all__ = [
+    "OverlapPolicy",
+    "SplitStrategy",
+    "OverlapConfig",
+    "AdmissionDecision",
+    "admission_decision",
+]
 
 
 class OverlapPolicy(enum.Enum):
@@ -94,3 +100,55 @@ class OverlapConfig:
     def barrier(cls) -> "OverlapConfig":
         """The no-overlap baseline."""
         return cls(policy=OverlapPolicy.NONE)
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """The executive's verdict on one phase-overlap opportunity.
+
+    Every adjacent phase pair the executive considers yields exactly one
+    decision; the observability layer counts them
+    (``overlap.admitted_total`` / ``overlap.rejected_total{reason}``)
+    and :class:`~repro.executive.scheduler.RunResult` keeps the list.
+    """
+
+    predecessor: str
+    successor: str
+    admitted: bool
+    reason: str
+    mapping_kind: str | None = None
+
+
+#: Rejection reasons, in the order the executive checks them.
+REASON_ADMITTED = "admitted"
+REASON_BARRIER_POLICY = "barrier_policy"
+REASON_SERIAL_ACTION = "serial_action"
+REASON_NULL_MAPPING = "null_mapping"
+REASON_UNSAFE = "unsafe"
+
+
+def admission_decision(
+    predecessor: str,
+    successor: str,
+    policy: OverlapPolicy,
+    mapping_kind: "object | None" = None,
+    serial_barrier: bool = False,
+    safe: bool = True,
+) -> AdmissionDecision:
+    """Decide whether phases may overlap, with the reason when they may not.
+
+    The checks mirror the executive's order: the configured policy, a
+    serial inter-phase action (the paper's forced barrier), a
+    non-overlappable (null) mapping, and finally the machine-checked
+    ``PARALLEL(q, r)`` safety verdict.
+    """
+    kind_value = getattr(mapping_kind, "value", mapping_kind)
+    if policy is not OverlapPolicy.NEXT_PHASE:
+        return AdmissionDecision(predecessor, successor, False, REASON_BARRIER_POLICY, kind_value)
+    if serial_barrier:
+        return AdmissionDecision(predecessor, successor, False, REASON_SERIAL_ACTION, kind_value)
+    if mapping_kind is not None and not getattr(mapping_kind, "overlappable", True):
+        return AdmissionDecision(predecessor, successor, False, REASON_NULL_MAPPING, kind_value)
+    if not safe:
+        return AdmissionDecision(predecessor, successor, False, REASON_UNSAFE, kind_value)
+    return AdmissionDecision(predecessor, successor, True, REASON_ADMITTED, kind_value)

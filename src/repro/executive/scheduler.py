@@ -42,14 +42,21 @@ machine's management queue, charged per
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.enablement import EnablementEngine
 from repro.core.granule import GranuleSet
 from repro.core.mapping import EnablementMapping, MappingKind
-from repro.core.overlap import OverlapConfig, OverlapPolicy, SplitStrategy
+from repro.core.overlap import (
+    AdmissionDecision,
+    OverlapConfig,
+    OverlapPolicy,
+    SplitStrategy,
+    admission_decision,
+)
 from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec, SerialAction
 from repro.core.predicate import overlap_is_safe
 from repro.executive.costs import ExecutiveCosts
@@ -57,11 +64,24 @@ from repro.executive.descriptions import ComputationDescription, DescriptionStat
 from repro.executive.extensions import Extensions
 from repro.executive.queues import WaitingComputationQueue
 from repro.executive.splitting import TaskSizer
+from repro.obs.events import (
+    GranuleCompleted,
+    GranuleDispatched,
+    ObsEvent,
+    OverlapAdmitted,
+    OverlapRejected,
+    PhaseEnded,
+    PhaseStarted,
+    QueueDepthChanged,
+)
 from repro.sim.engine import Simulator
 from repro.sim.events import EventKind
 from repro.sim.machine import CHIEF_LANE, ExecutivePlacement, Machine, Processor
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["PhaseRunStats", "StreamStats", "RunResult", "ExecutiveSimulation", "run_program"]
 
@@ -122,6 +142,8 @@ class RunResult:
     granules_executed: int
     #: Worker-to-worker direct successor starts (lateral hand-off extension).
     lateral_handoffs: int = 0
+    #: One verdict per adjacent phase pair the executive considered.
+    admission_decisions: list[AdmissionDecision] = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
@@ -264,6 +286,7 @@ class ExecutiveSimulation:
         placement: ExecutivePlacement = ExecutivePlacement.DEDICATED,
         seed: int = 0,
         extensions: Extensions | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         programs = [program] if isinstance(program, PhaseProgram) else list(program)
         if not programs:
@@ -272,11 +295,13 @@ class ExecutiveSimulation:
         self.costs = costs or ExecutiveCosts()
         self.sizer = sizer or TaskSizer()
         self.ext = extensions or Extensions()
-        self.sim = Simulator()
+        self.obs = telemetry
+        self.sim = Simulator(telemetry)
         self.trace = Trace()
         self.machine = Machine(
             self.sim, self.trace, n_workers, placement,
             n_executives=self.ext.middle_managers,
+            telemetry=telemetry,
         )
         self.machine.on_processor_idle = self._on_idle
         #: worker index -> (start, stop) of the granule *data region* it
@@ -318,10 +343,65 @@ class ExecutiveSimulation:
         self.tasks_executed = 0
         self.granules_executed = 0
         self._finished = False
+        self.admission_decisions: list[AdmissionDecision] = []
+        self._admission_seen: set[tuple[int, int]] = set()
+        # splitting/elevation counters resolved once; None when untelemetered
+        self._m_splits = (
+            telemetry.metrics.counter(
+                "scheduler.splits_total", "description splits performed"
+            )
+            if telemetry is not None
+            else None
+        )
+        self._m_elevated = (
+            telemetry.metrics.counter(
+                "scheduler.elevated_descriptions_total",
+                "enabling granules split out and priority-elevated",
+            )
+            if telemetry is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ helpers
     def _rng(self, name: str) -> np.random.Generator:
         return self.streams_rng.get(name)
+
+    def _publish(self, event: ObsEvent) -> None:
+        if self.obs is not None:
+            self.obs.bus.publish(event)
+
+    def _note_queue_depth(self) -> None:
+        if self.obs is not None:
+            self.obs.bus.publish(QueueDepthChanged(self.sim.now, len(self.queue)))
+
+    def _record_admission(self, run: "_RunState", succ: "_RunState", decision: AdmissionDecision) -> None:
+        """Keep (and publish) one admission verdict per phase pair."""
+        key = (run.gid, succ.gid)
+        if key in self._admission_seen:
+            return
+        self._admission_seen.add(key)
+        self.admission_decisions.append(decision)
+        if self.obs is None:
+            return
+        if decision.admitted:
+            self.obs.bus.publish(
+                OverlapAdmitted(
+                    self.sim.now,
+                    decision.predecessor,
+                    decision.successor,
+                    decision.mapping_kind or "unknown",
+                )
+            )
+        else:
+            self.obs.bus.publish(
+                OverlapRejected(
+                    self.sim.now,
+                    decision.predecessor,
+                    decision.successor,
+                    decision.reason,
+                    decision.mapping_kind,
+                )
+            )
 
     def _next_run(self, run: _RunState) -> _RunState | None:
         if run.index + 1 < len(run.stream.runs):
@@ -387,6 +467,7 @@ class ExecutiveSimulation:
             tasks_executed=self.tasks_executed,
             granules_executed=self.granules_executed,
             lateral_handoffs=self.lateral_handoffs,
+            admission_decisions=list(self.admission_decisions),
         )
 
     # ------------------------------------------------------------------ initiation
@@ -405,6 +486,8 @@ class ExecutiveSimulation:
             self.queue.push(root)
             run.queued = run.enabled
             self.trace.log(self.sim.now, EventKind.PHASE_START, run.spec.name, run=run.gid)
+            self._publish(PhaseStarted(self.sim.now, run.spec.name, run.gid))
+            self._note_queue_depth()
             self._maybe_overlap_next(run)
             self._dispatch_idle()
 
@@ -417,16 +500,29 @@ class ExecutiveSimulation:
 
     def _maybe_overlap_next(self, run: _RunState) -> None:
         """At phase initiation, also initiate the successor in overlap mode."""
-        if self.config.policy is not OverlapPolicy.NEXT_PHASE:
-            return
         succ = self._next_run(run)
         if succ is None or succ.initiated or succ.init_submitted:
             return
-        if run.stream.serial_before[succ.index] is not None:
-            return  # a serial action between the phases forces the barrier
+        serial_barrier = run.stream.serial_before[succ.index] is not None
         mapping = self._mapping_to_next(run)
         assert mapping is not None
-        if not mapping.kind.overlappable:
+
+        def decide(safe: bool = True) -> AdmissionDecision:
+            return admission_decision(
+                run.spec.name,
+                succ.spec.name,
+                self.config.policy,
+                mapping_kind=mapping.kind,
+                serial_barrier=serial_barrier,
+                safe=safe,
+            )
+
+        if (
+            self.config.policy is not OverlapPolicy.NEXT_PHASE
+            or serial_barrier  # a serial action between the phases forces the barrier
+            or not mapping.kind.overlappable
+        ):
+            self._record_admission(run, succ, decide())
             return
         succ.init_submitted = True
 
@@ -495,19 +591,25 @@ class ExecutiveSimulation:
             if run.overlap_aborted or run.engine_to_next is None:
                 # fall back to a strict barrier: the successor will be
                 # initiated normally when this run completes
+                self._record_admission(run, succ, decide(safe=False))
                 succ.init_submitted = False
                 if run.stream.frontier == succ.index:
                     self._make_current(succ)
                 return
+            self._record_admission(run, succ, decide())
             succ.initiated = True
             succ.overlap_active = True
             succ.stats.overlapped = True
             succ.stats.overlap_init_time = self.sim.now
+            self._publish(
+                PhaseStarted(self.sim.now, succ.spec.name, succ.gid, overlapped=True)
+            )
             for desc in new_descs:
                 self.queue.push(desc, elevated=desc.elevated)
                 if desc.phase_run == succ.gid:
                     succ.enabled = succ.enabled | desc.granules
                     succ.queued = succ.queued | desc.granules
+            self._note_queue_depth()
             if (
                 self.config.split_strategy is SplitStrategy.PRESPLIT
                 and self._identity_like_overlap(run)
@@ -559,6 +661,9 @@ class ExecutiveSimulation:
                 child = ComputationDescription(run.gid, run.spec.name, inter, elevated=True)
                 new_descs.append(child)
                 charged += self.costs.split
+                if self._m_elevated is not None:
+                    self._m_elevated.inc(phase=run.spec.name)
+                    self._m_splits.inc(kind="elevation")
         return charged
 
     def _schedule_presplits(self, run: _RunState) -> None:
@@ -648,6 +753,8 @@ class ExecutiveSimulation:
                 presplit_covers = run.presplit_watermark > chunk_index
                 if not presplit_covers:
                     d += self.costs.split
+                    if self._m_splits is not None:
+                        self._m_splits.inc(kind="demand")
                 child = head.split(tsize)
             else:
                 self.queue.remove(head)
@@ -702,6 +809,12 @@ class ExecutiveSimulation:
         run.assigned = run.assigned | desc.granules
         run.queued = run.queued - desc.granules
         run.stats.tasks += 1
+        self._publish(
+            GranuleDispatched(
+                self.sim.now, proc.name, run.spec.name, run.gid, len(desc.granules)
+            )
+        )
+        self._note_queue_depth()
         self._affinity[proc.index] = (desc.granules.min(), desc.granules.max() + 1)
         if run.stats.first_task_start is None:
             run.stats.first_task_start = self.sim.now
@@ -771,6 +884,12 @@ class ExecutiveSimulation:
     def _on_task_done(self, desc: ComputationDescription, proc: Processor) -> None:
         self.tasks_executed += 1
         self.granules_executed += len(desc.granules)
+        run_done = self.runs[desc.phase_run]
+        self._publish(
+            GranuleCompleted(
+                self.sim.now, proc.name, run_done.spec.name, run_done.gid, len(desc.granules)
+            )
+        )
         if self.ext.lateral_handoff:
             self._try_lateral_handoff(desc, proc)
 
@@ -817,9 +936,11 @@ class ExecutiveSimulation:
                 child_succ.enabled = child_succ.enabled | child.granules
                 child_succ.queued = child_succ.queued | child.granules
                 self.queue.push(child)
+            self._note_queue_depth()
             if run.complete and run.stats.complete_time is None:
                 run.stats.complete_time = self.sim.now
                 self.trace.log(self.sim.now, EventKind.PHASE_END, run.spec.name, run=run.gid)
+                self._publish(PhaseEnded(self.sim.now, run.spec.name, run.gid))
                 self._advance_frontier(run.stream)
             self._dispatch_idle()
 
@@ -881,6 +1002,9 @@ class ExecutiveSimulation:
             desc = ComputationDescription(run.gid, run.spec.name, remaining)
             run.queued = run.queued | remaining
             self.queue.push(desc)
+            self._note_queue_depth()
+        # no PhaseStarted publish here: the run was already announced by
+        # _initiate or by its overlap initiation; this is only a promotion
         self.trace.log(self.sim.now, EventKind.PHASE_START, run.spec.name, run=run.gid)
         self._maybe_overlap_next(run)
         self._dispatch_idle()
@@ -896,6 +1020,7 @@ def run_program(
     seed: int = 0,
     max_events: int | None = 5_000_000,
     extensions: Extensions | None = None,
+    telemetry: "Telemetry | None" = None,
 ) -> RunResult:
     """Convenience wrapper: build an :class:`ExecutiveSimulation` and run it."""
     sim = ExecutiveSimulation(
@@ -907,5 +1032,6 @@ def run_program(
         placement=placement,
         seed=seed,
         extensions=extensions,
+        telemetry=telemetry,
     )
     return sim.run(max_events=max_events)

@@ -11,7 +11,14 @@ from repro.metrics.utilization import (
     idle_processor_time,
     busy_counts_at,
 )
-from repro.metrics.rundown import RundownReport, rundown_report, rundown_reports, total_rundown_idle
+from repro.metrics.rundown import (
+    RundownReport,
+    merged_rundown_windows,
+    rundown_idle_by_processor,
+    rundown_report,
+    rundown_reports,
+    total_rundown_idle,
+)
 from repro.metrics.report import format_table, census_table, comparison_table
 from repro.metrics.gantt import render_gantt
 from repro.metrics.ascii_plot import bar_chart, line_plot
@@ -28,6 +35,8 @@ __all__ = [
     "rundown_report",
     "rundown_reports",
     "total_rundown_idle",
+    "merged_rundown_windows",
+    "rundown_idle_by_processor",
     "format_table",
     "census_table",
     "comparison_table",

@@ -14,8 +14,16 @@ from dataclasses import dataclass
 
 from repro.executive.scheduler import RunResult
 from repro.metrics.utilization import idle_processor_time, utilization_between
+from repro.sim.trace import merge_intervals
 
-__all__ = ["RundownReport", "rundown_report", "rundown_reports", "total_rundown_idle"]
+__all__ = [
+    "RundownReport",
+    "rundown_report",
+    "rundown_reports",
+    "total_rundown_idle",
+    "merged_rundown_windows",
+    "rundown_idle_by_processor",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,21 +76,48 @@ def rundown_reports(result: RunResult) -> list[RundownReport]:
     return out
 
 
-def total_rundown_idle(result: RunResult) -> float:
-    """Processor-time wasted across all rundown windows.
+def merged_rundown_windows(result: RunResult) -> list[tuple[float, float]]:
+    """The run's rundown windows, merged into disjoint intervals.
 
     Overlapping windows (a successor's rundown can begin inside its
-    predecessor's) are merged so idle time is not double counted.
+    predecessor's) are merged so downstream accounting does not double
+    count the shared stretch.
     """
-    spans = sorted(
+    return merge_intervals(
         (r.window_start, r.window_end) for r in rundown_reports(result)
     )
-    merged: list[tuple[float, float]] = []
-    for s, e in spans:
-        if merged and s <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
-        else:
-            merged.append((s, e))
+
+
+def total_rundown_idle(result: RunResult) -> float:
+    """Processor-time wasted across all rundown windows (merged)."""
     return sum(
-        idle_processor_time(result.trace, result.n_workers, s, e) for s, e in merged
+        idle_processor_time(result.trace, result.n_workers, s, e)
+        for s, e in merged_rundown_windows(result)
     )
+
+
+def rundown_idle_by_processor(result: RunResult) -> dict[str, float]:
+    """Idle time inside the merged rundown windows, attributed per worker.
+
+    For each worker ``P0 … P{n-1}`` this is the merged-window time minus
+    its compute time clipped to those windows.  Management work on a
+    shared executive host counts as idle, matching
+    :func:`~repro.metrics.utilization.idle_processor_time` — the paper's
+    concern is *productive* computation.  The values sum to
+    :func:`total_rundown_idle` (up to float rounding).
+    """
+    windows = merged_rundown_windows(result)
+    total_window = sum(e - s for s, e in windows)
+    out: dict[str, float] = {}
+    for i in range(result.n_workers):
+        name = f"P{i}"
+        busy = 0.0
+        for t0, t1 in windows:
+            clipped = [
+                (max(iv.start, t0), min(iv.end, t1))
+                for iv in result.trace.intervals(name, "compute")
+                if iv.start < t1 and iv.end > t0
+            ]
+            busy += sum(e - s for s, e in merge_intervals(clipped))
+        out[name] = max(0.0, total_window - busy)
+    return out

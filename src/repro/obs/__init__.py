@@ -1,0 +1,83 @@
+"""Observability: event bus, metrics registry, span tracing, exporters.
+
+The paper's argument is a *measurement* argument — where does processor
+time go while a phase runs down?  This package is the measurement
+substrate the rest of the repository reports through:
+
+* :mod:`repro.obs.events` — a structured, typed **event bus** fed by the
+  executive, the machine model and the threaded runtime (phase start/end,
+  granule dispatch/complete, overlap admission/rejection, worker
+  idle/busy transitions, queue-depth changes);
+* :mod:`repro.obs.metrics` — a **metrics registry** of labelled
+  counters, gauges and histograms with snapshot/reset semantics
+  (``rundown.idle_seconds{processor}``, ``overlap.admitted_total``,
+  ``scheduler.queue_depth`` …);
+* :mod:`repro.obs.spans` — **span-based tracing** with JSONL and Chrome
+  trace-event (``chrome://tracing`` / Perfetto) exporters, unified with
+  :class:`~repro.sim.trace.Trace` so simulated and wall-clock runs
+  produce the same schema;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` bundle that wires
+  the three together, plus the default event→metric subscriptions.
+
+All instrumentation is opt-in: the simulator, machine and executive
+accept ``telemetry=None`` (the default) and skip every publish on that
+path, so un-instrumented runs pay nothing.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.events import (
+    EventBus,
+    GranuleCompleted,
+    GranuleDispatched,
+    MgmtActionDone,
+    NullEventBus,
+    ObsEvent,
+    OverlapAdmitted,
+    OverlapRejected,
+    PhaseEnded,
+    PhaseStarted,
+    QueueDepthChanged,
+    WorkerBusy,
+    WorkerIdle,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, render_snapshot
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    chrome_trace_events,
+    chrome_trace_from_trace,
+    export_chrome_trace,
+    export_jsonl,
+    spans_from_trace,
+)
+from repro.obs.telemetry import Telemetry, install_default_metrics, record_rundown_metrics
+
+__all__ = [
+    "ObsEvent",
+    "PhaseStarted",
+    "PhaseEnded",
+    "GranuleDispatched",
+    "GranuleCompleted",
+    "OverlapAdmitted",
+    "OverlapRejected",
+    "WorkerIdle",
+    "WorkerBusy",
+    "QueueDepthChanged",
+    "MgmtActionDone",
+    "EventBus",
+    "NullEventBus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_snapshot",
+    "Span",
+    "SpanRecorder",
+    "spans_from_trace",
+    "chrome_trace_events",
+    "chrome_trace_from_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "Telemetry",
+    "install_default_metrics",
+    "record_rundown_metrics",
+]

@@ -1,0 +1,236 @@
+"""Typed observability events and the bus that carries them.
+
+Each event is a frozen dataclass naming one occurrence the paper's
+analysis cares about: a phase starting or ending, a granule chunk being
+dispatched to or completed by a worker, the executive admitting or
+rejecting a phase-overlap opportunity, a worker's idle/busy transition,
+or the waiting-computation queue changing depth.
+
+The :class:`EventBus` delivers published events synchronously to
+subscribers.  Delivery order is the **subscription order** — a handler
+subscribed earlier always runs before one subscribed later, whether it
+subscribed to the concrete event type or to all events (``None``).  That
+guarantee is what makes metric wiring deterministic and testable.
+
+:class:`NullEventBus` accepts subscriptions but drops every publish; it
+is the baseline the instrumentation-overhead benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "ObsEvent",
+    "PhaseStarted",
+    "PhaseEnded",
+    "GranuleDispatched",
+    "GranuleCompleted",
+    "OverlapAdmitted",
+    "OverlapRejected",
+    "WorkerIdle",
+    "WorkerBusy",
+    "QueueDepthChanged",
+    "MgmtActionDone",
+    "Subscription",
+    "EventBus",
+    "NullEventBus",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ObsEvent:
+    """Base class for all observability events; ``time`` is the clock value.
+
+    Simulated sources stamp simulation time, the threaded runtime stamps
+    wall-clock seconds since run start — the schema is the same.
+    """
+
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseStarted(ObsEvent):
+    """A parallel phase run was initiated (or promoted to current)."""
+
+    phase: str
+    run: int
+    overlapped: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseEnded(ObsEvent):
+    """All granules of a phase run completed."""
+
+    phase: str
+    run: int
+
+
+@dataclass(frozen=True, slots=True)
+class GranuleDispatched(ObsEvent):
+    """A chunk of granules was assigned to a worker."""
+
+    processor: str
+    phase: str
+    run: int
+    n_granules: int
+
+
+@dataclass(frozen=True, slots=True)
+class GranuleCompleted(ObsEvent):
+    """A worker finished a chunk of granules."""
+
+    processor: str
+    phase: str
+    run: int
+    n_granules: int
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapAdmitted(ObsEvent):
+    """The executive admitted overlap between two adjacent phases."""
+
+    predecessor: str
+    successor: str
+    mapping_kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapRejected(ObsEvent):
+    """The executive declined (or could not attempt) a phase overlap."""
+
+    predecessor: str
+    successor: str
+    reason: str
+    mapping_kind: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerIdle(ObsEvent):
+    """A worker processor transitioned to idle."""
+
+    processor: str
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerBusy(ObsEvent):
+    """A worker processor left idle; ``activity`` is compute/mgmt/serial."""
+
+    processor: str
+    activity: str = "compute"
+
+
+@dataclass(frozen=True, slots=True)
+class QueueDepthChanged(ObsEvent):
+    """The waiting-computation queue's depth after a push or pop."""
+
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class MgmtActionDone(ObsEvent):
+    """An executive management job finished."""
+
+    server: str
+    label: str
+    duration: float
+    category: str = "mgmt"
+
+
+@dataclass(slots=True)
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call to detach."""
+
+    bus: "EventBus"
+    seq: int
+    event_type: type | None
+    handler: Callable[[ObsEvent], None] = field(repr=False)
+    active: bool = True
+
+    def unsubscribe(self) -> None:
+        self.active = False
+        self.bus._prune(self)
+
+
+class EventBus:
+    """Synchronous publish/subscribe bus with deterministic ordering.
+
+    Thread-safe: the threaded runtime publishes from worker threads, so
+    subscription and publication both hold an internal lock.  Handlers
+    run under that lock — keep them short (metric updates, appends).
+    """
+
+    def __init__(self) -> None:
+        self._subs: list[Subscription] = []
+        # per-concrete-type delivery lists, rebuilt on (un)subscribe, so
+        # publish is a dict hit + iteration — no lock, no isinstance scan
+        self._by_type: dict[type, tuple[Subscription, ...]] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self.events_published = 0
+
+    def subscribe(
+        self, event_type: type | None, handler: Callable[[Any], None]
+    ) -> Subscription:
+        """Register ``handler`` for events of ``event_type``.
+
+        ``None`` subscribes to every event.  Handlers fire in global
+        subscription order regardless of how specific their filter is.
+        """
+        if event_type is not None and not (
+            isinstance(event_type, type) and issubclass(event_type, ObsEvent)
+        ):
+            raise TypeError(f"event_type must be an ObsEvent subclass or None, got {event_type!r}")
+        with self._lock:
+            sub = Subscription(self, self._counter, event_type, handler)
+            self._counter += 1
+            self._subs.append(sub)
+            self._by_type.clear()
+        return sub
+
+    def _prune(self, sub: Subscription) -> None:
+        with self._lock:
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+            self._by_type.clear()
+
+    def _matching(self, event_type: type) -> tuple[Subscription, ...]:
+        with self._lock:
+            subs = tuple(
+                s
+                for s in self._subs
+                if s.event_type is None or issubclass(event_type, s.event_type)
+            )
+            self._by_type[event_type] = subs
+        return subs
+
+    def publish(self, event: ObsEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, in order.
+
+        A handler that (un)subscribes during delivery takes effect from
+        the next publish — the in-flight delivery list is immutable.
+        ``events_published`` is maintained without the lock; concurrent
+        publishers may very rarely under-count it (delivery itself is
+        unaffected — handlers guard their own state).
+        """
+        self.events_published += 1
+        subs = self._by_type.get(type(event))
+        if subs is None:
+            subs = self._matching(type(event))
+        for sub in subs:
+            if sub.active:
+                sub.handler(event)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+
+class NullEventBus(EventBus):
+    """A bus that drops every publish — the no-op instrumentation baseline."""
+
+    def publish(self, event: ObsEvent) -> None:  # noqa: D102 - intentional no-op
+        pass

@@ -1,0 +1,190 @@
+"""The :class:`Telemetry` bundle and the default event→metric wiring.
+
+``Telemetry`` groups the three observability primitives — event bus,
+metrics registry, span recorder — into the single object the simulator,
+machine, executive and threaded runtime accept.  By default it installs
+the standard subscriptions that turn bus events into registry updates,
+so any instrumented run yields a ready-to-print metrics snapshot.
+
+:func:`record_rundown_metrics` backfills the paper's headline
+measurements (per-processor rundown idle time, run summary gauges) from
+a finished :class:`~repro.executive.scheduler.RunResult` — these are
+exact interval computations, not event-stream aggregates, so they are
+derived post-run from the trace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.events import (
+    EventBus,
+    GranuleCompleted,
+    GranuleDispatched,
+    MgmtActionDone,
+    OverlapAdmitted,
+    OverlapRejected,
+    PhaseEnded,
+    PhaseStarted,
+    QueueDepthChanged,
+    Subscription,
+    WorkerBusy,
+    WorkerIdle,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler imports obs)
+    from repro.executive.scheduler import RunResult
+
+__all__ = ["Telemetry", "install_default_metrics", "record_rundown_metrics"]
+
+
+class Telemetry:
+    """Event bus + metrics registry + span recorder, wired together.
+
+    Parameters
+    ----------
+    bus:
+        The event bus; pass :class:`~repro.obs.events.NullEventBus` to
+        keep publish call sites live while dropping every event (the
+        overhead-benchmark baseline).
+    metrics, spans:
+        Pre-existing registry/recorder to share, or ``None`` for fresh.
+    wire_metrics:
+        Install the default event→metric subscriptions (see
+        :func:`install_default_metrics`).
+    """
+
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        metrics: MetricsRegistry | None = None,
+        spans: SpanRecorder | None = None,
+        wire_metrics: bool = True,
+    ) -> None:
+        self.bus = bus if bus is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = spans if spans is not None else SpanRecorder()
+        self.subscriptions: list[Subscription] = []
+        if wire_metrics:
+            self.subscriptions = install_default_metrics(self)
+
+    def reset(self) -> None:
+        """Clear metric series and recorded spans (subscriptions persist)."""
+        self.metrics.reset()
+        self.spans.clear()
+
+
+def _action_of(label: str) -> str:
+    """Management job labels are ``action:detail``; bucket by the action."""
+    return label.split(":", 1)[0] if label else "unlabelled"
+
+
+def install_default_metrics(telemetry: Telemetry) -> list[Subscription]:
+    """Subscribe the standard metric updates to the telemetry's bus.
+
+    Returns the subscriptions so callers can detach them.  Metric names
+    are stable API — docs/OBSERVABILITY.md lists them all.
+    """
+    m = telemetry.metrics
+    dispatched = m.counter("scheduler.tasks_dispatched_total", "task chunks handed to workers")
+    dispatched_granules = m.counter("scheduler.granules_dispatched_total", "granules handed out")
+    task_size = m.histogram(
+        "scheduler.task_granules",
+        "granules per dispatched task",
+        buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+    )
+    completed = m.counter("scheduler.tasks_completed_total", "task chunks finished")
+    completed_granules = m.counter("scheduler.granules_completed_total", "granules finished")
+    queue_depth = m.gauge("scheduler.queue_depth", "waiting computation queue depth")
+    queue_hist = m.histogram(
+        "scheduler.queue_depth_hist",
+        "queue depth distribution over changes",
+        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+    )
+    admitted = m.counter("overlap.admitted_total", "phase overlaps admitted")
+    rejected = m.counter("overlap.rejected_total", "phase overlaps declined")
+    idle_trans = m.counter("worker.idle_transitions_total", "worker busy→idle transitions")
+    busy_trans = m.counter("worker.busy_transitions_total", "worker idle→busy transitions")
+    phases_started = m.counter("phase.started_total", "phase runs initiated")
+    phases_ended = m.counter("phase.ended_total", "phase runs completed")
+    mgmt_actions = m.counter("executive.actions_total", "management jobs finished")
+    mgmt_seconds = m.counter("executive.busy_seconds", "executive server busy time")
+
+    bus = telemetry.bus
+    subs = [
+        bus.subscribe(
+            GranuleDispatched,
+            lambda e: (
+                dispatched.inc(phase=e.phase),
+                dispatched_granules.inc(e.n_granules, phase=e.phase),
+                task_size.observe(e.n_granules),
+            ),
+        ),
+        bus.subscribe(
+            GranuleCompleted,
+            lambda e: (
+                completed.inc(phase=e.phase),
+                completed_granules.inc(e.n_granules, phase=e.phase),
+            ),
+        ),
+        bus.subscribe(
+            QueueDepthChanged,
+            lambda e: (queue_depth.set(e.depth), queue_hist.observe(e.depth)),
+        ),
+        bus.subscribe(
+            OverlapAdmitted, lambda e: admitted.inc(mapping_kind=e.mapping_kind)
+        ),
+        bus.subscribe(OverlapRejected, lambda e: rejected.inc(reason=e.reason)),
+        bus.subscribe(WorkerIdle, lambda e: idle_trans.inc(processor=e.processor)),
+        bus.subscribe(
+            WorkerBusy, lambda e: busy_trans.inc(processor=e.processor, activity=e.activity)
+        ),
+        bus.subscribe(PhaseStarted, lambda e: phases_started.inc(phase=e.phase)),
+        bus.subscribe(PhaseEnded, lambda e: phases_ended.inc(phase=e.phase)),
+        bus.subscribe(
+            MgmtActionDone,
+            lambda e: (
+                mgmt_actions.inc(action=_action_of(e.label)),
+                mgmt_seconds.inc(e.duration, server=e.server),
+            ),
+        ),
+    ]
+    return subs
+
+
+def record_rundown_metrics(result: "RunResult", registry: MetricsRegistry) -> None:
+    """Load a finished run's rundown attribution into ``registry``.
+
+    Sets (gauges, so re-recording is idempotent):
+
+    * ``rundown.idle_seconds{processor}`` — processor-time not computing
+      inside the merged rundown windows (the paper's wasted final-wave
+      capacity, attributed per processor);
+    * ``rundown.window_seconds`` — total merged rundown window length;
+    * ``run.makespan`` / ``run.utilization`` / ``run.compute_seconds`` /
+      ``run.mgmt_seconds`` — whole-run summary gauges.
+    """
+    # imported here: the scheduler module imports repro.obs at module
+    # load, so the reverse import must happen at call time
+    from repro.metrics.rundown import merged_rundown_windows, rundown_idle_by_processor
+
+    idle = rundown_idle_by_processor(result)
+    idle_gauge = registry.gauge(
+        "rundown.idle_seconds", "idle processor-time inside rundown windows"
+    )
+    for processor, seconds in idle.items():
+        idle_gauge.set(seconds, processor=processor)
+    windows = merged_rundown_windows(result)
+    registry.gauge("rundown.window_seconds", "merged rundown window length").set(
+        sum(e - s for s, e in windows)
+    )
+    registry.gauge("run.makespan", "simulation finish time").set(result.makespan)
+    registry.gauge("run.utilization", "mean worker compute utilization").set(
+        result.utilization
+    )
+    registry.gauge("run.compute_seconds", "total productive compute time").set(
+        result.compute_time
+    )
+    registry.gauge("run.mgmt_seconds", "total executive busy time").set(result.mgmt_time)

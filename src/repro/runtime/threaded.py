@@ -15,9 +15,10 @@ it is the functional half of the reproduction.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
@@ -25,7 +26,18 @@ from repro.core.enablement import EnablementEngine
 from repro.core.granule import GranuleSet
 from repro.core.mapping import EnablementMapping
 from repro.core.overlap import OverlapPolicy
+from repro.obs.events import (
+    GranuleCompleted,
+    GranuleDispatched,
+    PhaseEnded,
+    PhaseStarted,
+    WorkerBusy,
+    WorkerIdle,
+)
 from repro.workloads.fragments import Fragment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["KernelPhase", "ThreadedExecutor", "run_fragment_threaded"]
 
@@ -55,11 +67,17 @@ class ThreadedExecutor:
         overlap driven by the enablement mappings.
     """
 
-    def __init__(self, n_workers: int = 4, policy: OverlapPolicy = OverlapPolicy.NEXT_PHASE) -> None:
+    def __init__(
+        self,
+        n_workers: int = 4,
+        policy: OverlapPolicy = OverlapPolicy.NEXT_PHASE,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
         self.n_workers = n_workers
         self.policy = policy
+        self.telemetry = telemetry
 
     def execute(
         self,
@@ -84,6 +102,22 @@ class ThreadedExecutor:
         lock = threading.Lock()
         work_ready = threading.Condition(lock)
 
+        # wall-clock observability: spans and events carry seconds since
+        # run start, the same schema the simulator emits in sim-seconds
+        obs = self.telemetry
+        t0 = time.perf_counter()
+
+        def now() -> float:
+            return time.perf_counter() - t0
+
+        idle_wait = (
+            obs.metrics.counter(
+                "runtime.idle_wait_seconds", "worker time spent waiting for enabled work"
+            )
+            if obs is not None
+            else None
+        )
+
         ready: deque[tuple[int, int]] = deque()  # (phase index, granule)
         completed = [GranuleSet.empty() for _ in range(n_phases)]
         enabled_queued = [GranuleSet.empty() for _ in range(n_phases)]
@@ -105,6 +139,8 @@ class ThreadedExecutor:
 
         def activate(phase_idx: int) -> None:
             """Phase becomes current: free granules and arm the overlap link."""
+            if obs is not None:
+                obs.bus.publish(PhaseStarted(now(), phases[phase_idx].name, phase_idx))
             queue_granules(phase_idx, GranuleSet.universe(phases[phase_idx].n_granules))
             if (
                 self.policy is OverlapPolicy.NEXT_PHASE
@@ -133,6 +169,8 @@ class ThreadedExecutor:
                 frontier < n_phases
                 and len(completed[frontier]) >= phases[frontier].n_granules
             ):
+                if obs is not None:
+                    obs.bus.publish(PhaseEnded(now(), phases[frontier].name, frontier))
                 frontier += 1
                 if frontier < n_phases:
                     activate(frontier)
@@ -140,12 +178,21 @@ class ThreadedExecutor:
                 done = True
                 work_ready.notify_all()
 
-        def worker() -> None:
+        def worker(worker_id: int) -> None:
             nonlocal done
+            resource = f"W{worker_id}"
             while True:
                 with work_ready:
+                    waited_from: float | None = None
+                    if obs is not None and not ready and not done and not errors:
+                        waited_from = now()
+                        obs.bus.publish(WorkerIdle(waited_from, resource))
                     while not ready and not done and not errors:
                         work_ready.wait()
+                    if waited_from is not None:
+                        wait_end = now()
+                        idle_wait.inc(wait_end - waited_from, worker=resource)
+                        obs.spans.add("barrier-wait", resource, waited_from, wait_end, "idle")
                     if done or errors:
                         return
                     phase_idx, granule = ready.popleft()
@@ -153,6 +200,13 @@ class ThreadedExecutor:
                     self.max_phases_in_flight = max(
                         self.max_phases_in_flight, len(in_flight_phases)
                     )
+                    if obs is not None:
+                        t = now()
+                        obs.bus.publish(WorkerBusy(t, resource, "compute"))
+                        obs.bus.publish(
+                            GranuleDispatched(t, resource, phases[phase_idx].name, phase_idx, 1)
+                        )
+                kernel_start = now() if obs is not None else 0.0
                 try:
                     phases[phase_idx].kernel(granule, arrays)
                 except BaseException as exc:  # propagate to the caller
@@ -160,15 +214,32 @@ class ThreadedExecutor:
                         errors.append(exc)
                         work_ready.notify_all()
                     return
+                if obs is not None:
+                    obs.spans.add(
+                        f"{phases[phase_idx].name}:{granule}",
+                        resource,
+                        kernel_start,
+                        now(),
+                        "compute",
+                        phase=phases[phase_idx].name,
+                        granule=granule,
+                    )
                 with work_ready:
                     in_flight_phases[phase_idx] -= 1
                     if in_flight_phases[phase_idx] == 0:
                         del in_flight_phases[phase_idx]
+                    if obs is not None:
+                        obs.bus.publish(
+                            GranuleCompleted(now(), resource, phases[phase_idx].name, phase_idx, 1)
+                        )
                     on_complete(phase_idx, granule)
 
         with work_ready:
             activate(0)
-        threads = [threading.Thread(target=worker, daemon=True) for _ in range(self.n_workers)]
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.n_workers)
+        ]
         for t in threads:
             t.start()
         for t in threads:
@@ -185,6 +256,7 @@ def run_fragment_threaded(
     n_workers: int = 4,
     policy: OverlapPolicy = OverlapPolicy.NEXT_PHASE,
     seed: int = 0,
+    telemetry: "Telemetry | None" = None,
 ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
     """Execute a paper fragment on threads; returns ``(produced, expected)``.
 
@@ -210,6 +282,6 @@ def run_fragment_threaded(
         m = program.mapping_between(a, b)
         mappings.append(None if serial else m)
     arrays = {k: v.copy() for k, v in inputs.items()}
-    executor = ThreadedExecutor(n_workers=n_workers, policy=policy)
+    executor = ThreadedExecutor(n_workers=n_workers, policy=policy, telemetry=telemetry)
     produced = executor.execute(phases, mappings, arrays, maps=maps or None)
     return produced, expected

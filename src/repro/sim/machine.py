@@ -34,11 +34,15 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from repro.obs.events import MgmtActionDone, WorkerBusy, WorkerIdle
 from repro.sim.engine import Simulator
 from repro.sim.events import EventKind
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["ExecutivePlacement", "ProcessorState", "Processor", "Machine", "CHIEF_LANE"]
 
@@ -138,6 +142,7 @@ class Machine:
         n_workers: int,
         placement: ExecutivePlacement = ExecutivePlacement.SHARED,
         n_executives: int = 1,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -167,6 +172,7 @@ class Machine:
         # the paper's full-scale example
         self._idle_indices: set[int] = set(range(n_workers))
         self.mgmt_jobs_done = 0
+        self._obs = telemetry
         #: Hook invoked with the processor each time one returns to IDLE.
         self.on_processor_idle: Callable[[Processor], None] | None = None
 
@@ -241,6 +247,8 @@ class Machine:
         proc.current_label = label
         self.trace.begin(proc.name, self.sim.now, "compute", label)
         self.trace.log(self.sim.now, EventKind.TASK_START, proc.name, label=label)
+        if self._obs is not None:
+            self._obs.bus.publish(WorkerBusy(self.sim.now, proc.name, "compute"))
 
         def _finish() -> None:
             self.trace.end(proc.name, self.sim.now, "compute")
@@ -249,6 +257,8 @@ class Machine:
             self._idle_indices.add(proc.index)
             proc.current_label = ""
             proc.tasks_completed += 1
+            if self._obs is not None:
+                self._obs.bus.publish(WorkerIdle(self.sim.now, proc.name))
             on_done(proc)
             # Management may have queued while this task ran on the host.
             host_server = self._server_for(proc)
@@ -318,6 +328,8 @@ class Machine:
             host.state = ProcessorState.MGMT
             self._idle_indices.discard(host.index)
             self.trace.begin(host.name, self.sim.now, job.category, job.label)
+            if self._obs is not None:
+                self._obs.bus.publish(WorkerBusy(self.sim.now, host.name, job.category))
         self.trace.begin(server.resource, self.sim.now, job.category, job.label)
         self.trace.log(self.sim.now, EventKind.MGMT_START, server.resource, label=job.label)
 
@@ -328,6 +340,14 @@ class Machine:
                 host.state = ProcessorState.IDLE
                 self._idle_indices.add(host.index)
             self.trace.log(self.sim.now, EventKind.MGMT_END, server.resource, label=job.label)
+            if self._obs is not None:
+                if host is not None:
+                    self._obs.bus.publish(WorkerIdle(self.sim.now, host.name))
+                self._obs.bus.publish(
+                    MgmtActionDone(
+                        self.sim.now, server.resource, job.label, job_duration, job.category
+                    )
+                )
             server.busy = False
             self.mgmt_jobs_done += 1
             if job.on_done is not None:

@@ -17,7 +17,15 @@ import numpy as np
 
 from repro.sim.events import EventKind, LogRecord
 
-__all__ = ["Interval", "Trace", "utilization_timeline", "merge_intervals"]
+__all__ = ["Interval", "Trace", "TraceError", "utilization_timeline", "merge_intervals"]
+
+
+class TraceError(RuntimeError):
+    """Interval bookkeeping misuse: double ``begin`` or unmatched ``end``.
+
+    Subclasses :class:`RuntimeError` so pre-existing ``except
+    RuntimeError`` callers (and tests) keep working.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,19 +83,47 @@ class Trace:
     def begin(self, resource: str, time: float, category: str = "compute", label: str = "") -> None:
         """Open a busy interval on ``resource``.
 
-        Raises if an interval of the same category is already open on the
-        resource — a resource cannot do two things of one kind at once.
+        Raises
+        ------
+        TraceError
+            If an interval of the same category is already open on the
+            resource — a resource cannot do two things of one kind at
+            once.  The message names the open interval's start time and
+            label so double-``begin`` bugs are locatable.
         """
         key = (resource, category)
         if key in self._open:
-            raise RuntimeError(f"resource {resource!r} already busy ({category}) since t={self._open[key][0]}")
+            since, open_label = self._open[key]
+            detail = f" ({open_label!r})" if open_label else ""
+            raise TraceError(
+                f"begin({resource!r}, t={time}, {category!r}): resource already "
+                f"busy with {category!r}{detail} since t={since}"
+            )
         self._open[key] = (time, label)
 
     def end(self, resource: str, time: float, category: str = "compute") -> Interval:
-        """Close the open interval on ``resource`` and record it."""
+        """Close the open interval on ``resource`` and record it.
+
+        Raises
+        ------
+        TraceError
+            If no ``category`` interval is open on the resource.  When
+            the resource is busy with *other* categories the message
+            lists them — the usual culprit is an ``end`` with the wrong
+            category, not a missing ``begin``.
+        """
         key = (resource, category)
         if key not in self._open:
-            raise RuntimeError(f"resource {resource!r} has no open {category} interval")
+            open_cats = sorted(c for r, c in self._open if r == resource)
+            hint = (
+                f"; open categories on this resource: {open_cats}"
+                if open_cats
+                else "; no interval of any category is open on this resource"
+            )
+            raise TraceError(
+                f"end({resource!r}, t={time}, {category!r}): no open "
+                f"{category!r} interval{hint}"
+            )
         start, label = self._open.pop(key)
         iv = Interval(resource=resource, start=start, end=time, category=category, label=label)
         self._intervals.setdefault(resource, []).append(iv)

@@ -67,6 +67,71 @@ class TestSimulate:
         assert code == 0
 
 
+class TestStats:
+    @pytest.mark.parametrize("workload", ["identity", "universal"])
+    def test_prints_attribution_and_snapshot(self, workload):
+        code, text = run_cli("stats", workload, "--workers", "4")
+        assert code == 0
+        assert "overlap admissions" in text
+        assert "rundown idle attribution" in text
+        for p in range(4):
+            assert f"rundown.idle_seconds{{processor=\"P{p}\"}}" in text
+        assert "overlap.admitted_total" in text
+        assert "scheduler.queue_depth" in text
+
+    def test_barrier_shows_rejections(self):
+        code, text = run_cli("stats", "identity", "--workers", "4", "--barrier")
+        assert code == 0
+        assert "rejected: barrier_policy" in text
+
+    def test_save_writes_run(self, tmp_path):
+        path = tmp_path / "run.json"
+        code, _ = run_cli("stats", "identity", "--workers", "2", "--save", str(path))
+        assert code == 0 and path.exists()
+
+
+class TestExportTrace:
+    def _saved_run(self, tmp_path):
+        path = tmp_path / "run.json"
+        code, _ = run_cli("simulate", "identity", "--workers", "2", "--save", str(path))
+        assert code == 0
+        return path
+
+    def test_chrome_roundtrip(self, tmp_path):
+        import json
+
+        src = self._saved_run(tmp_path)
+        out = tmp_path / "out.trace.json"
+        code, text = run_cli("export-trace", str(src), "-o", str(out))
+        assert code == 0 and out.exists()
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for e in events:
+            assert {"ph", "ts", "pid", "tid"} <= set(e)
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_default_output_path(self, tmp_path):
+        src = self._saved_run(tmp_path)
+        code, text = run_cli("export-trace", str(src))
+        assert code == 0
+        assert (tmp_path / "run.trace.json").exists()
+
+    def test_jsonl_format(self, tmp_path):
+        from repro.obs.spans import load_jsonl
+
+        src = self._saved_run(tmp_path)
+        out = tmp_path / "spans.jsonl"
+        code, _ = run_cli("export-trace", str(src), "--format", "jsonl", "-o", str(out))
+        assert code == 0
+        spans = load_jsonl(out)
+        assert spans and all(s.end >= s.start for s in spans)
+
+    def test_missing_file(self):
+        code, _ = run_cli("export-trace", "/nonexistent.json")
+        assert code == 2
+
+
 class TestCompile:
     SOURCE = (
         "DEFINE PHASE a GRANULES=16\n"

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.events import EventKind, LogRecord
-from repro.sim.trace import Interval, Trace, merge_intervals, utilization_timeline
+from repro.sim.trace import Interval, Trace, TraceError, merge_intervals, utilization_timeline
 
 
 class TestInterval:
@@ -39,6 +39,24 @@ class TestMergeIntervals:
     def test_drops_empty(self):
         assert merge_intervals([(1, 1), (2, 2)]) == []
 
+    def test_empty_input(self):
+        assert merge_intervals([]) == []
+
+    def test_touching_endpoints_merge(self):
+        # [0,1) and [1,2) share only the boundary point; they still merge
+        # into one span (half-open intervals leave no gap between them)
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_nested_interval_absorbed(self):
+        assert merge_intervals([(0, 10), (2, 5)]) == [(0, 10)]
+        assert merge_intervals([(2, 5), (0, 10)]) == [(0, 10)]
+
+    def test_duplicate_intervals(self):
+        assert merge_intervals([(1, 3), (1, 3)]) == [(1, 3)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1), (0.5, 2)]) == [(0, 2), (5, 6)]
+
 
 class TestTrace:
     def test_begin_end_records_interval(self):
@@ -56,6 +74,27 @@ class TestTrace:
 
     def test_end_without_begin_rejected(self):
         with pytest.raises(RuntimeError):
+            Trace().end("P0", 1.0)
+
+    def test_trace_error_is_runtime_error(self):
+        assert issubclass(TraceError, RuntimeError)
+
+    def test_double_begin_message_names_open_interval(self):
+        tr = Trace()
+        tr.begin("P0", 2.5, "compute", "taskA")
+        with pytest.raises(TraceError, match=r"since t=2\.5") as exc:
+            tr.begin("P0", 3.0, "compute")
+        assert "taskA" in str(exc.value)
+
+    def test_end_wrong_category_lists_open_categories(self):
+        tr = Trace()
+        tr.begin("EXEC", 0.0, "mgmt")
+        with pytest.raises(TraceError, match="open categories") as exc:
+            tr.end("EXEC", 1.0, "compute")
+        assert "mgmt" in str(exc.value)
+
+    def test_end_with_nothing_open_says_so(self):
+        with pytest.raises(TraceError, match="no interval of any category"):
             Trace().end("P0", 1.0)
 
     def test_categories_independent(self):
