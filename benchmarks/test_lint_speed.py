@@ -1,0 +1,59 @@
+"""Analyzer cost: lint wall-clock on a generated many-phase program.
+
+The lint pass runs in CI on every push, so its cost must stay visible in
+the bench trajectory.  This benchmark generates a PAX pipeline of
+``N_PHASES`` footprinted phases (each enabling the next with the exact
+seam the data flow supports, so the program lints clean), measures one
+whole-program analysis, and asserts a generous absolute budget — the
+pass is pure Python over symbolic footprints and should stay well under
+a second at this size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import emit
+from repro.lint import lint_source
+from repro.metrics.report import format_table
+
+N_PHASES = 120
+GRANULES = 64
+BUDGET_S = 2.0  # absolute ceiling; typical runs are ~two orders below
+
+
+def pipeline_source(n_phases: int) -> str:
+    """A clean n-phase stencil pipeline: p0 -> p1 -> ... with exact seams."""
+    lines = []
+    for i in range(n_phases):
+        lines.append(
+            f"DEFINE PHASE p{i} GRANULES={GRANULES} COST=1.0 LINES=50 "
+            f"READS [ A{i}(I-1) A{i}(I) A{i}(I+1) ] WRITES [ A{i + 1}(I) ]"
+        )
+    for i in range(n_phases):
+        if i < n_phases - 1:
+            lines.append(f"DISPATCH p{i} ENABLE [ p{i + 1}/MAPPING=SEAM(-1,0,1) ]")
+        else:
+            lines.append(f"DISPATCH p{i}")
+    return "\n".join(lines) + "\n"
+
+
+def test_lint_speed(once):
+    source = pipeline_source(N_PHASES)
+
+    t0 = time.perf_counter()
+    diagnostics = once(lint_source, source, "<bench>")
+    elapsed = time.perf_counter() - t0
+
+    emit(
+        "LINT — whole-program analysis wall-clock",
+        format_table(
+            ["phases", "source lines", "findings", "seconds"],
+            [[str(N_PHASES), str(source.count("\n")), str(len(diagnostics)), f"{elapsed:.4f}"]],
+        ),
+    )
+
+    assert diagnostics == [], "the generated pipeline must lint clean"
+    assert elapsed < BUDGET_S, (
+        f"lint of {N_PHASES} phases took {elapsed:.2f}s, over the {BUDGET_S}s budget"
+    )

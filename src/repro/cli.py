@@ -19,6 +19,10 @@ Commands
 ``compile FILE``
     Verify and compile a PAX-language source file; print the resolved
     schedule and enablement links, optionally simulate it.
+``lint FILE...``
+    Run the overlap-safety analyzer (``repro.lint``) over PAX sources;
+    text or JSON findings, CI-friendly exit codes (``--fail-on``),
+    per-rule suppression, and a built-in ``--self-check`` corpus.
 """
 
 from __future__ import annotations
@@ -99,6 +103,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_comp.add_argument("--run", action="store_true", help="also simulate the program")
     p_comp.add_argument("--workers", type=int, default=8)
+
+    p_lint = sub.add_parser("lint", help="overlap-safety analysis of PAX sources")
+    p_lint.add_argument("files", nargs="*", metavar="FILE", help="PAX source files")
+    p_lint.add_argument("--json", action="store_true", help="emit findings as JSON")
+    p_lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "never"],
+        default="warning",
+        help="lowest severity that makes the exit code 1 (default: warning)",
+    )
+    p_lint.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="suppress rules by ID (repeatable; RDN000 cannot be suppressed)",
+    )
+    p_lint.add_argument(
+        "--self-check",
+        action="store_true",
+        help="lint the built-in corpus (one program per rule) and exit",
+    )
     return parser
 
 
@@ -306,6 +332,31 @@ def _cmd_gantt(args, out) -> int:
     return 0
 
 
+def _default_map_generators(program):
+    """Random selection maps for ``compile --run``.
+
+    A PAX ``MAP`` declares shape, not contents — the paper's maps are
+    "dynamically generated".  Simulating from the CLI needs *some*
+    contents, so any indirect link whose map has no registered generator
+    gets a uniform random one with the link-implied shape.
+    """
+    from repro.core.mapping import MappingKind
+
+    gens = {}
+    for (pred, succ), mapping in program.links.items():
+        name = getattr(mapping, "map_name", None)
+        if name is None or name in program.map_generators or name in gens:
+            continue
+        n_pred = program.phases[pred].n_granules
+        n_succ = program.phases[succ].n_granules
+        if mapping.kind is MappingKind.REVERSE_INDIRECT:
+            shape, high = (mapping.fan_in, n_succ), n_pred
+        else:
+            shape, high = (mapping.fan_out, n_pred), n_succ
+        gens[name] = lambda rng, shape=shape, high=high: rng.integers(0, high, size=shape)
+    return gens
+
+
 def _cmd_compile(args, out) -> int:
     try:
         with open(args.file, "r", encoding="utf-8") as fh:
@@ -329,10 +380,57 @@ def _cmd_compile(args, out) -> int:
     for (a, b), mapping in sorted(program.links.items()):
         print(f"link     : {a} -> {b}  [{mapping.kind.value}]", file=out)
     if args.run:
+        defaults = _default_map_generators(program)
+        if defaults:
+            program.map_generators.update(defaults)
+            print(f"maps     : random default generators for {sorted(defaults)}", file=out)
         result = run_program(program, args.workers)
         print(f"makespan : {result.makespan:.2f}", file=out)
         print(f"util     : {result.utilization:.1%}", file=out)
     return 0
+
+
+def _cmd_lint(args, out) -> int:
+    from repro.lint import (
+        Severity,
+        exit_code,
+        filter_suppressed,
+        lint_file,
+        render_json,
+        render_text,
+        run_self_check,
+    )
+
+    if args.self_check:
+        ok, lines = run_self_check()
+        print("\n".join(lines), file=out)
+        return 0 if ok else 1
+    if not args.files:
+        print("error: no files to lint (or use --self-check)", file=sys.stderr)
+        return 2
+
+    suppressed = {
+        token.strip().upper()
+        for chunk in args.suppress
+        for token in chunk.split(",")
+        if token.strip()
+    }
+    diagnostics = []
+    for path in args.files:
+        try:
+            diagnostics.extend(lint_file(path))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    diagnostics = filter_suppressed(diagnostics, suppressed)
+
+    if args.json:
+        print(render_json(diagnostics), file=out)
+    else:
+        print(render_text(diagnostics), file=out)
+    if args.fail_on == "never":
+        return 0
+    return exit_code(diagnostics, Severity(args.fail_on))
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
@@ -354,6 +452,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_compile(args, out)
         if args.command == "gantt":
             return _cmd_gantt(args, out)
+        if args.command == "lint":
+            return _cmd_lint(args, out)
     except BrokenPipeError:  # e.g. piping into `head`
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

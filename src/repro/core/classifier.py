@@ -46,7 +46,15 @@ from repro.core.mapping import (
 )
 from repro.core.phase import PhaseProgram, PhaseSpec
 
-__all__ = ["PairClassification", "MappingCensus", "classify_pair", "classify_program", "build_mapping"]
+__all__ = [
+    "PairClassification",
+    "MappingCensus",
+    "classify_pair",
+    "classify_program",
+    "build_mapping",
+    "classification_of",
+    "enables_no_more_than",
+]
 
 #: Most restrictive first; classification takes the worst verdict seen.
 _SEVERITY = [
@@ -107,25 +115,31 @@ def _dependence_atoms(
     succ_w = _touches(succ, array, written=True)
     succ_r = _touches(succ, array, written=False)
 
-    dep_pairs: list[tuple[IndexExpr, IndexExpr]] = []
+    dep_pairs: list[tuple[IndexExpr, IndexExpr, bool]] = []
     for a in pred_w:
-        for b in succ_r + succ_w:
-            dep_pairs.append((a, b))
+        for b in succ_r:
+            dep_pairs.append((a, b, False))
+        for b in succ_w:
+            dep_pairs.append((a, b, True))
     for a in pred_r:
         for b in succ_w:
-            dep_pairs.append((a, b))
+            dep_pairs.append((a, b, False))
 
     def is_identity(idx: IndexExpr) -> bool:
         return isinstance(idx, AffineIndex) and idx.is_identity
 
     atoms: list[tuple[str, object, str]] = []
-    for a, b in dep_pairs:
+    for a, b, both_writes in dep_pairs:
         if isinstance(b, AllIndex) or isinstance(a, AllIndex):
             atoms.append(("null", None, f"whole-array dependence through {array!r}"))
         elif isinstance(a, ConstIndex) and isinstance(b, ConstIndex):
-            if a.value == b.value:
+            if a.value == b.value or both_writes:
+                # Equal elements are a scalar coupling; and when *both*
+                # phases write fixed elements of the array (a scalar
+                # accumulator region) the update order matters, so even
+                # distinct slots must serialize — never UNIVERSAL.
                 atoms.append(("null", None, f"shared scalar dependence through {array!r}"))
-            # distinct fixed elements never conflict: no atom
+            # a fixed element read against a different fixed element: no atom
         elif isinstance(a, ConstIndex) or isinstance(b, ConstIndex):
             atoms.append(("null", None, f"shared scalar dependence through {array!r}"))
         elif isinstance(b, MappedIndex):
@@ -272,6 +286,72 @@ def build_mapping(
     if kind is MappingKind.SEAM:
         return SeamMapping(classification.offsets or (-1, 0, 1))
     raise ValueError(f"unknown mapping kind {kind}")  # pragma: no cover
+
+
+def classification_of(
+    mapping: EnablementMapping, pred: str, succ: str
+) -> PairClassification:
+    """Recast a concrete :class:`EnablementMapping` as a classification.
+
+    This lets a *declared* mapping (built by the compiler from a
+    ``MAPPING=`` option) be compared against an *inferred* verdict with
+    :func:`enables_no_more_than` — the static analyzer's core move.
+    """
+    if isinstance(mapping, SeamMapping):
+        return PairClassification(
+            pred, succ, mapping.kind, offsets=tuple(sorted(mapping.offsets)),
+            reason="declared mapping",
+        )
+    if isinstance(mapping, ReverseIndirectMapping):
+        return PairClassification(
+            pred, succ, mapping.kind, map_name=mapping.map_name,
+            fan_in=mapping.fan_in, reason="declared mapping",
+        )
+    if isinstance(mapping, ForwardIndirectMapping):
+        return PairClassification(
+            pred, succ, mapping.kind, map_name=mapping.map_name,
+            fan_in=mapping.fan_out, reason="declared mapping",
+        )
+    return PairClassification(pred, succ, mapping.kind, reason="declared mapping")
+
+
+def _as_seam_offsets(c: PairClassification) -> frozenset[int] | None:
+    """Seam-offset view of a verdict (IDENTITY ≡ SEAM{0}), else ``None``."""
+    if c.kind is MappingKind.IDENTITY:
+        return frozenset({0})
+    if c.kind is MappingKind.SEAM:
+        return frozenset(c.offsets)
+    return None
+
+
+def enables_no_more_than(a: PairClassification, b: PairClassification) -> bool:
+    """True when mapping *a* never admits a successor granule *b* withholds.
+
+    This is the subsumption partial order the lint pass races declared
+    against inferred mappings with: a declared ``ENABLE`` clause is safe
+    exactly when it enables **no more than** the data flow supports.
+
+    * NULL enables nothing, so it is below everything;
+    * UNIVERSAL enables everything, so it is above everything;
+    * IDENTITY is the one-point seam ``SEAM{0}``; a seam enables no more
+      than another iff it *requires* at least the other's offsets
+      (``offsets(a) ⊇ offsets(b)``);
+    * indirect mappings are comparable only to themselves — same kind,
+      map name, and fan;
+    * any other cross-kind comparison is conservatively ``False``.
+    """
+    if a.kind is MappingKind.NULL:
+        return True
+    if b.kind is MappingKind.UNIVERSAL:
+        return True
+    if a.kind is MappingKind.UNIVERSAL or b.kind is MappingKind.NULL:
+        return False
+    sa, sb = _as_seam_offsets(a), _as_seam_offsets(b)
+    if sa is not None and sb is not None:
+        return sa >= sb
+    if a.kind is b.kind and a.kind.indirect:
+        return a.map_name == b.map_name and a.fan_in == b.fan_in
+    return False
 
 
 @dataclass

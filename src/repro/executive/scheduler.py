@@ -42,6 +42,7 @@ machine's management queue, charged per
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -287,6 +288,7 @@ class ExecutiveSimulation:
         seed: int = 0,
         extensions: Extensions | None = None,
         telemetry: "Telemetry | None" = None,
+        admission_guard: "Callable[[AdmissionDecision], None] | None" = None,
     ) -> None:
         programs = [program] if isinstance(program, PhaseProgram) else list(program)
         if not programs:
@@ -295,6 +297,7 @@ class ExecutiveSimulation:
         self.costs = costs or ExecutiveCosts()
         self.sizer = sizer or TaskSizer()
         self.ext = extensions or Extensions()
+        self.admission_guard = admission_guard
         self.obs = telemetry
         self.sim = Simulator(telemetry)
         self.trace = Trace()
@@ -381,6 +384,10 @@ class ExecutiveSimulation:
             return
         self._admission_seen.add(key)
         self.admission_decisions.append(decision)
+        if self.admission_guard is not None:
+            # dynamic cross-check hook (see repro.lint.crosscheck): raise
+            # before the admission is acted on if it exceeds a verdict
+            self.admission_guard(decision)
         if self.obs is None:
             return
         if decision.admitted:
@@ -1021,6 +1028,7 @@ def run_program(
     max_events: int | None = 5_000_000,
     extensions: Extensions | None = None,
     telemetry: "Telemetry | None" = None,
+    admission_guard: "Callable[[AdmissionDecision], None] | None" = None,
 ) -> RunResult:
     """Convenience wrapper: build an :class:`ExecutiveSimulation` and run it."""
     sim = ExecutiveSimulation(
@@ -1033,5 +1041,6 @@ def run_program(
         seed=seed,
         extensions=extensions,
         telemetry=telemetry,
+        admission_guard=admission_guard,
     )
     return sim.run(max_events=max_events)

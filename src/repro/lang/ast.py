@@ -139,6 +139,7 @@ class EnableItem:
     phase: str
     mapping: MappingOption
     line: int = 0
+    col: int = 0
 
 
 class EnableClauseKind(enum.Enum):
@@ -162,6 +163,7 @@ class EnableClause:
     items: tuple[EnableItem, ...] = ()
     inline_mapping: MappingOption | None = None
     line: int = 0
+    col: int = 0
 
 
 # ---------------------------------------------------------------- access refs
@@ -214,6 +216,7 @@ class DefinePhase(Stmt):
     #: True when a READS or WRITES clause appeared (even an empty one).
     declares_access: bool = False
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -223,6 +226,7 @@ class MapDecl(Stmt):
     name: str
     fan_in: int = 1
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -232,6 +236,7 @@ class Dispatch(Stmt):
     phase: str
     enable: EnableClause | None = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -241,6 +246,7 @@ class IfGoto(Stmt):
     condition: Comparison
     target: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -249,6 +255,7 @@ class Goto(Stmt):
 
     target: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -257,6 +264,7 @@ class Label(Stmt):
 
     name: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -266,6 +274,7 @@ class SerialStmt(Stmt):
     name: str
     duration: float = 0.0
     line: int = 0
+    col: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -280,6 +289,7 @@ class SetStmt(Stmt):
     name: str
     expr: Expr = None  # type: ignore[assignment]
     line: int = 0
+    col: int = 0
 
 
 @dataclass

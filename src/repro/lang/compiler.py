@@ -59,7 +59,7 @@ from repro.lang.ast import (
 from repro.lang.errors import VerificationError
 from repro.lang.semantics import verify
 
-__all__ = ["compile_program", "mapping_from_option"]
+__all__ = ["compile_program", "mapping_from_option", "access_pattern_of", "select_option"]
 
 
 def _index_expr(ref: LangRef, map_decls: dict[str, MapDecl]) -> IndexExpr:
@@ -74,10 +74,14 @@ def _index_expr(ref: LangRef, map_decls: dict[str, MapDecl]) -> IndexExpr:
     return MappedIndex(ref.map_name, fan_in=map_decls[ref.map_name].fan_in)
 
 
-def _access_pattern(
+def access_pattern_of(
     define: DefinePhase, map_decls: dict[str, MapDecl]
 ) -> AccessPattern | None:
-    """The phase's :class:`AccessPattern`, or ``None`` without declarations."""
+    """The phase's :class:`AccessPattern`, or ``None`` without declarations.
+
+    Public so the lint pass recovers footprints from the same builder the
+    compiler uses — one source of truth for what a declaration means.
+    """
     if not define.declares_access:
         return None
     return AccessPattern(
@@ -205,7 +209,7 @@ def compile_program(
                 name=name,
                 n_granules=base.granules,
                 cost=ConstantCost(base.cost),
-                access=_access_pattern(base, map_decls),
+                access=access_pattern_of(base, map_decls),
                 lines=base.lines_of_code,
             )
     resolved_schedule: list[str | SerialAction] = []
@@ -220,7 +224,7 @@ def compile_program(
         pred_name, succ_name = occurrence_names[j], occurrence_names[j + 1]
         if serial_between[j]:
             continue  # a serial action forces the barrier; no link
-        option = _select_option(pred, succ, verified)
+        option = select_option(pred, succ.phase, verified)
         if option is None:
             continue
         if option.kind == "AUTO":
@@ -239,25 +243,26 @@ def compile_program(
     )
 
 
-def _select_option(pred: Dispatch, succ: Dispatch, verified) -> MappingOption | None:
-    """Pick the mapping option governing the pair ``pred -> succ``.
+def select_option(pred: Dispatch, succ_phase: str, verified) -> MappingOption | None:
+    """Pick the mapping option governing ``pred -> succ_phase``.
 
     Priority: dispatch-site list (verified) > dispatch-site inline >
     DEFINE-time list (used by the branch-dependent form and by bare
     dispatches).  Returns ``None`` when nothing names the successor —
-    a strict barrier.
+    a strict barrier.  Public so the lint pass resolves a declared
+    mapping with exactly the compiler's rules.
     """
     clause = pred.enable
     if clause is not None:
         if clause.kind in (EnableClauseKind.LIST, EnableClauseKind.BRANCH_INDEPENDENT):
             for item in clause.items:
-                if item.phase == succ.phase:
+                if item.phase == succ_phase:
                     return item.mapping
             return None
         if clause.kind is EnableClauseKind.INLINE:
             return clause.inline_mapping
         # BRANCH_DEPENDENT falls through to the DEFINE-time list
     for item in verified.definitions[pred.phase].enables:
-        if item.phase == succ.phase:
+        if item.phase == succ_phase:
             return item.mapping
     return None

@@ -6,11 +6,21 @@ __all__ = ["LangError", "LexError", "ParseError", "VerificationError"]
 
 
 class LangError(Exception):
-    """Base class for PAX language diagnostics, carrying a line number."""
+    """Base class for PAX language diagnostics, carrying a source span.
 
-    def __init__(self, message: str, line: int | None = None) -> None:
+    ``line`` and ``col`` are 1-based; ``col`` may be absent (0 or ``None``)
+    for diagnostics that only know their line.
+    """
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None) -> None:
         self.line = line
-        prefix = f"line {line}: " if line is not None else ""
+        self.col = col if col else None
+        if line is not None and self.col is not None:
+            prefix = f"line {line}:{self.col}: "
+        elif line is not None:
+            prefix = f"line {line}: "
+        else:
+            prefix = ""
         super().__init__(prefix + message)
 
 

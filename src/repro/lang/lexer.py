@@ -92,11 +92,12 @@ _DOT_OPS = {".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."}
 
 @dataclass(frozen=True, slots=True)
 class Token:
-    """One lexeme with its source line."""
+    """One lexeme with its source position (1-based line and column)."""
 
     kind: TokenKind
     text: str
     line: int
+    col: int = 1
 
     @property
     def upper(self) -> str:
@@ -112,15 +113,16 @@ def tokenize(source: str) -> list[Token]:
         n = len(body)
         while i < n:
             c = body[i]
+            col = i + 1
             if c.isspace():
                 i += 1
                 continue
             if c == "." and i + 3 < n and body[i : i + 4].upper() in _DOT_OPS:
-                tokens.append(Token(TokenKind.DOT_OP, body[i : i + 4].upper(), line_no))
+                tokens.append(Token(TokenKind.DOT_OP, body[i : i + 4].upper(), line_no, col))
                 i += 4
                 continue
             if c in _SINGLE:
-                tokens.append(Token(_SINGLE[c], c, line_no))
+                tokens.append(Token(_SINGLE[c], c, line_no, col))
                 i += 1
                 continue
             if c.isdigit():
@@ -129,9 +131,9 @@ def tokenize(source: str) -> list[Token]:
                     j += 1
                 text = body[i:j]
                 if text.count(".") > 1:
-                    raise LexError(f"malformed number {text!r}", line_no)
+                    raise LexError(f"malformed number {text!r}", line_no, col)
                 kind = TokenKind.FLOAT if "." in text else TokenKind.INT
-                tokens.append(Token(kind, text, line_no))
+                tokens.append(Token(kind, text, line_no, col))
                 i = j
                 continue
             if c.isalpha() or c == "_":
@@ -146,10 +148,10 @@ def tokenize(source: str) -> list[Token]:
                     text = text[:-1]
                     j -= 1
                 kind = TokenKind.KEYWORD if text.upper() in KEYWORDS else TokenKind.IDENT
-                tokens.append(Token(kind, text, line_no))
+                tokens.append(Token(kind, text, line_no, col))
                 i = j
                 continue
-            raise LexError(f"unexpected character {c!r}", line_no)
+            raise LexError(f"unexpected character {c!r}", line_no, col)
     last_line = source.count("\n") + 1
-    tokens.append(Token(TokenKind.EOF, "", last_line))
+    tokens.append(Token(TokenKind.EOF, "", last_line, 1))
     return tokens

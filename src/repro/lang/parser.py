@@ -88,21 +88,21 @@ class _Parser:
     def expect_keyword(self, word: str) -> Token:
         t = self.advance()
         if t.kind is not TokenKind.KEYWORD or t.upper != word:
-            raise ParseError(f"expected {word}, got {t.text!r}", t.line)
+            raise ParseError(f"expected {word}, got {t.text!r}", t.line, t.col)
         return t
 
     def expect(self, kind: TokenKind, what: str = "") -> Token:
         t = self.advance()
         if t.kind is not kind:
-            raise ParseError(f"expected {what or kind.value}, got {t.text!r}", t.line)
+            raise ParseError(f"expected {what or kind.value}, got {t.text!r}", t.line, t.col)
         return t
 
     def expect_name(self) -> Token:
         t = self.advance()
         if t.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
-            raise ParseError(f"expected a name, got {t.text!r}", t.line)
+            raise ParseError(f"expected a name, got {t.text!r}", t.line, t.col)
         if t.kind is TokenKind.KEYWORD:
-            raise ParseError(f"{t.text!r} is a reserved word", t.line)
+            raise ParseError(f"{t.text!r} is a reserved word", t.line, t.col)
         return t
 
     # -------------------------------------------------------------- numbers
@@ -122,7 +122,7 @@ class _Parser:
             neg = True
         t = self.advance()
         if t.kind not in (TokenKind.INT, TokenKind.FLOAT):
-            raise ParseError(f"expected a number, got {t.text!r}", t.line)
+            raise ParseError(f"expected a number, got {t.text!r}", t.line, t.col)
         v = float(t.text)
         return -v if neg else v
 
@@ -154,7 +154,7 @@ class _Parser:
                 offsets.append(self.parse_int())
             self.expect(TokenKind.RPAREN)
             return MappingOption("SEAM", tuple(offsets))
-        raise ParseError(f"unknown mapping option {t.text!r}", t.line)
+        raise ParseError(f"unknown mapping option {t.text!r}", t.line, t.col)
 
     def parse_enable_items(self) -> tuple[EnableItem, ...]:
         self.expect(TokenKind.LBRACKET)
@@ -165,16 +165,21 @@ class _Parser:
             self.expect_keyword("MAPPING")
             self.expect(TokenKind.EQUALS)
             option = self.parse_mapping_option()
-            items.append(EnableItem(name_tok.text, option, name_tok.line))
+            items.append(EnableItem(name_tok.text, option, name_tok.line, name_tok.col))
         self.expect(TokenKind.RBRACKET)
         if not items:
-            raise ParseError("empty ENABLE list", self.peek().line)
+            raise ParseError("empty ENABLE list", self.peek().line, self.peek().col)
         return tuple(items)
 
     def parse_enable_clause(self) -> EnableClause:
         enable_tok = self.expect_keyword("ENABLE")
         if self.peek().kind is TokenKind.LBRACKET:
-            return EnableClause(EnableClauseKind.LIST, self.parse_enable_items(), line=enable_tok.line)
+            return EnableClause(
+                EnableClauseKind.LIST,
+                self.parse_enable_items(),
+                line=enable_tok.line,
+                col=enable_tok.col,
+            )
         self.expect(TokenKind.SLASH)
         t = self.peek()
         if t.kind is TokenKind.KEYWORD and t.upper == "MAPPING":
@@ -184,6 +189,7 @@ class _Parser:
                 EnableClauseKind.INLINE,
                 inline_mapping=self.parse_mapping_option(),
                 line=enable_tok.line,
+                col=enable_tok.col,
             )
         if t.kind is TokenKind.KEYWORD and t.upper == "BRANCHINDEPENDENT":
             self.advance()
@@ -191,11 +197,18 @@ class _Parser:
                 EnableClauseKind.BRANCH_INDEPENDENT,
                 self.parse_enable_items(),
                 line=enable_tok.line,
+                col=enable_tok.col,
             )
         if t.kind is TokenKind.KEYWORD and t.upper == "BRANCHDEPENDENT":
             self.advance()
-            return EnableClause(EnableClauseKind.BRANCH_DEPENDENT, line=enable_tok.line)
-        raise ParseError(f"expected MAPPING, BRANCHINDEPENDENT or BRANCHDEPENDENT, got {t.text!r}", t.line)
+            return EnableClause(
+                EnableClauseKind.BRANCH_DEPENDENT, line=enable_tok.line, col=enable_tok.col
+            )
+        raise ParseError(
+            f"expected MAPPING, BRANCHINDEPENDENT or BRANCHDEPENDENT, got {t.text!r}",
+            t.line,
+            t.col,
+        )
 
     # -------------------------------------------------------------- expressions
     def parse_factor(self):
@@ -222,7 +235,7 @@ class _Parser:
         if t.kind is TokenKind.IDENT:
             self.advance()
             return Var(t.text)
-        raise ParseError(f"expected an expression, got {t.text!r}", t.line)
+        raise ParseError(f"expected an expression, got {t.text!r}", t.line, t.col)
 
     def parse_term(self):
         e = self.parse_factor()
@@ -280,18 +293,21 @@ class _Parser:
                     raise ParseError(
                         f"expected I as the map's second index, got {second.text!r}",
                         second.line,
+                        second.col,
                     )
                 form = IndexForm.MAPPED_FAN
             elif first.upper == "I":
                 form = IndexForm.MAPPED
             else:
                 raise ParseError(
-                    f"expected I or J,I inside map reference, got {first.text!r}", first.line
+                    f"expected I or J,I inside map reference, got {first.text!r}",
+                    first.line,
+                    first.col,
                 )
             self.expect(TokenKind.RPAREN)
             ref = LangRef(array_tok.text, form, map_name=map_name)
         else:
-            raise ParseError(f"unexpected index expression {t.text!r}", t.line)
+            raise ParseError(f"unexpected index expression {t.text!r}", t.line, t.col)
         self.expect(TokenKind.RPAREN)
         return ref
 
@@ -349,6 +365,7 @@ class _Parser:
             writes=writes,
             declares_access=declares_access,
             line=start.line,
+            col=start.col,
         )
 
     def parse_map_decl(self) -> MapDecl:
@@ -359,7 +376,7 @@ class _Parser:
             self.advance()
             self.expect(TokenKind.EQUALS)
             fan_in = self.parse_int()
-        return MapDecl(name=name, fan_in=fan_in, line=start.line)
+        return MapDecl(name=name, fan_in=fan_in, line=start.line, col=start.col)
 
     def parse_goto_target(self) -> str:
         t = self.peek()
@@ -384,7 +401,7 @@ class _Parser:
                 enable = None
                 if self.at_keyword("ENABLE"):
                     enable = self.parse_enable_clause()
-                return Dispatch(phase=name, enable=enable, line=t.line)
+                return Dispatch(phase=name, enable=enable, line=t.line, col=t.col)
             if word == "IF":
                 self.advance()
                 self.expect(TokenKind.LPAREN)
@@ -392,16 +409,16 @@ class _Parser:
                 self.expect(TokenKind.RPAREN)
                 self.expect_keyword("THEN")
                 target = self.parse_goto_target()
-                return IfGoto(condition=cond, target=target, line=t.line)
+                return IfGoto(condition=cond, target=target, line=t.line, col=t.col)
             if word in ("GO", "GOTO"):
                 target = self.parse_goto_target()
-                return Goto(target=target, line=t.line)
+                return Goto(target=target, line=t.line, col=t.col)
             if word == "SET":
                 self.advance()
                 name = self.expect_name().text
                 self.expect(TokenKind.EQUALS)
                 expr = self.parse_expr()
-                return SetStmt(name=name, expr=expr, line=t.line)
+                return SetStmt(name=name, expr=expr, line=t.line, col=t.col)
             if word == "SERIAL":
                 self.advance()
                 name = self.expect_name().text
@@ -410,13 +427,13 @@ class _Parser:
                     self.advance()
                     self.expect(TokenKind.EQUALS)
                     duration = self.parse_number()
-                return SerialStmt(name=name, duration=duration, line=t.line)
-            raise ParseError(f"unexpected keyword {t.text!r}", t.line)
+                return SerialStmt(name=name, duration=duration, line=t.line, col=t.col)
+            raise ParseError(f"unexpected keyword {t.text!r}", t.line, t.col)
         if t.kind is TokenKind.IDENT and self.peek(1).kind is TokenKind.COLON:
             self.advance()
             self.advance()
-            return Label(name=t.text, line=t.line)
-        raise ParseError(f"unexpected token {t.text!r}", t.line)
+            return Label(name=t.text, line=t.line, col=t.col)
+        raise ParseError(f"unexpected token {t.text!r}", t.line, t.col)
 
     def parse_program(self) -> Program:
         prog = Program()

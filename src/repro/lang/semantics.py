@@ -91,12 +91,12 @@ def _next_statement_chain(
                 continue
             if isinstance(s, Goto):
                 if s.target not in labels:
-                    raise VerificationError(f"GOTO to undefined label {s.target!r}", s.line)
+                    raise VerificationError(f"GOTO to undefined label {s.target!r}", s.line, s.col)
                 i = labels[s.target]
                 continue
             if isinstance(s, IfGoto):
                 if s.target not in labels:
-                    raise VerificationError(f"IF branch to undefined label {s.target!r}", s.line)
+                    raise VerificationError(f"IF branch to undefined label {s.target!r}", s.line, s.col)
                 stack.append(labels[s.target])
                 i += 1
                 continue
@@ -128,18 +128,20 @@ def _has_branch_before_next_dispatch(program: Program, dispatch_index: int) -> b
             return False
         if isinstance(s, Goto):
             if s.target not in labels:
-                raise VerificationError(f"GOTO to undefined label {s.target!r}", s.line)
+                raise VerificationError(f"GOTO to undefined label {s.target!r}", s.line, s.col)
             i = labels[s.target]
             continue
         i += 1
     return False
 
 
-def _check_enable_items(clause_items, definitions, line_hint) -> None:
+def _check_enable_items(clause_items, definitions, line_hint, col_hint=0) -> None:
     for item in clause_items:
         if item.phase not in definitions:
             raise VerificationError(
-                f"ENABLE names undefined phase {item.phase!r}", item.line or line_hint
+                f"ENABLE names undefined phase {item.phase!r}",
+                item.line or line_hint,
+                item.col if item.line else col_hint,
             )
 
 
@@ -153,31 +155,31 @@ def verify(program: Program) -> VerifiedProgram:
     for s in program.statements:
         if isinstance(s, Label):
             if s.name in seen_labels:
-                raise VerificationError(f"duplicate label {s.name!r}", s.line)
+                raise VerificationError(f"duplicate label {s.name!r}", s.line, s.col)
             seen_labels.add(s.name)
     map_decls = program.map_decls()
     seen_maps: set[str] = set()
     for s in program.statements:
         if isinstance(s, MapDecl):
             if s.name in seen_maps:
-                raise VerificationError(f"duplicate map declaration {s.name!r}", s.line)
+                raise VerificationError(f"duplicate map declaration {s.name!r}", s.line, s.col)
             seen_maps.add(s.name)
             if s.fan_in < 1:
                 raise VerificationError(
-                    f"map {s.name!r} declares FANIN={s.fan_in}", s.line
+                    f"map {s.name!r} declares FANIN={s.fan_in}", s.line, s.col
                 )
 
     seen_defs: set[str] = set()
     for s in program.statements:
         if isinstance(s, DefinePhase):
             if s.name in seen_defs:
-                raise VerificationError(f"duplicate phase definition {s.name!r}", s.line)
+                raise VerificationError(f"duplicate phase definition {s.name!r}", s.line, s.col)
             seen_defs.add(s.name)
             if s.granules < 1:
                 raise VerificationError(
-                    f"phase {s.name!r} declares {s.granules} granules", s.line
+                    f"phase {s.name!r} declares {s.granules} granules", s.line, s.col
                 )
-            _check_enable_items(s.enables, definitions, s.line)
+            _check_enable_items(s.enables, definitions, s.line, s.col)
             for ref in s.reads + s.writes:
                 if ref.form in (IndexForm.MAPPED, IndexForm.MAPPED_FAN):
                     if ref.map_name not in map_decls:
@@ -185,6 +187,7 @@ def verify(program: Program) -> VerifiedProgram:
                             f"phase {s.name!r} references undeclared selection map "
                             f"{ref.map_name!r} (add a MAP statement)",
                             s.line,
+                            s.col,
                         )
             for item in s.enables:
                 if item.mapping.kind == "AUTO" and not s.declares_access:
@@ -192,6 +195,7 @@ def verify(program: Program) -> VerifiedProgram:
                         f"phase {s.name!r} uses MAPPING=AUTO but declares no "
                         f"READS/WRITES footprint",
                         s.line,
+                        s.col,
                     )
 
     result = VerifiedProgram(program=program, definitions=definitions, labels=labels)
@@ -199,11 +203,11 @@ def verify(program: Program) -> VerifiedProgram:
     for idx, s in enumerate(program.statements):
         if isinstance(s, (Goto, IfGoto)):
             if s.target not in labels:
-                raise VerificationError(f"branch to undefined label {s.target!r}", s.line)
+                raise VerificationError(f"branch to undefined label {s.target!r}", s.line, s.col)
         if not isinstance(s, Dispatch):
             continue
         if s.phase not in definitions:
-            raise VerificationError(f"DISPATCH of undefined phase {s.phase!r}", s.line)
+            raise VerificationError(f"DISPATCH of undefined phase {s.phase!r}", s.line, s.col)
         clause = s.enable
         if clause is None:
             continue
@@ -219,6 +223,7 @@ def verify(program: Program) -> VerifiedProgram:
                     f"DISPATCH {s.phase}: MAPPING=AUTO needs a READS/WRITES "
                     f"footprint on the phase",
                     s.line,
+                    s.col,
                 )
             continue
         if clause.kind is EnableClauseKind.BRANCH_DEPENDENT:
@@ -227,9 +232,10 @@ def verify(program: Program) -> VerifiedProgram:
                     f"DISPATCH {s.phase} ENABLE/BRANCHDEPENDENT needs a DEFINE-time "
                     f"ENABLE list on the phase",
                     s.line,
+                    s.col,
                 )
             continue
-        _check_enable_items(clause.items, definitions, s.line)
+        _check_enable_items(clause.items, definitions, s.line, s.col)
         for item in clause.items:
             if item.mapping.kind == "AUTO":
                 for side in (s.phase, item.phase):
@@ -238,7 +244,8 @@ def verify(program: Program) -> VerifiedProgram:
                             f"MAPPING=AUTO between {s.phase!r} and {item.phase!r} "
                             f"needs READS/WRITES footprints on both phases "
                             f"(missing on {side!r})",
-                            s.line,
+                            item.line or s.line,
+                            item.col or s.col,
                         )
         followers = next_dispatch_phases(program, idx, follow_branches=True)
         listed = {item.phase for item in clause.items}
@@ -248,6 +255,7 @@ def verify(program: Program) -> VerifiedProgram:
                     f"DISPATCH {s.phase}: a conditional branch separates this phase "
                     f"from its successor; use ENABLE/BRANCHINDEPENDENT",
                     s.line,
+                    s.col,
                 )
             for f in followers:
                 if f not in listed:
@@ -255,6 +263,7 @@ def verify(program: Program) -> VerifiedProgram:
                         f"DISPATCH {s.phase}: following phase {f!r} is not in the "
                         f"ENABLE list {sorted(listed)}",
                         s.line,
+                        s.col,
                     )
         elif clause.kind is EnableClauseKind.BRANCH_INDEPENDENT:
             if not followers:
@@ -262,6 +271,7 @@ def verify(program: Program) -> VerifiedProgram:
                     f"DISPATCH {s.phase}: ENABLE/BRANCHINDEPENDENT but no "
                     f"following dispatch on any path",
                     s.line,
+                    s.col,
                 )
             for f in followers:
                 if f not in listed:
@@ -269,5 +279,6 @@ def verify(program: Program) -> VerifiedProgram:
                         f"DISPATCH {s.phase}: branch target dispatches {f!r} which "
                         f"is not in the ENABLE list {sorted(listed)}",
                         s.line,
+                        s.col,
                     )
     return result

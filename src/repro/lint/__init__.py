@@ -1,0 +1,54 @@
+"""``repro.lint`` — the overlap-safety analyzer.
+
+The paper's enablement construct is declarative: the programmer asserts
+``ENABLE [phase/MAPPING=option]`` and the executive trusts the mapping
+when admitting next-phase granules during rundown.  The paper itself
+warns the unverified form "leaves the door wide open to user mistakes".
+This package closes that door statically: it races every declared
+mapping against the mapping *inferred* from the phases' READS/WRITES
+footprints and reports any declaration the data flow cannot support
+(``RDN001``), any that wastes rundown utilization (``RDN002``), and the
+structural smells around them (``RDN003``–``RDN006``).
+
+Entry points:
+
+* :func:`lint_source` / :func:`lint_file` — analyze PAX text or a file;
+* :class:`AdmissionGuard` — runtime cross-check that scheduler
+  admissions never exceed the static verdict;
+* :func:`run_self_check` — embedded corpus smoke test (one program per
+  rule);
+* ``repro lint`` — the CLI front end with text/JSON output and
+  CI-friendly exit codes (see ``docs/LINTING.md``).
+"""
+
+from repro.lint.analyzer import lint_file, lint_source
+from repro.lint.crosscheck import AdmissionGuard, CrossCheckError
+from repro.lint.diagnostics import (
+    Diagnostic,
+    exit_code,
+    filter_suppressed,
+    render_json,
+    render_text,
+    source_suppressions,
+)
+from repro.lint.rules import RULES, Rule, Severity, rule
+from repro.lint.selfcheck import SELF_CHECK_CORPUS, run_self_check
+
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "AdmissionGuard",
+    "CrossCheckError",
+    "Diagnostic",
+    "exit_code",
+    "filter_suppressed",
+    "render_json",
+    "render_text",
+    "source_suppressions",
+    "RULES",
+    "Rule",
+    "Severity",
+    "rule",
+    "SELF_CHECK_CORPUS",
+    "run_self_check",
+]

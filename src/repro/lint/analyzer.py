@@ -1,0 +1,288 @@
+"""The whole-program overlap-safety analysis.
+
+For every dispatch and every phase that can follow it (adjacent or
+branch-reachable), the analyzer resolves the *declared* enablement
+mapping with the compiler's own rules (:func:`repro.lang.compiler.
+select_option`), infers the mapping the data flow actually supports from
+the phases' READS/WRITES footprints (:func:`repro.core.classifier.
+classify_pair`), and races the two through the subsumption order
+(:func:`repro.core.classifier.enables_no_more_than`):
+
+* declared ⊄ inferred — the declaration admits successor granules the
+  data flow cannot support: **RDN001**, a statically detected overlap
+  race;
+* declared ⊊ inferred — the declaration withholds overlap the data flow
+  would allow: **RDN002**, lost utilization during rundown;
+* declared overlappable but a footprint is missing — nothing to race
+  against: **RDN006**, unverifiable.
+
+Structural rules ride the same pass: unverified inline ``ENABLE``
+clauses (**RDN003**), phases never dispatched on any reachable path
+(**RDN004**), and ``MAP`` declarations no footprint consumes
+(**RDN005**).  A program that fails the front end at all is a single
+**RDN000**.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.classifier import (
+    classification_of,
+    classify_pair,
+    enables_no_more_than,
+)
+from repro.core.phase import PhaseSpec
+from repro.lang.ast import (
+    DefinePhase,
+    Dispatch,
+    EnableClauseKind,
+    Goto,
+    IfGoto,
+    IndexForm,
+    Program,
+    SerialStmt,
+)
+from repro.lang.compiler import access_pattern_of, mapping_from_option, select_option
+from repro.lang.errors import LangError
+from repro.lang.parser import parse
+from repro.lang.semantics import VerifiedProgram, verify
+from repro.lint.diagnostics import Diagnostic, filter_suppressed, source_suppressions
+from repro.lint.rules import RULES
+
+__all__ = ["lint_source", "lint_file"]
+
+_LOC_PREFIX = re.compile(r"^line \d+(?::\d+)?: ")
+
+
+def _diag(rule_id: str, file: str, line: int, col: int, message: str) -> Diagnostic:
+    return Diagnostic(rule_id, RULES[rule_id].severity, file, max(line, 1), max(col, 1), message)
+
+
+def _reachable_statements(program: Program) -> set[int]:
+    """Statement indexes reachable from the program entry."""
+    labels = program.labels()
+    statements = program.statements
+    seen: set[int] = set()
+    stack = [0]
+    while stack:
+        i = stack.pop()
+        while 0 <= i < len(statements) and i not in seen:
+            seen.add(i)
+            s = statements[i]
+            if isinstance(s, Goto):
+                i = labels[s.target]
+                continue
+            if isinstance(s, IfGoto):
+                stack.append(labels[s.target])
+            i += 1
+    return seen
+
+
+def _followers_with_serial(
+    program: Program, dispatch_index: int
+) -> list[tuple[str, bool]]:
+    """``(phase, serial_on_every_path)`` for each follower of a dispatch.
+
+    Like :func:`repro.lang.semantics.next_dispatch_phases` but tracks
+    whether a ``SERIAL`` statement separates the pair.  When a follower
+    is reachable both with and without an intervening serial action, the
+    serial-free path governs — that is the path overlap could occur on.
+    """
+    labels = program.labels()
+    statements = program.statements
+    found: dict[str, bool] = {}
+    seen_states: set[tuple[int, bool]] = set()
+    stack: list[tuple[int, bool]] = [(dispatch_index + 1, False)]
+    while stack:
+        i, serial = stack.pop()
+        while i < len(statements):
+            if (i, serial) in seen_states:
+                break
+            seen_states.add((i, serial))
+            s = statements[i]
+            if isinstance(s, Dispatch):
+                found[s.phase] = found.get(s.phase, True) and serial
+                break
+            if isinstance(s, SerialStmt):
+                serial = True
+            elif isinstance(s, Goto):
+                i = labels[s.target]
+                continue
+            elif isinstance(s, IfGoto):
+                stack.append((labels[s.target], serial))
+            i += 1
+    return sorted(found.items())
+
+
+def _declared_span(
+    dispatch: Dispatch, succ: str, verified: VerifiedProgram
+) -> tuple[int, int]:
+    """Best source span for the declaration governing ``dispatch -> succ``."""
+    clause = dispatch.enable
+    if clause is not None:
+        if clause.kind in (EnableClauseKind.LIST, EnableClauseKind.BRANCH_INDEPENDENT):
+            for item in clause.items:
+                if item.phase == succ:
+                    return item.line or clause.line, item.col or clause.col
+            return clause.line, clause.col
+        if clause.kind is EnableClauseKind.INLINE:
+            return clause.line, clause.col
+    for item in verified.definitions[dispatch.phase].enables:
+        if item.phase == succ:
+            return item.line or dispatch.line, item.col or dispatch.col
+    return dispatch.line, dispatch.col
+
+
+def _analyze(program: Program, verified: VerifiedProgram, filename: str) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    definitions = verified.definitions
+    map_decls = program.map_decls()
+    reachable = _reachable_statements(program)
+    statements = program.statements
+
+    # Symbolic footprints, via the compiler's own builder.
+    specs: dict[str, PhaseSpec] = {
+        name: PhaseSpec(name, d.granules, access=access_pattern_of(d, map_decls))
+        for name, d in definitions.items()
+    }
+
+    # ---- RDN004: phases never dispatched on any reachable path
+    dispatched_live = {
+        s.phase
+        for i, s in enumerate(statements)
+        if isinstance(s, Dispatch) and i in reachable
+    }
+    for name, d in definitions.items():
+        if name not in dispatched_live:
+            out.append(
+                _diag(
+                    "RDN004", filename, d.line, d.col,
+                    f"phase {name!r} is defined but never dispatched on any "
+                    f"reachable path",
+                )
+            )
+
+    # ---- RDN005: maps no footprint consumes
+    used_maps = {
+        ref.map_name
+        for d in definitions.values()
+        for ref in d.reads + d.writes
+        if ref.form in (IndexForm.MAPPED, IndexForm.MAPPED_FAN)
+    }
+    for name, decl in map_decls.items():
+        if name not in used_maps:
+            out.append(
+                _diag(
+                    "RDN005", filename, decl.line, decl.col,
+                    f"map {name!r} is declared but no READS/WRITES footprint "
+                    f"indexes through it",
+                )
+            )
+
+    # ---- RDN003: unverified inline ENABLE clauses
+    for idx in verified.unverified_dispatches:
+        s = statements[idx]
+        clause = s.enable
+        out.append(
+            _diag(
+                "RDN003", filename, clause.line or s.line, clause.col or s.col,
+                f"DISPATCH {s.phase}: bare ENABLE/MAPPING= is not verified by "
+                f"the executive; prefer ENABLE [phase/MAPPING=...]",
+            )
+        )
+
+    # ---- the race: declared vs inferred, per dispatch -> follower pair
+    for idx, s in enumerate(statements):
+        if not isinstance(s, Dispatch) or idx not in reachable:
+            continue
+        pred_def = definitions[s.phase]
+        for succ, serial_between in _followers_with_serial(program, idx):
+            succ_def = definitions[succ]
+            option = select_option(s, succ, verified)
+            line, col = _declared_span(s, succ, verified)
+            if option is not None and option.kind == "AUTO":
+                continue  # the compiler derives the mapping itself
+            have_footprints = pred_def.declares_access and succ_def.declares_access
+
+            if option is None:
+                # Declared barrier.  Lost utilization only if the data
+                # flow provably allows overlap.
+                if have_footprints:
+                    inferred = classify_pair(specs[s.phase], specs[succ], serial_between)
+                    if inferred.kind.overlappable:
+                        out.append(
+                            _diag(
+                                "RDN002", filename, line, col,
+                                f"{s.phase} -> {succ}: no ENABLE declared, but "
+                                f"data flow supports "
+                                f"MAPPING={inferred.kind.value.upper()} "
+                                f"({inferred.reason}); rundown processors idle "
+                                f"at an unnecessary barrier",
+                            )
+                        )
+                continue
+
+            declared = classification_of(mapping_from_option(option), s.phase, succ)
+            if not have_footprints:
+                if declared.kind.overlappable:
+                    missing = [
+                        n for n, d in ((s.phase, pred_def), (succ, succ_def))
+                        if not d.declares_access
+                    ]
+                    out.append(
+                        _diag(
+                            "RDN006", filename, line, col,
+                            f"{s.phase} -> {succ}: MAPPING="
+                            f"{declared.kind.value.upper()} declared but "
+                            f"{', '.join(missing)} lacks a READS/WRITES "
+                            f"footprint; the declaration cannot be checked",
+                        )
+                    )
+                continue
+
+            inferred = classify_pair(specs[s.phase], specs[succ], serial_between)
+            if not enables_no_more_than(declared, inferred):
+                out.append(
+                    _diag(
+                        "RDN001", filename, line, col,
+                        f"{s.phase} -> {succ}: declared MAPPING="
+                        f"{declared.kind.value.upper()} admits successor "
+                        f"granules the data flow does not support (inferred "
+                        f"{inferred.kind.value.upper()}: {inferred.reason})",
+                    )
+                )
+            elif not enables_no_more_than(inferred, declared):
+                out.append(
+                    _diag(
+                        "RDN002", filename, line, col,
+                        f"{s.phase} -> {succ}: declared MAPPING="
+                        f"{declared.kind.value.upper()} is strictly weaker "
+                        f"than the data flow allows (inferred "
+                        f"{inferred.kind.value.upper()}: {inferred.reason}); "
+                        f"utilization is lost during rundown",
+                    )
+                )
+
+    severity_order = {"error": 0, "warning": 1, "info": 2}
+    out.sort(key=lambda d: (d.file, d.line, d.col, severity_order[d.severity.value], d.rule_id))
+    return out
+
+
+def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
+    """Lint PAX source text; returns findings after pragma suppression."""
+    try:
+        program = parse(source)
+        verified = verify(program)
+    except LangError as e:
+        message = _LOC_PREFIX.sub("", str(e))
+        diags = [_diag("RDN000", filename, e.line or 1, e.col or 1, message)]
+        return filter_suppressed(diags, source_suppressions(source))
+    diags = _analyze(program, verified, filename)
+    return filter_suppressed(diags, source_suppressions(source))
+
+
+def lint_file(path: str) -> list[Diagnostic]:
+    """Lint one ``.pax`` file (IO errors propagate to the caller)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), filename=path)

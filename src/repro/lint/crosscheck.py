@@ -1,0 +1,75 @@
+"""Dynamic cross-check: runtime admissions never exceed the static verdict.
+
+The analyzer's verdicts are conservative: a declared mapping is safe only
+when it enables **no more than** the footprint-inferred mapping.  This
+module closes the loop at run time — an :class:`AdmissionGuard` installed
+on the executive watches every :class:`~repro.core.overlap.
+AdmissionDecision` and raises :class:`CrossCheckError` if the scheduler
+ever *admits* a successor granule across a link whose declared mapping
+the static analysis would reject.  With both the lint pass and the guard
+green, the paper's ``PARALLEL(q, r)`` condition is checked twice: once
+symbolically, once against the live schedule.
+"""
+
+from __future__ import annotations
+
+from repro.core.classifier import (
+    classification_of,
+    classify_pair,
+    enables_no_more_than,
+)
+from repro.core.overlap import AdmissionDecision
+from repro.core.phase import PhaseProgram
+
+__all__ = ["CrossCheckError", "AdmissionGuard"]
+
+
+class CrossCheckError(AssertionError):
+    """The executive admitted overlap the static analysis forbids."""
+
+
+class AdmissionGuard:
+    """Callable hook for the executive's admission bookkeeping.
+
+    Pass an instance as ``admission_guard=`` to ``run_program`` (or to
+    ``ExecutiveSimulation``).  Each recorded decision is checked against
+    the static verdict for its phase pair; verdicts are computed once per
+    pair and cached.  Pairs whose phases carry no access declarations are
+    skipped — there is no static verdict to exceed.
+    """
+
+    def __init__(self, program: PhaseProgram) -> None:
+        self._program = program
+        self._verdicts: dict[tuple[str, str], bool] = {}
+        #: Decisions inspected, for tests and reporting.
+        self.checked = 0
+
+    def _pair_is_safe(self, pred: str, succ: str) -> bool:
+        key = (pred, succ)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        pred_spec = self._program.phases[pred]
+        succ_spec = self._program.phases[succ]
+        if pred_spec.access is None or succ_spec.access is None:
+            safe = True  # nothing declared, nothing to exceed
+        else:
+            declared = classification_of(
+                self._program.mapping_between(pred, succ), pred, succ
+            )
+            inferred = classify_pair(pred_spec, succ_spec)
+            safe = enables_no_more_than(declared, inferred)
+        self._verdicts[key] = safe
+        return safe
+
+    def __call__(self, decision: AdmissionDecision) -> None:
+        self.checked += 1
+        if not decision.admitted:
+            return  # rejections can never exceed the verdict
+        if not self._pair_is_safe(decision.predecessor, decision.successor):
+            raise CrossCheckError(
+                f"executive admitted {decision.successor!r} granules during "
+                f"{decision.predecessor!r} rundown, but the static analysis "
+                f"rejects the declared mapping "
+                f"({decision.mapping_kind or 'unknown'}) for this pair"
+            )

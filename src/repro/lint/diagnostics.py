@@ -1,0 +1,95 @@
+"""Diagnostics: findings with source spans, suppression, and rendering.
+
+Text findings render one per line in the classic compiler shape::
+
+    examples/lint/rdn001_race.pax:14:3: error RDN001: overlap race ...
+
+JSON output is a list of plain dicts (one per finding) so CI tooling can
+consume it without a schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import asdict, dataclass
+
+from repro.lint.rules import RULES, Severity
+
+__all__ = [
+    "Diagnostic",
+    "render_text",
+    "render_json",
+    "source_suppressions",
+    "filter_suppressed",
+    "exit_code",
+]
+
+#: ``! lint: disable=RDN001,RDN003`` anywhere in a comment disables rules
+#: file-wide.  The lexer strips comments, so suppression scans raw source.
+_PRAGMA = re.compile(r"!\s*lint:\s*disable=([A-Z0-9, ]+)", re.IGNORECASE)
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: rule, severity, span, message."""
+
+    rule_id: str
+    severity: Severity
+    file: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location}: {self.severity.value} {self.rule_id}: {self.message}"
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    """All findings, one per line, plus a one-line tally."""
+    lines = [d.render() for d in diagnostics]
+    n_err = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    n_warn = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    lines.append(f"{len(diagnostics)} finding(s): {n_err} error(s), {n_warn} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    """Findings as a JSON array (stable key order per finding)."""
+    return json.dumps([d.to_dict() for d in diagnostics], indent=2)
+
+
+def source_suppressions(source: str) -> set[str]:
+    """Rule IDs disabled by ``! lint: disable=...`` pragmas in the source."""
+    out: set[str] = set()
+    for m in _PRAGMA.finditer(source):
+        for token in m.group(1).split(","):
+            rule_id = token.strip().upper()
+            if rule_id in RULES:
+                out.add(rule_id)
+    return out
+
+
+def filter_suppressed(
+    diagnostics: list[Diagnostic], suppressed: set[str]
+) -> list[Diagnostic]:
+    """Drop findings whose rule is suppressed (RDN000 never suppresses)."""
+    return [
+        d
+        for d in diagnostics
+        if d.rule_id == "RDN000" or d.rule_id not in suppressed
+    ]
+
+
+def exit_code(diagnostics: list[Diagnostic], fail_on: Severity) -> int:
+    """CI exit code: 1 when any finding reaches ``fail_on``, else 0."""
+    return 1 if any(d.severity.rank >= fail_on.rank for d in diagnostics) else 0

@@ -1,0 +1,86 @@
+"""The lint rule catalog: stable IDs, severities, one-line summaries.
+
+Rule IDs are append-only and never renumbered — suppressions, CI
+configuration and docs all key on them.  See ``docs/LINTING.md`` for the
+full catalog with paper citations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Rule", "RULES", "rule"]
+
+
+class Severity(enum.Enum):
+    """Finding severities, ordered: ERROR > WARNING > INFO."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One lint rule: stable ID, default severity, summary."""
+
+    id: str
+    severity: Severity
+    summary: str
+
+
+#: The catalog.  IDs are stable; add at the end, never renumber.
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule(
+            "RDN000",
+            Severity.ERROR,
+            "front-end failure: the program does not lex, parse or verify",
+        ),
+        Rule(
+            "RDN001",
+            Severity.ERROR,
+            "overlap race: declared ENABLE mapping admits successor granules "
+            "the data flow does not support",
+        ),
+        Rule(
+            "RDN002",
+            Severity.WARNING,
+            "lost utilization: declared mapping is strictly weaker than the "
+            "data flow allows",
+        ),
+        Rule(
+            "RDN003",
+            Severity.WARNING,
+            "unverified ENABLE: bare ENABLE/MAPPING= form carries no "
+            "executive interlock",
+        ),
+        Rule(
+            "RDN004",
+            Severity.WARNING,
+            "dead phase: defined but never dispatched on any reachable path",
+        ),
+        Rule(
+            "RDN005",
+            Severity.WARNING,
+            "unused map: MAP declared but no footprint indexes through it",
+        ),
+        Rule(
+            "RDN006",
+            Severity.WARNING,
+            "unverifiable overlap: overlappable mapping declared without "
+            "READS/WRITES footprints to check it against",
+        ),
+    )
+}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by ID; raises ``KeyError`` on unknown IDs."""
+    return RULES[rule_id]

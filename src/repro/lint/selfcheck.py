@@ -1,0 +1,97 @@
+"""Built-in smoke test: every rule fires on a known-bad program.
+
+``repro lint --self-check`` lints a small embedded corpus — one clean
+program plus one seeded violation per rule — and verifies that exactly
+the expected rule IDs fire.  CI runs this before linting real examples
+so a silently broken analyzer cannot green-light anything.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analyzer import lint_source
+
+__all__ = ["SELF_CHECK_CORPUS", "run_self_check"]
+
+#: name -> (source, expected rule IDs).
+SELF_CHECK_CORPUS: dict[str, tuple[str, frozenset[str]]] = {
+    "clean": (
+        (
+            "DEFINE PHASE load GRANULES=8 READS [ IN(I) ] WRITES [ X(I) ]\n"
+            "DEFINE PHASE smooth GRANULES=8 READS [ X(I-1) X(I) X(I+1) ] WRITES [ Y(I) ]\n"
+            "DISPATCH load ENABLE [ smooth/MAPPING=SEAM(-1,0,1) ]\n"
+            "DISPATCH smooth\n"
+        ),
+        frozenset(),
+    ),
+    "rdn000": ("] DISPATCH", frozenset({"RDN000"})),
+    "rdn001": (
+        (
+            "DEFINE PHASE relax GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE copy GRANULES=8 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+            "DISPATCH relax ENABLE [ copy/MAPPING=UNIVERSAL ]\n"
+            "DISPATCH copy\n"
+        ),
+        frozenset({"RDN001"}),
+    ),
+    "rdn002": (
+        (
+            "DEFINE PHASE mix GRANULES=8 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE pack GRANULES=8 READS [ R(I) ] WRITES [ S(I) ]\n"
+            "DISPATCH mix ENABLE [ pack/MAPPING=NULL ]\n"
+            "DISPATCH pack\n"
+        ),
+        frozenset({"RDN002"}),
+    ),
+    "rdn003": (
+        (
+            "DEFINE PHASE scale GRANULES=4 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE shift GRANULES=4 READS [ Q(I) ] WRITES [ R(I) ]\n"
+            "DISPATCH scale ENABLE/MAPPING=IDENTITY\n"
+            "DISPATCH shift\n"
+        ),
+        frozenset({"RDN003"}),
+    ),
+    "rdn004": (
+        (
+            "DEFINE PHASE main GRANULES=4 READS [ A(I) ] WRITES [ B(I) ]\n"
+            "DEFINE PHASE orphan GRANULES=4\n"
+            "DISPATCH main\n"
+        ),
+        frozenset({"RDN004"}),
+    ),
+    "rdn005": (
+        (
+            "MAP M FANIN=4\n"
+            "DEFINE PHASE solo GRANULES=4 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DISPATCH solo\n"
+        ),
+        frozenset({"RDN005"}),
+    ),
+    "rdn006": (
+        (
+            "DEFINE PHASE one GRANULES=4\n"
+            "DEFINE PHASE two GRANULES=4\n"
+            "DISPATCH one ENABLE [ two/MAPPING=UNIVERSAL ]\n"
+            "DISPATCH two\n"
+        ),
+        frozenset({"RDN006"}),
+    ),
+}
+
+
+def run_self_check() -> tuple[bool, list[str]]:
+    """Lint the embedded corpus; ``(ok, report_lines)``."""
+    lines: list[str] = []
+    ok = True
+    for name, (source, expected) in SELF_CHECK_CORPUS.items():
+        fired = {d.rule_id for d in lint_source(source, filename=f"<self-check:{name}>")}
+        if fired == expected:
+            want = ", ".join(sorted(expected)) or "no findings"
+            lines.append(f"ok   {name}: {want}")
+        else:
+            ok = False
+            lines.append(
+                f"FAIL {name}: expected {sorted(expected)}, got {sorted(fired)}"
+            )
+    lines.append("self-check passed" if ok else "self-check FAILED")
+    return ok, lines

@@ -93,6 +93,23 @@ class TestClassifyPair:
         b = phase("b", reads=[ArrayRef("flag", ConstIndex(0))], writes=[ArrayRef("B")])
         assert classify_pair(a, b).kind is MappingKind.NULL
 
+    def test_scalar_accumulator_written_by_both_phases_is_null(self):
+        # Regression: both phases write fixed elements of the same array
+        # (a scalar accumulator region).  Even at *distinct* slots the
+        # update order matters — this must not fall through to UNIVERSAL.
+        a = phase("a", writes=[ArrayRef("acc", ConstIndex(0))])
+        b = phase("b", writes=[ArrayRef("acc", ConstIndex(1))])
+        verdict = classify_pair(a, b)
+        assert verdict.kind is MappingKind.NULL
+        assert "scalar" in verdict.reason
+
+    def test_distinct_const_read_elements_stay_universal(self):
+        # A fixed-element *read* against a different fixed-element write
+        # still never conflicts.
+        a = phase("a", writes=[ArrayRef("tab", ConstIndex(0))])
+        b = phase("b", reads=[ArrayRef("tab", ConstIndex(1))], writes=[ArrayRef("B")])
+        assert classify_pair(a, b).kind is MappingKind.UNIVERSAL
+
     def test_non_unit_stride_is_conservative_null(self):
         a = phase("a", writes=[ArrayRef("A", AffineIndex(2, 0))])
         b = phase("b", reads=[ArrayRef("A", AffineIndex(1, 0))], writes=[ArrayRef("B")])

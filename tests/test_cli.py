@@ -148,6 +148,14 @@ class TestCompile:
         assert "schedule : ['a', 'b']" in text
         assert "a -> b" in text and "identity" in text
 
+    def test_compile_run_defaults_declared_map_generators(self):
+        # a program with a MAP but no registered generator must simulate
+        # with a synthesized random map, not crash
+        code, text = run_cli("compile", "examples/gather_scatter.pax", "--run")
+        assert code == 0
+        assert "random default generators for ['IMAP']" in text
+        assert "makespan" in text
+
     def test_compile_and_run(self, tmp_path):
         f = tmp_path / "prog.pax"
         f.write_text(self.SOURCE)

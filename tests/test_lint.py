@@ -1,0 +1,324 @@
+"""Tests for the overlap-safety analyzer (``repro.lint``)."""
+
+from __future__ import annotations
+
+import json
+from io import StringIO
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.classifier import (
+    PairClassification,
+    classification_of,
+    enables_no_more_than,
+)
+from repro.core.mapping import (
+    IdentityMapping,
+    MappingKind,
+    NullMapping,
+    ReverseIndirectMapping,
+    SeamMapping,
+    UniversalMapping,
+)
+from repro.lang import VerificationError, compile_program, parse, verify
+from repro.lint import (
+    AdmissionGuard,
+    CrossCheckError,
+    RULES,
+    Severity,
+    lint_source,
+    run_self_check,
+)
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _c(kind, offsets=(), map_name="", fan_in=1):
+    return PairClassification("p", "s", kind, offsets=offsets, map_name=map_name, fan_in=fan_in)
+
+
+class TestSubsumptionOrder:
+    def test_null_below_everything(self):
+        for kind in MappingKind:
+            assert enables_no_more_than(_c(MappingKind.NULL), _c(kind))
+
+    def test_universal_above_everything(self):
+        for kind in MappingKind:
+            assert enables_no_more_than(_c(kind), _c(MappingKind.UNIVERSAL))
+
+    def test_universal_not_below_seam(self):
+        assert not enables_no_more_than(
+            _c(MappingKind.UNIVERSAL), _c(MappingKind.SEAM, offsets=(-1, 0, 1))
+        )
+
+    def test_identity_is_seam_zero(self):
+        assert enables_no_more_than(
+            _c(MappingKind.IDENTITY), _c(MappingKind.SEAM, offsets=(0,))
+        )
+        assert enables_no_more_than(
+            _c(MappingKind.SEAM, offsets=(0,)), _c(MappingKind.IDENTITY)
+        )
+
+    def test_wider_seam_enables_less(self):
+        wide = _c(MappingKind.SEAM, offsets=(-1, 0, 1))
+        narrow = _c(MappingKind.SEAM, offsets=(0, 1))
+        assert enables_no_more_than(wide, narrow)
+        assert not enables_no_more_than(narrow, wide)
+
+    def test_seam_below_identity_needs_zero_superset(self):
+        assert enables_no_more_than(_c(MappingKind.SEAM, offsets=(-1, 0, 1)), _c(MappingKind.IDENTITY))
+        assert not enables_no_more_than(_c(MappingKind.SEAM, offsets=(-1, 1)), _c(MappingKind.IDENTITY))
+
+    def test_indirect_comparable_only_to_itself(self):
+        a = _c(MappingKind.REVERSE_INDIRECT, map_name="IMAP", fan_in=4)
+        assert enables_no_more_than(a, _c(MappingKind.REVERSE_INDIRECT, map_name="IMAP", fan_in=4))
+        assert not enables_no_more_than(a, _c(MappingKind.REVERSE_INDIRECT, map_name="JMAP", fan_in=4))
+        assert not enables_no_more_than(a, _c(MappingKind.REVERSE_INDIRECT, map_name="IMAP", fan_in=2))
+        assert not enables_no_more_than(a, _c(MappingKind.FORWARD_INDIRECT, map_name="IMAP", fan_in=4))
+
+    def test_classification_of_round_trips_params(self):
+        c = classification_of(SeamMapping((-1, 0, 1)), "p", "s")
+        assert c.kind is MappingKind.SEAM and c.offsets == (-1, 0, 1)
+        c = classification_of(ReverseIndirectMapping("IMAP", fan_in=4), "p", "s")
+        assert c.map_name == "IMAP" and c.fan_in == 4
+        for m in (UniversalMapping(), IdentityMapping(), NullMapping()):
+            assert classification_of(m, "p", "s").kind is m.kind
+
+
+class TestAnalyzerRules:
+    def test_race_detected(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+            "DISPATCH a ENABLE [ b/MAPPING=UNIVERSAL ]\n"
+            "DISPATCH b\n"
+        )
+        diags = lint_source(src)
+        assert [d.rule_id for d in diags] == ["RDN001"]
+        assert diags[0].severity is Severity.ERROR
+        assert diags[0].line == 3 and diags[0].col > 1
+
+    def test_exact_declaration_is_clean(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+            "DISPATCH a ENABLE [ b/MAPPING=SEAM(-1,0,1) ]\n"
+            "DISPATCH b\n"
+        )
+        assert lint_source(src) == []
+
+    def test_overly_wide_seam_is_safe_not_lost(self):
+        # declaring a wider seam than needed enables *less*: RDN002
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ U(I) ] WRITES [ V(I) ]\n"
+            "DISPATCH a ENABLE [ b/MAPPING=SEAM(-1,0,1) ]\n"
+            "DISPATCH b\n"
+        )
+        diags = lint_source(src)
+        assert [d.rule_id for d in diags] == ["RDN002"]
+
+    def test_missing_enable_with_overlap_available_is_lost_utilization(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ R(I) ] WRITES [ S(I) ]\n"
+            "DISPATCH a\n"
+            "DISPATCH b\n"
+        )
+        assert [d.rule_id for d in lint_source(src)] == ["RDN002"]
+
+    def test_true_barrier_without_enable_is_clean(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ Q(*) ] WRITES [ S(0) ]\n"
+            "DISPATCH a\n"
+            "DISPATCH b\n"
+        )
+        assert lint_source(src) == []
+
+    def test_serial_separation_suppresses_lost_utilization(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ R(I) ] WRITES [ S(I) ]\n"
+            "DISPATCH a\n"
+            "SERIAL decide DURATION=1.0\n"
+            "DISPATCH b\n"
+        )
+        assert lint_source(src) == []
+
+    def test_auto_mapping_is_clean(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+            "DISPATCH a ENABLE [ b/MAPPING=AUTO ]\n"
+            "DISPATCH b\n"
+        )
+        assert lint_source(src) == []
+
+    def test_branch_reachable_pairs_are_checked(self):
+        # the race hides behind a conditional branch
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ U(I-1) U(I+1) ] WRITES [ V(I) ]\n"
+            "DEFINE PHASE c GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DISPATCH a ENABLE/BRANCHINDEPENDENT [ b/MAPPING=UNIVERSAL c/MAPPING=UNIVERSAL ]\n"
+            "IF (K .EQ. 0) THEN GO TO alt\n"
+            "DISPATCH b\n"
+            "GOTO done\n"
+            "alt:\n"
+            "DISPATCH c\n"
+            "done:\n"
+        )
+        diags = lint_source(src)
+        assert [d.rule_id for d in diags] == ["RDN001"]
+        assert "a -> b" in diags[0].message
+
+    def test_front_end_failure_is_rdn000(self):
+        diags = lint_source("] DISPATCH", filename="bad.pax")
+        assert [d.rule_id for d in diags] == ["RDN000"]
+        assert diags[0].file == "bad.pax"
+        assert diags[0].line >= 1 and diags[0].col >= 1
+
+    def test_pragma_suppression(self):
+        src = (
+            "! lint: disable=RDN003\n"
+            "DEFINE PHASE a GRANULES=8 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ Q(I) ] WRITES [ R(I) ]\n"
+            "DISPATCH a ENABLE/MAPPING=IDENTITY\n"
+            "DISPATCH b\n"
+        )
+        assert lint_source(src) == []
+
+    def test_pragma_cannot_suppress_rdn000(self):
+        diags = lint_source("! lint: disable=RDN000\n] DISPATCH")
+        assert [d.rule_id for d in diags] == ["RDN000"]
+
+    def test_self_check_corpus_passes(self):
+        ok, lines = run_self_check()
+        assert ok, "\n".join(lines)
+
+
+class TestLintCLI:
+    def test_fixture_exit_codes_and_rule_ids(self):
+        for path in sorted((EXAMPLES / "lint").glob("*.pax")):
+            expected = path.stem.split("_")[0].upper()
+            code, text = run_cli("lint", str(path))
+            assert code == 1, f"{path.name} should fail lint"
+            assert expected in text, f"{path.name} should report {expected}"
+            assert f"{path}:" in text  # file:line:col span present
+
+    def test_clean_examples_have_no_findings(self):
+        files = sorted(str(p) for p in EXAMPLES.glob("*.pax"))
+        assert files, "clean .pax examples must exist"
+        code, text = run_cli("lint", *files)
+        assert code == 0
+        assert "0 finding(s)" in text
+
+    def test_json_output_round_trips(self):
+        path = EXAMPLES / "lint" / "rdn001_race.pax"
+        code, text = run_cli("lint", "--json", str(path))
+        assert code == 1
+        findings = json.loads(text)
+        assert findings and findings[0]["rule_id"] == "RDN001"
+        for f in findings:
+            assert f["rule_id"] in RULES
+            assert f["severity"] in ("error", "warning", "info")
+            assert f["line"] >= 1 and f["col"] >= 1
+            assert f["file"].endswith(".pax")
+
+    def test_fail_on_error_passes_warning_fixture(self):
+        path = EXAMPLES / "lint" / "rdn002_lost_utilization.pax"
+        code, _ = run_cli("lint", "--fail-on", "error", str(path))
+        assert code == 0
+        code, _ = run_cli("lint", "--fail-on", "warning", str(path))
+        assert code == 1
+
+    def test_fail_on_never(self):
+        path = EXAMPLES / "lint" / "rdn001_race.pax"
+        code, _ = run_cli("lint", "--fail-on", "never", str(path))
+        assert code == 0
+
+    def test_suppress_flag(self):
+        path = EXAMPLES / "lint" / "rdn003_unverified_enable.pax"
+        code, text = run_cli("lint", "--suppress", "RDN003", str(path))
+        assert code == 0
+        assert "0 finding(s)" in text
+
+    def test_self_check_command(self):
+        code, text = run_cli("lint", "--self-check")
+        assert code == 0
+        assert "self-check passed" in text
+
+    def test_missing_file_is_usage_error(self):
+        code, _ = run_cli("lint", "examples/lint/no_such_file.pax")
+        assert code == 2
+
+    def test_no_files_is_usage_error(self):
+        code, _ = run_cli("lint")
+        assert code == 2
+
+
+class TestRuntimeCrossCheck:
+    CLEAN = (
+        "DEFINE PHASE load GRANULES=8 COST=1 READS [ IN(I) ] WRITES [ X(I) ]\n"
+        "DEFINE PHASE smooth GRANULES=8 COST=1 READS [ X(I-1) X(I) X(I+1) ] WRITES [ Y(I) ]\n"
+        "DISPATCH load ENABLE [ smooth/MAPPING=SEAM(-1,0,1) ]\n"
+        "DISPATCH smooth\n"
+    )
+    RACY = (
+        "DEFINE PHASE relax GRANULES=8 COST=1 READS [ F(I) ] WRITES [ U(I) ]\n"
+        "DEFINE PHASE copy GRANULES=8 COST=1 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+        "DISPATCH relax ENABLE [ copy/MAPPING=UNIVERSAL ]\n"
+        "DISPATCH copy\n"
+    )
+
+    def test_clean_program_passes_guard(self):
+        from repro.executive.scheduler import run_program
+
+        program = compile_program(self.CLEAN)
+        guard = AdmissionGuard(program)
+        result = run_program(program, 4, admission_guard=guard)
+        assert result.makespan > 0
+        assert guard.checked >= 1
+
+    def test_racy_admission_raises(self):
+        from repro.executive.scheduler import run_program
+
+        program = compile_program(self.RACY)
+        with pytest.raises(CrossCheckError, match="rejects the declared mapping"):
+            run_program(program, 4, admission_guard=AdmissionGuard(program))
+
+    def test_guard_skips_undeclared_footprints(self):
+        from repro.core.mapping import UniversalMapping
+        from repro.core.phase import PhaseProgram, PhaseSpec
+        from repro.executive.scheduler import run_program
+
+        program = PhaseProgram.chain(
+            [PhaseSpec("p", 8), PhaseSpec("q", 8)], [UniversalMapping()]
+        )
+        guard = AdmissionGuard(program)
+        run_program(program, 4, admission_guard=guard)
+        assert guard.checked >= 1  # inspected, but no verdict to exceed
+
+
+class TestSpanThreading:
+    def test_verification_error_carries_line_and_col(self):
+        src = "DEFINE PHASE a GRANULES=1\nDISPATCH a ENABLE [ghost/MAPPING=IDENTITY]\n"
+        with pytest.raises(VerificationError) as err:
+            verify(parse(src))
+        assert err.value.line == 2
+        assert err.value.col is not None and err.value.col > 1
+        assert f"line 2:{err.value.col}:" in str(err.value)
+
+    def test_ast_nodes_carry_columns(self):
+        prog = parse("DEFINE PHASE p GRANULES=1\n   DISPATCH p\n")
+        dispatch = prog.statements[-1]
+        assert dispatch.line == 2 and dispatch.col == 4
