@@ -1,0 +1,89 @@
+"""Fail CI when a core fast path regresses >2x against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_core.json \
+        [benchmarks/BENCH_core.baseline.json]
+
+Compares the *throughput* metrics (higher is better) of a fresh
+``BENCH_core.json`` against ``benchmarks/BENCH_core.baseline.json``.  A
+metric fails when it drops below half the baseline value — generous
+enough to ride out shared-runner noise, tight enough to catch an
+accidental re-quadratization of a hot path.
+
+Ratio metrics (``speedup_vs_*``) and wall-clock sweep timings are
+reported but not gated: they compare two measurements taken on the same
+run, so they are already noise-normalized where it matters, and sweep
+wall clock depends on how loaded the runner happens to be.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: (bench, metric) pairs gated at >2x regression; all are higher-is-better.
+GATED: tuple[tuple[str, str], ...] = (
+    ("enablement_notify", "granules_per_second"),
+    ("composite_build", "groups_per_second"),
+    ("granule_algebra", "union_all_sets_per_second"),
+    ("granule_algebra", "or_ranges_per_second"),
+    ("event_queue", "events_per_second"),
+)
+
+MAX_REGRESSION = 2.0
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    """Return a list of failure messages (empty means the gate passes)."""
+    failures: list[str] = []
+    for bench, metric in GATED:
+        try:
+            base = float(baseline[bench][metric])
+            cur = float(current[bench][metric])
+        except KeyError as exc:
+            failures.append(f"{bench}.{metric}: missing key {exc}")
+            continue
+        ratio = base / cur if cur > 0 else float("inf")
+        status = "FAIL" if ratio > MAX_REGRESSION else "ok"
+        print(
+            f"[{status:>4}] {bench}.{metric}: "
+            f"baseline={base:,.0f}/s current={cur:,.0f}/s "
+            f"(regression {ratio:.2f}x, limit {MAX_REGRESSION:.1f}x)"
+        )
+        if ratio > MAX_REGRESSION:
+            failures.append(
+                f"{bench}.{metric} regressed {ratio:.2f}x "
+                f"(baseline {base:,.0f}/s -> current {cur:,.0f}/s)"
+            )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    here = Path(__file__).resolve().parent
+    current_path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_core.json")
+    baseline_path = (
+        Path(argv[2]) if len(argv) > 2 else here / "BENCH_core.baseline.json"
+    )
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+
+    if current.get("quick") != baseline.get("quick"):
+        print(
+            f"note: quick-mode mismatch (baseline quick={baseline.get('quick')}, "
+            f"current quick={current.get('quick')}); throughput gates still apply"
+        )
+
+    failures = check(current, baseline)
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s) vs {baseline_path}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nall gated benchmarks within {MAX_REGRESSION:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

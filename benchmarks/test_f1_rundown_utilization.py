@@ -7,12 +7,16 @@ null mapping gains nothing.
 
 Regenerated as a table over every mapping kind: makespan, whole-run
 utilization, and mean utilization inside the predecessor's rundown
-window, barrier vs overlap.
+window, barrier vs overlap.  The per-mapping cases are independent, so
+the driver fans them across :func:`repro.sweep.map_configs` — set
+``REPRO_BENCH_WORKERS`` to parallelize; results are order-preserving
+and identical at any pool size.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
+
 import pytest
 
 from benchmarks.conftest import emit
@@ -29,10 +33,13 @@ from repro.core.phase import PhaseProgram, PhaseSpec
 from repro.executive import ExecutiveCosts, run_program
 from repro.metrics.report import format_table
 from repro.metrics.rundown import rundown_report
+from repro.sweep import map_configs
 
 N = 100
 WORKERS = 8
 COSTS = ExecutiveCosts(0.05, 0.05, 0.05, 0.02, 0.02, 0.02, 0.0005)
+KINDS = ("universal", "identity", "seam", "reverse", "forward", "null")
+POOL = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def program_for(kind: str) -> PhaseProgram:
@@ -53,28 +60,43 @@ def program_for(kind: str) -> PhaseProgram:
     )
 
 
+def run_case(kind: str) -> dict:
+    """One mapping's barrier-vs-overlap comparison, reduced to scalars.
+
+    Module-level and returning only plain data so ``map_configs`` can
+    ship it through a process pool.
+    """
+    prog = program_for(kind)
+    rb = run_program(prog, WORKERS, config=OverlapConfig.barrier(), costs=COSTS, seed=1)
+    ro = run_program(prog, WORKERS, config=OverlapConfig(), costs=COSTS, seed=1)
+    ub = rundown_report(rb, 0)
+    uo = rundown_report(ro, 0)
+    return {
+        "kind": kind,
+        "barrier_makespan": rb.makespan,
+        "overlap_makespan": ro.makespan,
+        "barrier_util": rb.utilization,
+        "overlap_util": ro.utilization,
+        "barrier_rundown_util": ub.utilization if ub else None,
+        "overlap_rundown_util": uo.utilization if uo else None,
+    }
+
+
 def collect():
-    rows = []
-    shapes = {}
-    for kind in ("universal", "identity", "seam", "reverse", "forward", "null"):
-        prog = program_for(kind)
-        rb = run_program(prog, WORKERS, config=OverlapConfig.barrier(), costs=COSTS, seed=1)
-        ro = run_program(prog, WORKERS, config=OverlapConfig(), costs=COSTS, seed=1)
-        ub = rundown_report(rb, 0)
-        uo = rundown_report(ro, 0)
-        rows.append(
-            (
-                kind,
-                rb.makespan,
-                ro.makespan,
-                f"{rb.utilization:.1%}",
-                f"{ro.utilization:.1%}",
-                f"{ub.utilization:.1%}" if ub else "-",
-                f"{uo.utilization:.1%}" if uo else "-",
-            )
+    cases = map_configs(run_case, KINDS, workers=POOL)
+    rows = [
+        (
+            c["kind"],
+            c["barrier_makespan"],
+            c["overlap_makespan"],
+            f"{c['barrier_util']:.1%}",
+            f"{c['overlap_util']:.1%}",
+            f"{c['barrier_rundown_util']:.1%}" if c["barrier_rundown_util"] is not None else "-",
+            f"{c['overlap_rundown_util']:.1%}" if c["overlap_rundown_util"] is not None else "-",
         )
-        shapes[kind] = (rb, ro, ub, uo)
-    return rows, shapes
+        for c in cases
+    ]
+    return rows, {c["kind"]: c for c in cases}
 
 
 def test_f1_rundown_utilization(once):
@@ -95,10 +117,10 @@ def test_f1_rundown_utilization(once):
         ),
     )
     for kind in ("universal", "identity", "seam", "reverse", "forward"):
-        rb, ro, ub, uo = shapes[kind]
-        assert ro.makespan < rb.makespan, kind
-        assert ro.utilization > rb.utilization, kind
+        c = shapes[kind]
+        assert c["overlap_makespan"] < c["barrier_makespan"], kind
+        assert c["overlap_util"] > c["barrier_util"], kind
         # the defining effect: the predecessor's rundown window is busier
-        assert uo.utilization > ub.utilization, kind
-    rb, ro, _, _ = shapes["null"]
-    assert ro.makespan == pytest.approx(rb.makespan)
+        assert c["overlap_rundown_util"] > c["barrier_rundown_util"], kind
+    c = shapes["null"]
+    assert c["overlap_makespan"] == pytest.approx(c["barrier_makespan"])

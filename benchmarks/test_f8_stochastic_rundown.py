@@ -13,9 +13,16 @@ Regenerated in two parts:
   computation-count-to-processor ratio, purely from variance;
 * F8b — with an identity-mapped successor overlapped, the same stochastic
   phase's rundown window fills and the makespan drops.
+
+Both parts average over many seeds; the per-seed trials are independent,
+so they fan across :func:`repro.sweep.map_configs` (set
+``REPRO_BENCH_WORKERS`` to parallelize — means are seed-ordered sums,
+so the result is identical at any pool size).
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -27,25 +34,35 @@ from repro.core.phase import PhaseProgram, PhaseSpec
 from repro.executive import ExecutiveCosts, TaskSizer, run_program
 from repro.metrics.report import format_table
 from repro.metrics.rundown import rundown_report
+from repro.sweep import map_configs
 from repro.workloads.generators import ExponentialCost
 
 P = 10
 MEAN = 1.0
 ONE_PER_TASK = TaskSizer(tasks_per_processor=1e9, max_task_size=1)
+POOL = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
-def measure_single_wave(n_trials: int = 200):
-    """Mean idle time over seeds of a p-task exponential wave on p procs."""
+def single_wave_idle_chunk(seeds: tuple[int, int]) -> float:
+    """Sum of rundown idle time over a contiguous seed range."""
     prog = PhaseProgram([PhaseSpec("wave", P, ExponentialCost(MEAN))])
     total = 0.0
-    for seed in range(n_trials):
+    for seed in range(*seeds):
         r = run_program(prog, P, costs=ExecutiveCosts.free(), sizer=ONE_PER_TASK, seed=seed)
         rep = rundown_report(r, 0)
         total += rep.idle_time if rep else 0.0
-    return total / n_trials
+    return total
 
 
-def measure_overlap_recovery():
+def measure_single_wave(n_trials: int = 200, chunk: int = 25):
+    """Mean idle time over seeds of a p-task exponential wave on p procs."""
+    chunks = [(s, min(s + chunk, n_trials)) for s in range(0, n_trials, chunk)]
+    totals = map_configs(single_wave_idle_chunk, chunks, workers=POOL)
+    return sum(totals) / n_trials
+
+
+def overlap_recovery_trial(seed: int) -> dict:
+    """One barrier-vs-overlap comparison under exponential task times."""
     prog = PhaseProgram.chain(
         [
             PhaseSpec("noisy", 4 * P, ExponentialCost(MEAN)),
@@ -54,20 +71,30 @@ def measure_overlap_recovery():
         [IdentityMapping()],
     )
     sizer = TaskSizer(tasks_per_processor=2.0)
-    spans = {"barrier": 0.0, "overlap": 0.0}
-    utils = {"barrier": 0.0, "overlap": 0.0}
-    trials = 25
-    for seed in range(trials):
-        rb = run_program(prog, P, config=OverlapConfig.barrier(),
-                         costs=ExecutiveCosts.free(), sizer=sizer, seed=seed)
-        ro = run_program(prog, P, config=OverlapConfig(),
-                         costs=ExecutiveCosts.free(), sizer=sizer, seed=seed)
-        spans["barrier"] += rb.makespan / trials
-        spans["overlap"] += ro.makespan / trials
-        rep_b = rundown_report(rb, 0)
-        rep_o = rundown_report(ro, 0)
-        utils["barrier"] += (rep_b.utilization if rep_b else 1.0) / trials
-        utils["overlap"] += (rep_o.utilization if rep_o else 1.0) / trials
+    rb = run_program(prog, P, config=OverlapConfig.barrier(),
+                     costs=ExecutiveCosts.free(), sizer=sizer, seed=seed)
+    ro = run_program(prog, P, config=OverlapConfig(),
+                     costs=ExecutiveCosts.free(), sizer=sizer, seed=seed)
+    rep_b = rundown_report(rb, 0)
+    rep_o = rundown_report(ro, 0)
+    return {
+        "barrier_span": rb.makespan,
+        "overlap_span": ro.makespan,
+        "barrier_util": rep_b.utilization if rep_b else 1.0,
+        "overlap_util": rep_o.utilization if rep_o else 1.0,
+    }
+
+
+def measure_overlap_recovery(trials: int = 25):
+    results = map_configs(overlap_recovery_trial, range(trials), workers=POOL)
+    spans = {
+        "barrier": sum(r["barrier_span"] for r in results) / trials,
+        "overlap": sum(r["overlap_span"] for r in results) / trials,
+    }
+    utils = {
+        "barrier": sum(r["barrier_util"] for r in results) / trials,
+        "overlap": sum(r["overlap_util"] for r in results) / trials,
+    }
     return spans, utils
 
 

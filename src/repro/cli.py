@@ -16,6 +16,10 @@ Commands
 ``export-trace FILE``
     Convert a saved run (``simulate --save``) to a Chrome trace-event
     JSON (loadable in Perfetto / chrome://tracing) or a spans JSONL.
+``sweep WORKLOAD``
+    Run a replication fan of a workload across host processes
+    (``repro.sweep``): deterministic per-replication seeds, canonical
+    JSON report, aggregate statistics.
 ``compile FILE``
     Verify and compile a PAX-language source file; print the resolved
     schedule and enablement links, optionally simulate it.
@@ -65,8 +69,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser(
         "stats", help="run a workload with telemetry; print the metrics snapshot"
     )
-    _add_run_options(p_stats)
+    _add_run_options(p_stats, workload_optional=True)
     p_stats.add_argument("--save", metavar="FILE", help="write the run (summary + trace) to JSON")
+    p_stats.add_argument(
+        "--sweep",
+        metavar="FILE",
+        help="aggregate a sweep report (written by `repro sweep -o`) instead of running",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a replication fan of a workload across host processes"
+    )
+    p_sweep.add_argument(
+        "workload",
+        choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
+    )
+    p_sweep.add_argument("--replications", type=int, default=4, help="independent runs")
+    p_sweep.add_argument("--seed", type=int, default=0, help="sweep-level master seed")
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="host processes (1 = run inline, serially)"
+    )
+    p_sweep.add_argument(
+        "--sim-workers", type=int, default=8, help="simulated worker processors per run"
+    )
+    p_sweep.add_argument(
+        "--streams", type=int, default=1, help="independent job streams per replication"
+    )
+    p_sweep.add_argument("--barrier", action="store_true", help="strict phase barriers")
+    p_sweep.add_argument("--tasks-per-processor", type=float, default=2.0)
+    p_sweep.add_argument(
+        "--param",
+        dest="params",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="workload factory argument (repeatable; value parsed as JSON when possible)",
+    )
+    p_sweep.add_argument("-o", "--output", metavar="FILE", help="write the JSON report")
 
     p_export = sub.add_parser(
         "export-trace", help="convert a saved run to a Chrome trace / spans JSONL"
@@ -128,10 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_run_options(parser: argparse.ArgumentParser) -> None:
+def _add_run_options(parser: argparse.ArgumentParser, workload_optional: bool = False) -> None:
     """Workload/executive options shared by ``simulate`` and ``stats``."""
     parser.add_argument(
         "workload",
+        nargs="?" if workload_optional else None,
         choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
     )
     parser.add_argument("--workers", type=int, default=8)
@@ -144,29 +184,9 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _workload(name: str):
-    if name == "casper":
-        from repro.workloads.casper import casper_suite
+    from repro.sweep import build_workload
 
-        return casper_suite()
-    if name == "checkerboard":
-        from repro.workloads.checkerboard import checkerboard_program
-
-        return checkerboard_program(96, rows_per_granule=4, n_iterations=2, cost_per_cell=0.02)
-    if name == "navier-stokes":
-        from repro.workloads.navier_stokes import navier_stokes_program
-
-        return navier_stokes_program(48, n_jacobi=4, rows_per_granule=2, cost_per_cell=0.02)
-    if name == "particles":
-        from repro.workloads.particles import particle_program
-
-        return particle_program(96, n_neighbors=4, n_steps=3)
-    from repro.core.mapping import IdentityMapping, UniversalMapping
-    from repro.core.phase import PhaseProgram, PhaseSpec
-
-    mapping = IdentityMapping() if name == "identity" else UniversalMapping()
-    return PhaseProgram.chain(
-        [PhaseSpec("produce", 100), PhaseSpec("consume", 100)], [mapping]
-    )
+    return build_workload(name)
 
 
 def _cmd_census(args, out) -> int:
@@ -239,6 +259,11 @@ def _cmd_stats(args, out) -> int:
     from repro.metrics import merged_rundown_windows, rundown_idle_by_processor
     from repro.obs import Telemetry, record_rundown_metrics, render_snapshot
 
+    if args.sweep:
+        return _cmd_stats_sweep(args, out)
+    if args.workload is None:
+        print("error: a workload (or --sweep FILE) is required", file=sys.stderr)
+        return 2
     telemetry = Telemetry()
     result = _run_workload(args, telemetry=telemetry)
     record_rundown_metrics(result, telemetry.metrics)
@@ -277,6 +302,97 @@ def _cmd_stats(args, out) -> int:
 
         save_result(result, args.save)
         print(f"\nsaved run to {args.save}", file=out)
+    return 0
+
+
+def _cmd_stats_sweep(args, out) -> int:
+    """Aggregate a saved sweep report into a labelled metrics snapshot."""
+    from repro.obs import MetricsRegistry, record_sweep_metrics, render_snapshot
+    from repro.sweep import SweepReport
+
+    try:
+        with open(args.sweep, "r", encoding="utf-8") as fh:
+            report = SweepReport.from_json(fh.read())
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    agg = report.aggregate()
+    spec = report.spec
+    print(f"sweep        : {spec.get('workload')} x{agg.get('replications', 0)}", file=out)
+    print(f"mean util    : {agg.get('utilization_mean', 0.0):.1%}", file=out)
+    print(
+        f"util range   : {agg.get('utilization_min', 0.0):.1%}"
+        f" .. {agg.get('utilization_max', 0.0):.1%}",
+        file=out,
+    )
+    print(f"mean makespan: {agg.get('makespan_mean', 0.0):.2f}", file=out)
+    print(
+        f"overlaps     : {agg.get('overlaps_admitted', 0)}"
+        f"/{agg.get('overlaps_considered', 0)} admitted",
+        file=out,
+    )
+    registry = MetricsRegistry()
+    record_sweep_metrics(report, registry)
+    print("\nmetrics snapshot", file=out)
+    print(render_snapshot(registry.snapshot()), file=out)
+    return 0
+
+
+def _parse_param(binding: str):
+    import json as _json
+
+    name, sep, value = binding.partition("=")
+    if not sep or not name:
+        raise ValueError(f"--param expects NAME=VALUE, got {binding!r}")
+    try:
+        return name, _json.loads(value)
+    except ValueError:
+        return name, value  # bare strings stay strings
+
+
+def _cmd_sweep(args, out) -> int:
+    from repro.sweep import SweepSpec, run_sweep
+
+    try:
+        params = dict(_parse_param(b) for b in args.params)
+        spec = SweepSpec(
+            workload=args.workload,
+            replications=args.replications,
+            seed=args.seed,
+            sim_workers=args.sim_workers,
+            streams=args.streams,
+            barrier=args.barrier,
+            tasks_per_processor=args.tasks_per_processor,
+            params=params,
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcome = run_sweep(spec, workers=args.workers)
+    agg = outcome.report.aggregate()
+    mode = "barrier" if args.barrier else "next-phase overlap"
+    print(f"workload     : {args.workload} ({mode})", file=out)
+    print(
+        f"replications : {agg['replications']} across {outcome.pool_workers} host "
+        f"process{'es' if outcome.pool_workers != 1 else ''}",
+        file=out,
+    )
+    print(f"mean util    : {agg['utilization_mean']:.1%}", file=out)
+    print(
+        f"util range   : {agg['utilization_min']:.1%} .. {agg['utilization_max']:.1%}",
+        file=out,
+    )
+    print(f"mean makespan: {agg['makespan_mean']:.2f}", file=out)
+    print(f"tasks        : {agg['tasks_total']}", file=out)
+    print(f"elapsed      : {outcome.elapsed_seconds:.2f}s host wall-clock", file=out)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(outcome.report.to_json())
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"saved report to {args.output}", file=out)
     return 0
 
 
@@ -446,6 +562,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_simulate(args, out)
         if args.command == "stats":
             return _cmd_stats(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
         if args.command == "export-trace":
             return _cmd_export_trace(args, out)
         if args.command == "compile":

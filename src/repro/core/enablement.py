@@ -133,12 +133,17 @@ class CompositeGranuleMap:
         if group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {group_size}")
         space = target if target is not None else GranuleSet.universe(n_succ)
-        groups: list[CompositeGroup] = []
+        subsets: list[GranuleSet] = []
         rest = space
         while rest:
             head, rest = rest.take(group_size)
-            required = mapping.required_for(head, n_pred, n_succ, maps)
-            groups.append(CompositeGroup(successors=head, required=required))
+            subsets.append(head)
+        # one bulk reverse-mapping pass instead of a required_for call
+        # (with its per-call map validation) per subset group
+        requireds = mapping.required_for_many(subsets, n_pred, n_succ, maps)
+        groups = [
+            CompositeGroup(successors=s, required=r) for s, r in zip(subsets, requireds)
+        ]
         return cls(groups)
 
     @property
@@ -163,10 +168,7 @@ class CompositeGranuleMap:
         waiting computation queue in such a manner as to elevate their
         computational priority."
         """
-        out = GranuleSet.empty()
-        for g in self.groups:
-            out = out | g.required
-        return out
+        return GranuleSet.union_all(g.required for g in self.groups)
 
 
 class EnablementEngine:
@@ -192,6 +194,7 @@ class EnablementEngine:
         maps: Mapping[str, np.ndarray] | None = None,
         group_size: int = 1,
         target: GranuleSet | None = None,
+        indexed: bool = True,
     ) -> None:
         self.mapping = mapping
         self.n_pred = n_pred
@@ -202,6 +205,15 @@ class EnablementEngine:
         self.composite: CompositeGranuleMap | None = None
         self._counters: list[tuple[GranuleSet, EnablementCounter]] = []
         self._deferred: GranuleSet = GranuleSet.empty()
+        # universes are immutable; recomputing them per pending/notify call
+        # was a measurable constant drag on completion processing
+        self._pred_universe = GranuleSet.universe(n_pred)
+        self._succ_universe = GranuleSet.universe(n_succ)
+        # CSR inverted index: predecessor granule -> counter groups it
+        # credits.  None means "scan every group" (reference behaviour,
+        # kept for differential tests and benchmarks).
+        self._index_offsets: np.ndarray | None = None
+        self._index_gids: np.ndarray | None = None
 
         if mapping.kind.indirect:
             self.composite = CompositeGranuleMap.build(
@@ -210,13 +222,50 @@ class EnablementEngine:
             for g in self.composite.groups:
                 self._counters.append((g.successors, EnablementCounter(g.required)))
             # successor granules outside the targeted subset wait for phase end
-            self._deferred = GranuleSet.universe(n_succ) - self.composite.covered
+            self._deferred = self._succ_universe - self.composite.covered
             # groups with empty requirements are enabled immediately
-            for succ, counter in self._counters:
-                if counter.fired:
-                    self._enabled = self._enabled | succ
+            initially = [succ for succ, counter in self._counters if counter.fired]
+            if initially:
+                self._enabled = GranuleSet.union_all(initially)
+            if indexed:
+                self._build_index()
         else:
             self._enabled = mapping.enabled_by(self.completed, n_pred, n_succ, maps)
+
+    def _build_index(self) -> None:
+        """Invert the composite map: predecessor granule -> group ids.
+
+        The paper's completion processing checks "a status bit" per
+        completed granule; the CSR layout here is that status check —
+        ``notify(delta)`` touches only the groups ``delta`` credits
+        instead of scanning every enablement counter.
+        """
+        starts: list[int] = []
+        lens: list[int] = []
+        gids: list[int] = []
+        for gi, (_, counter) in enumerate(self._counters):
+            for r in counter.required.ranges:
+                starts.append(r.start)
+                lens.append(r.stop - r.start)
+                gids.append(gi)
+        if not starts:
+            self._index_offsets = np.zeros(self.n_pred + 1, dtype=np.int64)
+            self._index_gids = np.empty(0, dtype=np.int64)
+            return
+        starts_a = np.asarray(starts, dtype=np.int64)
+        lens_a = np.asarray(lens, dtype=np.int64)
+        gids_a = np.asarray(gids, dtype=np.int64)
+        total = int(lens_a.sum())
+        # expand every required range to (pred granule, group id) pairs
+        span_base = np.repeat(np.cumsum(lens_a) - lens_a, lens_a)
+        preds = np.repeat(starts_a, lens_a) + (np.arange(total, dtype=np.int64) - span_base)
+        entry_gids = np.repeat(gids_a, lens_a)
+        order = np.argsort(preds, kind="stable")
+        sorted_preds = preds[order]
+        self._index_gids = entry_gids[order]
+        self._index_offsets = np.searchsorted(
+            sorted_preds, np.arange(self.n_pred + 1, dtype=np.int64)
+        )
 
     @property
     def enabled(self) -> GranuleSet:
@@ -226,7 +275,7 @@ class EnablementEngine:
     @property
     def pending(self) -> GranuleSet:
         """Successor granules not yet enabled."""
-        return GranuleSet.universe(self.n_succ) - self._enabled
+        return self._succ_universe - self._enabled
 
     def initially_enabled(self) -> GranuleSet:
         """Successor granules enabled before any completion (universal etc.)."""
@@ -239,12 +288,18 @@ class EnablementEngine:
         """
         if not delta:
             return GranuleSet.empty()
+        fresh = delta - self.completed
         self.completed = self.completed | delta
         newly = GranuleSet.empty()
         if self._counters:
-            for succ, counter in self._counters:
-                if counter.on_complete(delta):
-                    newly = newly | succ
+            if self._index_offsets is not None:
+                newly = self._notify_indexed(fresh)
+            else:
+                fired = [
+                    succ for succ, counter in self._counters if counter.on_complete(delta)
+                ]
+                if fired:
+                    newly = GranuleSet.union_all(fired)
             if self._deferred and len(self.completed) >= self.n_pred:
                 newly = newly | self._deferred
                 self._deferred = GranuleSet.empty()
@@ -254,12 +309,34 @@ class EnablementEngine:
         self._enabled = self._enabled | newly
         return newly
 
+    def _notify_indexed(self, fresh: GranuleSet) -> GranuleSet:
+        """Credit ``fresh`` completions through the inverted index."""
+        offsets, gids = self._index_offsets, self._index_gids
+        assert offsets is not None and gids is not None
+        parts: list[np.ndarray] = []
+        for r in fresh.ranges:
+            lo = offsets[min(max(r.start, 0), self.n_pred)]
+            hi = offsets[min(max(r.stop, 0), self.n_pred)]
+            if hi > lo:
+                parts.append(gids[lo:hi])
+        if not parts:
+            return GranuleSet.empty()
+        candidates = np.unique(np.concatenate(parts) if len(parts) > 1 else parts[0])
+        fired: list[GranuleSet] = []
+        for gi in candidates:
+            succ, counter = self._counters[gi]
+            if counter.on_complete(fresh):
+                fired.append(succ)
+        if not fired:
+            return GranuleSet.empty()
+        return GranuleSet.union_all(fired)
+
     def complete_all(self) -> GranuleSet:
         """Force phase completion; returns whatever was still pending."""
-        remaining = GranuleSet.universe(self.n_pred) - self.completed
+        remaining = self._pred_universe - self.completed
         newly = self.notify(remaining) if remaining else GranuleSet.empty()
         # Even with every predecessor complete, counters for targeted groups
         # have fired; anything left in the successor space is now free.
-        leftover = GranuleSet.universe(self.n_succ) - self._enabled
-        self._enabled = GranuleSet.universe(self.n_succ)
+        leftover = self._succ_universe - self._enabled
+        self._enabled = self._succ_universe
         return newly | leftover

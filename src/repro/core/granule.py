@@ -17,8 +17,11 @@ operation returns a new set.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Iterable, Iterator
+
+import numpy as np
 
 __all__ = ["GranuleRange", "GranuleSet"]
 
@@ -117,6 +120,34 @@ class GranuleSet:
         return tuple(GranuleRange(s, e) for s, e in out)
 
     @classmethod
+    def _from_normalized(cls, ranges: tuple[GranuleRange, ...]) -> "GranuleSet":
+        """Wrap ranges already in canonical form, skipping ``_normalize``.
+
+        Callers must guarantee sorted, disjoint, non-adjacent, non-empty.
+        """
+        out = cls.__new__(cls)
+        out._ranges = ranges
+        return out
+
+    @classmethod
+    def from_sorted_ids(cls, ids) -> "GranuleSet":
+        """Build from a sorted, duplicate-free integer array in one pass.
+
+        ``ids`` is anything :func:`numpy.asarray` accepts (typically the
+        output of :func:`numpy.unique`).  Consecutive runs collapse into
+        single ranges without the sort `_normalize` would pay.
+        """
+        arr = np.asarray(ids, dtype=np.int64)
+        if arr.size == 0:
+            return cls.empty()
+        breaks = np.flatnonzero(np.diff(arr) != 1)
+        starts = arr[np.concatenate(([0], breaks + 1))]
+        stops = arr[np.concatenate((breaks, [arr.size - 1]))] + 1
+        return cls._from_normalized(
+            tuple(GranuleRange(int(s), int(e)) for s, e in zip(starts, stops))
+        )
+
+    @classmethod
     def from_ranges(cls, pairs: Iterable[tuple[int, int]]) -> "GranuleSet":
         """Build from ``(start, stop)`` pairs (overlap/adjacency merged)."""
         return cls(GranuleRange(s, e) for s, e in pairs)
@@ -186,7 +217,62 @@ class GranuleSet:
 
     # ------------------------------------------------------------------ algebra
     def __or__(self, other: "GranuleSet") -> "GranuleSet":
-        return GranuleSet(self._ranges + other._ranges)
+        # Linear two-pointer merge: both operands are already canonical,
+        # so re-sorting (what _normalize does) would waste an O(n log n)
+        # pass on every union in the enablement hot path.
+        a, b = self._ranges, other._ranges
+        if not a:
+            return other
+        if not b:
+            return self
+        out: list[GranuleRange] = []
+        i = j = 0
+        na, nb = len(a), len(b)
+        cur_s, cur_e = None, 0
+        while i < na or j < nb:
+            if j >= nb or (i < na and a[i].start <= b[j].start):
+                r = a[i]
+                i += 1
+            else:
+                r = b[j]
+                j += 1
+            if cur_s is None:
+                cur_s, cur_e = r.start, r.stop
+            elif r.start <= cur_e:
+                if r.stop > cur_e:
+                    cur_e = r.stop
+            else:
+                out.append(GranuleRange(cur_s, cur_e))
+                cur_s, cur_e = r.start, r.stop
+        out.append(GranuleRange(cur_s, cur_e))
+        return GranuleSet._from_normalized(tuple(out))
+
+    @classmethod
+    def union_all(cls, sets: Iterable["GranuleSet"]) -> "GranuleSet":
+        """Union of many sets in one normalization pass.
+
+        Folding with ``|`` costs O(k·n) range copies over k operands; this
+        gathers every range once and merges in a single O(N log k) sweep
+        (``heapq.merge`` exploits that each operand is already sorted).
+        """
+        lists = [s._ranges for s in sets if s._ranges]
+        if not lists:
+            return cls.empty()
+        if len(lists) == 1:
+            return cls._from_normalized(lists[0])
+        out: list[GranuleRange] = []
+        cur_s, cur_e = None, 0
+        for r in heapq.merge(*lists):
+            if cur_s is None:
+                cur_s, cur_e = r.start, r.stop
+            elif r.start <= cur_e:
+                if r.stop > cur_e:
+                    cur_e = r.stop
+            else:
+                out.append(GranuleRange(cur_s, cur_e))
+                cur_s, cur_e = r.start, r.stop
+        out.append(GranuleRange(cur_s, cur_e))
+        return cls._from_normalized(tuple(out))
 
     def __and__(self, other: "GranuleSet") -> "GranuleSet":
         out: list[GranuleRange] = []

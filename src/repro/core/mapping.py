@@ -115,6 +115,23 @@ class EnablementMapping:
             before, n_pred, n_succ, maps
         )
 
+    def required_for_many(
+        self,
+        groups: list[GranuleSet],
+        n_pred: int,
+        n_succ: int,
+        maps: Mapping[str, np.ndarray] | None = None,
+    ) -> list[GranuleSet]:
+        """``required_for`` of every group in one call.
+
+        Composite-map generation asks this question once per subset group;
+        the indirect mappings override it with a single vectorized pass
+        over the concrete map instead of per-group scans (the map array is
+        validated once, not ``len(groups)`` times).  The base
+        implementation is the per-group loop.
+        """
+        return [self.required_for(g, n_pred, n_succ, maps) for g in groups]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -250,7 +267,15 @@ class ReverseIndirectMapping(EnablementMapping):
         if idx.size == 0:
             return GranuleSet.empty()
         needed = np.unique(arr[:, idx])
-        return GranuleSet.from_ids(int(v) for v in needed)
+        return GranuleSet.from_sorted_ids(needed)
+
+    def required_for_many(self, groups, n_pred, n_succ, maps=None) -> list[GranuleSet]:
+        arr = self._map(maps, n_succ)
+        idx, gids = _group_index_arrays(groups)
+        if idx.size == 0:
+            return [GranuleSet.empty() for _ in groups]
+        keys = np.unique(gids[np.newaxis, :] * np.int64(n_pred) + arr[:, idx])
+        return _sets_from_group_keys(keys, len(groups), n_pred)
 
     def __repr__(self) -> str:
         return f"ReverseIndirectMapping(map_name={self.map_name!r}, fan_in={self.fan_in})"
@@ -317,7 +342,21 @@ class ForwardIndirectMapping(EnablementMapping):
         for r in successors.ranges:
             wanted[max(0, r.start) : min(n_succ, r.stop)] = True
         touches_wanted = (wanted[np.clip(arr, 0, n_succ - 1)] & (arr < n_succ)).any(axis=0)
-        return GranuleSet.from_ids(int(v) for v in np.nonzero(touches_wanted)[0])
+        return GranuleSet.from_sorted_ids(np.nonzero(touches_wanted)[0])
+
+    def required_for_many(self, groups, n_pred, n_succ, maps=None) -> list[GranuleSet]:
+        arr = self._map(maps, n_pred)
+        group_of = np.full(n_succ, -1, dtype=np.int64)
+        for gi, g in enumerate(groups):
+            for r in g.ranges:
+                group_of[max(0, r.start) : min(n_succ, r.stop)] = gi
+        # a predecessor belongs to every group one of its targets lands in
+        hit = group_of[np.clip(arr, 0, n_succ - 1)]
+        hit = np.where(arr < n_succ, hit, -1)
+        pred_idx = np.broadcast_to(np.arange(n_pred, dtype=np.int64), hit.shape)
+        mask = hit >= 0
+        keys = np.unique(hit[mask] * np.int64(n_pred) + pred_idx[mask])
+        return _sets_from_group_keys(keys, len(groups), n_pred)
 
     def __repr__(self) -> str:
         return f"ForwardIndirectMapping(map_name={self.map_name!r}, fan_out={self.fan_out})"
@@ -396,6 +435,18 @@ class SeamMapping(EnablementMapping):
                     out.add(j)
         return GranuleSet.from_ids(out)
 
+    def required_for_many(self, groups, n_pred, n_succ, maps=None) -> list[GranuleSet]:
+        idx, gids = _group_index_arrays(groups)
+        if idx.size == 0:
+            return [GranuleSet.empty() for _ in groups]
+        parts: list[np.ndarray] = []
+        for o in self.offsets:
+            nb = idx + o
+            valid = (nb >= 0) & (nb < n_pred)
+            parts.append(gids[valid] * np.int64(n_pred) + nb[valid])
+        keys = np.unique(np.concatenate(parts))
+        return _sets_from_group_keys(keys, len(groups), n_pred)
+
     def __repr__(self) -> str:
         return f"SeamMapping(offsets={self.offsets})"
 
@@ -407,4 +458,54 @@ def _mask_to_set(mask: np.ndarray) -> GranuleSet:
     padded = np.concatenate(([False], mask, [False]))
     edges = np.flatnonzero(padded[1:] != padded[:-1])
     starts, stops = edges[0::2], edges[1::2]
-    return GranuleSet.from_ranges(zip(starts.tolist(), stops.tolist()))
+    return GranuleSet._from_normalized(
+        tuple(GranuleRange(int(s), int(e)) for s, e in zip(starts, stops))
+    )
+
+
+def _group_index_arrays(groups: list[GranuleSet]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten subset groups to parallel (successor index, group id) arrays."""
+    idx_parts: list[np.ndarray] = []
+    gid_parts: list[np.ndarray] = []
+    for gi, g in enumerate(groups):
+        for r in g.ranges:
+            idx_parts.append(np.arange(r.start, r.stop, dtype=np.int64))
+            gid_parts.append(np.full(r.stop - r.start, gi, dtype=np.int64))
+    if not idx_parts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(idx_parts), np.concatenate(gid_parts)
+
+
+def _sets_from_group_keys(keys: np.ndarray, n_groups: int, n_pred: int) -> list[GranuleSet]:
+    """Split sorted-unique ``gid * n_pred + pred`` keys into per-group sets.
+
+    One numpy pass finds maximal runs of consecutive predecessors within a
+    group (breaking runs at group boundaries, which can also differ by one
+    in key space), then each group's runs slice straight into a canonical
+    :class:`GranuleSet`.
+    """
+    if keys.size == 0:
+        return [GranuleSet.empty() for _ in range(n_groups)]
+    gids = keys // n_pred
+    preds = keys - gids * n_pred
+    diff_one = np.diff(keys) == 1
+    same_gid = np.diff(gids) == 0
+    breaks = np.flatnonzero(~(diff_one & same_gid))
+    start_idx = np.concatenate(([0], breaks + 1))
+    stop_idx = np.concatenate((breaks, [keys.size - 1]))
+    run_gid = gids[start_idx]
+    run_start = preds[start_idx]
+    run_stop = preds[stop_idx] + 1
+    bounds = np.searchsorted(run_gid, np.arange(n_groups + 1))
+    out: list[GranuleSet] = []
+    for g in range(n_groups):
+        lo, hi = int(bounds[g]), int(bounds[g + 1])
+        out.append(
+            GranuleSet._from_normalized(
+                tuple(
+                    GranuleRange(int(s), int(e))
+                    for s, e in zip(run_start[lo:hi], run_stop[lo:hi])
+                )
+            )
+        )
+    return out

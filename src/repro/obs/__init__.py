@@ -49,7 +49,12 @@ from repro.obs.spans import (
     export_jsonl,
     spans_from_trace,
 )
-from repro.obs.telemetry import Telemetry, install_default_metrics, record_rundown_metrics
+from repro.obs.telemetry import (
+    Telemetry,
+    install_default_metrics,
+    record_rundown_metrics,
+    record_sweep_metrics,
+)
 
 __all__ = [
     "ObsEvent",
@@ -80,4 +85,5 @@ __all__ = [
     "Telemetry",
     "install_default_metrics",
     "record_rundown_metrics",
+    "record_sweep_metrics",
 ]

@@ -36,8 +36,14 @@ from repro.obs.spans import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler imports obs)
     from repro.executive.scheduler import RunResult
+    from repro.sweep.runner import SweepReport
 
-__all__ = ["Telemetry", "install_default_metrics", "record_rundown_metrics"]
+__all__ = [
+    "Telemetry",
+    "install_default_metrics",
+    "record_rundown_metrics",
+    "record_sweep_metrics",
+]
 
 
 class Telemetry:
@@ -188,3 +194,45 @@ def record_rundown_metrics(result: "RunResult", registry: MetricsRegistry) -> No
         result.compute_time
     )
     registry.gauge("run.mgmt_seconds", "total executive busy time").set(result.mgmt_time)
+
+
+def record_sweep_metrics(report: "SweepReport", registry: MetricsRegistry) -> None:
+    """Load a sweep report into ``registry`` with per-replication labels.
+
+    Every series carries a ``replication`` label (stream-level series add
+    ``stream``) so ``repro stats --sweep`` — or any snapshot consumer —
+    can aggregate across a whole replication fan the same way it reads a
+    single run.  Gauges throughout: re-recording a report is idempotent.
+
+    * ``sweep.utilization{replication}`` / ``sweep.makespan{replication}``
+      — per-replication headline results;
+    * ``sweep.tasks{replication}`` / ``sweep.granules{replication}`` —
+      work executed per replication;
+    * ``sweep.mgmt_seconds{replication}`` — executive overhead;
+    * ``sweep.stream_wall_clock{replication, stream}`` — per-job-stream
+      elapsed time (the paper's batch-environment stretch quantity);
+    * ``sweep.overlaps_admitted{replication}`` — admitted phase overlaps.
+    """
+    util = registry.gauge("sweep.utilization", "per-replication worker utilization")
+    span = registry.gauge("sweep.makespan", "per-replication simulation finish time")
+    tasks = registry.gauge("sweep.tasks", "per-replication task count")
+    granules = registry.gauge("sweep.granules", "per-replication granule count")
+    mgmt = registry.gauge("sweep.mgmt_seconds", "per-replication executive busy time")
+    wall = registry.gauge(
+        "sweep.stream_wall_clock", "per-stream elapsed time within a replication"
+    )
+    admitted = registry.gauge(
+        "sweep.overlaps_admitted", "per-replication admitted phase overlaps"
+    )
+    for rep in report.replications:
+        r = str(rep["replication"])
+        util.set(rep["utilization"], replication=r)
+        span.set(rep["makespan"], replication=r)
+        tasks.set(rep["tasks_executed"], replication=r)
+        granules.set(rep["granules_executed"], replication=r)
+        mgmt.set(rep["mgmt_time"], replication=r)
+        admitted.set(
+            sum(1 for a in rep["admissions"] if a["admitted"]), replication=r
+        )
+        for s in rep["streams"]:
+            wall.set(s["wall_clock"], replication=r, stream=str(s["stream"]))

@@ -42,26 +42,56 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: "EventQueue | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._note_cancel()
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    ``len`` is O(1) via a live-event counter; cancelled events stay in the
+    heap as tombstones until they surface at the top or until they
+    outnumber the live events, at which point the heap is compacted in one
+    O(n) pass.  Compaction cannot perturb determinism: the ``(time,
+    priority, seq)`` key is a total order, so any heap over the same live
+    events pops them in the same sequence.
+    """
+
+    #: Compact only above this heap size — tiny heaps aren't worth a rebuild.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        if len(self._heap) >= self.COMPACT_MIN and self._live * 2 < len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
 
     def push(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
-        ev = Event(time=time, priority=priority, seq=next(self._counter), callback=callback)
+        ev = Event(
+            time=time, priority=priority, seq=next(self._counter), callback=callback,
+            _queue=self,
+        )
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def pop(self) -> Event | None:
@@ -69,6 +99,8 @@ class EventQueue:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if not ev.cancelled:
+                self._live -= 1
+                ev._queue = None  # cancelling a popped event must not re-count
                 return ev
         return None
 

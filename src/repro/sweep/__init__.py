@@ -1,0 +1,50 @@
+"""Parallel parameter sweeps and replication fans over the simulator.
+
+One simulated execution is a pure function of ``(workload, configuration,
+seed)`` — which makes replication fans and parameter sweeps embarrassingly
+parallel.  This package runs them across a :class:`~concurrent.futures.
+ProcessPoolExecutor` while keeping the report *bit-for-bit deterministic*:
+
+* every replication derives its own master seed from the sweep seed with
+  the same stable keying :class:`~repro.sim.rng.RngStreams` uses, so
+  adding replications never perturbs existing ones;
+* replication summaries are ordered by replication index, not completion
+  order, and serialized canonically — a serial run and a 4-worker run of
+  the same spec produce byte-identical JSON.
+
+Entry points
+------------
+:func:`run_sweep`
+    Execute a :class:`SweepSpec`; returns the :class:`SweepOutcome`
+    (canonical report + host-timing facts kept out of the report).
+:func:`map_configs`
+    Order-preserving parallel map for figure drivers and ad-hoc sweeps.
+``repro sweep``
+    The CLI front-end (see ``python -m repro sweep --help``).
+
+See docs/PERFORMANCE.md for usage and the scaling benchmark.
+"""
+
+from repro.sweep.runner import (
+    SweepOutcome,
+    SweepReport,
+    SweepSpec,
+    build_workload,
+    map_configs,
+    replication_seed,
+    run_replication,
+    run_sweep,
+    workload_names,
+)
+
+__all__ = [
+    "SweepSpec",
+    "SweepReport",
+    "SweepOutcome",
+    "run_sweep",
+    "run_replication",
+    "replication_seed",
+    "map_configs",
+    "build_workload",
+    "workload_names",
+]

@@ -1,0 +1,357 @@
+"""The sweep runner: process-pool replication fans with deterministic output.
+
+Design constraints, in order:
+
+1. **Determinism.**  A report must not depend on how the work was
+   scheduled.  Replication seeds are derived (never drawn), summaries are
+   keyed by replication index, and serialization is canonical
+   (sorted keys, fixed separators, no host timing inside the report).
+2. **Picklability.**  Phase programs hold closures (cost models, map
+   generators), so programs never cross the process boundary — the worker
+   rebuilds its program from ``(workload name, params, seed)``.
+3. **Low ceremony.**  ``run_sweep(SweepSpec("casper", replications=8),
+   workers=4)`` is the whole API for the common case.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "SweepSpec",
+    "SweepReport",
+    "SweepOutcome",
+    "run_sweep",
+    "run_replication",
+    "replication_seed",
+    "map_configs",
+    "workload_names",
+]
+
+
+# ---------------------------------------------------------------------- workloads
+def _build_casper(params: dict[str, Any]):
+    from repro.workloads.casper import casper_suite
+
+    return casper_suite(**params)
+
+
+def _build_checkerboard(params: dict[str, Any]):
+    from repro.workloads.checkerboard import checkerboard_program
+
+    defaults = dict(grid_side=96, rows_per_granule=4, n_iterations=2, cost_per_cell=0.02)
+    defaults.update(params)
+    return checkerboard_program(**defaults)
+
+
+def _build_navier_stokes(params: dict[str, Any]):
+    from repro.workloads.navier_stokes import navier_stokes_program
+
+    defaults = dict(n=48, n_jacobi=4, rows_per_granule=2, cost_per_cell=0.02)
+    defaults.update(params)
+    return navier_stokes_program(**defaults)
+
+
+def _build_particles(params: dict[str, Any]):
+    from repro.workloads.particles import particle_program
+
+    defaults = dict(n=96, n_neighbors=4, n_steps=3)
+    defaults.update(params)
+    return particle_program(**defaults)
+
+
+def _build_synthetic(kind: str, params: dict[str, Any]):
+    from repro.core.mapping import IdentityMapping, UniversalMapping
+    from repro.core.phase import PhaseProgram, PhaseSpec
+
+    n = int(params.get("n", 100))
+    mapping = IdentityMapping() if kind == "identity" else UniversalMapping()
+    return PhaseProgram.chain(
+        [PhaseSpec("produce", n), PhaseSpec("consume", n)], [mapping]
+    )
+
+
+_WORKLOADS: dict[str, Callable[[dict[str, Any]], Any]] = {
+    "casper": _build_casper,
+    "checkerboard": _build_checkerboard,
+    "navier-stokes": _build_navier_stokes,
+    "particles": _build_particles,
+    "identity": lambda p: _build_synthetic("identity", p),
+    "universal": lambda p: _build_synthetic("universal", p),
+}
+
+
+def workload_names() -> list[str]:
+    """Registry names accepted by :class:`SweepSpec.workload`."""
+    return sorted(_WORKLOADS)
+
+
+def build_workload(name: str, params: dict[str, Any] | None = None):
+    """Build the named workload program (used by the CLI and the workers)."""
+    params = dict(params or {})
+    try:
+        builder = _WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {workload_names()}"
+        ) from None
+    return builder(params)
+
+
+# ---------------------------------------------------------------------- spec
+@dataclass(frozen=True)
+class SweepSpec:
+    """What to sweep: a workload, a configuration, a replication count.
+
+    Attributes
+    ----------
+    workload:
+        Registry name (see :func:`workload_names`).
+    replications:
+        Number of independent replications; replication ``i`` runs with
+        master seed :func:`replication_seed` ``(seed, i)``.
+    seed:
+        The sweep-level seed every replication seed is derived from.
+    sim_workers:
+        Simulated worker-processor count inside each run.
+    streams:
+        Independent job streams per replication (the paper's batch
+        environment); each stream is a fresh build of the workload.
+    barrier:
+        Strict phase barriers instead of next-phase overlap.
+    tasks_per_processor:
+        Task-sizing policy knob (see :class:`~repro.executive.TaskSizer`).
+    params:
+        Extra keyword arguments for the workload factory.
+    """
+
+    workload: str
+    replications: int = 1
+    seed: int = 0
+    sim_workers: int = 8
+    streams: int = 1
+    barrier: bool = False
+    tasks_per_processor: float = 2.0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError(f"replications must be >= 1, got {self.replications}")
+        if self.streams < 1:
+            raise ValueError(f"streams must be >= 1, got {self.streams}")
+        if self.workload not in _WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; expected one of {workload_names()}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "replications": self.replications,
+            "seed": self.seed,
+            "sim_workers": self.sim_workers,
+            "streams": self.streams,
+            "barrier": self.barrier,
+            "tasks_per_processor": self.tasks_per_processor,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepSpec":
+        return cls(
+            workload=data["workload"],
+            replications=int(data.get("replications", 1)),
+            seed=int(data.get("seed", 0)),
+            sim_workers=int(data.get("sim_workers", 8)),
+            streams=int(data.get("streams", 1)),
+            barrier=bool(data.get("barrier", False)),
+            tasks_per_processor=float(data.get("tasks_per_processor", 2.0)),
+            params=dict(data.get("params", {})),
+        )
+
+
+def replication_seed(sweep_seed: int, replication: int) -> int:
+    """The master seed of replication ``replication``.
+
+    Same stable keying as :meth:`repro.sim.rng.RngStreams.child` — a pure
+    function of ``(sweep_seed, replication)``, so replication seeds never
+    depend on execution order, process identity, or wall clock.
+    """
+    key = zlib.crc32(f"sweep-replication:{replication}".encode("utf-8"))
+    return (sweep_seed * 0x9E3779B1 + key) % (2**63)
+
+
+# ---------------------------------------------------------------------- worker
+def run_replication(spec_data: dict[str, Any], replication: int) -> dict[str, Any]:
+    """Execute one replication; returns its JSON-able summary.
+
+    Module-level (hence picklable) — this is the function the process
+    pool imports on the worker side.  Everything it needs arrives as
+    plain data; the phase program is rebuilt locally.
+    """
+    from repro.core.overlap import OverlapConfig
+    from repro.executive import TaskSizer, run_program
+
+    spec = SweepSpec.from_dict(spec_data)
+    seed = replication_seed(spec.seed, replication)
+    programs = [build_workload(spec.workload, spec.params) for _ in range(spec.streams)]
+    config = OverlapConfig.barrier() if spec.barrier else OverlapConfig()
+    result = run_program(
+        programs if spec.streams > 1 else programs[0],
+        spec.sim_workers,
+        config=config,
+        sizer=TaskSizer(spec.tasks_per_processor),
+        seed=seed,
+    )
+    return {
+        "replication": replication,
+        "seed": seed,
+        "makespan": result.makespan,
+        "utilization": result.utilization,
+        "compute_time": result.compute_time,
+        "mgmt_time": result.mgmt_time,
+        "serial_time": result.serial_time,
+        "tasks_executed": result.tasks_executed,
+        "granules_executed": result.granules_executed,
+        "lateral_handoffs": result.lateral_handoffs,
+        "admissions": [
+            {
+                "predecessor": d.predecessor,
+                "successor": d.successor,
+                "admitted": d.admitted,
+                "reason": d.reason,
+                "mapping_kind": d.mapping_kind,
+            }
+            for d in result.admission_decisions
+        ],
+        "streams": [
+            {
+                "stream": s.stream,
+                "start_time": s.start_time,
+                "complete_time": s.complete_time,
+                "wall_clock": s.wall_clock,
+            }
+            for s in result.stream_stats
+        ],
+    }
+
+
+# ---------------------------------------------------------------------- report
+@dataclass
+class SweepReport:
+    """The canonical, order-independent record of a finished sweep."""
+
+    spec: dict[str, Any]
+    replications: list[dict[str, Any]]
+
+    def to_json(self) -> str:
+        """Canonical serialization: identical bytes for identical sweeps.
+
+        Host timing and pool configuration are deliberately absent — they
+        would differ between a serial and a parallel execution of the
+        same spec.
+        """
+        payload = {"spec": self.spec, "replications": self.replications}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepReport":
+        data = json.loads(text)
+        return cls(spec=data["spec"], replications=data["replications"])
+
+    def aggregate(self) -> dict[str, Any]:
+        """Cross-replication summary statistics."""
+        if not self.replications:
+            return {}
+        utils = [r["utilization"] for r in self.replications]
+        spans = [r["makespan"] for r in self.replications]
+        walls = [s["wall_clock"] for r in self.replications for s in r["streams"]]
+        admitted = sum(
+            1 for r in self.replications for a in r["admissions"] if a["admitted"]
+        )
+        considered = sum(len(r["admissions"]) for r in self.replications)
+        return {
+            "replications": len(self.replications),
+            "utilization_mean": sum(utils) / len(utils),
+            "utilization_min": min(utils),
+            "utilization_max": max(utils),
+            "makespan_mean": sum(spans) / len(spans),
+            "makespan_min": min(spans),
+            "makespan_max": max(spans),
+            "stream_wall_clock_mean": sum(walls) / len(walls) if walls else 0.0,
+            "overlaps_admitted": admitted,
+            "overlaps_considered": considered,
+            "tasks_total": sum(r["tasks_executed"] for r in self.replications),
+            "granules_total": sum(r["granules_executed"] for r in self.replications),
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """A finished sweep: the canonical report plus host-side facts."""
+
+    report: SweepReport
+    elapsed_seconds: float
+    pool_workers: int
+
+
+# ---------------------------------------------------------------------- driver
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+) -> SweepOutcome:
+    """Run every replication of ``spec``; ``workers`` host processes.
+
+    ``workers=1`` runs inline (no pool, no fork) — useful both as the
+    low-overhead default and as the reference for the byte-identical
+    serial-vs-parallel guarantee.  ``progress(done, total)`` is invoked
+    after each replication lands.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    spec_data = spec.to_dict()
+    reps = list(range(spec.replications))
+    t0 = time.perf_counter()
+    summaries: list[dict[str, Any] | None] = [None] * len(reps)
+    if workers == 1:
+        for i in reps:
+            summaries[i] = run_replication(spec_data, i)
+            if progress is not None:
+                progress(i + 1, len(reps))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(run_replication, spec_data, i): i for i in reps}
+            done = 0
+            for fut, i in futures.items():
+                summaries[i] = fut.result()
+                done += 1
+                if progress is not None:
+                    progress(done, len(reps))
+    elapsed = time.perf_counter() - t0
+    report = SweepReport(spec=spec_data, replications=[s for s in summaries if s is not None])
+    return SweepOutcome(report=report, elapsed_seconds=elapsed, pool_workers=workers)
+
+
+def map_configs(
+    fn: Callable[[Any], Any],
+    configs: Sequence[Any] | Iterable[Any],
+    workers: int = 1,
+) -> list[Any]:
+    """Order-preserving (optionally parallel) map for figure drivers.
+
+    ``fn`` must be a module-level callable and each config must be
+    picklable when ``workers > 1``; with ``workers=1`` any callable works.
+    Results come back in config order regardless of completion order, so
+    a driver's output is independent of the pool size.
+    """
+    items = list(configs)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(c) for c in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -180,3 +180,67 @@ def test_counter_engine_safe_and_exact(n_pred, n_succ, fan_in, group_size, seed,
     # full completion closes any remaining gap
     engine.notify(GranuleSet.universe(n_pred) - completed)
     assert engine.enabled == GranuleSet.universe(n_succ)
+
+
+# ---------------------------------------------------------- inverted index
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["reverse", "forward"]),
+    st.integers(min_value=0, max_value=9999),
+    st.lists(st.sets(st.integers(0, 39), max_size=10), max_size=8),
+)
+def test_indexed_notify_matches_full_scan(
+    n_pred, n_succ, fan_in, group_size, kind, seed, steps
+):
+    """The inverted predecessor->group index is a pure optimization: at
+    every step it enables exactly what the full-counter-scan reference
+    path (``indexed=False``) enables."""
+    rng = np.random.default_rng(seed)
+    if kind == "reverse":
+        maps = {"M": rng.integers(0, n_pred, size=(fan_in, n_succ))}
+        mapping = ReverseIndirectMapping("M", fan_in=fan_in)
+    else:
+        maps = {"F": rng.integers(0, max(n_succ, 1), size=n_pred)}
+        mapping = ForwardIndirectMapping("F")
+    fast = EnablementEngine(mapping, n_pred, n_succ, maps, group_size=group_size)
+    scan = EnablementEngine(
+        mapping, n_pred, n_succ, maps, group_size=group_size, indexed=False
+    )
+    assert fast.initially_enabled() == scan.initially_enabled()
+    completed = GranuleSet.empty()
+    for step in steps:
+        delta = GranuleSet.from_ids(i for i in step if i < n_pred)
+        completed = completed | delta
+        assert fast.notify(delta) == scan.notify(delta)
+        assert fast.enabled == scan.enabled
+        assert fast.pending == scan.pending
+    assert fast.complete_all() == scan.complete_all()
+    assert fast.enabled == GranuleSet.universe(n_succ)
+
+
+class TestIndexedEngineEdges:
+    def test_notify_empty_delta_touches_nothing(self):
+        maps = {"M": np.arange(6)[None, :]}
+        e = EnablementEngine(ReverseIndirectMapping("M", fan_in=1), 6, 6, maps, group_size=1)
+        assert not e.notify(GranuleSet.empty())
+        assert e.pending == GranuleSet.universe(6)
+
+    def test_repeated_notify_is_idempotent(self):
+        maps = {"M": np.arange(8)[None, :]}
+        e = EnablementEngine(ReverseIndirectMapping("M", fan_in=1), 8, 8, maps, group_size=1)
+        first = e.notify(GranuleSet.from_ranges([(0, 4)]))
+        assert first == GranuleSet.from_ranges([(0, 4)])
+        assert not e.notify(GranuleSet.from_ranges([(0, 4)]))
+        assert e.enabled == GranuleSet.from_ranges([(0, 4)])
+
+    def test_pending_uses_cached_universe(self):
+        e = EnablementEngine(IdentityMapping(), 5, 5)
+        # same object both calls: the universe is built once in __init__
+        assert e._succ_universe is e._succ_universe
+        before = e.pending
+        e.notify(GranuleSet.from_ids([2]))
+        assert e.pending == before - GranuleSet.from_ids([2])

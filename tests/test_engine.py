@@ -60,6 +60,83 @@ class TestEventQueue:
         assert EventQueue().peek_time() is None
 
 
+class TestEventQueueFastPath:
+    """The O(1) length counter and tombstone compaction."""
+
+    def test_len_tracks_live_events_differentially(self):
+        import random
+
+        rng = random.Random(7)
+        q = EventQueue()
+        handles = []
+        live = 0
+        for step in range(5000):
+            action = rng.random()
+            if action < 0.5:
+                handles.append(q.push(rng.random() * 100, lambda: None))
+                live += 1
+            elif action < 0.8 and handles:
+                ev = handles.pop(rng.randrange(len(handles)))
+                if not ev.cancelled:
+                    live -= 1
+                ev.cancel()
+                ev.cancel()  # double-cancel must be a no-op
+            else:
+                ev = q.pop()
+                if ev is not None:
+                    live -= 1
+                    handles = [h for h in handles if h is not ev]
+            assert len(q) == live
+        while q.pop() is not None:
+            live -= 1
+        assert live == 0 and len(q) == 0
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is ev
+        ev.cancel()  # already delivered; must not decrement the live count
+        assert len(q) == 1
+
+    def test_compaction_shrinks_heap(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(1000)]
+        for h in handles[:900]:
+            h.cancel()
+        # >half the heap was tombstones, so compaction must have run
+        assert len(q) == 100
+        assert len(q._heap) < 1000
+        # tombstones accumulated since the last rebuild stay a minority
+        assert sum(e.cancelled for e in q._heap) * 2 <= len(q._heap)
+
+    def test_compaction_preserves_pop_order(self):
+        # (time, priority, seq) is a total order, so mass cancellation —
+        # which triggers an O(n) heap rebuild — must still pop survivors
+        # in exactly sorted-key order
+        import random
+
+        rng = random.Random(11)
+        times = [rng.random() * 50 for _ in range(800)]
+        doomed = set(rng.sample(range(800), 700))
+
+        q = EventQueue()
+        handles = [q.push(t, lambda: None, priority=i % 3) for i, t in enumerate(times)]
+        expected = sorted(
+            (h.time, h.priority, h.seq)
+            for i, h in enumerate(handles)
+            if i not in doomed
+        )
+        for i in doomed:
+            handles[i].cancel()
+        assert len(q._heap) < 800  # compaction ran
+
+        popped = []
+        while (ev := q.pop()) is not None:
+            popped.append((ev.time, ev.priority, ev.seq))
+        assert popped == expected
+
+
 class TestSimulator:
     def test_run_advances_clock(self):
         sim = Simulator()

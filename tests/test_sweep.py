@@ -1,0 +1,193 @@
+"""Tests for the parallel sweep runner (`repro.sweep`).
+
+The load-bearing property is *pool-size independence*: a sweep's canonical
+JSON report must be byte-identical whether it ran inline, or across any
+number of worker processes, or replication-by-replication by hand.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, record_sweep_metrics
+from repro.sweep import (
+    SweepSpec,
+    build_workload,
+    map_configs,
+    replication_seed,
+    run_replication,
+    run_sweep,
+    workload_names,
+)
+
+QUICK_SPEC = SweepSpec("identity", replications=3, seed=7, sim_workers=4)
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSpec:
+    def test_roundtrip(self):
+        spec = SweepSpec(
+            "casper", replications=2, seed=3, sim_workers=6, streams=2,
+            barrier=True, tasks_per_processor=1.5, params={"n_streams": 2},
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec("identity", replications=0)
+        with pytest.raises(ValueError):
+            SweepSpec("identity", streams=0)
+        with pytest.raises(ValueError):
+            SweepSpec("no-such-workload")
+
+    def test_workload_registry(self):
+        names = workload_names()
+        assert "casper" in names and "checkerboard" in names
+        for name in names:
+            assert build_workload(name) is not None
+
+
+class TestDeterminism:
+    def test_replication_seeds_are_stable_and_distinct(self):
+        seeds = [replication_seed(7, i) for i in range(32)]
+        assert seeds == [replication_seed(7, i) for i in range(32)]
+        assert len(set(seeds)) == 32
+        # a different sweep seed reseeds every replication
+        assert set(seeds).isdisjoint(replication_seed(8, i) for i in range(32))
+
+    def test_run_replication_is_deterministic(self):
+        spec_data = QUICK_SPEC.to_dict()
+        a = run_replication(spec_data, 1)
+        b = run_replication(spec_data, 1)
+        assert a == b
+        assert a["seed"] == replication_seed(QUICK_SPEC.seed, 1)
+        assert json.dumps(a)  # summaries must be plain JSON data
+
+    def test_serial_and_parallel_reports_byte_identical(self):
+        serial = run_sweep(QUICK_SPEC, workers=1)
+        parallel = run_sweep(QUICK_SPEC, workers=2)
+        assert serial.report.to_json() == parallel.report.to_json()
+        assert serial.pool_workers == 1 and parallel.pool_workers == 2
+
+    def test_adding_replications_extends_not_perturbs(self):
+        small = run_sweep(SweepSpec("identity", replications=2, seed=7, sim_workers=4))
+        large = run_sweep(SweepSpec("identity", replications=3, seed=7, sim_workers=4))
+        assert large.report.replications[:2] == small.report.replications[:2]
+
+    def test_report_roundtrip(self):
+        from repro.sweep import SweepReport
+
+        outcome = run_sweep(QUICK_SPEC)
+        text = outcome.report.to_json()
+        assert SweepReport.from_json(text).to_json() == text
+
+
+class TestAggregate:
+    def test_aggregate_summarizes_replications(self):
+        outcome = run_sweep(QUICK_SPEC)
+        agg = outcome.report.aggregate()
+        assert agg["replications"] == QUICK_SPEC.replications
+        assert 0.0 < agg["utilization_mean"] <= 1.0
+        eps = 1e-9  # the mean is a float sum; allow rounding at the boundary
+        assert agg["utilization_min"] - eps <= agg["utilization_mean"] <= agg["utilization_max"] + eps
+        assert agg["tasks_total"] > 0 and agg["granules_total"] > 0
+
+    def test_empty_report_aggregate(self):
+        from repro.sweep import SweepReport
+
+        assert SweepReport(spec={}, replications=[]).aggregate() == {}
+
+
+class TestMapConfigs:
+    def test_order_preserved_serial_and_parallel(self):
+        configs = list(range(10))
+        assert map_configs(_square, configs, workers=1) == [c * c for c in configs]
+        assert map_configs(_square, configs, workers=3) == [c * c for c in configs]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestSweepMetrics:
+    def test_labels_per_replication_and_stream(self):
+        spec = SweepSpec("identity", replications=2, seed=1, sim_workers=4, streams=2)
+        outcome = run_sweep(spec)
+        registry = MetricsRegistry()
+        record_sweep_metrics(outcome.report, registry)
+        snap = registry.snapshot()
+        util = snap["sweep.utilization"]["series"]
+        assert set(util) == {'{replication="0"}', '{replication="1"}'}
+        wall = snap["sweep.stream_wall_clock"]["series"]
+        assert set(wall) == {
+            '{replication="0",stream="0"}',
+            '{replication="0",stream="1"}',
+            '{replication="1",stream="0"}',
+            '{replication="1",stream="1"}',
+        }
+        for name in (
+            "sweep.makespan", "sweep.tasks", "sweep.granules",
+            "sweep.mgmt_seconds", "sweep.overlaps_admitted",
+        ):
+            assert len(snap[name]["series"]) == 2, name
+
+    def test_idempotent_rerecording(self):
+        outcome = run_sweep(QUICK_SPEC)
+        registry = MetricsRegistry()
+        record_sweep_metrics(outcome.report, registry)
+        once = registry.snapshot()
+        record_sweep_metrics(outcome.report, registry)
+        assert registry.snapshot() == once
+
+
+class TestCli:
+    def test_sweep_writes_canonical_report(self, tmp_path):
+        out_file = tmp_path / "report.json"
+        code, text = run_cli(
+            "sweep", "identity", "--replications", "2", "--seed", "7",
+            "--sim-workers", "4", "-o", str(out_file),
+        )
+        assert code == 0
+        assert "mean util" in text
+        on_disk = out_file.read_text(encoding="utf-8")
+        expected = run_sweep(
+            SweepSpec("identity", replications=2, seed=7, sim_workers=4)
+        ).report.to_json()
+        assert on_disk == expected
+
+    def test_sweep_workers_flag_same_report(self, tmp_path):
+        serial_file = tmp_path / "serial.json"
+        parallel_file = tmp_path / "parallel.json"
+        args = ("sweep", "identity", "--replications", "2", "--seed", "3",
+                "--sim-workers", "4")
+        assert run_cli(*args, "-o", str(serial_file))[0] == 0
+        assert run_cli(*args, "--workers", "2", "-o", str(parallel_file))[0] == 0
+        assert serial_file.read_bytes() == parallel_file.read_bytes()
+
+    def test_stats_reads_sweep_report(self, tmp_path):
+        out_file = tmp_path / "report.json"
+        assert run_cli(
+            "sweep", "identity", "--replications", "2", "--sim-workers", "4",
+            "-o", str(out_file),
+        )[0] == 0
+        code, text = run_cli("stats", "--sweep", str(out_file))
+        assert code == 0
+        assert "sweep.utilization" in text
+        assert "replication" in text
+
+    def test_stats_requires_workload_or_sweep(self):
+        code, text = run_cli("stats")
+        assert code != 0
+
+    def test_sweep_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            run_cli("sweep", "definitely-not-a-workload")
