@@ -106,6 +106,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload factory argument (repeatable; value parsed as JSON when possible)",
     )
     p_sweep.add_argument("-o", "--output", metavar="FILE", help="write the JSON report")
+    p_sweep.add_argument(
+        "--manifest",
+        metavar="FILE",
+        help="journal per-replication completion to a resumable JSONL manifest",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip replications already recorded in --manifest",
+    )
+    p_sweep.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        help="pool rebuilds tolerated after worker death (default: 2)",
+    )
+    p_sweep.add_argument(
+        "--kill-replication",
+        dest="kill_replications",
+        type=int,
+        action="append",
+        default=[],
+        metavar="R",
+        help="fault injection: kill the host worker running replication R "
+        "on its first attempt (repeatable; for testing crash-safety)",
+    )
+    p_sweep.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the injected fault plan"
+    )
 
     p_export = sub.add_parser(
         "export-trace", help="convert a saved run to a Chrome trace / spans JSONL"
@@ -181,6 +210,32 @@ def _add_run_options(parser: argparse.ArgumentParser, workload_optional: bool = 
     parser.add_argument("--lateral-handoff", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--tasks-per-processor", type=float, default=2.0)
+    fault = parser.add_argument_group("fault injection")
+    fault.add_argument(
+        "--crash",
+        dest="crashes",
+        action="append",
+        default=[],
+        metavar="P@T",
+        help="crash worker processor P at sim-time T (repeatable)",
+    )
+    fault.add_argument(
+        "--transient-p",
+        type=float,
+        default=0.0,
+        metavar="PROB",
+        help="per-task transient failure probability (deterministic per seed)",
+    )
+    fault.add_argument(
+        "--watchdog-timeout",
+        type=float,
+        default=None,
+        metavar="T",
+        help="barrier watchdog timeout in sim-seconds (default: recovery policy default)",
+    )
+    fault.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for deterministic fault draws"
+    )
 
 
 def _workload(name: str):
@@ -207,6 +262,34 @@ def _cmd_leftover(args, out) -> int:
     return 0
 
 
+def _parse_crash(token: str):
+    """``P@T`` -> (processor index, sim time)."""
+    proc, sep, at = token.partition("@")
+    if not sep or not proc.isdigit():
+        raise ValueError(f"--crash expects P@T (e.g. 2@5.0), got {token!r}")
+    return int(proc), float(at)
+
+
+def _fault_arguments(args):
+    """Translate fault CLI flags into run_program keyword arguments."""
+    from repro.faults import (
+        FaultPlan,
+        ProcessorCrash,
+        RecoveryPolicy,
+        TransientGranuleError,
+    )
+
+    faults = [ProcessorCrash(p, t) for p, t in (_parse_crash(c) for c in args.crashes)]
+    if args.transient_p > 0.0:
+        faults.append(TransientGranuleError(args.transient_p))
+    if not faults and args.watchdog_timeout is None:
+        return {}
+    kwargs = {"faults": FaultPlan(seed=args.fault_seed, faults=tuple(faults))}
+    if args.watchdog_timeout is not None:
+        kwargs["recovery"] = RecoveryPolicy(watchdog_timeout=args.watchdog_timeout)
+    return kwargs
+
+
 def _run_workload(args, telemetry=None):
     """Build and run the workload described by shared ``_add_run_options``."""
     program = _workload(args.workload)
@@ -228,11 +311,30 @@ def _run_workload(args, telemetry=None):
         seed=args.seed,
         extensions=extensions,
         telemetry=telemetry,
+        **_fault_arguments(args),
     )
 
 
+def _print_fault_lines(result, out) -> None:
+    """Resilience counters, printed only when faults actually bit."""
+    if getattr(result, "processor_failures", 0):
+        print(f"crashed procs: {result.processor_failures}", file=out)
+    if getattr(result, "retries", 0):
+        print(f"retries      : {result.retries}", file=out)
+    if getattr(result, "reassignments", 0):
+        print(f"reassignments: {result.reassignments}", file=out)
+    if getattr(result, "stalls", 0):
+        print(f"stalls       : {result.stalls}", file=out)
+
+
 def _cmd_simulate(args, out) -> int:
-    result = _run_workload(args)
+    from repro.faults import PhaseAbortError
+
+    try:
+        result = _run_workload(args)
+    except (PhaseAbortError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     mode = "barrier" if args.barrier else "next-phase overlap"
     print(f"workload     : {args.workload} ({mode})", file=out)
     print(f"makespan     : {result.makespan:.2f}", file=out)
@@ -241,6 +343,7 @@ def _cmd_simulate(args, out) -> int:
     print(f"tasks        : {result.tasks_executed}", file=out)
     if result.lateral_handoffs:
         print(f"lateral hand-offs: {result.lateral_handoffs}", file=out)
+    _print_fault_lines(result, out)
     reports = rundown_reports(result)
     if reports:
         mean_ru = sum(r.utilization for r in reports) / len(reports)
@@ -264,8 +367,14 @@ def _cmd_stats(args, out) -> int:
     if args.workload is None:
         print("error: a workload (or --sweep FILE) is required", file=sys.stderr)
         return 2
+    from repro.faults import PhaseAbortError
+
     telemetry = Telemetry()
-    result = _run_workload(args, telemetry=telemetry)
+    try:
+        result = _run_workload(args, telemetry=telemetry)
+    except (PhaseAbortError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     record_rundown_metrics(result, telemetry.metrics)
 
     mode = "barrier" if args.barrier else "next-phase overlap"
@@ -273,6 +382,7 @@ def _cmd_stats(args, out) -> int:
     print(f"makespan     : {result.makespan:.2f}", file=out)
     print(f"utilization  : {result.utilization:.1%}", file=out)
     print(f"bus events   : {telemetry.bus.events_published}", file=out)
+    _print_fault_lines(result, out)
 
     print("\noverlap admissions", file=out)
     if not result.admission_decisions:
@@ -368,7 +478,29 @@ def _cmd_sweep(args, out) -> int:
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    outcome = run_sweep(spec, workers=args.workers)
+    fault_plan = None
+    if args.kill_replications:
+        from repro.faults import FaultPlan, SweepWorkerKill
+
+        fault_plan = FaultPlan(
+            seed=args.fault_seed,
+            faults=tuple(SweepWorkerKill(r) for r in args.kill_replications),
+        )
+    if args.resume and not args.manifest:
+        print("error: --resume requires --manifest", file=sys.stderr)
+        return 2
+    try:
+        outcome = run_sweep(
+            spec,
+            workers=args.workers,
+            fault_plan=fault_plan,
+            manifest_path=args.manifest,
+            resume=args.resume,
+            max_restarts=args.max_restarts,
+        )
+    except (RuntimeError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     agg = outcome.report.aggregate()
     mode = "barrier" if args.barrier else "next-phase overlap"
     print(f"workload     : {args.workload} ({mode})", file=out)
@@ -385,6 +517,12 @@ def _cmd_sweep(args, out) -> int:
     print(f"mean makespan: {agg['makespan_mean']:.2f}", file=out)
     print(f"tasks        : {agg['tasks_total']}", file=out)
     print(f"elapsed      : {outcome.elapsed_seconds:.2f}s host wall-clock", file=out)
+    if outcome.resumed:
+        print(f"resumed      : {outcome.resumed} replications from manifest", file=out)
+    if outcome.worker_restarts:
+        print(f"restarts     : {outcome.worker_restarts} after worker death", file=out)
+    if args.manifest:
+        print(f"manifest     : {args.manifest}", file=out)
     if args.output:
         try:
             with open(args.output, "w", encoding="utf-8") as fh:

@@ -289,6 +289,12 @@ class EnablementEngine:
         if not delta:
             return GranuleSet.empty()
         fresh = delta - self.completed
+        if not fresh:
+            # a replayed/duplicate completion (retried task, crash
+            # re-execution) must be a strict no-op: counters were already
+            # credited and nothing new can fire — ``completed`` is
+            # unchanged, so the deferred release below cannot trigger
+            return GranuleSet.empty()
         self.completed = self.completed | delta
         newly = GranuleSet.empty()
         if self._counters:
@@ -296,7 +302,7 @@ class EnablementEngine:
                 newly = self._notify_indexed(fresh)
             else:
                 fired = [
-                    succ for succ, counter in self._counters if counter.on_complete(delta)
+                    succ for succ, counter in self._counters if counter.on_complete(fresh)
                 ]
                 if fired:
                     newly = GranuleSet.union_all(fired)

@@ -69,6 +69,7 @@ class ComputationDescription:
         "elevated",
         "splits",
         "merges",
+        "attempts",
     )
 
     def __init__(
@@ -89,6 +90,9 @@ class ComputationDescription:
         self.elevated = elevated
         self.splits = 0
         self.merges = 0
+        # execution attempts that failed (transient fault / crash orphaning);
+        # the recovery policy's max_retries bounds this before phase abort
+        self.attempts = 0
 
     def __len__(self) -> int:
         return len(self.granules)
@@ -112,6 +116,9 @@ class ComputationDescription:
         self.granules = rest
         self.splits += 1
         child = ComputationDescription(self.phase_run, self.phase_name, head, elevated=self.elevated)
+        # a retried description that gets re-split must not reset its
+        # failure count, or max_retries could be evaded by splitting
+        child.attempts = self.attempts
         return child
 
     # ------------------------------------------------------------------ merge

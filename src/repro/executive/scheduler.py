@@ -65,17 +65,26 @@ from repro.executive.descriptions import ComputationDescription, DescriptionStat
 from repro.executive.extensions import Extensions
 from repro.executive.queues import WaitingComputationQueue
 from repro.executive.splitting import TaskSizer
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    PhaseAbortError,
+    RecoveryPolicy,
+    RundownFailureReport,
+)
 from repro.obs.events import (
     GranuleCompleted,
     GranuleDispatched,
+    GranuleRetried,
     ObsEvent,
     OverlapAdmitted,
     OverlapRejected,
     PhaseEnded,
+    PhaseStalled,
     PhaseStarted,
     QueueDepthChanged,
 )
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.events import EventKind
 from repro.sim.machine import CHIEF_LANE, ExecutivePlacement, Machine, Processor
 from repro.sim.rng import RngStreams
@@ -145,6 +154,14 @@ class RunResult:
     lateral_handoffs: int = 0
     #: One verdict per adjacent phase pair the executive considered.
     admission_decisions: list[AdmissionDecision] = field(default_factory=list)
+    #: Transient-failure retries performed (fault injection).
+    retries: int = 0
+    #: Crash-orphaned tasks requeued by the barrier watchdog.
+    reassignments: int = 0
+    #: Worker processors lost to injected crashes.
+    processor_failures: int = 0
+    #: Barrier-watchdog stall detections.
+    stalls: int = 0
 
     @property
     def utilization(self) -> float:
@@ -275,6 +292,14 @@ class ExecutiveSimulation:
     extensions:
         The paper's identified follow-on strategies (middle management,
         lateral hand-off, data proximity); defaults to all off.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to inject (crashes, stragglers,
+        transient task errors), or ``None`` for the fault-free fast path.
+        Passing any plan — even an empty one — arms the recovery
+        machinery: retry accounting, crash orphan tracking and per-run
+        barrier watchdogs.
+    recovery:
+        Retry/backoff/watchdog knobs; defaults apply when ``None``.
     """
 
     def __init__(
@@ -289,6 +314,8 @@ class ExecutiveSimulation:
         extensions: Extensions | None = None,
         telemetry: "Telemetry | None" = None,
         admission_guard: "Callable[[AdmissionDecision], None] | None" = None,
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         programs = [program] if isinstance(program, PhaseProgram) else list(program)
         if not programs:
@@ -346,6 +373,38 @@ class ExecutiveSimulation:
         self.tasks_executed = 0
         self.granules_executed = 0
         self._finished = False
+
+        # ---------------------------------------------------------- faults
+        self.faults = faults
+        self.recovery = recovery or RecoveryPolicy()
+        self._injector = FaultInjector(faults) if faults is not None else None
+        if faults is not None:
+            for crash in faults.crashes:
+                if crash.processor >= self.machine.n_workers:
+                    raise ValueError(
+                        f"crash targets processor {crash.processor} but the "
+                        f"machine has {self.machine.n_workers} workers"
+                    )
+                proc = self.machine.processors[crash.processor]
+                if self.machine._server_for(proc) is not None:
+                    raise ValueError(
+                        f"crash targets {proc.name}, which hosts an executive "
+                        f"server; executive failover is not modelled — use "
+                        f"DEDICATED placement for crash experiments"
+                    )
+        #: processor index -> the description its in-flight task executes
+        self._in_flight: dict[int, ComputationDescription] = {}
+        #: crash-orphaned descriptions awaiting watchdog reassignment
+        self._orphans: list[ComputationDescription] = []
+        self._pending_retries = 0
+        self._fault_events: list[Event] = []
+        self._watchdog_event: Event | None = None
+        self.retries = 0
+        self.reassignments = 0
+        self.processor_failures = 0
+        self.stalls = 0
+        self.failure_report: RundownFailureReport | None = None
+        self.machine.on_task_lost = self._on_task_lost
         self.admission_decisions: list[AdmissionDecision] = []
         self._admission_seen: set[tuple[int, int]] = set()
         # splitting/elevation counters resolved once; None when untelemetered
@@ -432,10 +491,20 @@ class ExecutiveSimulation:
         """Execute every job stream to completion; returns the result bundle."""
         if self._finished:
             raise RuntimeError("ExecutiveSimulation.run may only be called once")
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                proc = self.machine.processors[crash.processor]
+                self._fault_events.append(
+                    self.sim.schedule(crash.at_time, lambda p=proc: self._crash(p))
+                )
         for stream in self.streams:
             self._initiate(stream.runs[0])
         self.sim.run(max_events=max_events)
         self._finished = True
+        for ev in self._fault_events:
+            ev.cancel()
+        if self.failure_report is not None:
+            raise PhaseAbortError(self.failure_report)
         for stream in self.streams:
             if not stream.complete:
                 incomplete = [r.spec.name for r in stream.runs if not r.complete]
@@ -475,6 +544,10 @@ class ExecutiveSimulation:
             granules_executed=self.granules_executed,
             lateral_handoffs=self.lateral_handoffs,
             admission_decisions=list(self.admission_decisions),
+            retries=self.retries,
+            reassignments=self.reassignments,
+            processor_failures=self.processor_failures,
+            stalls=self.stalls,
         )
 
     # ------------------------------------------------------------------ initiation
@@ -495,6 +568,7 @@ class ExecutiveSimulation:
             self.trace.log(self.sim.now, EventKind.PHASE_START, run.spec.name, run=run.gid)
             self._publish(PhaseStarted(self.sim.now, run.spec.name, run.gid))
             self._note_queue_depth()
+            self._arm_watchdog()
             self._maybe_overlap_next(run)
             self._dispatch_idle()
 
@@ -611,6 +685,7 @@ class ExecutiveSimulation:
             self._publish(
                 PhaseStarted(self.sim.now, succ.spec.name, succ.gid, overlapped=True)
             )
+            self._arm_watchdog()
             for desc in new_descs:
                 self.queue.push(desc, elevated=desc.elevated)
                 if desc.phase_run == succ.gid:
@@ -786,6 +861,8 @@ class ExecutiveSimulation:
             task_time = _task_duration(run.spec, desc.granules, self._rng(f"cost:{run.gid}"))
             if self.ext.remote_penalty > 1.0 and not self._chunk_is_local(proc, desc):
                 task_time *= self.ext.remote_penalty
+            if self._injector is not None and self._injector.has_stragglers:
+                task_time *= self._injector.slowdown(proc.index, self.sim.now)
             started = self.machine.start_task(
                 proc,
                 task_time,
@@ -797,6 +874,7 @@ class ExecutiveSimulation:
                 # the front so the known order is preserved
                 self.queue.push_front(desc, elevated=desc.elevated)
                 return
+            self._in_flight[proc.index] = desc
             self._note_assignment(run, desc, proc)
             if (
                 self.config.split_strategy is SplitStrategy.SUCCESSOR_TASK
@@ -875,6 +953,8 @@ class ExecutiveSimulation:
         task_time = self.ext.lateral_cost + _task_duration(
             succ.spec, candidate, self._rng(f"cost:{succ.gid}")
         )
+        if self._injector is not None and self._injector.has_stragglers:
+            task_time *= self._injector.slowdown(proc.index, self.sim.now)
         started = self.machine.start_task(
             proc,
             task_time,
@@ -883,12 +963,22 @@ class ExecutiveSimulation:
         )
         if not started:
             return
+        self._in_flight[proc.index] = child
         succ.enabled = succ.enabled | candidate
         self._note_assignment(succ, child, proc)
         self.lateral_handoffs += 1
 
     # ------------------------------------------------------------------ completion
     def _on_task_done(self, desc: ComputationDescription, proc: Processor) -> None:
+        self._in_flight.pop(proc.index, None)
+        if self._injector is not None and self._injector.has_transients:
+            run_f = self.runs[desc.phase_run]
+            lo, hi = desc.granules.min(), desc.granules.max() + 1
+            if self._injector.task_fails(
+                run_f.spec.name, desc.phase_run, lo, hi, desc.attempts
+            ):
+                self._retry(desc, reason="transient")
+                return
         self.tasks_executed += 1
         self.granules_executed += len(desc.granules)
         run_done = self.runs[desc.phase_run]
@@ -955,6 +1045,247 @@ class ExecutiveSimulation:
             duration, done, label=f"complete:{desc.phase_name}#{desc.phase_run}"
         )
 
+    # ------------------------------------------------------------------ faults
+    def _crash(self, proc: Processor) -> None:
+        """Fire an injected processor crash (scheduled from the fault plan)."""
+        if all(s.complete_time is not None for s in self.streams):
+            return  # the workload outran the crash; nothing left to kill
+        self.processor_failures += 1
+        self.machine.fail_processor(proc)
+
+    def _on_task_lost(self, proc: Processor) -> None:
+        """A crash orphaned ``proc``'s in-flight task.
+
+        Deliberately does *not* requeue: the granules sit in ``_orphans``
+        until the barrier watchdog notices the phase can no longer make
+        progress, attributes the stall to them, and reassigns.  Recovery
+        therefore always flows through the stall-detection path, and every
+        crash that matters produces a :class:`PhaseStalled` event.
+        """
+        desc = self._in_flight.pop(proc.index, None)
+        if desc is None:
+            return
+        run = self.runs[desc.phase_run]
+        run.assigned = run.assigned - desc.granules
+        if run.stats.last_assign_time is not None and not run.fully_assigned:
+            run.stats.last_assign_time = None
+        desc.state = DescriptionState.WAITING
+        self._orphans.append(desc)
+
+    def _retry(self, desc: ComputationDescription, reason: str) -> None:
+        """Requeue a transiently failed task after capped exponential backoff.
+
+        The failed attempt's compute time stays on the books (the worker
+        really spent it) but nothing is credited: no completion-processing
+        job runs, so enablement sees the granules exactly once — on the
+        attempt that finally succeeds.
+        """
+        run = self.runs[desc.phase_run]
+        desc.attempts += 1
+        if desc.attempts > self.recovery.max_retries:
+            self._abort(
+                run,
+                "retries_exhausted",
+                detail={"granules": repr(desc.granules), "attempts": desc.attempts},
+            )
+            return
+        self.retries += 1
+        self.trace.log(
+            self.sim.now,
+            EventKind.TASK_RETRY,
+            run.spec.name,
+            granules=repr(desc.granules),
+            attempt=desc.attempts,
+            reason=reason,
+        )
+        self._publish(
+            GranuleRetried(
+                self.sim.now, run.spec.name, run.gid, len(desc.granules),
+                desc.attempts, reason,
+            )
+        )
+        run.assigned = run.assigned - desc.granules
+        if run.stats.last_assign_time is not None and not run.fully_assigned:
+            run.stats.last_assign_time = None
+        desc.state = DescriptionState.WAITING
+        self._pending_retries += 1
+
+        def requeue() -> None:
+            self._pending_retries -= 1
+            run.queued = run.queued | desc.granules
+            self.queue.push_front(desc, elevated=True)
+            self._note_queue_depth()
+            self._dispatch_idle()
+
+        self._fault_events.append(
+            self.sim.schedule_after(self.recovery.backoff(desc.attempts), requeue)
+        )
+
+    def _arm_watchdog(self) -> None:
+        """Start the barrier watchdog (fault-armed runs only).
+
+        One timer guards the whole simulation, not one per phase run:
+        stall *handling* is already global (see :meth:`_handle_stall` —
+        whichever detection fires must recover every orphan), so per-run
+        timers would only multiply heap events without adding coverage.
+
+        Checks back off exponentially while the system is healthy (capped
+        at 16x the base timeout) and snap back to the base timeout after a
+        detected stall.  The stall predicate is *precise* — true only when
+        nothing in the system can still make progress — so checking it at
+        any cadence is safe; the cadence tunes sim-time detection latency,
+        which is free, while every check is a real heap event, and on a
+        healthy run those events are the entire cost of arming the fault
+        machinery (gated <5% by ``benchmarks/test_fault_overhead.py``).
+        """
+        if self._injector is None or self.recovery.watchdog_timeout is None:
+            return
+        if self._watchdog_event is not None:
+            return
+        base = self.recovery.watchdog_timeout
+        state = {"interval": base}
+
+        def check() -> None:
+            self._watchdog_event = None
+            if all(s.complete_time is not None for s in self.streams):
+                return
+            stalled = next(
+                (
+                    r
+                    for r in self.runs
+                    if r.initiated and not r.complete and self._is_stalled(r)
+                ),
+                None,
+            )
+            if stalled is not None:
+                state["interval"] = base
+                self._handle_stall(stalled)
+                if self.failure_report is not None:
+                    return
+            else:
+                state["interval"] = min(state["interval"] * 2.0, base * 16.0)
+            self._watchdog_event = self.sim.schedule_after(state["interval"], check)
+
+        self._watchdog_event = self.sim.schedule_after(base, check)
+
+    def _is_stalled(self, run: _RunState) -> bool:
+        """Can nothing in the system still complete this run?
+
+        True only when the run is incomplete and there are no in-flight
+        tasks, no retries waiting out their backoff, and the executive is
+        fully drained — so a true verdict is stable regardless of the
+        watchdog period (the period tunes latency, not correctness).
+        """
+        if run.complete:
+            return False
+        if self._in_flight or self._pending_retries:
+            return False
+        if self.machine.executive_busy or self.machine.executive_pending():
+            return False
+        return True
+
+    def _handle_stall(self, run: _RunState) -> None:
+        """Attribute a detected stall and either reassign orphans or abort.
+
+        Orphans are considered *globally*, not per run: an orphaned
+        predecessor chunk is exactly what starves an overlapped successor
+        of enablement, so whichever run's watchdog fires first must
+        recover every orphan, not just its own.
+        """
+        self.stalls += 1
+        missing = GranuleSet.universe(run.n) - run.completed
+        orphans = list(self._orphans)
+        abort_reason: str | None = None
+        if not self.machine.live_workers():
+            abort_reason = "no_live_workers"
+        elif orphans and self.reassignments >= self.recovery.max_reassignments:
+            abort_reason = "reassignments_exhausted"
+        elif not orphans and not self.queue:
+            # granules neither completed, queued, in flight nor orphaned:
+            # nothing will ever produce them
+            abort_reason = "unrecoverable_stall"
+        action = "abort" if abort_reason is not None else "reassign"
+        self.trace.log(
+            self.sim.now,
+            EventKind.PHASE_STALLED,
+            run.spec.name,
+            missing=len(missing),
+            granules=repr(missing),
+            action=action,
+        )
+        self._publish(
+            PhaseStalled(
+                self.sim.now, run.spec.name, run.gid, len(missing),
+                repr(missing), action,
+            )
+        )
+        if abort_reason is not None:
+            self._abort(run, abort_reason, missing=missing)
+            return
+        for desc in orphans:
+            self._orphans.remove(desc)
+            owner = self.runs[desc.phase_run]
+            desc.attempts += 1
+            if desc.attempts > self.recovery.max_retries:
+                self._abort(
+                    owner,
+                    "retries_exhausted",
+                    detail={"granules": repr(desc.granules), "attempts": desc.attempts},
+                )
+                return
+            self.reassignments += 1
+            self._publish(
+                GranuleRetried(
+                    self.sim.now, owner.spec.name, owner.gid, len(desc.granules),
+                    desc.attempts, "crash",
+                )
+            )
+            owner.queued = owner.queued | desc.granules
+            self.queue.push_front(desc, elevated=True)
+        self._note_queue_depth()
+        self._dispatch_idle()
+
+    def _abort(
+        self,
+        run: _RunState,
+        reason: str,
+        missing: GranuleSet | None = None,
+        detail: dict | None = None,
+    ) -> None:
+        """Give up on the run: record the failure report and stop the sim."""
+        if self.failure_report is not None:
+            return
+        if missing is None:
+            missing = GranuleSet.universe(run.n) - run.completed
+        self.failure_report = RundownFailureReport(
+            phase=run.spec.name,
+            run=run.gid,
+            stream=run.stream.index,
+            reason=reason,
+            time=self.sim.now,
+            missing_granules=len(missing),
+            missing_ranges=tuple((r.start, r.stop) for r in missing.ranges),
+            retries=self.retries,
+            reassignments=self.reassignments,
+            processor_failures=self.processor_failures,
+            detail=detail or {},
+        )
+        self.sim.stop()
+
+    def _cancel_fault_timers(self) -> None:
+        """Drop pending crash/retry/watchdog events once all streams finish.
+
+        Without this, a crash scheduled past the natural finish time (or a
+        still-armed watchdog) would keep the event queue alive and inflate
+        the makespan of an already-complete workload.
+        """
+        for ev in self._fault_events:
+            ev.cancel()
+        self._fault_events.clear()
+        if self._watchdog_event is not None:
+            self._watchdog_event.cancel()
+            self._watchdog_event = None
+
     # ------------------------------------------------------------------ frontier
     def _advance_frontier(self, stream: _Stream) -> None:
         while stream.frontier < len(stream.runs) and stream.runs[stream.frontier].complete:
@@ -964,6 +1295,8 @@ class ExecutiveSimulation:
             stream.frontier += 1
             if stream.frontier >= len(stream.runs):
                 stream.complete_time = self.sim.now
+                if all(s.complete_time is not None for s in self.streams):
+                    self._cancel_fault_timers()
                 return
             nxt = stream.runs[stream.frontier]
             serial = stream.serial_before[stream.frontier]
@@ -1029,6 +1362,8 @@ def run_program(
     extensions: Extensions | None = None,
     telemetry: "Telemetry | None" = None,
     admission_guard: "Callable[[AdmissionDecision], None] | None" = None,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = None,
 ) -> RunResult:
     """Convenience wrapper: build an :class:`ExecutiveSimulation` and run it."""
     sim = ExecutiveSimulation(
@@ -1042,5 +1377,7 @@ def run_program(
         extensions=extensions,
         telemetry=telemetry,
         admission_guard=admission_guard,
+        faults=faults,
+        recovery=recovery,
     )
     return sim.run(max_events=max_events)

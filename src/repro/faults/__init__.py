@@ -1,0 +1,44 @@
+"""Fault tolerance for parallel computation rundown.
+
+The paper's premise is that processors idle while a phase drains; a
+*failed* processor is the pathological rundown — its orphaned granules
+stall the barrier forever.  This package makes rundown correct under
+failure:
+
+* :class:`FaultPlan` — deterministic, seed-driven failure injection
+  (processor crashes, stragglers, transient granule errors, thread and
+  sweep-worker kills);
+* :class:`RecoveryPolicy` — retry caps, exponential backoff, barrier
+  watchdog tuning;
+* :class:`FaultInjector` — the order-independent oracle the executive,
+  machine and threaded runtime query at their fault points;
+* :class:`RundownFailureReport` / :class:`PhaseAbortError` — structured
+  escalation when recovery is impossible.
+
+See docs/RESILIENCE.md for the fault model and tuning guidance.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    ProcessorCrash,
+    RecoveryPolicy,
+    StragglerSlowdown,
+    SweepWorkerKill,
+    TransientGranuleError,
+    WorkerThreadKill,
+)
+from repro.faults.report import PhaseAbortError, RundownFailureReport
+
+__all__ = [
+    "FaultPlan",
+    "RecoveryPolicy",
+    "FaultInjector",
+    "ProcessorCrash",
+    "StragglerSlowdown",
+    "TransientGranuleError",
+    "WorkerThreadKill",
+    "SweepWorkerKill",
+    "RundownFailureReport",
+    "PhaseAbortError",
+]

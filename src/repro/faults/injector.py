@@ -1,0 +1,74 @@
+"""The fault injector: deterministic queries over a :class:`FaultPlan`.
+
+The injector answers the questions the executive, the machine and the
+threaded runtime ask at their fault points — "does this task fail?",
+"how slow is this processor right now?" — with answers that are pure
+functions of ``(plan seed, query key)``.  No draw depends on scheduling
+order or wall clock, so the same plan produces the same failures under
+any interleaving; that property is what keeps fault-injected sweeps
+byte-identical on resubmission.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import RngStreams
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Stateless-by-construction fault oracle for one plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = RngStreams(plan.seed)
+        self._transients = plan.transients
+        self._stragglers = plan.stragglers
+        self._kills = {k.worker: k for k in plan.thread_kills}
+        self._sweep_kills = {k.replication for k in plan.sweep_kills}
+        #: Hot-path guards: callers skip per-task queries entirely when the
+        #: plan carries no fault of the relevant kind, keeping an armed-but-
+        #: empty plan within the fault-overhead benchmark's budget.
+        self.has_stragglers = bool(self._stragglers)
+        self.has_transients = bool(self._transients)
+
+    # ------------------------------------------------------------------ sim side
+    def slowdown(self, processor: int, time: float) -> float:
+        """Multiplicative service-time factor for ``processor`` at ``time``."""
+        factor = 1.0
+        for s in self._stragglers:
+            if s.processor == processor and time >= s.from_time:
+                factor *= s.factor
+        return factor
+
+    def task_fails(self, phase: str, run: int, lo: int, hi: int, attempt: int) -> bool:
+        """Does the task over granules ``[lo, hi)`` fail on this attempt?
+
+        Keyed by ``(run, granule range, attempt)``: replaying the same
+        attempt re-draws the same verdict, and each retry gets a fresh
+        independent draw.
+        """
+        p = 0.0
+        for t in self._transients:
+            if t.phase is None or t.phase == phase:
+                p = max(p, t.probability)
+        if p <= 0.0:
+            return False
+        draw = self._rng.fresh(f"transient:{run}:{lo}:{hi}:{attempt}").random()
+        return bool(draw < p)
+
+    # ------------------------------------------------------------------ threaded side
+    def thread_kill_after(self, worker: int) -> int | None:
+        """Granule count after which threaded worker ``worker`` dies, or None."""
+        kill = self._kills.get(worker)
+        return kill.after_granules if kill is not None else None
+
+    def granule_fails(self, phase: str, granule: int, attempt: int) -> bool:
+        """Threaded-runtime transient verdict for one granule attempt."""
+        return self.task_fails(phase, -1, granule, granule + 1, attempt)
+
+    # ------------------------------------------------------------------ sweep side
+    def kills_replication(self, replication: int) -> bool:
+        """Is the pool worker running ``replication`` scheduled to die?"""
+        return replication in self._sweep_kills

@@ -1,0 +1,88 @@
+"""Structured failure reporting for aborted rundowns.
+
+When retry and reassignment cannot complete a phase — retries exhausted,
+every worker dead, granules that nothing will ever enable — the executive
+stops the simulation and raises :class:`PhaseAbortError` carrying a
+:class:`RundownFailureReport`.  The report is plain data (JSON-able) so
+harnesses can log, diff, and assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["RundownFailureReport", "PhaseAbortError"]
+
+
+@dataclass(frozen=True)
+class RundownFailureReport:
+    """Everything known about why a phase could not finish.
+
+    Attributes
+    ----------
+    phase, run, stream:
+        Which phase run failed.
+    reason:
+        Machine-readable cause: ``"retries_exhausted"``,
+        ``"no_live_workers"``, ``"reassignments_exhausted"`` or
+        ``"unrecoverable_stall"``.
+    time:
+        Simulation time of the abort.
+    missing_granules:
+        How many of the run's granules never completed.
+    missing_ranges:
+        The uncompleted granules as ``(start, stop)`` ranges — the
+        watchdog's stall attribution.
+    retries, reassignments, processor_failures:
+        Recovery effort spent before giving up.
+    detail:
+        Free-form context (the failing task's granules, the last error).
+    """
+
+    phase: str
+    run: int
+    stream: int
+    reason: str
+    time: float
+    missing_granules: int
+    missing_ranges: tuple[tuple[int, int], ...]
+    retries: int = 0
+    reassignments: int = 0
+    processor_failures: int = 0
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "run": self.run,
+            "stream": self.stream,
+            "reason": self.reason,
+            "time": self.time,
+            "missing_granules": self.missing_granules,
+            "missing_ranges": [list(r) for r in self.missing_ranges],
+            "retries": self.retries,
+            "reassignments": self.reassignments,
+            "processor_failures": self.processor_failures,
+            "detail": dict(self.detail),
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering for logs and CLI output."""
+        ranges = ", ".join(f"[{a},{b})" for a, b in self.missing_ranges[:4])
+        if len(self.missing_ranges) > 4:
+            ranges += ", ..."
+        return (
+            f"phase {self.phase!r} (run {self.run}, stream {self.stream}) aborted at "
+            f"t={self.time:.2f}: {self.reason}; {self.missing_granules} granules "
+            f"uncompleted ({ranges}); retries={self.retries} "
+            f"reassignments={self.reassignments} failures={self.processor_failures}"
+        )
+
+
+class PhaseAbortError(RuntimeError):
+    """A phase run was aborted; ``report`` holds the structured cause."""
+
+    def __init__(self, report: RundownFailureReport) -> None:
+        super().__init__(report.summary())
+        self.report = report

@@ -28,13 +28,17 @@ from repro.obs.events import (
     EventBus,
     GranuleCompleted,
     GranuleDispatched,
+    GranuleRetried,
     MgmtActionDone,
     NullEventBus,
     ObsEvent,
     OverlapAdmitted,
     OverlapRejected,
     PhaseEnded,
+    PhaseStalled,
+    PhaseStalledEvent,
     PhaseStarted,
+    ProcessorFailed,
     QueueDepthChanged,
     WorkerBusy,
     WorkerIdle,
@@ -68,6 +72,10 @@ __all__ = [
     "WorkerBusy",
     "QueueDepthChanged",
     "MgmtActionDone",
+    "ProcessorFailed",
+    "GranuleRetried",
+    "PhaseStalled",
+    "PhaseStalledEvent",
     "EventBus",
     "NullEventBus",
     "Counter",

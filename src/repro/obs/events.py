@@ -34,6 +34,10 @@ __all__ = [
     "WorkerBusy",
     "QueueDepthChanged",
     "MgmtActionDone",
+    "ProcessorFailed",
+    "GranuleRetried",
+    "PhaseStalled",
+    "PhaseStalledEvent",
     "Subscription",
     "EventBus",
     "NullEventBus",
@@ -137,6 +141,46 @@ class MgmtActionDone(ObsEvent):
     label: str
     duration: float
     category: str = "mgmt"
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorFailed(ObsEvent):
+    """A worker processor crashed; ``lost_label`` names its lost task, if any."""
+
+    processor: str
+    lost_label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class GranuleRetried(ObsEvent):
+    """A task's granules are being retried; ``reason`` is transient/crash."""
+
+    phase: str
+    run: int
+    n_granules: int
+    attempt: int
+    reason: str = "transient"
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseStalled(ObsEvent):
+    """The barrier watchdog found a phase that can no longer progress.
+
+    ``granules`` is the stall attribution — the uncompleted granules as a
+    range string (e.g. ``"[40,48)"``); ``action`` is what the watchdog did
+    about it: ``"reassign"`` (orphans requeued) or ``"abort"``.
+    """
+
+    phase: str
+    run: int
+    missing: int
+    granules: str
+    action: str
+
+
+#: Compatibility alias; the event class follows the PhaseStarted/PhaseEnded
+#: naming but external docs refer to it as PhaseStalledEvent.
+PhaseStalledEvent = PhaseStalled
 
 
 @dataclass(slots=True)

@@ -21,11 +21,14 @@ from repro.obs.events import (
     EventBus,
     GranuleCompleted,
     GranuleDispatched,
+    GranuleRetried,
     MgmtActionDone,
     OverlapAdmitted,
     OverlapRejected,
     PhaseEnded,
+    PhaseStalled,
     PhaseStarted,
+    ProcessorFailed,
     QueueDepthChanged,
     Subscription,
     WorkerBusy,
@@ -117,6 +120,9 @@ def install_default_metrics(telemetry: Telemetry) -> list[Subscription]:
     phases_ended = m.counter("phase.ended_total", "phase runs completed")
     mgmt_actions = m.counter("executive.actions_total", "management jobs finished")
     mgmt_seconds = m.counter("executive.busy_seconds", "executive server busy time")
+    crashes = m.counter("faults.processor_crashes_total", "worker processors lost")
+    retries = m.counter("faults.retries_total", "task retries performed")
+    stalls = m.counter("faults.phase_stalls_total", "barrier-watchdog stall detections")
 
     bus = telemetry.bus
     subs = [
@@ -155,6 +161,13 @@ def install_default_metrics(telemetry: Telemetry) -> list[Subscription]:
                 mgmt_actions.inc(action=_action_of(e.label)),
                 mgmt_seconds.inc(e.duration, server=e.server),
             ),
+        ),
+        bus.subscribe(ProcessorFailed, lambda e: crashes.inc(processor=e.processor)),
+        bus.subscribe(
+            GranuleRetried, lambda e: retries.inc(phase=e.phase, reason=e.reason)
+        ),
+        bus.subscribe(
+            PhaseStalled, lambda e: stalls.inc(phase=e.phase, action=e.action)
         ),
     ]
     return subs

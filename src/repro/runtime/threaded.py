@@ -26,9 +26,11 @@ from repro.core.enablement import EnablementEngine
 from repro.core.granule import GranuleSet
 from repro.core.mapping import EnablementMapping
 from repro.core.overlap import OverlapPolicy
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs.events import (
     GranuleCompleted,
     GranuleDispatched,
+    GranuleRetried,
     PhaseEnded,
     PhaseStarted,
     WorkerBusy,
@@ -65,6 +67,18 @@ class ThreadedExecutor:
     policy:
         ``NONE`` for strict barriers, ``NEXT_PHASE`` for one-phase
         overlap driven by the enablement mappings.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; worker-thread kills are
+        cooperative (the worker hands back its claimed granule and exits)
+        and transient granule errors fire *before* the kernel runs, so
+        shared arrays never hold partial writes from a failed attempt.
+    max_retries:
+        Transient failures per granule before the run errors out.
+    join_timeout:
+        Wall-clock bound on the whole execution; on expiry the executor
+        shuts the workers down and raises instead of hanging.  ``None``
+        disables the bound (a genuine stall or worker death still raises
+        — those are detected directly, not by timeout).
     """
 
     def __init__(
@@ -72,12 +86,26 @@ class ThreadedExecutor:
         n_workers: int = 4,
         policy: OverlapPolicy = OverlapPolicy.NEXT_PHASE,
         telemetry: "Telemetry | None" = None,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int = 3,
+        join_timeout: float | None = 120.0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if join_timeout is not None and join_timeout <= 0:
+            raise ValueError(f"join_timeout must be positive, got {join_timeout}")
         self.n_workers = n_workers
         self.policy = policy
         self.telemetry = telemetry
+        self.fault_plan = fault_plan
+        self.max_retries = max_retries
+        self.join_timeout = join_timeout
+        #: transient-retry count of the last :meth:`execute` call
+        self.granule_retries = 0
+        #: injected worker deaths of the last :meth:`execute` call
+        self.workers_killed = 0
 
     def execute(
         self,
@@ -125,8 +153,19 @@ class ThreadedExecutor:
         frontier = 0
         in_flight_phases: dict[int, int] = {}
         self.max_phases_in_flight = 0
+        self.granule_retries = 0
+        self.workers_killed = 0
         errors: list[BaseException] = []
         done = False
+        injector = (
+            FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        )
+        #: (phase index, granule) -> failed transient attempts so far
+        attempts: dict[tuple[int, int], int] = {}
+        alive = self.n_workers
+        idle_workers = 0
+        #: first entry names why execution was cut short: "stalled"/"timeout"
+        stop_reason: list[str] = []
 
         def queue_granules(phase_idx: int, granules: GranuleSet) -> None:
             fresh = granules - enabled_queued[phase_idx]
@@ -179,60 +218,127 @@ class ThreadedExecutor:
                 work_ready.notify_all()
 
         def worker(worker_id: int) -> None:
-            nonlocal done
+            nonlocal done, alive, idle_workers
             resource = f"W{worker_id}"
-            while True:
-                with work_ready:
-                    waited_from: float | None = None
-                    if obs is not None and not ready and not done and not errors:
-                        waited_from = now()
-                        obs.bus.publish(WorkerIdle(waited_from, resource))
-                    while not ready and not done and not errors:
-                        work_ready.wait()
-                    if waited_from is not None:
-                        wait_end = now()
-                        idle_wait.inc(wait_end - waited_from, worker=resource)
-                        obs.spans.add("barrier-wait", resource, waited_from, wait_end, "idle")
-                    if done or errors:
-                        return
-                    phase_idx, granule = ready.popleft()
-                    in_flight_phases[phase_idx] = in_flight_phases.get(phase_idx, 0) + 1
-                    self.max_phases_in_flight = max(
-                        self.max_phases_in_flight, len(in_flight_phases)
-                    )
-                    if obs is not None:
-                        t = now()
-                        obs.bus.publish(WorkerBusy(t, resource, "compute"))
-                        obs.bus.publish(
-                            GranuleDispatched(t, resource, phases[phase_idx].name, phase_idx, 1)
-                        )
-                kernel_start = now() if obs is not None else 0.0
-                try:
-                    phases[phase_idx].kernel(granule, arrays)
-                except BaseException as exc:  # propagate to the caller
+            kill_after = (
+                injector.thread_kill_after(worker_id) if injector is not None else None
+            )
+            kernels_done = 0
+            try:
+                while True:
                     with work_ready:
-                        errors.append(exc)
-                        work_ready.notify_all()
-                    return
-                if obs is not None:
-                    obs.spans.add(
-                        f"{phases[phase_idx].name}:{granule}",
-                        resource,
-                        kernel_start,
-                        now(),
-                        "compute",
-                        phase=phases[phase_idx].name,
-                        granule=granule,
-                    )
-                with work_ready:
-                    in_flight_phases[phase_idx] -= 1
-                    if in_flight_phases[phase_idx] == 0:
-                        del in_flight_phases[phase_idx]
-                    if obs is not None:
-                        obs.bus.publish(
-                            GranuleCompleted(now(), resource, phases[phase_idx].name, phase_idx, 1)
+                        waited_from: float | None = None
+                        if (
+                            obs is not None
+                            and not ready and not done and not errors and not stop_reason
+                        ):
+                            waited_from = now()
+                            obs.bus.publish(WorkerIdle(waited_from, resource))
+                        idle_workers += 1
+                        if (
+                            idle_workers == alive
+                            and not ready and not done and not errors and not stop_reason
+                        ):
+                            # every live worker is idle with nothing queued:
+                            # no kernel can complete to enable more work, so
+                            # waiting would hang forever (e.g. a mapping that
+                            # never enables some granule)
+                            stop_reason.append("stalled")
+                            work_ready.notify_all()
+                        while not ready and not done and not errors and not stop_reason:
+                            work_ready.wait()
+                        idle_workers -= 1
+                        if waited_from is not None:
+                            wait_end = now()
+                            idle_wait.inc(wait_end - waited_from, worker=resource)
+                            obs.spans.add("barrier-wait", resource, waited_from, wait_end, "idle")
+                        if done or errors or stop_reason:
+                            return
+                        phase_idx, granule = ready.popleft()
+                        if kill_after is not None and kernels_done >= kill_after:
+                            # injected cooperative death: hand the claimed
+                            # granule back untouched and exit the thread
+                            ready.appendleft((phase_idx, granule))
+                            self.workers_killed += 1
+                            work_ready.notify_all()
+                            return
+                        if injector is not None:
+                            attempt = attempts.get((phase_idx, granule), 0)
+                            if injector.granule_fails(
+                                phases[phase_idx].name, granule, attempt
+                            ):
+                                # transient error *before* the kernel runs —
+                                # the shared arrays never see a failed attempt
+                                attempts[(phase_idx, granule)] = attempt + 1
+                                if attempt + 1 > self.max_retries:
+                                    errors.append(
+                                        RuntimeError(
+                                            f"granule {granule} of phase "
+                                            f"{phases[phase_idx].name!r} failed "
+                                            f"{attempt + 1} times (max_retries="
+                                            f"{self.max_retries})"
+                                        )
+                                    )
+                                else:
+                                    self.granule_retries += 1
+                                    ready.append((phase_idx, granule))
+                                    if obs is not None:
+                                        obs.bus.publish(
+                                            GranuleRetried(
+                                                now(), phases[phase_idx].name,
+                                                phase_idx, 1, attempt + 1,
+                                            )
+                                        )
+                                work_ready.notify_all()
+                                continue
+                        in_flight_phases[phase_idx] = in_flight_phases.get(phase_idx, 0) + 1
+                        self.max_phases_in_flight = max(
+                            self.max_phases_in_flight, len(in_flight_phases)
                         )
-                    on_complete(phase_idx, granule)
+                        if obs is not None:
+                            t = now()
+                            obs.bus.publish(WorkerBusy(t, resource, "compute"))
+                            obs.bus.publish(
+                                GranuleDispatched(t, resource, phases[phase_idx].name, phase_idx, 1)
+                            )
+                    kernel_start = now() if obs is not None else 0.0
+                    try:
+                        phases[phase_idx].kernel(granule, arrays)
+                    except BaseException as exc:  # propagate to the caller
+                        with work_ready:
+                            errors.append(exc)
+                            work_ready.notify_all()
+                        return
+                    kernels_done += 1
+                    if obs is not None:
+                        obs.spans.add(
+                            f"{phases[phase_idx].name}:{granule}",
+                            resource,
+                            kernel_start,
+                            now(),
+                            "compute",
+                            phase=phases[phase_idx].name,
+                            granule=granule,
+                        )
+                    with work_ready:
+                        in_flight_phases[phase_idx] -= 1
+                        if in_flight_phases[phase_idx] == 0:
+                            del in_flight_phases[phase_idx]
+                        if obs is not None:
+                            obs.bus.publish(
+                                GranuleCompleted(now(), resource, phases[phase_idx].name, phase_idx, 1)
+                            )
+                        on_complete(phase_idx, granule)
+            finally:
+                with work_ready:
+                    alive -= 1
+                    if (
+                        0 < alive == idle_workers
+                        and not ready and not done and not errors and not stop_reason
+                    ):
+                        # this worker's death left only idle peers behind
+                        stop_reason.append("stalled")
+                    work_ready.notify_all()
 
         with work_ready:
             activate(0)
@@ -242,12 +348,47 @@ class ThreadedExecutor:
         ]
         for t in threads:
             t.start()
+        # The main thread supervises rather than blindly joining: it wakes
+        # on completion, error, detected stall, or the death of the last
+        # worker, and enforces the wall-clock bound — a dead or wedged
+        # worker surfaces as an exception instead of a hung join.
+        deadline = (
+            time.monotonic() + self.join_timeout if self.join_timeout is not None else None
+        )
+        with work_ready:
+            while not done and not errors and not stop_reason and alive > 0:
+                timeout = 0.5
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        stop_reason.append("timeout")
+                        work_ready.notify_all()
+                        break
+                    timeout = min(timeout, remaining)
+                work_ready.wait(timeout)
         for t in threads:
-            t.join()
+            t.join(timeout=10.0)
         if errors:
             raise errors[0]
         if not done:
-            raise RuntimeError("threaded execution stalled before completing all phases")
+            with work_ready:
+                incomplete = [
+                    p.name
+                    for i, p in enumerate(phases)
+                    if len(completed[i]) < p.n_granules
+                ]
+                reason = (
+                    stop_reason[0]
+                    if stop_reason
+                    else ("all workers died" if alive <= 0 else "stalled")
+                )
+                queued = len(ready)
+                alive_n = alive
+            raise RuntimeError(
+                f"threaded execution did not complete ({reason}): "
+                f"{alive_n}/{self.n_workers} workers alive, "
+                f"{queued} granules queued, incomplete phases {incomplete}"
+            )
         return arrays
 
 
@@ -257,6 +398,9 @@ def run_fragment_threaded(
     policy: OverlapPolicy = OverlapPolicy.NEXT_PHASE,
     seed: int = 0,
     telemetry: "Telemetry | None" = None,
+    fault_plan: FaultPlan | None = None,
+    max_retries: int = 3,
+    join_timeout: float | None = 120.0,
 ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
     """Execute a paper fragment on threads; returns ``(produced, expected)``.
 
@@ -282,6 +426,13 @@ def run_fragment_threaded(
         m = program.mapping_between(a, b)
         mappings.append(None if serial else m)
     arrays = {k: v.copy() for k, v in inputs.items()}
-    executor = ThreadedExecutor(n_workers=n_workers, policy=policy, telemetry=telemetry)
+    executor = ThreadedExecutor(
+        n_workers=n_workers,
+        policy=policy,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+        max_retries=max_retries,
+        join_timeout=join_timeout,
+    )
     produced = executor.execute(phases, mappings, arrays, maps=maps or None)
     return produced, expected

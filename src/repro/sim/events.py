@@ -38,6 +38,14 @@ class EventKind(enum.Enum):
     PHASE_END = "phase_end"
     #: A serial inter-phase action ran (the paper's "null mapping" cause).
     SERIAL_ACTION = "serial_action"
+    #: A worker processor failed; any in-flight task was lost.
+    PROCESSOR_FAILED = "processor_failed"
+    #: A task's granules were lost with their processor (crash orphaning).
+    TASK_LOST = "task_lost"
+    #: A failed task was requeued for another attempt.
+    TASK_RETRY = "task_retry"
+    #: The barrier watchdog detected a stalled phase.
+    PHASE_STALLED = "phase_stalled"
     #: Free-form annotation.
     NOTE = "note"
 

@@ -36,8 +36,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.obs.events import MgmtActionDone, WorkerBusy, WorkerIdle
-from repro.sim.engine import Simulator
+from repro.obs.events import MgmtActionDone, ProcessorFailed, WorkerBusy, WorkerIdle
+from repro.sim.engine import Event, Simulator
 from repro.sim.events import EventKind
 from repro.sim.trace import Trace
 
@@ -63,6 +63,8 @@ class ProcessorState(enum.Enum):
     IDLE = "idle"
     COMPUTING = "computing"
     MGMT = "mgmt"
+    #: Crashed — never accepts work again; in-flight work was lost.
+    FAILED = "failed"
 
 
 @dataclass
@@ -175,6 +177,10 @@ class Machine:
         self._obs = telemetry
         #: Hook invoked with the processor each time one returns to IDLE.
         self.on_processor_idle: Callable[[Processor], None] | None = None
+        #: Hook invoked when a crash loses a processor's in-flight task.
+        self.on_task_lost: Callable[[Processor], None] | None = None
+        # in-flight task-completion events, so a crash can cancel them
+        self._task_events: dict[int, Event] = {}
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -212,6 +218,18 @@ class Machine:
                 continue
             out.append(p)
         return out
+
+    def live_workers(self) -> list[Processor]:
+        """Workers that have not failed, in index order."""
+        return [p for p in self.processors if p.state is not ProcessorState.FAILED]
+
+    def failed_workers(self) -> list[Processor]:
+        """Workers lost to :meth:`fail_processor`, in index order."""
+        return [p for p in self.processors if p.state is ProcessorState.FAILED]
+
+    def tasks_in_flight(self) -> int:
+        """Computation tasks currently executing on live workers."""
+        return len(self._task_events)
 
     def executive_pending(self) -> int:
         """Queued (not yet started) management jobs across all servers."""
@@ -251,6 +269,7 @@ class Machine:
             self._obs.bus.publish(WorkerBusy(self.sim.now, proc.name, "compute"))
 
         def _finish() -> None:
+            self._task_events.pop(proc.index, None)
             self.trace.end(proc.name, self.sim.now, "compute")
             self.trace.log(self.sim.now, EventKind.TASK_END, proc.name, label=label)
             proc.state = ProcessorState.IDLE
@@ -267,8 +286,49 @@ class Machine:
             if self.on_processor_idle is not None and proc.state is ProcessorState.IDLE:
                 self.on_processor_idle(proc)
 
-        self.sim.schedule_after(duration, _finish, priority=0)
+        self._task_events[proc.index] = self.sim.schedule_after(duration, _finish, priority=0)
         return True
+
+    # ------------------------------------------------------------------ faults
+    def fail_processor(self, proc: Processor) -> None:
+        """Crash ``proc`` at the current time; it never accepts work again.
+
+        An in-flight computation task is lost: its completion event is
+        cancelled and the ``on_task_lost`` hook fires so the executive can
+        account for the orphaned granules (the busy interval up to the
+        crash still counts as compute — the processor genuinely spent it,
+        the work is simply wasted).  Crashing a processor that hosts an
+        executive server is refused: executive failover is out of scope
+        (use DEDICATED placement for crash experiments).
+        """
+        if proc.state is ProcessorState.FAILED:
+            return
+        if self._server_for(proc) is not None:
+            raise ValueError(
+                f"cannot crash {proc.name}: it hosts an executive server "
+                f"(executive failover is not modelled; use DEDICATED placement)"
+            )
+        lost_label = ""
+        if proc.state is ProcessorState.COMPUTING:
+            ev = self._task_events.pop(proc.index, None)
+            if ev is not None:
+                ev.cancel()
+            self.trace.end(proc.name, self.sim.now, "compute")
+            lost_label = proc.current_label
+            self.trace.log(
+                self.sim.now, EventKind.TASK_LOST, proc.name, label=lost_label
+            )
+        self._idle_indices.discard(proc.index)
+        was_computing = proc.state is ProcessorState.COMPUTING
+        proc.state = ProcessorState.FAILED
+        proc.current_label = ""
+        self.trace.log(
+            self.sim.now, EventKind.PROCESSOR_FAILED, proc.name, label=lost_label
+        )
+        if self._obs is not None:
+            self._obs.bus.publish(ProcessorFailed(self.sim.now, proc.name, lost_label))
+        if was_computing and self.on_task_lost is not None:
+            self.on_task_lost(proc)
 
     # ------------------------------------------------------------------ mgmt
     def submit_mgmt(

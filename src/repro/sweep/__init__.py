@@ -29,6 +29,7 @@ from repro.sweep.runner import (
     SweepOutcome,
     SweepReport,
     SweepSpec,
+    SweepWorkerDied,
     build_workload,
     map_configs,
     replication_seed,
@@ -41,6 +42,7 @@ __all__ = [
     "SweepSpec",
     "SweepReport",
     "SweepOutcome",
+    "SweepWorkerDied",
     "run_sweep",
     "run_replication",
     "replication_seed",

@@ -16,16 +16,24 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
 
 __all__ = [
     "SweepSpec",
     "SweepReport",
     "SweepOutcome",
+    "SweepWorkerDied",
     "run_sweep",
     "run_replication",
     "replication_seed",
@@ -298,6 +306,92 @@ class SweepOutcome:
     report: SweepReport
     elapsed_seconds: float
     pool_workers: int
+    resumed: int = 0
+    worker_restarts: int = 0
+
+
+# ---------------------------------------------------------------------- faults
+class SweepWorkerDied(RuntimeError):
+    """Inline-mode stand-in for a killed pool worker (same recovery path)."""
+
+
+def _pool_entry(
+    spec_data: dict[str, Any], replication: int, kill: bool, attempt: int
+) -> dict[str, Any]:
+    """Pool-side wrapper around :func:`run_replication` with kill injection.
+
+    An injected :class:`~repro.faults.SweepWorkerKill` fires on the first
+    attempt only: in a pool child it is a hard ``os._exit`` (the process
+    dies without cleanup, exactly like an OOM kill or a segfault, and the
+    parent sees :class:`BrokenProcessPool`); inline it raises
+    :class:`SweepWorkerDied` so the same resubmission path runs without a
+    pool.  The resubmitted attempt carries ``attempt >= 1`` and completes
+    normally with the same derived seed — which is why a killed-and-
+    recovered sweep stays byte-identical to a fault-free one.
+    """
+    if kill and attempt == 0:
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)
+        raise SweepWorkerDied(f"injected kill of replication {replication}")
+    return run_replication(spec_data, replication)
+
+
+# ---------------------------------------------------------------------- manifest
+_MANIFEST_KIND = "sweep-manifest"
+
+
+def _load_manifest(path: str | Path, spec_data: dict[str, Any]) -> dict[int, dict[str, Any]]:
+    """Completed replication summaries journaled at ``path``.
+
+    Returns ``{}`` when the file does not exist.  Raises when the manifest
+    belongs to a different spec — resuming someone else's sweep would
+    silently mix incompatible results.  A trailing partial line (the
+    previous process died mid-write) is ignored.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    out: dict[int, dict[str, Any]] = {}
+    with path.open("r", encoding="utf-8") as fh:
+        header_seen = False
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail write from a crashed run; everything before it counts
+            if not header_seen:
+                header_seen = True
+                if entry.get("kind") != _MANIFEST_KIND:
+                    raise ValueError(f"{path} is not a sweep manifest")
+                if entry.get("spec") != spec_data:
+                    raise ValueError(
+                        f"manifest {path} was written for a different sweep spec; "
+                        f"refusing to resume (delete it to start over)"
+                    )
+                continue
+            out[int(entry["replication"])] = entry
+    return out
+
+
+def _open_manifest(path: str | Path, spec_data: dict[str, Any], resume: bool) -> IO[str]:
+    """Open the journal for appending; fresh (non-resume) runs rewrite it."""
+    path = Path(path)
+    if resume and path.exists():
+        return path.open("a", encoding="utf-8")
+    fh = path.open("w", encoding="utf-8")
+    fh.write(
+        json.dumps(
+            {"kind": _MANIFEST_KIND, "spec": spec_data},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        + "\n"
+    )
+    fh.flush()
+    return fh
 
 
 # ---------------------------------------------------------------------- driver
@@ -305,6 +399,10 @@ def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     progress: Callable[[int, int], None] | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    manifest_path: str | Path | None = None,
+    resume: bool = False,
+    max_restarts: int = 2,
 ) -> SweepOutcome:
     """Run every replication of ``spec``; ``workers`` host processes.
 
@@ -312,30 +410,113 @@ def run_sweep(
     low-overhead default and as the reference for the byte-identical
     serial-vs-parallel guarantee.  ``progress(done, total)`` is invoked
     after each replication lands.
+
+    Crash safety: a dead pool worker (injected via ``fault_plan``'s
+    :class:`~repro.faults.SweepWorkerKill`, or a real OOM/segfault) breaks
+    the pool; the runner salvages every already-finished future, rebuilds
+    the pool, and resubmits the missing replications with their original
+    derived seeds — up to ``max_restarts`` pool rebuilds.  With
+    ``manifest_path`` set, each completed replication is journaled as one
+    JSON line (flushed immediately); ``resume=True`` loads the journal and
+    skips finished replications, so an interrupted sweep continues where
+    it stopped.  Neither recovery path changes a single byte of the final
+    report relative to a fault-free serial run.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_restarts < 0:
+        raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
     spec_data = spec.to_dict()
-    reps = list(range(spec.replications))
+    kills: set[int] = set()
+    if fault_plan is not None:
+        kills = {k.replication for k in fault_plan.sweep_kills}
+    total = spec.replications
     t0 = time.perf_counter()
-    summaries: list[dict[str, Any] | None] = [None] * len(reps)
-    if workers == 1:
-        for i in reps:
-            summaries[i] = run_replication(spec_data, i)
-            if progress is not None:
-                progress(i + 1, len(reps))
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(run_replication, spec_data, i): i for i in reps}
-            done = 0
-            for fut, i in futures.items():
-                summaries[i] = fut.result()
-                done += 1
-                if progress is not None:
-                    progress(done, len(reps))
+    summaries: dict[int, dict[str, Any]] = {}
+    if manifest_path is not None and resume:
+        summaries.update(_load_manifest(manifest_path, spec_data))
+    manifest = (
+        _open_manifest(manifest_path, spec_data, resume)
+        if manifest_path is not None
+        else None
+    )
+    done_count = len(summaries)
+    resumed = done_count
+    restarts = 0
+
+    def record(i: int, summary: dict[str, Any]) -> None:
+        nonlocal done_count
+        summaries[i] = summary
+        done_count += 1
+        if manifest is not None:
+            manifest.write(json.dumps(summary, sort_keys=True, separators=(",", ":")) + "\n")
+            manifest.flush()
+        if progress is not None:
+            progress(done_count, total)
+
+    try:
+        attempts = {i: 0 for i in range(total)}
+        pending = [i for i in range(total) if i not in summaries]
+        if workers == 1:
+            for i in pending:
+                while True:
+                    try:
+                        summary = _pool_entry(spec_data, i, i in kills, attempts[i])
+                        break
+                    except SweepWorkerDied:
+                        attempts[i] += 1
+                        restarts += 1
+                record(i, summary)
+        else:
+            while pending:
+                futs: dict[Any, int] = {}
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(workers, len(pending))
+                    ) as pool:
+                        futs = {
+                            pool.submit(_pool_entry, spec_data, i, i in kills, attempts[i]): i
+                            for i in pending
+                        }
+                        for fut in as_completed(futs):
+                            record(futs[fut], fut.result())
+                except BrokenProcessPool:
+                    # A dead child takes the whole pool down.  Results that
+                    # finished before the break are still inside their
+                    # futures — salvage them before resubmitting the rest.
+                    for fut, i in futs.items():
+                        if i in summaries or not fut.done():
+                            continue
+                        try:
+                            record(i, fut.result())
+                        except BrokenProcessPool:
+                            pass
+                    restarts += 1
+                    if restarts > max_restarts:
+                        missing = [i for i in range(total) if i not in summaries]
+                        raise RuntimeError(
+                            f"sweep pool died {restarts} times "
+                            f"(max_restarts={max_restarts}); replications "
+                            f"{missing} not completed"
+                        ) from None
+                    for i in range(total):
+                        if i not in summaries:
+                            attempts[i] += 1
+                pending = [i for i in range(total) if i not in summaries]
+    finally:
+        if manifest is not None:
+            manifest.close()
     elapsed = time.perf_counter() - t0
-    report = SweepReport(spec=spec_data, replications=[s for s in summaries if s is not None])
-    return SweepOutcome(report=report, elapsed_seconds=elapsed, pool_workers=workers)
+    report = SweepReport(
+        spec=spec_data, replications=[summaries[i] for i in sorted(summaries)]
+    )
+    return SweepOutcome(
+        report=report,
+        elapsed_seconds=elapsed,
+        pool_workers=workers,
+        resumed=resumed,
+        worker_restarts=restarts,
+    )
 
 
 def map_configs(
