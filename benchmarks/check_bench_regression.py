@@ -1,44 +1,75 @@
-"""Fail CI when a core fast path regresses >2x against the committed baseline.
+"""Fail CI when a gated benchmark regresses >2x against its committed baseline.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BENCH_core.json \
         [benchmarks/BENCH_core.baseline.json]
+    python benchmarks/check_bench_regression.py BENCH_faults.json
+    python benchmarks/check_bench_regression.py BENCH_grid.json
 
-Compares the *throughput* metrics (higher is better) of a fresh
-``BENCH_core.json`` against ``benchmarks/BENCH_core.baseline.json``.  A
-metric fails when it drops below half the baseline value — generous
-enough to ride out shared-runner noise, tight enough to catch an
-accidental re-quadratization of a hot path.
+One checker, three suites — ``core``, ``faults``, ``grid`` — inferred
+from the current report's filename (``BENCH_<suite>.json``); the baseline
+defaults to ``benchmarks/BENCH_<suite>.baseline.json``.  Each suite gates
+its *throughput* metrics (higher is better): a metric fails when it drops
+below half the baseline value — generous enough to ride out shared-runner
+noise, tight enough to catch an accidental re-quadratization of a hot
+path.
 
-Ratio metrics (``speedup_vs_*``) and wall-clock sweep timings are
-reported but not gated: they compare two measurements taken on the same
-run, so they are already noise-normalized where it matters, and sweep
-wall clock depends on how loaded the runner happens to be.
+The ``grid`` suite additionally gates ``shm_transfer.bytes_ratio``: the
+pickled-payload reduction of descriptor shipping over inline arrays is a
+deterministic byte count, so any drop below half the committed ratio
+means the task tuple started carrying O(map size) data again.
+
+Ratio metrics (``speedup_vs_*``, overhead fractions) and wall-clock sweep
+timings are reported by the benches but not gated here: they compare two
+measurements taken on the same run, so they are already noise-normalized
+where it matters, and wall clock depends on how loaded the runner is.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 from pathlib import Path
 
-#: (bench, metric) pairs gated at >2x regression; all are higher-is-better.
-GATED: tuple[tuple[str, str], ...] = (
-    ("enablement_notify", "granules_per_second"),
-    ("composite_build", "groups_per_second"),
-    ("granule_algebra", "union_all_sets_per_second"),
-    ("granule_algebra", "or_ranges_per_second"),
-    ("event_queue", "events_per_second"),
-)
+#: suite -> (bench, metric) pairs gated at >2x regression; higher is better.
+SUITES: dict[str, tuple[tuple[str, str], ...]] = {
+    "core": (
+        ("enablement_notify", "granules_per_second"),
+        ("composite_build", "groups_per_second"),
+        ("granule_algebra", "union_all_sets_per_second"),
+        ("granule_algebra", "or_ranges_per_second"),
+        ("event_queue", "events_per_second"),
+    ),
+    "faults": (
+        ("enablement_notify", "granules_per_second"),
+    ),
+    "grid": (
+        ("composite_rebuild", "groups_per_second"),
+        ("shm_transfer", "bytes_ratio"),
+    ),
+}
 
 MAX_REGRESSION = 2.0
 
 
-def check(current: dict, baseline: dict) -> list[str]:
+def infer_suite(current_path: Path) -> str:
+    """``BENCH_<suite>.json`` -> suite name (default: core)."""
+    m = re.match(r"BENCH_([a-z]+)", current_path.name)
+    suite = m.group(1) if m else "core"
+    if suite not in SUITES:
+        raise SystemExit(
+            f"unknown benchmark suite {suite!r} (from {current_path.name}); "
+            f"expected one of {sorted(SUITES)}"
+        )
+    return suite
+
+
+def check(current: dict, baseline: dict, suite: str = "core") -> list[str]:
     """Return a list of failure messages (empty means the gate passes)."""
     failures: list[str] = []
-    for bench, metric in GATED:
+    for bench, metric in SUITES[suite]:
         try:
             base = float(baseline[bench][metric])
             cur = float(current[bench][metric])
@@ -48,14 +79,14 @@ def check(current: dict, baseline: dict) -> list[str]:
         ratio = base / cur if cur > 0 else float("inf")
         status = "FAIL" if ratio > MAX_REGRESSION else "ok"
         print(
-            f"[{status:>4}] {bench}.{metric}: "
-            f"baseline={base:,.0f}/s current={cur:,.0f}/s "
+            f"[{status:>4}] {suite}:{bench}.{metric}: "
+            f"baseline={base:,.0f} current={cur:,.0f} "
             f"(regression {ratio:.2f}x, limit {MAX_REGRESSION:.1f}x)"
         )
         if ratio > MAX_REGRESSION:
             failures.append(
                 f"{bench}.{metric} regressed {ratio:.2f}x "
-                f"(baseline {base:,.0f}/s -> current {cur:,.0f}/s)"
+                f"(baseline {base:,.0f} -> current {cur:,.0f})"
             )
     return failures
 
@@ -63,8 +94,9 @@ def check(current: dict, baseline: dict) -> list[str]:
 def main(argv: list[str]) -> int:
     here = Path(__file__).resolve().parent
     current_path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_core.json")
+    suite = infer_suite(current_path)
     baseline_path = (
-        Path(argv[2]) if len(argv) > 2 else here / "BENCH_core.baseline.json"
+        Path(argv[2]) if len(argv) > 2 else here / f"BENCH_{suite}.baseline.json"
     )
     current = json.loads(current_path.read_text(encoding="utf-8"))
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -75,13 +107,13 @@ def main(argv: list[str]) -> int:
             f"current quick={current.get('quick')}); throughput gates still apply"
         )
 
-    failures = check(current, baseline)
+    failures = check(current, baseline, suite)
     if failures:
         print(f"\n{len(failures)} benchmark regression(s) vs {baseline_path}:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print(f"\nall gated benchmarks within {MAX_REGRESSION:.1f}x of baseline")
+    print(f"\nall gated {suite} benchmarks within {MAX_REGRESSION:.1f}x of baseline")
     return 0
 
 

@@ -1,0 +1,174 @@
+"""Grid-sweep engine benchmark — determinism gates plus incremental-rebuild
+throughput.
+
+Three sections of ``BENCH_grid.json``:
+
+* ``grid_sweep`` — a small grid executed at pool sizes {1, 2, 4} and once
+  more under an interrupt-and-``--resume`` cycle; every report must be
+  **byte-identical** to the serial reference (hard assertion, the
+  engine's acceptance criterion), with wall-clock cells/second reported
+  for context (not gated — host-dependent).
+* ``composite_rebuild`` — the incremental :meth:`CompositeGranuleMap.
+  rebuild_targets` path the grid engine uses across ``target_fraction``
+  points, measured as groups/second against the cold full build it
+  replaces.  Gated at the repo-wide 2x regression limit via
+  ``BENCH_grid.baseline.json``.
+* ``shm_transfer`` — written by :mod:`benchmarks.test_shm_transfer`.
+
+``BENCH_QUICK=1`` shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.enablement import CompositeGranuleMap
+from repro.core.granule import GranuleSet
+from repro.core.mapping import ReverseIndirectMapping
+from repro.sweep import (
+    GridAxis,
+    GridSpec,
+    SweepSpec,
+    materialize_maps,
+    run_grid,
+)
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: Workload size per cell and rebuild-bench dimensions.
+N = 64 if QUICK else 256
+REBUILD_N = 20_000 if QUICK else 100_000
+GROUP_SIZE = 8
+POOL_SIZES = (1, 2, 4)
+
+
+def _grid() -> GridSpec:
+    base = SweepSpec(
+        "reverse-indirect",
+        replications=2,
+        seed=7,
+        sim_workers=4,
+        params={"n": N, "fan_in": 2},
+    )
+    return GridSpec(
+        base=base,
+        axes=(
+            GridAxis("sim_workers", (2, 4)),
+            GridAxis("overlap", (True, False)),
+        ),
+    )
+
+
+def bench_grid_sweep(tmp_dir: Path) -> dict:
+    grid = _grid()
+    maps = materialize_maps(grid)
+    timings: dict[str, float] = {}
+    reports: dict[str, str] = {}
+    for workers in POOL_SIZES:
+        t0 = time.perf_counter()
+        outcome = run_grid(grid, workers=workers, shared_maps=maps)
+        timings[str(workers)] = time.perf_counter() - t0
+        reports[str(workers)] = outcome.report.to_json()
+
+    reference = reports["1"]
+    for workers, text in reports.items():
+        assert text == reference, f"pool size {workers} changed the report bytes"
+
+    # interrupt-and-resume: journal a full run, drop the tail, resume
+    manifest = tmp_dir / "grid-bench.jsonl"
+    run_grid(grid, workers=1, shared_maps=maps, manifest_path=manifest)
+    lines = manifest.read_text().splitlines(keepends=True)
+    manifest.write_text("".join(lines[: 1 + grid.n_cells // 2]))
+    resumed = run_grid(
+        grid, workers=1, shared_maps=maps, manifest_path=manifest, resume=True
+    )
+    assert resumed.report.to_json() == reference, "resume changed the report bytes"
+    assert resumed.resumed == grid.n_cells // 2
+
+    return {
+        "cells": grid.n_cells,
+        "byte_identical_pool_sizes": list(POOL_SIZES),
+        "byte_identical_resume": True,
+        "resumed_cells": resumed.resumed,
+        "seconds_by_pool_size": timings,
+        "cells_per_second_serial": grid.n_cells / timings["1"],
+    }
+
+
+def bench_composite_rebuild() -> dict:
+    """Incremental suffix rebuild vs the cold build it replaces."""
+    n = REBUILD_N
+    mapping = ReverseIndirectMapping("IMAP", fan_in=2)
+    maps = {"IMAP": np.random.default_rng(3).integers(0, n, size=(2, n))}
+    full = CompositeGranuleMap.build(mapping, n, n, maps, group_size=GROUP_SIZE)
+
+    fractions = (0.25, 0.5, 0.75, 1.0)
+    targets = [GranuleSet.universe(n).take(max(1, int(n * f)))[0] for f in fractions]
+
+    t0 = time.perf_counter()
+    rebuilt_groups = 0
+    total_groups = 0
+    for target in targets:
+        out = full.rebuild_targets(target)
+        rebuilt_groups += out.rebuilt_groups
+        total_groups += out.n_groups
+    incremental_seconds = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    for target in targets:
+        CompositeGranuleMap.build(
+            mapping, n, n, maps, group_size=GROUP_SIZE, target=target
+        )
+    cold_seconds = time.perf_counter() - t1
+
+    return {
+        "n": n,
+        "group_size": GROUP_SIZE,
+        "target_fractions": list(fractions),
+        "groups_total": total_groups,
+        "groups_recomputed": rebuilt_groups,
+        "incremental_seconds": incremental_seconds,
+        "cold_seconds": cold_seconds,
+        "speedup_vs_cold": cold_seconds / incremental_seconds
+        if incremental_seconds > 0
+        else 0.0,
+        "groups_per_second": total_groups / incremental_seconds
+        if incremental_seconds > 0
+        else 0.0,
+    }
+
+
+def write_report(sections: dict, path: str | Path = "BENCH_grid.json") -> None:
+    """Merge sections into the shared grid bench report."""
+    path = Path(path)
+    report = json.loads(path.read_text(encoding="utf-8")) if path.exists() else {}
+    report["quick"] = QUICK
+    report.update(sections)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def test_grid_sweep(tmp_path):
+    sweep = bench_grid_sweep(tmp_path)
+    rebuild = bench_composite_rebuild()
+    write_report({"grid_sweep": sweep, "composite_rebuild": rebuild})
+    # prefix targets share their whole aligned prefix with the full build;
+    # the incremental path must recompute only ragged boundary groups
+    assert rebuild["groups_recomputed"] <= len(rebuild["target_fractions"])
+    print(json.dumps({"grid_sweep": sweep, "composite_rebuild": rebuild}, indent=2))
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        out = {
+            "grid_sweep": bench_grid_sweep(Path(d)),
+            "composite_rebuild": bench_composite_rebuild(),
+        }
+    write_report(out)
+    print(json.dumps(out, indent=2, sort_keys=True))

@@ -80,10 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep", help="run a replication fan of a workload across host processes"
     )
-    p_sweep.add_argument(
-        "workload",
-        choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
-    )
+    p_sweep.add_argument("workload", choices=_workload_choices())
     p_sweep.add_argument("--replications", type=int, default=4, help="independent runs")
     p_sweep.add_argument("--seed", type=int, default=0, help="sweep-level master seed")
     p_sweep.add_argument(
@@ -104,6 +101,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME=VALUE",
         help="workload factory argument (repeatable; value parsed as JSON when possible)",
+    )
+    grid = p_sweep.add_argument_group("parameter grids")
+    grid.add_argument(
+        "--grid",
+        dest="grid_axes",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        help="sweep AXIS over the listed values (repeatable; the grid is the "
+        "cartesian product of all --grid axes, each point replicated "
+        "--replications times).  Axes: sweep fields (sim_workers, streams, "
+        "tasks_per_processor, barrier, workload), control strategy (overlap, "
+        "split, target_fraction, group_size, elevate), faults (fault_seed, "
+        "transient_p), or any workload parameter",
+    )
+    grid.add_argument(
+        "--share-maps",
+        action="store_true",
+        help="materialize the workload's selection maps once and share them "
+        "with every grid cell through shared memory (zero-copy data plane; "
+        "pool workers receive O(1)-size descriptors instead of the arrays)",
     )
     p_sweep.add_argument("-o", "--output", metavar="FILE", help="write the JSON report")
     p_sweep.add_argument(
@@ -201,7 +219,7 @@ def _add_run_options(parser: argparse.ArgumentParser, workload_optional: bool = 
     parser.add_argument(
         "workload",
         nargs="?" if workload_optional else None,
-        choices=["casper", "checkerboard", "navier-stokes", "particles", "identity", "universal"],
+        choices=_workload_choices(),
     )
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument("--barrier", action="store_true", help="strict phase barriers")
@@ -236,6 +254,12 @@ def _add_run_options(parser: argparse.ArgumentParser, workload_optional: bool = 
     fault.add_argument(
         "--fault-seed", type=int, default=0, help="seed for deterministic fault draws"
     )
+
+
+def _workload_choices() -> list[str]:
+    from repro.sweep.runner import workload_names
+
+    return workload_names()
 
 
 def _workload(name: str):
@@ -416,13 +440,18 @@ def _cmd_stats(args, out) -> int:
 
 
 def _cmd_stats_sweep(args, out) -> int:
-    """Aggregate a saved sweep report into a labelled metrics snapshot."""
+    """Aggregate a saved sweep (or grid) report into a labelled snapshot."""
+    import json as _json
+
     from repro.obs import MetricsRegistry, record_sweep_metrics, render_snapshot
     from repro.sweep import SweepReport
 
     try:
         with open(args.sweep, "r", encoding="utf-8") as fh:
-            report = SweepReport.from_json(fh.read())
+            text = fh.read()
+        if "cells" in _json.loads(text):
+            return _cmd_stats_grid(text, out)
+        report = SweepReport.from_json(text)
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -443,6 +472,37 @@ def _cmd_stats_sweep(args, out) -> int:
     )
     registry = MetricsRegistry()
     record_sweep_metrics(report, registry)
+    print("\nmetrics snapshot", file=out)
+    print(render_snapshot(registry.snapshot()), file=out)
+    return 0
+
+
+def _cmd_stats_grid(text: str, out) -> int:
+    """Aggregate a saved grid report: per-point table + axis-labelled snapshot."""
+    from repro.obs import MetricsRegistry, record_grid_metrics, render_snapshot
+    from repro.sweep import GridReport
+
+    try:
+        report = GridReport.from_json(text)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    base = report.spec.get("base", {})
+    print(
+        f"grid         : {base.get('workload')} — "
+        f"{len(report.points())} points, {len(report.cells)} cells",
+        file=out,
+    )
+    print("\nper-point aggregates", file=out)
+    for agg in report.aggregate_by_point():
+        point = " ".join(f"{k}={v}" for k, v in agg["point"].items())
+        print(
+            f"  {point:<44} util {agg['utilization_mean']:7.1%}"
+            f"  makespan {agg['makespan_mean']:9.2f}",
+            file=out,
+        )
+    registry = MetricsRegistry()
+    record_grid_metrics(report, registry)
     print("\nmetrics snapshot", file=out)
     print(render_snapshot(registry.snapshot()), file=out)
     return 0
@@ -478,6 +538,14 @@ def _cmd_sweep(args, out) -> int:
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.resume and not args.manifest:
+        print("error: --resume requires --manifest", file=sys.stderr)
+        return 2
+    if args.grid_axes:
+        return _cmd_sweep_grid(args, spec, out)
+    if args.share_maps:
+        print("error: --share-maps requires --grid", file=sys.stderr)
+        return 2
     fault_plan = None
     if args.kill_replications:
         from repro.faults import FaultPlan, SweepWorkerKill
@@ -486,9 +554,6 @@ def _cmd_sweep(args, out) -> int:
             seed=args.fault_seed,
             faults=tuple(SweepWorkerKill(r) for r in args.kill_replications),
         )
-    if args.resume and not args.manifest:
-        print("error: --resume requires --manifest", file=sys.stderr)
-        return 2
     try:
         outcome = run_sweep(
             spec,
@@ -519,6 +584,72 @@ def _cmd_sweep(args, out) -> int:
     print(f"elapsed      : {outcome.elapsed_seconds:.2f}s host wall-clock", file=out)
     if outcome.resumed:
         print(f"resumed      : {outcome.resumed} replications from manifest", file=out)
+    if outcome.worker_restarts:
+        print(f"restarts     : {outcome.worker_restarts} after worker death", file=out)
+    if args.manifest:
+        print(f"manifest     : {args.manifest}", file=out)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(outcome.report.to_json())
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"saved report to {args.output}", file=out)
+    return 0
+
+
+def _cmd_sweep_grid(args, spec, out) -> int:
+    """``repro sweep --grid AXIS=v1,v2``: the parameter-grid engine."""
+    from repro.sweep import GridSpec, materialize_maps, parse_axis, run_grid
+
+    try:
+        axes = tuple(parse_axis(token) for token in args.grid_axes)
+        grid = GridSpec(base=spec, axes=axes)
+        shared = materialize_maps(grid) if args.share_maps else None
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.share_maps and not shared:
+        print("note: workload declares no selection maps; nothing to share", file=out)
+    try:
+        outcome = run_grid(
+            grid,
+            workers=args.workers,
+            shared_maps=shared,
+            manifest_path=args.manifest,
+            resume=args.resume,
+            max_restarts=args.max_restarts,
+            kill_cells=args.kill_replications,
+        )
+    except (RuntimeError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"workload     : {spec.workload}", file=out)
+    print(
+        f"grid         : {grid.n_points} points x {spec.replications} replications"
+        f" = {grid.n_cells} cells across {outcome.pool_workers} host "
+        f"process{'es' if outcome.pool_workers != 1 else ''}",
+        file=out,
+    )
+    for axis in axes:
+        print(f"  axis {axis.name:<18}: {list(axis.values)}", file=out)
+    print("\nper-point aggregates", file=out)
+    for agg in outcome.report.aggregate_by_point():
+        point = " ".join(f"{k}={v}" for k, v in agg["point"].items())
+        print(
+            f"  {point:<44} util {agg['utilization_mean']:7.1%}"
+            f"  makespan {agg['makespan_mean']:9.2f}",
+            file=out,
+        )
+    print(f"\nelapsed      : {outcome.elapsed_seconds:.2f}s host wall-clock", file=out)
+    if outcome.shared_map_bytes:
+        print(
+            f"shared maps  : {outcome.shared_map_bytes} bytes in shared memory",
+            file=out,
+        )
+    if outcome.resumed:
+        print(f"resumed      : {outcome.resumed} cells from manifest", file=out)
     if outcome.worker_restarts:
         print(f"restarts     : {outcome.worker_restarts} after worker death", file=out)
     if args.manifest:

@@ -35,7 +35,13 @@ from repro.core.mapping import (
 )
 from repro.core.predicate import ParallelPredicate, AccessConflictPredicate, overlap_is_safe
 from repro.core.classifier import classify_pair, classify_program, MappingCensus
-from repro.core.enablement import CompositeGranuleMap, EnablementCounter, EnablementEngine
+from repro.core.enablement import (
+    CompositeGranuleMap,
+    CompositeMapCache,
+    EnablementCounter,
+    EnablementEngine,
+    maps_fingerprint,
+)
 from repro.core.overlap import OverlapPolicy, SplitStrategy, OverlapConfig
 
 __all__ = [
@@ -65,8 +71,10 @@ __all__ = [
     "classify_program",
     "MappingCensus",
     "CompositeGranuleMap",
+    "CompositeMapCache",
     "EnablementCounter",
     "EnablementEngine",
+    "maps_fingerprint",
     "OverlapPolicy",
     "SplitStrategy",
     "OverlapConfig",

@@ -27,6 +27,7 @@ during completion processing.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -35,7 +36,38 @@ import numpy as np
 from repro.core.granule import GranuleSet
 from repro.core.mapping import EnablementMapping
 
-__all__ = ["EnablementCounter", "CompositeGroup", "CompositeGranuleMap", "EnablementEngine"]
+__all__ = [
+    "EnablementCounter",
+    "CompositeGroup",
+    "CompositeGranuleMap",
+    "CompositeMapCache",
+    "EnablementEngine",
+    "maps_fingerprint",
+]
+
+
+def maps_fingerprint(maps: Mapping[str, np.ndarray] | None):
+    """A stable, cheap identity key for a set of concrete selection maps.
+
+    Two map collections with the same fingerprint hold element-identical
+    arrays, so composite-map work keyed on the fingerprint can be reused
+    across runs (see :class:`CompositeMapCache`).  Stores that already
+    know their identity (e.g. :class:`repro.sweep.shm.SharedMapStore`
+    attachments, whose arrays are immutable shared segments) expose a
+    ``fingerprint()`` method and skip the content hash entirely.
+    """
+    if maps is None:
+        return None
+    fp = getattr(maps, "fingerprint", None)
+    if callable(fp):
+        return fp()
+    items = []
+    for name in sorted(maps):
+        arr = np.asarray(maps[name])
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        items.append((name, arr.shape, str(arr.dtype), zlib.crc32(arr)))
+    return tuple(items)
 
 
 class EnablementCounter:
@@ -111,6 +143,26 @@ class CompositeGranuleMap:
             covered = covered | g.successors
         self.groups = list(groups)
         self.covered = covered
+        # build provenance, set by build(); None for hand-assembled maps
+        self._build_args: tuple | None = None
+        #: groups recomputed by the last build (== len(groups) for a cold
+        #: build; the rebuild win is visible as reused = total - rebuilt)
+        self.rebuilt_groups: int = len(groups)
+
+    @staticmethod
+    def _chunk(space: GranuleSet, group_size: int) -> list[GranuleSet]:
+        """Partition a successor space into subset groups of ``group_size``.
+
+        Deterministic front-to-back chunking: two spaces that agree on a
+        granule prefix produce identical leading chunks, which is what
+        makes the target-only rebuild reuse effective.
+        """
+        subsets: list[GranuleSet] = []
+        rest = space
+        while rest:
+            head, rest = rest.take(group_size)
+            subsets.append(head)
+        return subsets
 
     @classmethod
     def build(
@@ -121,6 +173,7 @@ class CompositeGranuleMap:
         maps: Mapping[str, np.ndarray] | None = None,
         group_size: int = 1,
         target: GranuleSet | None = None,
+        reuse: "CompositeGranuleMap | None" = None,
     ) -> "CompositeGranuleMap":
         """Build the composite map via the mapping's reverse direction.
 
@@ -129,22 +182,56 @@ class CompositeGranuleMap:
         build and check).  ``target`` restricts generation to a subset of
         the successor space — the paper's "subset group … to avoid
         solving an unnecessarily large enablement problem".
+
+        ``reuse`` is a previously built map for the *same* ``(mapping,
+        n_pred, n_succ, maps, group_size)``: any subset group whose
+        successor set already appears there keeps its computed requirement
+        and only the remainder goes through ``required_for_many`` — the
+        incremental path behind :meth:`rebuild_targets`.  The caller is
+        responsible for the sameness precondition (:class:`CompositeMapCache`
+        enforces it with :func:`maps_fingerprint`).
         """
         if group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {group_size}")
         space = target if target is not None else GranuleSet.universe(n_succ)
-        subsets: list[GranuleSet] = []
-        rest = space
-        while rest:
-            head, rest = rest.take(group_size)
-            subsets.append(head)
+        subsets = cls._chunk(space, group_size)
+        cached: dict[GranuleSet, GranuleSet] = {}
+        if reuse is not None:
+            cached = {g.successors: g.required for g in reuse.groups}
+        missing = [s for s in subsets if s not in cached]
         # one bulk reverse-mapping pass instead of a required_for call
         # (with its per-call map validation) per subset group
-        requireds = mapping.required_for_many(subsets, n_pred, n_succ, maps)
+        requireds = dict(
+            zip(missing, mapping.required_for_many(missing, n_pred, n_succ, maps))
+        )
         groups = [
-            CompositeGroup(successors=s, required=r) for s, r in zip(subsets, requireds)
+            CompositeGroup(successors=s, required=cached[s] if s in cached else requireds[s])
+            for s in subsets
         ]
-        return cls(groups)
+        out = cls(groups)
+        out._build_args = (mapping, n_pred, n_succ, maps, group_size)
+        out.rebuilt_groups = len(missing)
+        return out
+
+    def rebuild_targets(self, target: GranuleSet | None) -> "CompositeGranuleMap":
+        """Rebuild this map for a different successor ``target`` set.
+
+        Adjacent parameter-grid points often differ *only* in the targeted
+        successor subset (the ``target_fraction`` axis): the mapping, the
+        concrete selection maps and the group size are all unchanged, so
+        every subset group shared between the old and new partition keeps
+        its requirement and only the target-dependent suffix is recomputed.
+        Only available on maps produced by :meth:`build` (hand-assembled
+        maps carry no provenance to rebuild from).
+        """
+        if self._build_args is None:
+            raise ValueError(
+                "rebuild_targets needs a map produced by CompositeGranuleMap.build"
+            )
+        mapping, n_pred, n_succ, maps, group_size = self._build_args
+        return CompositeGranuleMap.build(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target, reuse=self
+        )
 
     @property
     def n_groups(self) -> int:
@@ -171,6 +258,61 @@ class CompositeGranuleMap:
         return GranuleSet.union_all(g.required for g in self.groups)
 
 
+class CompositeMapCache:
+    """Process-local memo of built composite maps, keyed by link identity.
+
+    A parameter-grid sweep runs many executive simulations in the same
+    worker process; adjacent grid points frequently share the mapping, the
+    concrete selection maps and the group size and differ only in the
+    targeted successor subset (the ``target_fraction`` axis).  This cache
+    recognizes that case — identity is ``(mapping repr, n_pred, n_succ,
+    group_size,`` :func:`maps_fingerprint` ``)`` — and answers it with
+    :meth:`CompositeGranuleMap.rebuild_targets`, recomputing only the
+    target-dependent suffix instead of the whole table.
+
+    The cache never changes results: a hit rebuilds through the same
+    ``required_for_many`` reverse mapping a cold build would run, group by
+    group, so the produced map is element-identical (the Hypothesis
+    differential tests pin this).  ``hits`` / ``misses`` /
+    ``groups_reused`` expose the win for telemetry and benchmarks.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: dict[tuple, CompositeGranuleMap] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.groups_reused = 0
+
+    def build(
+        self,
+        mapping: EnablementMapping,
+        n_pred: int,
+        n_succ: int,
+        maps: Mapping[str, np.ndarray] | None = None,
+        group_size: int = 1,
+        target: GranuleSet | None = None,
+    ) -> CompositeGranuleMap:
+        """Drop-in for :meth:`CompositeGranuleMap.build` with reuse."""
+        key = (repr(mapping), n_pred, n_succ, group_size, maps_fingerprint(maps))
+        prev = self._entries.get(key)
+        if prev is not None:
+            out = prev.rebuild_targets(target)
+            self.hits += 1
+            self.groups_reused += len(out.groups) - out.rebuilt_groups
+        else:
+            out = CompositeGranuleMap.build(
+                mapping, n_pred, n_succ, maps, group_size=group_size, target=target
+            )
+            self.misses += 1
+            while len(self._entries) >= self._max_entries:
+                self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = out
+        return out
+
+
 class EnablementEngine:
     """Per-link enablement tracker driven by completion processing.
 
@@ -195,6 +337,7 @@ class EnablementEngine:
         group_size: int = 1,
         target: GranuleSet | None = None,
         indexed: bool = True,
+        composite_cache: CompositeMapCache | None = None,
     ) -> None:
         self.mapping = mapping
         self.n_pred = n_pred
@@ -216,7 +359,8 @@ class EnablementEngine:
         self._index_gids: np.ndarray | None = None
 
         if mapping.kind.indirect:
-            self.composite = CompositeGranuleMap.build(
+            build = composite_cache.build if composite_cache is not None else CompositeGranuleMap.build
+            self.composite = build(
                 mapping, n_pred, n_succ, maps, group_size=group_size, target=target
             )
             for g in self.composite.groups:

@@ -56,6 +56,7 @@ from repro.obs.spans import (
 from repro.obs.telemetry import (
     Telemetry,
     install_default_metrics,
+    record_grid_metrics,
     record_rundown_metrics,
     record_sweep_metrics,
 )
@@ -94,4 +95,5 @@ __all__ = [
     "install_default_metrics",
     "record_rundown_metrics",
     "record_sweep_metrics",
+    "record_grid_metrics",
 ]

@@ -39,6 +39,7 @@ from repro.obs.spans import SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scheduler imports obs)
     from repro.executive.scheduler import RunResult
+    from repro.sweep.grid import GridReport
     from repro.sweep.runner import SweepReport
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "install_default_metrics",
     "record_rundown_metrics",
     "record_sweep_metrics",
+    "record_grid_metrics",
 ]
 
 
@@ -249,3 +251,37 @@ def record_sweep_metrics(report: "SweepReport", registry: MetricsRegistry) -> No
         )
         for s in rep["streams"]:
             wall.set(s["wall_clock"], replication=r, stream=str(s["stream"]))
+
+
+def record_grid_metrics(report: "GridReport", registry: MetricsRegistry) -> None:
+    """Load a grid report into ``registry`` with per-axis labels.
+
+    The grid analogue of :func:`record_sweep_metrics`: every series
+    carries one label *per grid axis* (``sim_workers="4"``,
+    ``overlap="True"``, …) plus ``replication``, so snapshot consumers
+    can slice results along any swept dimension without re-parsing the
+    report.  Gauges throughout — re-recording is idempotent.
+
+    * ``grid.utilization{axes..., replication}`` / ``grid.makespan{...}``
+      — per-cell headline results;
+    * ``grid.tasks{...}`` / ``grid.granules{...}`` — work executed;
+    * ``grid.mgmt_seconds{...}`` — executive overhead per cell;
+    * ``grid.overlaps_admitted{...}`` — admitted phase overlaps.
+    """
+    util = registry.gauge("grid.utilization", "per-cell worker utilization")
+    span = registry.gauge("grid.makespan", "per-cell simulation finish time")
+    tasks = registry.gauge("grid.tasks", "per-cell task count")
+    granules = registry.gauge("grid.granules", "per-cell granule count")
+    mgmt = registry.gauge("grid.mgmt_seconds", "per-cell executive busy time")
+    admitted = registry.gauge(
+        "grid.overlaps_admitted", "per-cell admitted phase overlaps"
+    )
+    for cell in report.cells:
+        labels = {k: str(v) for k, v in cell["point"].items()}
+        labels["replication"] = str(cell["replication"])
+        util.set(cell["utilization"], **labels)
+        span.set(cell["makespan"], **labels)
+        tasks.set(cell["tasks_executed"], **labels)
+        granules.set(cell["granules_executed"], **labels)
+        mgmt.set(cell["mgmt_time"], **labels)
+        admitted.set(sum(1 for a in cell["admissions"] if a["admitted"]), **labels)

@@ -17,6 +17,11 @@ Entry points
 :func:`run_sweep`
     Execute a :class:`SweepSpec`; returns the :class:`SweepOutcome`
     (canonical report + host-timing facts kept out of the report).
+:func:`run_grid`
+    Execute a :class:`GridSpec` — a cartesian product (or explicit list)
+    of parameter points, each replicated — with the same determinism,
+    crash-salvage, and resume guarantees, optionally over the
+    :class:`SharedMapStore` zero-copy map plane.
 :func:`map_configs`
     Order-preserving parallel map for figure drivers and ad-hoc sweeps.
 ``repro sweep``
@@ -25,6 +30,18 @@ Entry points
 See docs/PERFORMANCE.md for usage and the scaling benchmark.
 """
 
+from repro.sweep.grid import (
+    GridAxis,
+    GridOutcome,
+    GridReport,
+    GridSpec,
+    grid_cell_seed,
+    grid_point_seed,
+    materialize_maps,
+    parse_axis,
+    run_grid,
+    run_grid_cell,
+)
 from repro.sweep.runner import (
     SweepOutcome,
     SweepReport,
@@ -33,10 +50,13 @@ from repro.sweep.runner import (
     build_workload,
     map_configs,
     replication_seed,
+    result_summary,
+    run_pool_tasks,
     run_replication,
     run_sweep,
     workload_names,
 )
+from repro.sweep.shm import SharedMapStore
 
 __all__ = [
     "SweepSpec",
@@ -45,8 +65,21 @@ __all__ = [
     "SweepWorkerDied",
     "run_sweep",
     "run_replication",
+    "run_pool_tasks",
     "replication_seed",
+    "result_summary",
     "map_configs",
     "build_workload",
     "workload_names",
+    "GridAxis",
+    "GridSpec",
+    "GridReport",
+    "GridOutcome",
+    "run_grid",
+    "run_grid_cell",
+    "grid_point_seed",
+    "grid_cell_seed",
+    "materialize_maps",
+    "parse_axis",
+    "SharedMapStore",
 ]

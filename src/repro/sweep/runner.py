@@ -36,6 +36,7 @@ __all__ = [
     "SweepWorkerDied",
     "run_sweep",
     "run_replication",
+    "run_pool_tasks",
     "replication_seed",
     "map_configs",
     "workload_names",
@@ -84,6 +85,28 @@ def _build_synthetic(kind: str, params: dict[str, Any]):
     )
 
 
+def _build_reverse_indirect(params: dict[str, Any]):
+    """Two-phase reverse-indirect workload: ``B(I) += A(IMAP(J, I))``.
+
+    The grid/shm studies need an indirect-map workload whose concrete map
+    can be arbitrarily large (``n``) — this is the paper's reverse-indirect
+    shape with a uniform random ``IMAP`` drawn from the run's map RNG
+    (or overridden by a shared map store in grid sweeps).
+    """
+    from repro.core.mapping import ReverseIndirectMapping
+    from repro.core.phase import PhaseProgram, PhaseSpec
+
+    n = int(params.get("n", 100))
+    fan_in = int(params.get("fan_in", 2))
+    mapping = ReverseIndirectMapping("IMAP", fan_in=fan_in)
+    generators = {"IMAP": lambda rng: rng.integers(0, n, size=(fan_in, n))}
+    return PhaseProgram.chain(
+        [PhaseSpec("scatter", n), PhaseSpec("gather", n)],
+        [mapping],
+        map_generators=generators,
+    )
+
+
 _WORKLOADS: dict[str, Callable[[dict[str, Any]], Any]] = {
     "casper": _build_casper,
     "checkerboard": _build_checkerboard,
@@ -91,6 +114,7 @@ _WORKLOADS: dict[str, Callable[[dict[str, Any]], Any]] = {
     "particles": _build_particles,
     "identity": lambda p: _build_synthetic("identity", p),
     "universal": lambda p: _build_synthetic("universal", p),
+    "reverse-indirect": _build_reverse_indirect,
 }
 
 
@@ -216,9 +240,12 @@ def run_replication(spec_data: dict[str, Any], replication: int) -> dict[str, An
         sizer=TaskSizer(spec.tasks_per_processor),
         seed=seed,
     )
+    return {"replication": replication, "seed": seed, **result_summary(result)}
+
+
+def result_summary(result) -> dict[str, Any]:
+    """The JSON-able per-run summary shared by replication and grid cells."""
     return {
-        "replication": replication,
-        "seed": seed,
         "makespan": result.makespan,
         "utilization": result.utilization,
         "compute_time": result.compute_time,
@@ -340,13 +367,19 @@ def _pool_entry(
 _MANIFEST_KIND = "sweep-manifest"
 
 
-def _load_manifest(path: str | Path, spec_data: dict[str, Any]) -> dict[int, dict[str, Any]]:
-    """Completed replication summaries journaled at ``path``.
+def _load_manifest(
+    path: str | Path,
+    spec_data: dict[str, Any],
+    kind: str = _MANIFEST_KIND,
+    key: str = "replication",
+) -> dict[int, dict[str, Any]]:
+    """Completed task summaries journaled at ``path``, keyed by ``key``.
 
     Returns ``{}`` when the file does not exist.  Raises when the manifest
     belongs to a different spec — resuming someone else's sweep would
     silently mix incompatible results.  A trailing partial line (the
-    previous process died mid-write) is ignored.
+    previous process died mid-write) is ignored.  The grid engine reuses
+    this with its own ``kind`` / ``key`` (cell-indexed entries).
     """
     path = Path(path)
     if not path.exists():
@@ -364,19 +397,24 @@ def _load_manifest(path: str | Path, spec_data: dict[str, Any]) -> dict[int, dic
                 break  # torn tail write from a crashed run; everything before it counts
             if not header_seen:
                 header_seen = True
-                if entry.get("kind") != _MANIFEST_KIND:
-                    raise ValueError(f"{path} is not a sweep manifest")
+                if entry.get("kind") != kind:
+                    raise ValueError(f"{path} is not a {kind}")
                 if entry.get("spec") != spec_data:
                     raise ValueError(
                         f"manifest {path} was written for a different sweep spec; "
                         f"refusing to resume (delete it to start over)"
                     )
                 continue
-            out[int(entry["replication"])] = entry
+            out[int(entry[key])] = entry
     return out
 
 
-def _open_manifest(path: str | Path, spec_data: dict[str, Any], resume: bool) -> IO[str]:
+def _open_manifest(
+    path: str | Path,
+    spec_data: dict[str, Any],
+    resume: bool,
+    kind: str = _MANIFEST_KIND,
+) -> IO[str]:
     """Open the journal for appending; fresh (non-resume) runs rewrite it."""
     path = Path(path)
     if resume and path.exists():
@@ -384,7 +422,7 @@ def _open_manifest(path: str | Path, spec_data: dict[str, Any], resume: bool) ->
     fh = path.open("w", encoding="utf-8")
     fh.write(
         json.dumps(
-            {"kind": _MANIFEST_KIND, "spec": spec_data},
+            {"kind": kind, "spec": spec_data},
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -392,6 +430,91 @@ def _open_manifest(path: str | Path, spec_data: dict[str, Any], resume: bool) ->
     )
     fh.flush()
     return fh
+
+
+# ---------------------------------------------------------------------- pool driver
+def run_pool_tasks(
+    keys: Sequence[Any],
+    call: Callable[[Any, int], tuple[Callable[..., Any], tuple[Any, ...]]],
+    record: Callable[[Any, Any], None],
+    workers: int = 1,
+    max_restarts: int = 2,
+    what: str = "task",
+) -> int:
+    """Run every task in ``keys`` with crash-salvage; returns pool restarts.
+
+    The one pool-management loop both the replication fan and the grid
+    engine run on.  ``call(key, attempt)`` returns the ``(module-level
+    function, picklable args)`` pair to execute for ``key``; ``record(key,
+    result)`` is invoked exactly once per key, in completion order.
+
+    ``workers=1`` runs inline — no pool, no fork — which doubles as the
+    reference execution for the byte-identical-report guarantee.  With a
+    pool, a dead child (injected kill, real OOM/segfault) breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor`; this driver salvages
+    every future that finished before the break, rebuilds the pool, and
+    resubmits the missing keys with ``attempt`` incremented — up to
+    ``max_restarts`` rebuilds.  Inline kills surface as
+    :class:`SweepWorkerDied` and retry through the same accounting, so
+    both modes recover identically.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_restarts < 0:
+        raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+    attempts = {k: 0 for k in keys}
+    done: set[Any] = set()
+    restarts = 0
+
+    def note(key: Any, result: Any) -> None:
+        done.add(key)
+        record(key, result)
+
+    pending = [k for k in keys if k not in done]
+    if workers == 1:
+        for key in pending:
+            while True:
+                try:
+                    fn, args = call(key, attempts[key])
+                    note(key, fn(*args))
+                    break
+                except SweepWorkerDied:
+                    attempts[key] += 1
+                    restarts += 1
+        return restarts
+    while pending:
+        futs: dict[Any, Any] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                for key in pending:
+                    fn, args = call(key, attempts[key])
+                    futs[pool.submit(fn, *args)] = key
+                for fut in as_completed(futs):
+                    note(futs[fut], fut.result())
+        except BrokenProcessPool:
+            # A dead child takes the whole pool down.  Results that
+            # finished before the break are still inside their futures —
+            # salvage them before resubmitting the rest.
+            for fut, key in futs.items():
+                if key in done or not fut.done():
+                    continue
+                try:
+                    note(key, fut.result())
+                except BrokenProcessPool:
+                    pass
+            restarts += 1
+            if restarts > max_restarts:
+                missing = [k for k in keys if k not in done]
+                raise RuntimeError(
+                    f"{what} pool died {restarts} times "
+                    f"(max_restarts={max_restarts}); {what}s "
+                    f"{missing} not completed"
+                ) from None
+            for key in keys:
+                if key not in done:
+                    attempts[key] += 1
+        pending = [k for k in keys if k not in done]
+    return restarts
 
 
 # ---------------------------------------------------------------------- driver
@@ -455,54 +578,14 @@ def run_sweep(
             progress(done_count, total)
 
     try:
-        attempts = {i: 0 for i in range(total)}
-        pending = [i for i in range(total) if i not in summaries]
-        if workers == 1:
-            for i in pending:
-                while True:
-                    try:
-                        summary = _pool_entry(spec_data, i, i in kills, attempts[i])
-                        break
-                    except SweepWorkerDied:
-                        attempts[i] += 1
-                        restarts += 1
-                record(i, summary)
-        else:
-            while pending:
-                futs: dict[Any, int] = {}
-                try:
-                    with ProcessPoolExecutor(
-                        max_workers=min(workers, len(pending))
-                    ) as pool:
-                        futs = {
-                            pool.submit(_pool_entry, spec_data, i, i in kills, attempts[i]): i
-                            for i in pending
-                        }
-                        for fut in as_completed(futs):
-                            record(futs[fut], fut.result())
-                except BrokenProcessPool:
-                    # A dead child takes the whole pool down.  Results that
-                    # finished before the break are still inside their
-                    # futures — salvage them before resubmitting the rest.
-                    for fut, i in futs.items():
-                        if i in summaries or not fut.done():
-                            continue
-                        try:
-                            record(i, fut.result())
-                        except BrokenProcessPool:
-                            pass
-                    restarts += 1
-                    if restarts > max_restarts:
-                        missing = [i for i in range(total) if i not in summaries]
-                        raise RuntimeError(
-                            f"sweep pool died {restarts} times "
-                            f"(max_restarts={max_restarts}); replications "
-                            f"{missing} not completed"
-                        ) from None
-                    for i in range(total):
-                        if i not in summaries:
-                            attempts[i] += 1
-                pending = [i for i in range(total) if i not in summaries]
+        restarts = run_pool_tasks(
+            [i for i in range(total) if i not in summaries],
+            lambda i, attempt: (_pool_entry, (spec_data, i, i in kills, attempt)),
+            record,
+            workers=workers,
+            max_restarts=max_restarts,
+            what="replication",
+        )
     finally:
         if manifest is not None:
             manifest.close()

@@ -1,0 +1,164 @@
+"""Hypothesis differential tests for the zero-copy and incremental paths.
+
+Two substitution properties back the grid engine's correctness claims:
+
+1. **Shared memory is invisible.**  Any mapping computation fed a
+   :class:`SharedMapStore` attachment must produce element-identical
+   results to the same computation fed the plain dict of arrays the
+   store was created from — `required_for` / `required_for_many` /
+   `enabled_by` never see the difference.
+2. **Incremental rebuild is invisible.**  `rebuild_targets` (the cached
+   suffix-rebuild the grid engine uses across `target_fraction` points)
+   must equal a cold `CompositeGranuleMap.build` of the new target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.enablement import CompositeGranuleMap, CompositeMapCache, maps_fingerprint
+from repro.core.granule import GranuleSet
+from repro.core.mapping import ForwardIndirectMapping, ReverseIndirectMapping
+from repro.sweep.shm import SharedMapStore
+
+# Small-but-jagged spaces: enough to exercise group partitioning and
+# ragged final groups without slowing the suite down.
+dims = st.tuples(st.integers(1, 40), st.integers(1, 40))
+
+
+@st.composite
+def indirect_case(draw):
+    """A mapping, its concrete map dict, and the space dimensions."""
+    n_pred, n_succ = draw(dims)
+    fan = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**20))
+    rng = np.random.default_rng(seed)
+    if draw(st.booleans()):
+        mapping = ReverseIndirectMapping("IMAP", fan_in=fan)
+        maps = {"IMAP": rng.integers(0, n_pred, size=(fan, n_succ))}
+    else:
+        mapping = ForwardIndirectMapping("FMAP", fan_out=fan)
+        maps = {"FMAP": rng.integers(0, n_succ, size=(fan, n_pred))}
+    return mapping, maps, n_pred, n_succ
+
+
+@st.composite
+def granule_subset(draw, n):
+    """A random subset of [0, n) as a GranuleSet (possibly empty)."""
+    ids = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return GranuleSet.from_sorted_ids(np.array(sorted(ids), dtype=np.int64))
+
+
+class TestSharedStoreSubstitution:
+    @settings(max_examples=60, deadline=None)
+    @given(case=indirect_case(), data=st.data())
+    def test_required_for_is_element_identical(self, case, data):
+        mapping, maps, n_pred, n_succ = case
+        successors = data.draw(granule_subset(n_succ))
+        with SharedMapStore.create(maps) as store:
+            attached = SharedMapStore.attach(store.descriptors())
+            try:
+                via_dict = mapping.required_for(successors, n_pred, n_succ, maps)
+                via_store = mapping.required_for(successors, n_pred, n_succ, attached)
+            finally:
+                attached.close()
+        assert via_store == via_dict
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=indirect_case(), group_size=st.integers(1, 9))
+    def test_required_for_many_is_element_identical(self, case, group_size):
+        mapping, maps, n_pred, n_succ = case
+        groups = CompositeGranuleMap._chunk(GranuleSet.universe(n_succ), group_size)
+        with SharedMapStore.create(maps) as store:
+            attached = SharedMapStore.attach(store.descriptors())
+            try:
+                via_dict = mapping.required_for_many(groups, n_pred, n_succ, maps)
+                via_store = mapping.required_for_many(groups, n_pred, n_succ, attached)
+            finally:
+                attached.close()
+        assert via_store == via_dict
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=indirect_case(), data=st.data())
+    def test_enabled_by_is_element_identical(self, case, data):
+        mapping, maps, n_pred, n_succ = case
+        completed = data.draw(granule_subset(n_pred))
+        with SharedMapStore.create(maps) as store:
+            via_dict = mapping.enabled_by(completed, n_pred, n_succ, maps)
+            via_store = mapping.enabled_by(completed, n_pred, n_succ, store)
+        assert via_store == via_dict
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=indirect_case(), group_size=st.integers(1, 6))
+    def test_composite_build_matches_through_store(self, case, group_size):
+        mapping, maps, n_pred, n_succ = case
+        with SharedMapStore.create(maps) as store:
+            via_dict = CompositeGranuleMap.build(
+                mapping, n_pred, n_succ, maps, group_size=group_size
+            )
+            via_store = CompositeGranuleMap.build(
+                mapping, n_pred, n_succ, store, group_size=group_size
+            )
+        assert via_store.groups == via_dict.groups
+
+
+class TestIncrementalRebuild:
+    @settings(max_examples=60, deadline=None)
+    @given(case=indirect_case(), group_size=st.integers(1, 6), data=st.data())
+    def test_rebuild_targets_matches_cold_build(self, case, group_size, data):
+        mapping, maps, n_pred, n_succ = case
+        target = data.draw(granule_subset(n_succ))
+        target = target if target else None  # empty target -> full space
+        full = CompositeGranuleMap.build(
+            mapping, n_pred, n_succ, maps, group_size=group_size
+        )
+        rebuilt = full.rebuild_targets(target)
+        cold = CompositeGranuleMap.build(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target
+        )
+        assert rebuilt.groups == cold.groups
+        # the incremental path must actually reuse the shared prefix: the
+        # first groups of a prefix target partition exist in the full map
+        assert rebuilt.rebuilt_groups <= len(rebuilt.groups)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=indirect_case(), group_size=st.integers(1, 6), frac=st.floats(0.1, 1.0))
+    def test_cache_hit_equals_cold_build_for_prefix_targets(self, case, group_size, frac):
+        mapping, maps, n_pred, n_succ = case
+        n_target = max(1, int(n_succ * frac))
+        target, _ = GranuleSet.universe(n_succ).take(n_target)
+        cache = CompositeMapCache()
+        warm_full = cache.build(mapping, n_pred, n_succ, maps, group_size=group_size)
+        via_cache = cache.build(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target
+        )
+        cold = CompositeGranuleMap.build(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target
+        )
+        assert via_cache.groups == cold.groups
+        assert cache.hits == 1 and cache.misses == 1
+        # prefix chunking aligns every whole target group with the full
+        # map's partition; only a ragged boundary group (target size not a
+        # multiple of group_size, short of the full space) recomputes
+        aligned = n_target % group_size == 0 or n_target == n_succ
+        assert via_cache.rebuilt_groups == (0 if aligned else 1)
+        assert warm_full.rebuilt_groups == len(warm_full.groups)
+
+    @settings(max_examples=30, deadline=None)
+    @given(case=indirect_case(), group_size=st.integers(1, 6))
+    def test_cache_misses_on_different_map_contents(self, case, group_size):
+        mapping, maps, n_pred, n_succ = case
+        # same shapes and dtypes, different (in-range) contents
+        other = {k: np.ascontiguousarray(np.flip(v, axis=1)) for k, v in maps.items()}
+        assume(any(not np.array_equal(maps[k], other[k]) for k in maps))
+        cache = CompositeMapCache()
+        a = cache.build(mapping, n_pred, n_succ, maps, group_size=group_size)
+        b = cache.build(mapping, n_pred, n_succ, other, group_size=group_size)
+        assert cache.misses == 2
+        assert maps_fingerprint(maps) != maps_fingerprint(other)
+        cold = CompositeGranuleMap.build(
+            mapping, n_pred, n_succ, other, group_size=group_size
+        )
+        assert b.groups == cold.groups
