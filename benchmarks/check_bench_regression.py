@@ -6,8 +6,10 @@ Usage::
         [benchmarks/BENCH_core.baseline.json]
     python benchmarks/check_bench_regression.py BENCH_faults.json
     python benchmarks/check_bench_regression.py BENCH_grid.json
+    python benchmarks/check_bench_regression.py BENCH_profile.json
 
-One checker, three suites — ``core``, ``faults``, ``grid`` — inferred
+One checker, four suites — ``core``, ``faults``, ``grid``, ``profile``
+— inferred
 from the current report's filename (``BENCH_<suite>.json``); the baseline
 defaults to ``benchmarks/BENCH_<suite>.baseline.json``.  Each suite gates
 its *throughput* metrics (higher is better): a metric fails when it drops
@@ -48,6 +50,10 @@ SUITES: dict[str, tuple[tuple[str, str], ...]] = {
     "grid": (
         ("composite_rebuild", "groups_per_second"),
         ("shm_transfer", "bytes_ratio"),
+    ),
+    "profile": (
+        ("pool_attribution", "replications_per_second"),
+        ("waterfall", "intervals_per_second"),
     ),
 }
 

@@ -1,0 +1,194 @@
+"""Profiler overhead benchmark — observing a sweep must not steer it.
+
+The rundown profiler threads two hooks through ``run_pool_tasks``: a
+no-op branch when profiling is disabled, and a result envelope (wrap +
+worker-side pickle + counter flush) when enabled.  This bench holds both
+lines with the repo's ABBA paired-ratio idiom (interleaved batches,
+median per trial, median across trials, which cancels CPU-frequency
+drift and sheds scheduler spikes):
+
+* **disabled** — ``run_sweep`` with ``profiler=None`` vs a bare
+  ``run_replication`` loop: the whole driver, hooks included, must cost
+  ≤2% over the raw simulation work;
+* **enabled** — ``run_sweep`` with a :class:`~repro.obs.PoolProfiler` vs
+  disabled: envelope, instrumentation counters and attribution must cost
+  ≤10%;
+* **attribution coverage** — on the pool path the profiler must account
+  for ≥90% of measured task wall time (the acceptance criterion that
+  makes ``sweep_scaling.speedup`` explainable instead of mysterious).
+
+Throughput metrics (``replications_per_second``, waterfall
+``intervals_per_second``) are gated against
+``BENCH_profile.baseline.json`` by ``check_bench_regression.py``; the
+overhead *ratios* are asserted here directly, where the paired
+measurement already normalizes away host noise.
+
+``BENCH_QUICK=1`` shrinks the workload for CI.  Run directly
+(``python benchmarks/test_profile_overhead.py``) or via pytest; either
+path writes ``BENCH_profile.json`` to the working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+from repro.obs import PoolProfiler, analyze_run
+from repro.sweep import SweepSpec, run_replication, run_sweep
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: Replications per timed batch; casper at streams=2 runs ~0.2s each, so
+#: per-task work dominates and the hooks are measured, not the fork tax.
+REPLICATIONS = 2 if QUICK else 4
+ROUNDS = 3 if QUICK else 5
+TRIALS = 3
+MAX_DISABLED_OVERHEAD = 0.02
+MAX_ENABLED_OVERHEAD = 0.10
+MIN_COVERAGE = 0.90
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec("casper", replications=REPLICATIONS, seed=0, sim_workers=8, streams=2)
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _raw_loop() -> None:
+    data = _spec().to_dict()
+    for i in range(REPLICATIONS):
+        run_replication(data, i)
+
+
+def _paired_trial(a, b) -> float:
+    """One trial: ABBA-interleaved batches, median(b)/median(a)."""
+    times_a: list[float] = []
+    times_b: list[float] = []
+    for _ in range(ROUNDS):
+        times_a.append(_timed(a))
+        times_b.append(_timed(b))
+        times_b.append(_timed(b))
+        times_a.append(_timed(a))
+    return statistics.median(times_b) / statistics.median(times_a)
+
+
+def bench_disabled_overhead() -> dict:
+    """Profiler-off sweep driver vs a bare replication loop."""
+    spec = _spec()
+    ratios = [_paired_trial(_raw_loop, lambda: run_sweep(spec)) for _ in range(TRIALS)]
+    return {
+        "replications": REPLICATIONS,
+        "trials": ratios,
+        "overhead_fraction": statistics.median(ratios) - 1.0,
+    }
+
+
+def bench_enabled_overhead() -> dict:
+    """Profiled inline sweep vs unprofiled: envelope + counters + flush."""
+    spec = _spec()
+    ratios = [
+        _paired_trial(
+            lambda: run_sweep(spec),
+            lambda: run_sweep(spec, profiler=PoolProfiler()),
+        )
+        for _ in range(TRIALS)
+    ]
+    return {
+        "replications": REPLICATIONS,
+        "trials": ratios,
+        "overhead_fraction": statistics.median(ratios) - 1.0,
+    }
+
+
+def bench_pool_attribution() -> dict:
+    """Profiled pool sweep: throughput plus attribution coverage."""
+    pool = 4
+    spec = SweepSpec(
+        "casper", replications=REPLICATIONS * pool, seed=0, sim_workers=8, streams=2
+    )
+    profiler = PoolProfiler()
+    t0 = time.perf_counter()
+    outcome = run_sweep(spec, workers=pool, profiler=profiler)
+    elapsed = time.perf_counter() - t0
+    profile = profiler.profile("replication", outcome.pool_workers)
+    totals = profile.totals()
+    return {
+        "replications": spec.replications,
+        "pool_workers": pool,
+        "elapsed_seconds": elapsed,
+        "replications_per_second": spec.replications / elapsed,
+        "coverage": profile.coverage,
+        "wall_total_seconds": profile.wall_total,
+        "attribution": totals,
+        "overheads": [
+            {"category": c, "seconds": s, "share": f} for c, s, f in profile.overheads()
+        ],
+    }
+
+
+def bench_waterfall() -> dict:
+    """Critical-path / idle-waterfall analysis throughput on a real run."""
+    from repro.core.mapping import IdentityMapping
+    from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec
+    from repro.executive import ExecutiveSimulation
+
+    n = 512 if QUICK else 2_048
+    phases = [PhaseSpec(f"p{i}", n, ConstantCost(1.0)) for i in range(3)]
+    program = PhaseProgram.chain(phases, [IdentityMapping()] * 2)
+    result = ExecutiveSimulation(program, 8, seed=0).run()
+    intervals = sum(1 for _ in result.trace.intervals())
+    t0 = time.perf_counter()
+    report = analyze_run(result)
+    elapsed = time.perf_counter() - t0
+    totals = report.totals()
+    worker_seconds = report.makespan * report.n_workers
+    accounted = sum(
+        v for row in report.resources[: report.n_workers]
+        for v in (*row.busy.values(), *row.idle.values())
+    )
+    return {
+        "intervals": intervals,
+        "seconds": elapsed,
+        "intervals_per_second": intervals / elapsed if elapsed > 0 else 0.0,
+        "accounted_fraction": accounted / worker_seconds,
+        "barrier_wait_seconds": totals["idle"]["barrier_wait"],
+        "critical_path_steps": len(report.critical_path),
+    }
+
+
+def run_all() -> dict:
+    return {
+        "quick": QUICK,
+        "disabled": bench_disabled_overhead(),
+        "enabled": bench_enabled_overhead(),
+        "pool_attribution": bench_pool_attribution(),
+        "waterfall": bench_waterfall(),
+    }
+
+
+def write_report(results: dict, path: str | Path = "BENCH_profile.json") -> None:
+    Path(path).write_text(json.dumps(results, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def test_profile_overhead():
+    results = run_all()
+    write_report(results)
+    assert results["disabled"]["overhead_fraction"] < MAX_DISABLED_OVERHEAD
+    assert results["enabled"]["overhead_fraction"] < MAX_ENABLED_OVERHEAD
+    assert results["pool_attribution"]["coverage"] >= MIN_COVERAGE
+    # the waterfall fully accounts worker time: busy + idle == makespan each
+    assert abs(results["waterfall"]["accounted_fraction"] - 1.0) < 1e-6
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+
+if __name__ == "__main__":
+    out = run_all()
+    write_report(out)
+    print(json.dumps(out, indent=2, sort_keys=True))

@@ -14,8 +14,15 @@ Commands
     admission decisions, per-processor rundown idle attribution, and the
     complete metrics snapshot.
 ``export-trace FILE``
-    Convert a saved run (``simulate --save``) to a Chrome trace-event
-    JSON (loadable in Perfetto / chrome://tracing) or a spans JSONL.
+    Convert a saved run (``simulate --save``) or a spans JSONL file to a
+    Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) or
+    a spans JSONL.  Streams events — peak memory stays O(1) in the trace
+    size.
+``profile FILE``
+    Critical-path / idle-waterfall analysis of a saved run: busy time by
+    category, idle time attributed to retry backoff, watchdog stalls,
+    barrier (rundown) waits and startup, per phase and per processor
+    (text or JSON).
 ``sweep WORKLOAD``
     Run a replication fan of a workload across host processes
     (``repro.sweep``): deterministic per-replication seeds, canonical
@@ -75,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep",
         metavar="FILE",
         help="aggregate a sweep report (written by `repro sweep -o`) instead of running",
+    )
+    p_stats.add_argument(
+        "--prom",
+        metavar="FILE",
+        help="also write the metrics snapshot in Prometheus text format",
+    )
+    p_stats.add_argument(
+        "--metrics-jsonl",
+        metavar="FILE",
+        help="also append the metrics snapshot as one JSON line (tailable series)",
     )
 
     p_sweep = sub.add_parser(
@@ -153,6 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the injected fault plan"
     )
+    p_sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream throughput/ETA progress lines to stderr as tasks land",
+    )
+    p_sweep.add_argument(
+        "--profile",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="FILE",
+        help="attribute pool wall time (warmup / serialization / queue wait / "
+        "compute) and write a ProfileReport JSON alongside the canonical "
+        "report (default: <output stem>.profile.json)",
+    )
 
     p_export = sub.add_parser(
         "export-trace", help="convert a saved run to a Chrome trace / spans JSONL"
@@ -169,6 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         help="output path (default: input stem + .trace.json / .spans.jsonl)",
+    )
+
+    p_prof = sub.add_parser(
+        "profile", help="idle waterfall / critical path of a saved run"
+    )
+    p_prof.add_argument("file", help="JSON written by `simulate --save` (or save_trace)")
+    p_prof.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_prof.add_argument(
+        "-o", "--output", metavar="FILE", help="also write the JSON report to FILE"
     )
 
     p_gantt = sub.add_parser("gantt", help="render a saved trace as an ASCII Gantt chart")
@@ -382,6 +423,31 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _export_metrics(args, registry, out) -> int:
+    """Honor ``stats --prom`` / ``--metrics-jsonl`` for a filled registry."""
+    if getattr(args, "prom", None):
+        from repro.obs import prometheus_text
+
+        try:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(registry))
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote Prometheus metrics to {args.prom}", file=out)
+    if getattr(args, "metrics_jsonl", None):
+        from repro.obs import append_snapshot_jsonl
+
+        try:
+            source = getattr(args, "sweep", None) or getattr(args, "workload", None)
+            append_snapshot_jsonl(registry, args.metrics_jsonl, meta={"source": source})
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"appended metrics snapshot to {args.metrics_jsonl}", file=out)
+    return 0
+
+
 def _cmd_stats(args, out) -> int:
     from repro.metrics import merged_rundown_windows, rundown_idle_by_processor
     from repro.obs import Telemetry, record_rundown_metrics, render_snapshot
@@ -431,6 +497,9 @@ def _cmd_stats(args, out) -> int:
 
     print("\nmetrics snapshot", file=out)
     print(render_snapshot(telemetry.metrics.snapshot()), file=out)
+    rc = _export_metrics(args, telemetry.metrics, out)
+    if rc:
+        return rc
     if args.save:
         from repro.sim.persist import save_result
 
@@ -450,7 +519,7 @@ def _cmd_stats_sweep(args, out) -> int:
         with open(args.sweep, "r", encoding="utf-8") as fh:
             text = fh.read()
         if "cells" in _json.loads(text):
-            return _cmd_stats_grid(text, out)
+            return _cmd_stats_grid(args, text, out)
         report = SweepReport.from_json(text)
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -474,10 +543,10 @@ def _cmd_stats_sweep(args, out) -> int:
     record_sweep_metrics(report, registry)
     print("\nmetrics snapshot", file=out)
     print(render_snapshot(registry.snapshot()), file=out)
-    return 0
+    return _export_metrics(args, registry, out)
 
 
-def _cmd_stats_grid(text: str, out) -> int:
+def _cmd_stats_grid(args, text: str, out) -> int:
     """Aggregate a saved grid report: per-point table + axis-labelled snapshot."""
     from repro.obs import MetricsRegistry, record_grid_metrics, render_snapshot
     from repro.sweep import GridReport
@@ -505,7 +574,7 @@ def _cmd_stats_grid(text: str, out) -> int:
     record_grid_metrics(report, registry)
     print("\nmetrics snapshot", file=out)
     print(render_snapshot(registry.snapshot()), file=out)
-    return 0
+    return _export_metrics(args, registry, out)
 
 
 def _parse_param(binding: str):
@@ -518,6 +587,50 @@ def _parse_param(binding: str):
         return name, _json.loads(value)
     except ValueError:
         return name, value  # bare strings stay strings
+
+
+def _sweep_instrumentation(args):
+    """Build the optional (profiler, bus, reporter) trio for a sweep/grid run."""
+    profiler = bus = reporter = None
+    if args.profile is not None:
+        from repro.obs import PoolProfiler
+
+        profiler = PoolProfiler()
+    if args.progress:
+        from repro.obs import EventBus, ProgressReporter
+
+        bus = EventBus()
+        reporter = ProgressReporter(sys.stderr)
+        reporter.subscribe(bus)
+    return profiler, bus, reporter
+
+
+def _write_profile_report(args, profiler, what, outcome, meta, out) -> int:
+    """Freeze ``profiler`` into a ProfileReport next to the canonical report."""
+    from pathlib import Path
+
+    from repro.obs import ProfileReport
+
+    report = ProfileReport(
+        pool=profiler.profile(what, outcome.pool_workers),
+        meta=meta,
+    )
+    if isinstance(args.profile, str):
+        path = args.profile
+    elif args.output:
+        path = str(Path(args.output).with_suffix("")) + ".profile.json"
+    else:
+        path = "sweep.profile.json"
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("", file=out)
+    print(report.render_text(), file=out)
+    print(f"saved profile to {path}", file=out)
+    return 0
 
 
 def _cmd_sweep(args, out) -> int:
@@ -554,6 +667,7 @@ def _cmd_sweep(args, out) -> int:
             seed=args.fault_seed,
             faults=tuple(SweepWorkerKill(r) for r in args.kill_replications),
         )
+    profiler, bus, reporter = _sweep_instrumentation(args)
     try:
         outcome = run_sweep(
             spec,
@@ -562,10 +676,15 @@ def _cmd_sweep(args, out) -> int:
             manifest_path=args.manifest,
             resume=args.resume,
             max_restarts=args.max_restarts,
+            profiler=profiler,
+            bus=bus,
         )
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if reporter is not None:
+            reporter.close()
     agg = outcome.report.aggregate()
     mode = "barrier" if args.barrier else "next-phase overlap"
     print(f"workload     : {args.workload} ({mode})", file=out)
@@ -596,6 +715,17 @@ def _cmd_sweep(args, out) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(f"saved report to {args.output}", file=out)
+    if profiler is not None:
+        meta = {
+            "command": "sweep",
+            "workload": args.workload,
+            "replications": spec.replications,
+            "pool_workers": outcome.pool_workers,
+            "elapsed_seconds": outcome.elapsed_seconds,
+        }
+        rc = _write_profile_report(args, profiler, "replication", outcome, meta, out)
+        if rc:
+            return rc
     return 0
 
 
@@ -612,6 +742,7 @@ def _cmd_sweep_grid(args, spec, out) -> int:
         return 2
     if args.share_maps and not shared:
         print("note: workload declares no selection maps; nothing to share", file=out)
+    profiler, bus, reporter = _sweep_instrumentation(args)
     try:
         outcome = run_grid(
             grid,
@@ -621,10 +752,15 @@ def _cmd_sweep_grid(args, spec, out) -> int:
             resume=args.resume,
             max_restarts=args.max_restarts,
             kill_cells=args.kill_replications,
+            profiler=profiler,
+            bus=bus,
         )
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if reporter is not None:
+            reporter.close()
     print(f"workload     : {spec.workload}", file=out)
     print(
         f"grid         : {grid.n_points} points x {spec.replications} replications"
@@ -662,6 +798,17 @@ def _cmd_sweep_grid(args, spec, out) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(f"saved report to {args.output}", file=out)
+    if profiler is not None:
+        meta = {
+            "command": "sweep --grid",
+            "workload": spec.workload,
+            "cells": grid.n_cells,
+            "pool_workers": outcome.pool_workers,
+            "elapsed_seconds": outcome.elapsed_seconds,
+        }
+        rc = _write_profile_report(args, profiler, "cell", outcome, meta, out)
+        if rc:
+            return rc
     return 0
 
 
@@ -674,33 +821,83 @@ def _load_run_json(path: str):
 
 
 def _cmd_export_trace(args, out) -> int:
+    """Streaming trace conversion: events are written as they are produced.
+
+    Both exporters emit one event per iteration step — the full event list
+    (and its ``json.dumps`` string, historically a 3x RSS spike on large
+    grid traces) is never materialized.  A ``.jsonl`` input is additionally
+    *read* one line at a time, so spans-JSONL -> Chrome conversion runs in
+    O(1) memory end to end.
+    """
     import json
     from pathlib import Path
 
-    from repro.obs import chrome_trace_from_trace, export_jsonl, spans_from_trace
-    from repro.sim.persist import trace_from_dict
+    from repro.obs import (
+        export_jsonl,
+        instants_from_trace,
+        iter_spans_jsonl,
+        iter_trace_spans,
+        write_chrome_trace_streaming,
+    )
 
-    try:
-        trace_data = _load_run_json(args.file)
-    except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    trace = trace_from_dict(trace_data)
+    path = Path(args.file)
     suffix = ".trace.json" if args.format == "chrome" else ".spans.jsonl"
-    output = args.output or str(Path(args.file).with_suffix("")) + suffix
+    output = args.output or str(path.with_suffix("")) + suffix
     try:
-        if args.format == "chrome":
-            payload = chrome_trace_from_trace(trace)
-            Path(output).write_text(json.dumps(payload), encoding="utf-8")
-            n = len(payload["traceEvents"])
+        if path.suffix == ".jsonl":
+            make_spans = lambda: iter_spans_jsonl(path)  # noqa: E731
+            instants = []
         else:
-            spans = spans_from_trace(trace)
-            export_jsonl(spans, output)
-            n = len(spans)
-    except OSError as exc:
+            from repro.sim.persist import trace_from_dict
+
+            trace = trace_from_dict(_load_run_json(args.file))
+            make_spans = lambda: iter_trace_spans(trace)  # noqa: E731
+            instants = instants_from_trace(trace)
+        if args.format == "chrome":
+            n = write_chrome_trace_streaming(make_spans, output, instants)
+        else:
+            n = 0
+
+            def counted():
+                nonlocal n
+                for span in make_spans():
+                    n += 1
+                    yield span
+
+            export_jsonl(counted(), output)
+    except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"wrote {n} {args.format} events to {output}", file=out)
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    """``repro profile FILE``: idle waterfall + critical path of a saved run."""
+    import json
+
+    from repro.obs import analyze_saved
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        report = analyze_saved(data)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.render_text(), file=out)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"saved waterfall report to {args.output}", file=out)
     return 0
 
 
@@ -835,6 +1032,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "export-trace":
             return _cmd_export_trace(args, out)
+        if args.command == "profile":
+            return _cmd_profile(args, out)
         if args.command == "compile":
             return _cmd_compile(args, out)
         if args.command == "gantt":

@@ -1103,6 +1103,7 @@ class ExecutiveSimulation:
             granules=repr(desc.granules),
             attempt=desc.attempts,
             reason=reason,
+            backoff=self.recovery.backoff(desc.attempts),
         )
         self._publish(
             GranuleRetried(

@@ -38,12 +38,32 @@ from repro.obs.events import (
     PhaseStalled,
     PhaseStalledEvent,
     PhaseStarted,
+    PoolTaskCompleted,
     ProcessorFailed,
     QueueDepthChanged,
     WorkerBusy,
     WorkerIdle,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, render_snapshot
+from repro.obs.export import append_snapshot_jsonl, prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flush_counters,
+    merge_counters,
+    render_snapshot,
+    worker_registry,
+)
+from repro.obs.profile import (
+    PoolProfile,
+    PoolProfiler,
+    ProfileReport,
+    WaterfallReport,
+    analyze_run,
+    analyze_saved,
+)
+from repro.obs.progress import ProgressReporter, format_progress
 from repro.obs.spans import (
     Span,
     SpanRecorder,
@@ -51,7 +71,12 @@ from repro.obs.spans import (
     chrome_trace_from_trace,
     export_chrome_trace,
     export_jsonl,
+    instants_from_trace,
+    iter_spans_jsonl,
+    iter_trace_spans,
+    load_jsonl,
     spans_from_trace,
+    write_chrome_trace_streaming,
 )
 from repro.obs.telemetry import (
     Telemetry,
@@ -77,6 +102,7 @@ __all__ = [
     "GranuleRetried",
     "PhaseStalled",
     "PhaseStalledEvent",
+    "PoolTaskCompleted",
     "EventBus",
     "NullEventBus",
     "Counter",
@@ -84,13 +110,31 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "render_snapshot",
+    "worker_registry",
+    "flush_counters",
+    "merge_counters",
+    "prometheus_text",
+    "append_snapshot_jsonl",
+    "PoolProfile",
+    "PoolProfiler",
+    "ProfileReport",
+    "WaterfallReport",
+    "analyze_run",
+    "analyze_saved",
+    "ProgressReporter",
+    "format_progress",
     "Span",
     "SpanRecorder",
     "spans_from_trace",
+    "iter_trace_spans",
+    "instants_from_trace",
     "chrome_trace_events",
     "chrome_trace_from_trace",
     "export_chrome_trace",
     "export_jsonl",
+    "load_jsonl",
+    "iter_spans_jsonl",
+    "write_chrome_trace_streaming",
     "Telemetry",
     "install_default_metrics",
     "record_rundown_metrics",

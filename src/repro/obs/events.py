@@ -38,6 +38,7 @@ __all__ = [
     "GranuleRetried",
     "PhaseStalled",
     "PhaseStalledEvent",
+    "PoolTaskCompleted",
     "Subscription",
     "EventBus",
     "NullEventBus",
@@ -176,6 +177,21 @@ class PhaseStalled(ObsEvent):
     missing: int
     granules: str
     action: str
+
+
+@dataclass(frozen=True, slots=True)
+class PoolTaskCompleted(ObsEvent):
+    """A host-pool task (sweep replication, grid chunk) finished.
+
+    ``time`` is host seconds since the sweep started; ``done``/``total``
+    count recorded units of ``what`` (including resumed ones), so a
+    subscriber can derive progress, throughput and ETA without knowing
+    which engine — replication fan or grid — is publishing.
+    """
+
+    what: str
+    done: int
+    total: int
 
 
 #: Compatibility alias; the event class follows the PhaseStarted/PhaseEnded

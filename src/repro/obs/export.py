@@ -1,0 +1,103 @@
+"""Metrics snapshot exporters: Prometheus text format and JSONL.
+
+Both exporters operate on the plain-dict form returned by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so they work equally
+on a live registry and on a snapshot loaded back from disk.  This is the
+seam a future job server will stream from: the Prometheus text is what a
+``/metrics`` endpoint would serve, the JSONL file is an append-only
+series of timestamped snapshots a dashboard can tail.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["prometheus_name", "prometheus_text", "append_snapshot_jsonl"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Registry name → valid Prometheus metric name.
+
+    Our registry names use dots (``rundown.idle_seconds``); Prometheus
+    allows ``[a-zA-Z0-9_:]`` only, so every invalid character becomes an
+    underscore and a leading digit gets a prefix.
+    """
+    out = _BAD_CHAR.sub("_", name)
+    if not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _with_label(labels: str, extra: str) -> str:
+    """Splice one more ``k="v"`` pair into a rendered ``{...}`` label set."""
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(source: MetricsRegistry | Mapping[str, Any]) -> str:
+    """Render a registry (or a snapshot dict) in Prometheus text format.
+
+    Counters and gauges emit one sample per label series; histograms emit
+    the standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Metric order is the snapshot's (sorted by name), so the
+    output is deterministic.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: list[str] = []
+    for name, data in snapshot.items():
+        kind = data.get("type", "gauge")
+        pname = prometheus_name(name)
+        help_text = data.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {pname} {help_text}")
+        lines.append(f"# TYPE {pname} {kind if kind in ('counter', 'gauge', 'histogram') else 'untyped'}")
+        series = data.get("series", {})
+        for labels, value in sorted(series.items()):
+            if kind == "histogram" and isinstance(value, dict):
+                cumulative = 0
+                for bucket_key, count in value.get("buckets", {}).items():
+                    bound = bucket_key.split("=", 1)[1]
+                    cumulative += int(count)
+                    le = 'le="' + bound + '"'
+                    lines.append(f"{pname}_bucket{_with_label(labels, le)} {cumulative}")
+                lines.append(f"{pname}_sum{labels} {_fmt(float(value.get('sum', 0.0)))}")
+                lines.append(f"{pname}_count{labels} {int(value.get('count', 0))}")
+            else:
+                lines.append(f"{pname}{labels} {_fmt(float(value))}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def append_snapshot_jsonl(
+    source: MetricsRegistry | Mapping[str, Any],
+    path: str | Path,
+    meta: Mapping[str, Any] | None = None,
+) -> None:
+    """Append one ``{"meta": ..., "metrics": <snapshot>}`` JSON line.
+
+    Append-only by design: successive snapshots of the same run (or of
+    successive runs) accumulate into a tailable series; a consumer pairs
+    each line with its ``meta`` (run label, timestamp — caller's choice).
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    line = json.dumps(
+        {"meta": dict(meta or {}), "metrics": snapshot},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")

@@ -16,11 +16,21 @@ metric objects (and any references instrumentation holds to them) valid.
 
 from __future__ import annotations
 
+import os
 import threading
 from bisect import bisect_left
 from typing import Any, Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "render_snapshot"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_snapshot",
+    "worker_registry",
+    "flush_counters",
+    "merge_counters",
+]
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -239,6 +249,72 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         for m in metrics:
             m.reset()
+
+
+#: The process-local registry pool workers (and shm attachments) count
+#: into.  One per process — keyed by pid so a *forked* pool child does
+#: not inherit (and later re-flush) counts the parent accumulated before
+#: the fork; the parent's instance doubles as the inline-mode "worker"
+#: registry so both execution modes flow through one code path.
+_WORKER_REGISTRY: MetricsRegistry | None = None
+_WORKER_REGISTRY_PID: int | None = None
+
+
+def worker_registry() -> MetricsRegistry:
+    """The process-global registry for worker-side counters.
+
+    Pool tasks run with ``telemetry=None`` by default, so counters their
+    instrumentation would normally feed (``faults.*``, shm reattach
+    counts) have nowhere to go and were silently dropped.  Worker-side
+    code counts into this registry instead;
+    :func:`flush_counters` drains it exactly once per finished task into
+    the task's result envelope, and the parent merges the deltas with
+    :func:`merge_counters`.
+    """
+    global _WORKER_REGISTRY, _WORKER_REGISTRY_PID
+    pid = os.getpid()
+    if _WORKER_REGISTRY is None or _WORKER_REGISTRY_PID != pid:
+        _WORKER_REGISTRY = MetricsRegistry()
+        _WORKER_REGISTRY_PID = pid
+    return _WORKER_REGISTRY
+
+
+def flush_counters(registry: MetricsRegistry) -> dict[str, list[list[Any]]]:
+    """Drain every counter series into a JSON-able delta and reset them.
+
+    Returns ``{metric name: [[label pairs, value], ...]}`` where label
+    pairs are ``[[key, value], ...]``.  Only counters participate —
+    deltas of monotonic counts merge associatively across any number of
+    workers and flushes; gauges and histograms do not, so they stay
+    process-local.  Flushing twice without new increments yields ``{}``,
+    which is what makes the exactly-once merge guarantee testable.
+    """
+    out: dict[str, list[list[Any]]] = {}
+    for name in registry.names():
+        metric = registry.get(name)
+        if not isinstance(metric, Counter):
+            continue
+        series = metric.series()
+        if not series:
+            continue
+        out[name] = [
+            [[list(pair) for pair in key], value] for key, value in sorted(series.items())
+        ]
+        metric.reset()
+    return out
+
+
+def merge_counters(registry: MetricsRegistry, flushed: dict[str, list[list[Any]]]) -> None:
+    """Merge a :func:`flush_counters` delta into ``registry``.
+
+    Counter increments are associative, so merging the same set of
+    flushes in any order — completion order, resume order — produces the
+    same totals.
+    """
+    for name, series in flushed.items():
+        counter = registry.counter(name)
+        for key, value in series:
+            counter.inc(float(value), **{k: v for k, v in key})
 
 
 def render_snapshot(snapshot: dict[str, dict[str, Any]]) -> str:

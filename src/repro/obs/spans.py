@@ -35,10 +35,15 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "spans_from_trace",
+    "iter_trace_spans",
+    "instants_from_trace",
     "chrome_trace_events",
     "chrome_trace_from_trace",
     "export_chrome_trace",
     "export_jsonl",
+    "load_jsonl",
+    "iter_spans_jsonl",
+    "write_chrome_trace_streaming",
 ]
 
 #: Seconds (simulation or wall-clock) to Chrome-trace microseconds.
@@ -144,18 +149,38 @@ def spans_from_trace(trace: Trace) -> list[Span]:
     category), so executive job labels (``assign:P3``, ``complete:…``)
     survive into the exported view.
     """
-    out: list[Span] = []
+    return list(iter_trace_spans(trace))
+
+
+def iter_trace_spans(trace: Trace) -> Iterator[Span]:
+    """Lazily yield :func:`spans_from_trace` spans one at a time.
+
+    The streaming exporters take re-iterable sources; passing
+    ``lambda: iter_trace_spans(trace)`` keeps peak memory at one span
+    instead of one list per conversion.
+    """
     for iv in trace.intervals():
-        out.append(
-            Span(
-                name=iv.label or iv.category,
-                resource=iv.resource,
-                start=iv.start,
-                end=iv.end,
-                category=iv.category,
-            )
+        yield Span(
+            name=iv.label or iv.category,
+            resource=iv.resource,
+            start=iv.start,
+            end=iv.end,
+            category=iv.category,
         )
-    return out
+
+
+def instants_from_trace(trace: Trace) -> list[tuple[float, str, str, dict[str, Any]]]:
+    """Point log records as ``(time, name, resource, args)`` instant tuples
+    — the shape :func:`chrome_trace_events` and the streaming writer accept."""
+    return [
+        (
+            r.time,
+            r.kind.value,
+            r.subject,
+            {k: v for k, v in r.detail.items() if _jsonable(v)},
+        )
+        for r in trace.records
+    ]
 
 
 def _resource_tids(resources: Iterable[str]) -> dict[str, int]:
@@ -241,17 +266,10 @@ def chrome_trace_from_trace(trace: Trace) -> dict[str, Any]:
     events on the subject's track.  The result loads directly in
     Perfetto / ``chrome://tracing``.
     """
-    instants = [
-        (
-            r.time,
-            r.kind.value,
-            r.subject,
-            {k: v for k, v in r.detail.items() if _jsonable(v)},
-        )
-        for r in trace.records
-    ]
     return {
-        "traceEvents": chrome_trace_events(spans_from_trace(trace), instants),
+        "traceEvents": chrome_trace_events(
+            spans_from_trace(trace), instants_from_trace(trace)
+        ),
         "displayTimeUnit": "ms",
     }
 
@@ -275,10 +293,89 @@ def export_jsonl(spans: Iterable[Span], path: str | Path) -> None:
 
 def load_jsonl(path: str | Path) -> list[Span]:
     """Read spans written by :func:`export_jsonl`."""
-    out: list[Span] = []
+    return list(iter_spans_jsonl(path))
+
+
+def iter_spans_jsonl(path: str | Path) -> Iterator[Span]:
+    """Stream spans from a JSONL file one at a time.
+
+    The generator holds one line in memory at a time, so a multi-gigabyte
+    grid trace can be filtered, re-exported or aggregated without the RSS
+    spike :func:`load_jsonl` would incur.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
-                out.append(Span.from_dict(json.loads(line)))
-    return out
+                yield Span.from_dict(json.loads(line))
+
+
+def write_chrome_trace_streaming(
+    make_spans: Callable[[], Iterable[Span]],
+    path: str | Path,
+    instants: Iterable[tuple[float, str, str, dict[str, Any]]] = (),
+) -> int:
+    """Write a Chrome trace from a *re-iterable* span source; returns the
+    event count.
+
+    Two passes over ``make_spans()``: the first discovers the resource set
+    (thread ids and name metadata must precede the events that use them),
+    the second writes one trace event per iteration step.  Peak memory is
+    one span plus the resource table — never the whole span list — which
+    is what lets ``repro export-trace`` convert traces larger than RAM.
+    """
+    instant_list = list(instants)
+    resources: set[str] = {s.resource for s in make_spans()}
+    resources.update(subj for _, _, subj, _ in instant_list)
+    tids = _resource_tids(resources)
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write('{"displayTimeUnit": "ms", "traceEvents": [')
+        first = True
+
+        def emit(obj: dict[str, Any]) -> None:
+            nonlocal first, count
+            fh.write(("\n" if first else ",\n") + json.dumps(obj))
+            first = False
+            count += 1
+
+        for resource, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+            emit(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": resource},
+                }
+            )
+        for s in make_spans():
+            emit(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.category,
+                    "pid": 1,
+                    "tid": tids[s.resource],
+                    "ts": s.start * _US,
+                    "dur": s.duration * _US,
+                    "args": dict(s.args),
+                }
+            )
+        for time, name, subject, args in instant_list:
+            emit(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": name,
+                    "cat": "event",
+                    "pid": 1,
+                    "tid": tids.get(subject, 0),
+                    "ts": time * _US,
+                    "args": dict(args),
+                }
+            )
+        fh.write("\n]}" if not first else "]}")
+        fh.write("\n")
+    return count

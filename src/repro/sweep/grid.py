@@ -39,10 +39,11 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.events import EventBus, PoolTaskCompleted
 from repro.sweep.runner import (
     SweepSpec,
     SweepWorkerDied,
@@ -54,6 +55,9 @@ from repro.sweep.runner import (
     _open_manifest,
 )
 from repro.sweep.shm import SharedMapStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.profile import PoolProfiler
 
 __all__ = [
     "GridAxis",
@@ -277,12 +281,15 @@ def run_grid_cell(
     point: Mapping[str, Any],
     replication: int,
     shared: Mapping[str, np.ndarray] | None = None,
+    instrument: bool = False,
 ) -> dict[str, Any]:
     """Execute one grid cell; returns its JSON-able summary.
 
     Everything arrives as plain data (plus an optional attached map
     store); the phase program is rebuilt locally, exactly like
-    :func:`~repro.sweep.runner.run_replication`.
+    :func:`~repro.sweep.runner.run_replication`.  ``instrument=True``
+    mirrors its profile path: the finished run is counted into the
+    process-local worker registry, without changing the returned summary.
     """
     from repro.core.overlap import OverlapConfig, OverlapPolicy, SplitStrategy
     from repro.executive import TaskSizer, run_program
@@ -345,6 +352,10 @@ def run_grid_cell(
         faults=faults,
         composite_cache=_cell_cache(),
     )
+    if instrument:
+        from repro.sweep.runner import count_run_into_worker_registry
+
+        count_run_into_worker_registry(result, workload)
     return {"point": point, "replication": replication, "seed": seed, **result_summary(result)}
 
 
@@ -355,6 +366,7 @@ def _grid_chunk(
     attach: bool,
     kill: bool,
     attempt: int,
+    instrument: bool = False,
 ) -> list[dict[str, Any]]:
     """Run a chunk of ``(cell id, point, replication)`` cells.
 
@@ -381,7 +393,10 @@ def _grid_chunk(
     else:
         shared = maps_payload
     return [
-        {"cell": cell_id, **run_grid_cell(base_data, point, rep, shared=shared)}
+        {
+            "cell": cell_id,
+            **run_grid_cell(base_data, point, rep, shared=shared, instrument=instrument),
+        }
         for cell_id, point, rep in chunk
     ]
 
@@ -456,6 +471,8 @@ def run_grid(
     resume: bool = False,
     max_restarts: int = 2,
     kill_cells: Sequence[int] = (),
+    profiler: "PoolProfiler | None" = None,
+    bus: EventBus | None = None,
 ) -> GridOutcome:
     """Run every cell of ``grid``; ``workers`` host processes.
 
@@ -473,6 +490,11 @@ def run_grid(
     replications: the canonical JSON report does not depend on pool size,
     chunking, worker death, or how often the sweep was interrupted and
     resumed.
+
+    ``profiler`` / ``bus`` mirror :func:`~repro.sweep.runner.run_sweep`:
+    per-chunk overhead attribution plus worker-counter merge, and one
+    :class:`~repro.obs.events.PoolTaskCompleted` per landed cell.  The
+    report bytes do not depend on either.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -530,6 +552,10 @@ def run_grid(
                 manifest.flush()
             if progress is not None:
                 progress(done_count, total)
+            if bus is not None:
+                bus.publish(
+                    PoolTaskCompleted(time.perf_counter() - t0, "cell", done_count, total)
+                )
 
     try:
         if shared_maps:
@@ -550,7 +576,10 @@ def run_grid(
                 # inline mode uses the arrays directly (no pickle at
                 # all); a pool with shm disabled pickles them per chunk
                 payload, attach = local_shared, False
-            return (_grid_chunk, (base_data, chunk, payload, attach, kill, attempt))
+            return (
+                _grid_chunk,
+                (base_data, chunk, payload, attach, kill, attempt, profiler is not None),
+            )
 
         restarts = run_pool_tasks(
             list(range(len(chunks))),
@@ -559,6 +588,7 @@ def run_grid(
             workers=workers,
             max_restarts=max_restarts,
             what="grid chunk",
+            profiler=profiler,
         )
     finally:
         if manifest is not None:

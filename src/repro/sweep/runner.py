@@ -26,8 +26,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from repro.obs.events import EventBus, PoolTaskCompleted
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultPlan
+    from repro.obs.profile import PoolProfiler
 
 __all__ = [
     "SweepSpec",
@@ -219,12 +222,21 @@ def replication_seed(sweep_seed: int, replication: int) -> int:
 
 
 # ---------------------------------------------------------------------- worker
-def run_replication(spec_data: dict[str, Any], replication: int) -> dict[str, Any]:
+def run_replication(
+    spec_data: dict[str, Any], replication: int, instrument: bool = False
+) -> dict[str, Any]:
     """Execute one replication; returns its JSON-able summary.
 
     Module-level (hence picklable) — this is the function the process
     pool imports on the worker side.  Everything it needs arrives as
     plain data; the phase program is rebuilt locally.
+
+    ``instrument=True`` (the ``--profile`` path) counts the finished
+    run into the process-local :func:`~repro.obs.metrics.worker_registry`
+    (via :func:`count_run_into_worker_registry`), so the profiler's
+    envelope can carry ``faults.*`` and the other worker-side counters
+    back to the parent.  Instrumentation observes, never steers — the
+    returned summary is identical either way.
     """
     from repro.core.overlap import OverlapConfig
     from repro.executive import TaskSizer, run_program
@@ -240,7 +252,44 @@ def run_replication(spec_data: dict[str, Any], replication: int) -> dict[str, An
         sizer=TaskSizer(spec.tasks_per_processor),
         seed=seed,
     )
+    if instrument:
+        count_run_into_worker_registry(result, spec.workload)
     return {"replication": replication, "seed": seed, **result_summary(result)}
+
+
+def count_run_into_worker_registry(result: Any, workload: str) -> None:
+    """Accumulate a finished run's totals into the worker registry.
+
+    Post-run counter increments instead of live per-event telemetry: the
+    whole accounting is a handful of ``inc`` calls, so a profiled sweep
+    stays within single-digit percent of an unprofiled one (gated by
+    ``benchmarks/test_profile_overhead.py``).  Only counters flush into
+    the profiler envelope, so everything here is a monotonic total.
+    """
+    from repro.obs.metrics import worker_registry
+
+    registry = worker_registry()
+    registry.counter("worker.runs_total", "simulations finished in this process").inc(
+        workload=workload
+    )
+    registry.counter("worker.granules_total", "granules executed").inc(
+        result.granules_executed
+    )
+    registry.counter("worker.compute_seconds_total", "productive compute time").inc(
+        result.compute_time
+    )
+    registry.counter("worker.mgmt_seconds_total", "executive busy time").inc(
+        result.mgmt_time
+    )
+    faults = registry.counter("faults.recovered_total", "recoveries by kind")
+    for kind, count in (
+        ("retry", result.retries),
+        ("reassignment", result.reassignments),
+        ("processor_failure", result.processor_failures),
+        ("stall", result.stalls),
+    ):
+        if count:
+            faults.inc(count, kind=kind)
 
 
 def result_summary(result) -> dict[str, Any]:
@@ -343,7 +392,11 @@ class SweepWorkerDied(RuntimeError):
 
 
 def _pool_entry(
-    spec_data: dict[str, Any], replication: int, kill: bool, attempt: int
+    spec_data: dict[str, Any],
+    replication: int,
+    kill: bool,
+    attempt: int,
+    instrument: bool = False,
 ) -> dict[str, Any]:
     """Pool-side wrapper around :func:`run_replication` with kill injection.
 
@@ -360,7 +413,7 @@ def _pool_entry(
         if multiprocessing.parent_process() is not None:
             os._exit(17)
         raise SweepWorkerDied(f"injected kill of replication {replication}")
-    return run_replication(spec_data, replication)
+    return run_replication(spec_data, replication, instrument=instrument)
 
 
 # ---------------------------------------------------------------------- manifest
@@ -440,6 +493,7 @@ def run_pool_tasks(
     workers: int = 1,
     max_restarts: int = 2,
     what: str = "task",
+    profiler: "PoolProfiler | None" = None,
 ) -> int:
     """Run every task in ``keys`` with crash-salvage; returns pool restarts.
 
@@ -457,6 +511,11 @@ def run_pool_tasks(
     ``max_restarts`` rebuilds.  Inline kills surface as
     :class:`SweepWorkerDied` and retry through the same accounting, so
     both modes recover identically.
+
+    With ``profiler`` set, every submission is routed through the
+    profiling envelope (see :class:`~repro.obs.profile.PoolProfiler`);
+    the envelope is unwrapped *before* ``record`` runs, so downstream
+    accounting — and the canonical report bytes — are untouched.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -466,7 +525,15 @@ def run_pool_tasks(
     done: set[Any] = set()
     restarts = 0
 
+    def prepare(key: Any) -> tuple[Callable[..., Any], tuple[Any, ...]]:
+        fn, args = call(key, attempts[key])
+        if profiler is not None:
+            fn, args = profiler.wrap(key, fn, args)
+        return fn, args
+
     def note(key: Any, result: Any) -> None:
+        if profiler is not None:
+            result = profiler.record_result(key, result)
         done.add(key)
         record(key, result)
 
@@ -475,19 +542,22 @@ def run_pool_tasks(
         for key in pending:
             while True:
                 try:
-                    fn, args = call(key, attempts[key])
+                    fn, args = prepare(key)
                     note(key, fn(*args))
                     break
                 except SweepWorkerDied:
                     attempts[key] += 1
                     restarts += 1
         return restarts
+    initializer = profiler.initializer if profiler is not None else None
     while pending:
         futs: dict[Any, Any] = {}
         try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), initializer=initializer
+            ) as pool:
                 for key in pending:
-                    fn, args = call(key, attempts[key])
+                    fn, args = prepare(key)
                     futs[pool.submit(fn, *args)] = key
                 for fut in as_completed(futs):
                     note(futs[fut], fut.result())
@@ -526,6 +596,8 @@ def run_sweep(
     manifest_path: str | Path | None = None,
     resume: bool = False,
     max_restarts: int = 2,
+    profiler: "PoolProfiler | None" = None,
+    bus: EventBus | None = None,
 ) -> SweepOutcome:
     """Run every replication of ``spec``; ``workers`` host processes.
 
@@ -544,6 +616,13 @@ def run_sweep(
     skips finished replications, so an interrupted sweep continues where
     it stopped.  Neither recovery path changes a single byte of the final
     report relative to a fault-free serial run.
+
+    Observability: ``profiler`` attributes each replication's wall time
+    (and makes the workers run instrumented, so worker-side counters flow
+    back through its registry); ``bus`` receives one
+    :class:`~repro.obs.events.PoolTaskCompleted` per landed replication —
+    the feed :class:`~repro.obs.progress.ProgressReporter` streams from.
+    Neither changes the report bytes.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -576,15 +655,26 @@ def run_sweep(
             manifest.flush()
         if progress is not None:
             progress(done_count, total)
+        if bus is not None:
+            bus.publish(
+                PoolTaskCompleted(
+                    time.perf_counter() - t0, "replication", done_count, total
+                )
+            )
 
+    instrument = profiler is not None
     try:
         restarts = run_pool_tasks(
             [i for i in range(total) if i not in summaries],
-            lambda i, attempt: (_pool_entry, (spec_data, i, i in kills, attempt)),
+            lambda i, attempt: (
+                _pool_entry,
+                (spec_data, i, i in kills, attempt, instrument),
+            ),
             record,
             workers=workers,
             max_restarts=max_restarts,
             what="replication",
+            profiler=profiler,
         )
     finally:
         if manifest is not None:

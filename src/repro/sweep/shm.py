@@ -171,11 +171,22 @@ class SharedMapStore(Mapping):
         ``cached=True`` memoizes the attachment per descriptor set for the
         life of the process (the pool-worker pattern: every chunk of the
         same grid reuses one attachment, closed by the atexit guard).
+
+        Every call counts into the process-local worker registry
+        (``shm.attach_total{outcome=...}``), so a profiled grid run shows
+        how many chunk arrivals reattached segments versus hit the memo —
+        the counters ride the profiler envelope back to the parent.
         """
+        from repro.obs.metrics import worker_registry
+
+        attach_counter = worker_registry().counter(
+            "shm.attach_total", "shared-map attach requests by outcome"
+        )
         key = cls._cache_key(descriptors)
         if cached:
             hit = _ATTACH_CACHE.get(key)
             if hit is not None and not hit._closed:
+                attach_counter.inc(outcome="cache_hit")
                 return hit
         segments: dict[str, shared_memory.SharedMemory] = {}
         arrays: dict[str, np.ndarray] = {}
@@ -198,6 +209,7 @@ class SharedMapStore(Mapping):
                     pass
             raise
         store = cls(segments, arrays, {k: dict(v) for k, v in descriptors.items()}, owner=False)
+        attach_counter.inc(outcome="reattach")
         if cached:
             _ATTACH_CACHE[key] = store
         return store

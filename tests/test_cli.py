@@ -226,3 +226,139 @@ class TestGanttCommand:
         save_trace(r.trace, path)
         code, chart = run_cli("gantt", str(path), "--width", "30")
         assert code == 0 and "EXEC" in chart
+
+
+class TestProfileCommand:
+    def _saved_run(self, tmp_path):
+        path = tmp_path / "run.json"
+        code, _ = run_cli("simulate", "identity", "--workers", "2", "--save", str(path))
+        assert code == 0
+        return path
+
+    def test_text_waterfall(self, tmp_path):
+        code, text = run_cli("profile", str(self._saved_run(tmp_path)))
+        assert code == 0
+        assert "run waterfall" in text and "critical path" in text
+        assert "barrier_wait" in text or "idle" in text
+
+    def test_json_output_and_save(self, tmp_path):
+        import json
+
+        out = tmp_path / "wf.json"
+        code, text = run_cli(
+            "profile", str(self._saved_run(tmp_path)), "--json", "-o", str(out)
+        )
+        assert code == 0 and out.exists()
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "waterfall"
+        assert doc["resources"] and doc["critical_path"]
+        assert json.loads(text.split("saved waterfall report")[0]) == doc
+
+    def test_missing_file(self):
+        code, _ = run_cli("profile", "/nonexistent.json")
+        assert code == 2
+
+
+class TestSweepProfileFlag:
+    def test_profile_report_written_alongside_output(self, tmp_path):
+        import json
+
+        out = tmp_path / "sweep.json"
+        code, text = run_cli(
+            "sweep", "identity", "--replications", "2", "--seed", "7",
+            "--sim-workers", "4", "--profile", "-o", str(out),
+        )
+        assert code == 0
+        assert "pool profile" in text and "attribution coverage" in text
+        profile_path = tmp_path / "sweep.profile.json"
+        assert profile_path.exists()
+        doc = json.loads(profile_path.read_text())
+        assert doc["kind"] == "profile-report"
+        assert doc["pool"]["task_count"] == 2
+        assert doc["meta"]["workload"] == "identity"
+
+    def test_explicit_profile_path(self, tmp_path):
+        target = tmp_path / "my.profile.json"
+        code, _ = run_cli(
+            "sweep", "identity", "--replications", "2", "--seed", "7",
+            "--sim-workers", "4", "--profile", str(target),
+        )
+        assert code == 0 and target.exists()
+
+    def test_report_bytes_unchanged_by_profiling(self, tmp_path):
+        plain, profiled = tmp_path / "plain.json", tmp_path / "prof.json"
+        args = ("sweep", "identity", "--replications", "2", "--seed", "7",
+                "--sim-workers", "4")
+        assert run_cli(*args, "-o", str(plain))[0] == 0
+        assert run_cli(*args, "-o", str(profiled), "--profile")[0] == 0
+        assert plain.read_bytes() == profiled.read_bytes()
+
+    def test_grid_profile(self, tmp_path):
+        import json
+
+        target = tmp_path / "grid.profile.json"
+        code, text = run_cli(
+            "sweep", "identity", "--replications", "1", "--seed", "7",
+            "--sim-workers", "4", "--grid", "sim_workers=4,8",
+            "--profile", str(target),
+        )
+        assert code == 0 and target.exists()
+        doc = json.loads(target.read_text())
+        assert doc["meta"]["command"] == "sweep --grid"
+        assert doc["pool"]["what"] == "cell"
+
+
+class TestExportTraceStreaming:
+    def _spans_jsonl(self, tmp_path):
+        run = tmp_path / "run.json"
+        assert run_cli("simulate", "identity", "--workers", "2", "--save", str(run))[0] == 0
+        jsonl = tmp_path / "run.spans.jsonl"
+        assert run_cli("export-trace", str(run), "--format", "jsonl", "-o", str(jsonl))[0] == 0
+        return run, jsonl
+
+    def test_jsonl_input_to_chrome(self, tmp_path):
+        import json
+
+        _, jsonl = self._spans_jsonl(tmp_path)
+        out = tmp_path / "from_jsonl.trace.json"
+        code, text = run_cli("export-trace", str(jsonl), "-o", str(out))
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_jsonl_input_round_trips(self, tmp_path):
+        _, jsonl = self._spans_jsonl(tmp_path)
+        out = tmp_path / "copy.spans.jsonl"
+        code, _ = run_cli("export-trace", str(jsonl), "--format", "jsonl", "-o", str(out))
+        assert code == 0
+        assert out.read_text() == jsonl.read_text()
+
+    def test_streaming_chrome_matches_legacy_document_shape(self, tmp_path):
+        import json
+
+        run, _ = self._spans_jsonl(tmp_path)
+        out = tmp_path / "run.trace.json"
+        code, text = run_cli("export-trace", str(run), "-o", str(out))
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert f"wrote {len(doc['traceEvents'])} chrome events" in text
+
+
+class TestStatsExports:
+    def test_prom_and_jsonl_exports(self, tmp_path):
+        import json
+
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "metrics.jsonl"
+        code, text = run_cli(
+            "stats", "identity", "--workers", "4",
+            "--prom", str(prom), "--metrics-jsonl", str(jsonl),
+        )
+        assert code == 0
+        assert "wrote Prometheus metrics" in text
+        prom_text = prom.read_text()
+        assert "# TYPE" in prom_text and "rundown_idle_seconds" in prom_text
+        line = json.loads(jsonl.read_text().splitlines()[0])
+        assert line["meta"]["source"] == "identity"
+        assert "rundown.idle_seconds" in line["metrics"]

@@ -1,0 +1,79 @@
+"""Tests for the metrics snapshot exporters (repro.obs.export)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry, append_snapshot_jsonl, prometheus_text
+from repro.obs.export import prometheus_name
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("rundown.idle_seconds") == "rundown_idle_seconds"
+
+    def test_leading_digit_gets_prefix(self):
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_valid_names_pass_through(self):
+        assert prometheus_name("executive_busy_seconds") == "executive_busy_seconds"
+
+
+class TestPrometheusText:
+    def registry(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("faults.injected_total", "injected faults").inc(3, kind="transient")
+        r.counter("faults.injected_total").inc(1, kind="crash")
+        r.gauge("scheduler.queue_depth", "ready tasks").set(7)
+        h = r.histogram("task.seconds", "task durations", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return r
+
+    def test_counter_series_with_help_and_type(self):
+        text = prometheus_text(self.registry())
+        assert "# HELP faults_injected_total injected faults" in text
+        assert "# TYPE faults_injected_total counter" in text
+        assert 'faults_injected_total{kind="transient"} 3' in text
+        assert 'faults_injected_total{kind="crash"} 1' in text
+        assert "# TYPE scheduler_queue_depth gauge" in text
+        assert "scheduler_queue_depth 7" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_text(self.registry())
+        assert 'task_seconds_bucket{le="0.1"} 1' in text
+        assert 'task_seconds_bucket{le="1.0"} 2' in text
+        assert 'task_seconds_bucket{le="+Inf"} 3' in text
+        assert "task_seconds_sum 5.55" in text
+        assert "task_seconds_count 3" in text
+
+    def test_snapshot_dict_input_matches_registry_input(self):
+        registry = self.registry()
+        assert prometheus_text(registry.snapshot()) == prometheus_text(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_output_is_deterministic(self):
+        assert prometheus_text(self.registry()) == prometheus_text(self.registry())
+
+
+class TestSnapshotJsonl:
+    def test_appends_tailable_lines(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        r = MetricsRegistry()
+        r.counter("done").inc(2)
+        append_snapshot_jsonl(r, path, meta={"run": "a"})
+        r.counter("done").inc(3)
+        append_snapshot_jsonl(r, path, meta={"run": "b"})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["meta"]["run"] for l in lines] == ["a", "b"]
+        assert lines[0]["metrics"]["done"]["series"][""] == 2.0
+        assert lines[1]["metrics"]["done"]["series"][""] == 5.0
+
+    def test_meta_defaults_to_empty(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        append_snapshot_jsonl(MetricsRegistry(), path)
+        line = json.loads(path.read_text())
+        assert line == {"meta": {}, "metrics": {}}
