@@ -7,9 +7,10 @@ Usage::
     python benchmarks/check_bench_regression.py BENCH_faults.json
     python benchmarks/check_bench_regression.py BENCH_grid.json
     python benchmarks/check_bench_regression.py BENCH_profile.json
+    python benchmarks/check_bench_regression.py BENCH_lint.json
 
-One checker, four suites — ``core``, ``faults``, ``grid``, ``profile``
-— inferred
+One checker, five suites — ``core``, ``faults``, ``grid``, ``profile``,
+``lint`` — inferred
 from the current report's filename (``BENCH_<suite>.json``); the baseline
 defaults to ``benchmarks/BENCH_<suite>.baseline.json``.  Each suite gates
 its *throughput* metrics (higher is better): a metric fails when it drops
@@ -54,6 +55,10 @@ SUITES: dict[str, tuple[tuple[str, str], ...]] = {
     "profile": (
         ("pool_attribution", "replications_per_second"),
         ("waterfall", "intervals_per_second"),
+    ),
+    "lint": (
+        ("hb_build", "phases_per_second"),
+        ("hb_build", "queries_per_second"),
     ),
 }
 

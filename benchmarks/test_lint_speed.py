@@ -1,33 +1,74 @@
-"""Analyzer cost: lint wall-clock on a generated many-phase program.
+"""Analyzer cost: lint, happens-before build, and sanitizer overhead.
 
 The lint pass runs in CI on every push, so its cost must stay visible in
-the bench trajectory.  This benchmark generates a PAX pipeline of
-``N_PHASES`` footprinted phases (each enabling the next with the exact
-seam the data flow supports, so the program lints clean), measures one
-whole-program analysis, and asserts a generous absolute budget — the
-pass is pure Python over symbolic footprints and should stay well under
-a second at this size.
+the bench trajectory.  Three sections of ``BENCH_lint.json``:
+
+* ``lint`` — one whole-program analysis of a generated ``N_PHASES``-phase
+  clean pipeline under a generous absolute wall-clock budget;
+* ``hb_build`` — :class:`~repro.lint.hb.HappensBeforeEngine` construction
+  on a long chain of 10k-granule phases plus a batch of granule-level
+  ``happens_before`` queries; the throughputs are gated at 2x by
+  ``check_bench_regression.py`` against ``BENCH_lint.baseline.json``
+  (the engine must stay label-composition cheap, never granule-
+  enumeration expensive);
+* ``sanitizer_overhead`` — the trace replay's cost as a fraction of the
+  simulation it validates, measured *within* each iteration (time the
+  run, then time ``sanitize_result`` on its fresh result, compare
+  medians): the replay must add at most 5% to a ``repro simulate
+  --sanitize`` run.  A differential run-vs-run design (the fault-
+  overhead bench's ABBA pattern) was tried and rejected here: a ~3%
+  effect is far below shared-runner noise between separate runs, while
+  the split point inside one run is exact.
+
+``BENCH_QUICK=1`` shrinks problem sizes for CI.  Run directly
+(``python benchmarks/test_lint_speed.py``) or via pytest; either path
+writes ``BENCH_lint.json`` to the working directory.
 """
 
 from __future__ import annotations
 
+import gc
+import json
+import os
+import statistics
 import time
+from pathlib import Path
 
 from benchmarks.conftest import emit
-from repro.lint import lint_source
+from repro.executive.scheduler import run_program
+from repro.lang import compile_program, parse, verify
+from repro.lint import lint_source, sanitize_result
+from repro.lint.hb import HappensBeforeEngine
 from repro.metrics.report import format_table
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
 
 N_PHASES = 120
 GRANULES = 64
 BUDGET_S = 2.0  # absolute ceiling; typical runs are ~two orders below
 
+#: Happens-before build: a chain of large phases, granule-level queries.
+HB_PHASES = 60 if QUICK else 150
+HB_GRANULES = 10_000
+HB_QUERIES = 2_000 if QUICK else 10_000
 
-def pipeline_source(n_phases: int) -> str:
+#: Sanitizer overhead: simulated granules per phase, ABBA timing shape.
+#: The granule count stays full-size under BENCH_QUICK — the sanitizer's
+#: segment walk is granule-count independent, so shrinking the phases
+#: would only make the ratio noisier, not the run meaningfully faster.
+SIM_GRANULES = 1_024
+SIM_PHASES = 3
+SIM_WORKERS = 8
+SAMPLES = 30 if QUICK else 60
+MAX_SANITIZE_OVERHEAD = 0.05
+
+
+def pipeline_source(n_phases: int, granules: int = GRANULES) -> str:
     """A clean n-phase stencil pipeline: p0 -> p1 -> ... with exact seams."""
     lines = []
     for i in range(n_phases):
         lines.append(
-            f"DEFINE PHASE p{i} GRANULES={GRANULES} COST=1.0 LINES=50 "
+            f"DEFINE PHASE p{i} GRANULES={granules} COST=1.0 LINES=50 "
             f"READS [ A{i}(I-1) A{i}(I) A{i}(I+1) ] WRITES [ A{i + 1}(I) ]"
         )
     for i in range(n_phases):
@@ -36,6 +77,126 @@ def pipeline_source(n_phases: int) -> str:
         else:
             lines.append(f"DISPATCH p{i}")
     return "\n".join(lines) + "\n"
+
+
+def bench_lint() -> tuple[dict, list]:
+    source = pipeline_source(N_PHASES)
+    t0 = time.perf_counter()
+    diagnostics = lint_source(source, "<bench>")
+    elapsed = time.perf_counter() - t0
+    return {
+        "phases": N_PHASES,
+        "source_lines": source.count("\n"),
+        "findings": len(diagnostics),
+        "seconds": elapsed,
+    }, diagnostics
+
+
+def bench_hb_build() -> dict:
+    """Engine construction + granule queries on a long chain of fat phases."""
+    source = pipeline_source(HB_PHASES, granules=HB_GRANULES)
+    program = parse(source)
+    verified = verify(program)
+
+    t0 = time.perf_counter()
+    engine = HappensBeforeEngine(program, verified)
+    build_s = time.perf_counter() - t0
+    stats = engine.stats()
+
+    # granule-level queries across varying phase distances: membership in
+    # composed offset windows, never a granule enumeration
+    t0 = time.perf_counter()
+    hits = 0
+    for k in range(HB_QUERIES):
+        span = 1 + k % 4
+        pred = k % (HB_PHASES - span)
+        g = k % HB_GRANULES
+        if engine.happens_before(f"p{pred}", g, f"p{pred + span}", g):
+            hits += 1
+    query_s = time.perf_counter() - t0
+
+    assert hits == HB_QUERIES  # offset 0 is inside every composed seam
+    assert engine.cycles() == []
+    return {
+        "phases": stats["phases"],
+        "edges": stats["edges"],
+        "granules_per_phase": HB_GRANULES,
+        "build_seconds": build_s,
+        "phases_per_second": stats["phases"] / build_s,
+        "queries": HB_QUERIES,
+        "query_seconds": query_s,
+        "queries_per_second": HB_QUERIES / query_s,
+    }
+
+
+def _sim_program():
+    lines = []
+    for i in range(SIM_PHASES):
+        lines.append(
+            f"DEFINE PHASE s{i} GRANULES={SIM_GRANULES} COST=1.0 "
+            f"READS [ B{i}(I-1) B{i}(I) B{i}(I+1) ] WRITES [ B{i + 1}(I) ]"
+        )
+    for i in range(SIM_PHASES):
+        if i < SIM_PHASES - 1:
+            lines.append(f"DISPATCH s{i} ENABLE [ s{i + 1}/MAPPING=SEAM(-1,0,1) ]")
+        else:
+            lines.append(f"DISPATCH s{i}")
+    return compile_program("\n".join(lines) + "\n")
+
+
+def bench_sanitizer_overhead() -> dict:
+    """Trace-replay cost as a fraction of the simulation it validates.
+
+    Each iteration times ``run_program`` and then ``sanitize_result``
+    on that run's fresh result; the gate compares the medians.  The
+    replay runs strictly after the simulation, so the in-iteration
+    split point measures exactly what ``--sanitize`` adds.
+    """
+    program = _sim_program()
+    # warm both stages (sim caches, sanitizer label/classifier memos)
+    warm = run_program(program, SIM_WORKERS, seed=0)
+    report = sanitize_result(warm, program)
+    assert report.ok, report.render_text()
+
+    sim_ts: list[float] = []
+    san_ts: list[float] = []
+    for _ in range(SAMPLES):
+        # drain collector debt so a cyclic-GC pass does not land in
+        # whichever stage happens to be timing
+        gc.collect()
+        t0 = time.perf_counter()
+        result = run_program(program, SIM_WORKERS, seed=0)
+        t1 = time.perf_counter()
+        rep = sanitize_result(result, program)
+        t2 = time.perf_counter()
+        assert rep.ok
+        sim_ts.append(t1 - t0)
+        san_ts.append(t2 - t1)
+
+    sim_med = statistics.median(sim_ts)
+    san_med = statistics.median(san_ts)
+    return {
+        "granules": SIM_GRANULES * SIM_PHASES,
+        "workers": SIM_WORKERS,
+        "samples": SAMPLES,
+        "sim_seconds_median": sim_med,
+        "sanitize_seconds_median": san_med,
+        "overhead_fraction": san_med / sim_med,
+    }
+
+
+def run_all() -> dict:
+    lint, _ = bench_lint()
+    return {
+        "quick": QUICK,
+        "lint": lint,
+        "hb_build": bench_hb_build(),
+        "sanitizer_overhead": bench_sanitizer_overhead(),
+    }
+
+
+def write_report(results: dict, path: str | Path = "BENCH_lint.json") -> None:
+    Path(path).write_text(json.dumps(results, indent=2, sort_keys=True), encoding="utf-8")
 
 
 def test_lint_speed(once):
@@ -57,3 +218,29 @@ def test_lint_speed(once):
     assert elapsed < BUDGET_S, (
         f"lint of {N_PHASES} phases took {elapsed:.2f}s, over the {BUDGET_S}s budget"
     )
+
+
+def test_hb_build_and_sanitizer_overhead():
+    results = run_all()
+    write_report(results)
+    hb = results["hb_build"]
+    emit(
+        "HB — engine build + granule queries / sanitizer overhead",
+        format_table(
+            ["phases", "edges", "build s", "queries/s", "sanitize overhead"],
+            [[
+                str(hb["phases"]),
+                str(hb["edges"]),
+                f"{hb['build_seconds']:.4f}",
+                f"{hb['queries_per_second']:,.0f}",
+                f"{results['sanitizer_overhead']['overhead_fraction']:.2%}",
+            ]],
+        ),
+    )
+    assert results["sanitizer_overhead"]["overhead_fraction"] < MAX_SANITIZE_OVERHEAD
+
+
+if __name__ == "__main__":
+    out = run_all()
+    write_report(out)
+    print(json.dumps(out, indent=2, sort_keys=True))

@@ -22,6 +22,8 @@ __all__ = [
     "barrier_makespan_uniform",
     "overlap_makespan_uniform",
     "rundown_idle_uniform",
+    "OverlapIdleForfeit",
+    "overlap_idle_forfeit",
     "min_tasks_per_processor",
     "management_cycle_feasible",
 ]
@@ -125,6 +127,61 @@ def rundown_idle_uniform(n_tasks: int, n_processors: int, task_time: float = 1.0
     """
     w = leftover_wave(n_tasks, n_processors)
     return w.idle_processors * task_time if w.leftover else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapIdleForfeit:
+    """What a barrier (or too-weak mapping) forfeits at one phase boundary.
+
+    All quantities are processor-seconds under the uniform-task model of
+    :func:`rundown_idle_uniform`.
+    """
+
+    #: Idle processor-time during the predecessor's final, partial wave.
+    idle_seconds: float
+    #: Successor work that *could* have filled that idle time.
+    available_succ_seconds: float
+    #: Idle time overlap would actually have recovered (the min of the two).
+    forfeit_seconds: float
+    #: Total processor-time budget of the predecessor phase (p * waves * t).
+    pred_processor_seconds: float
+
+    @property
+    def forfeit_fraction(self) -> float:
+        """Forfeited idle as a fraction of the predecessor's processor-time."""
+        if self.pred_processor_seconds <= 0:
+            return 0.0
+        return self.forfeit_seconds / self.pred_processor_seconds
+
+
+def overlap_idle_forfeit(
+    n_pred: int,
+    n_succ: int,
+    cost_pred: float,
+    cost_succ: float,
+    n_processors: int,
+) -> OverlapIdleForfeit:
+    """Static estimate of the rundown idle a phase boundary forfeits.
+
+    During the predecessor's final wave, ``p - (n_pred mod p)``
+    processors sit idle for one task time; with overlap they could have
+    run successor granules instead, but no more of them than the
+    successor actually has (``n_succ * cost_succ`` processor-seconds).
+    The lint rule RDN010 fires on this estimate when the forfeited
+    fraction of the predecessor's processor-time crosses its threshold.
+    """
+    if cost_pred < 0 or cost_succ < 0:
+        raise ValueError("negative task costs are not meaningful")
+    idle = rundown_idle_uniform(n_pred, n_processors, cost_pred)
+    available = n_succ * cost_succ
+    w = leftover_wave(n_pred, n_processors)
+    total = n_processors * w.waves * cost_pred
+    return OverlapIdleForfeit(
+        idle_seconds=idle,
+        available_succ_seconds=available,
+        forfeit_seconds=min(idle, available),
+        pred_processor_seconds=total,
+    )
 
 
 def min_tasks_per_processor() -> int:

@@ -32,8 +32,10 @@ Commands
     schedule and enablement links, optionally simulate it.
 ``lint FILE...``
     Run the overlap-safety analyzer (``repro.lint``) over PAX sources;
-    text or JSON findings, CI-friendly exit codes (``--fail-on``),
-    per-rule suppression, and a built-in ``--self-check`` corpus.
+    text, JSON or SARIF findings, CI-friendly exit codes (``--fail-on``,
+    ``--strict``), per-rule suppression/selection (``--disable``,
+    ``--select``), a built-in ``--self-check`` corpus, and trace
+    validation of a saved run against its source (``--check-run``).
 """
 
 from __future__ import annotations
@@ -72,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p_sim.add_argument("--gantt-width", type=int, default=100)
     p_sim.add_argument("--save", metavar="FILE", help="write the run (summary + trace) to JSON")
+    p_sim.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="replay the executed trace through the rundown sanitizer "
+        "(repro.lint.sanitizer) and fail on ordering violations",
+    )
 
     p_stats = sub.add_parser(
         "stats", help="run a workload with telemetry; print the metrics snapshot"
@@ -230,10 +238,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_comp.add_argument("--run", action="store_true", help="also simulate the program")
     p_comp.add_argument("--workers", type=int, default=8)
+    p_comp.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="with --run: replay the executed trace through the rundown sanitizer",
+    )
+    p_comp.add_argument(
+        "--save",
+        metavar="FILE",
+        help="with --run: write the run (summary + trace) to JSON "
+        "(validatable later via `repro lint --check-run`)",
+    )
 
     p_lint = sub.add_parser("lint", help="overlap-safety analysis of PAX sources")
     p_lint.add_argument("files", nargs="*", metavar="FILE", help="PAX source files")
     p_lint.add_argument("--json", action="store_true", help="emit findings as JSON")
+    p_lint.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit findings as a SARIF 2.1.0 document (for CI code-scanning upload)",
+    )
     p_lint.add_argument(
         "--fail-on",
         choices=["error", "warning", "never"],
@@ -241,11 +265,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="lowest severity that makes the exit code 1 (default: warning)",
     )
     p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="any finding at all (including info) makes the exit code 1",
+    )
+    p_lint.add_argument(
         "--suppress",
+        "--disable",
         action="append",
         default=[],
         metavar="RULE[,RULE...]",
         help="suppress rules by ID (repeatable; RDN000 cannot be suppressed)",
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="report only the listed rules (repeatable; RDN000 always reports)",
+    )
+    p_lint.add_argument(
+        "--check-run",
+        metavar="RUN.json",
+        help="also validate a saved run (`simulate --save` / `compile --run`) "
+        "against the single given PAX source via the rundown sanitizer",
+    )
+    p_lint.add_argument(
+        "--set",
+        dest="bindings",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="bind a branch-condition variable when compiling for --check-run",
     )
     p_lint.add_argument(
         "--self-check",
@@ -356,7 +407,11 @@ def _fault_arguments(args):
 
 
 def _run_workload(args, telemetry=None):
-    """Build and run the workload described by shared ``_add_run_options``."""
+    """Build and run the workload described by shared ``_add_run_options``.
+
+    Returns ``(result, program)`` — the program so post-run validators
+    (``--sanitize``) can replay the trace against the declared order.
+    """
     program = _workload(args.workload)
     config = OverlapConfig.barrier() if args.barrier else OverlapConfig()
     placement = (
@@ -366,7 +421,7 @@ def _run_workload(args, telemetry=None):
         middle_managers=args.middle_managers,
         lateral_handoff=args.lateral_handoff,
     )
-    return run_program(
+    result = run_program(
         program,
         args.workers,
         config=config,
@@ -378,6 +433,7 @@ def _run_workload(args, telemetry=None):
         telemetry=telemetry,
         **_fault_arguments(args),
     )
+    return result, program
 
 
 def _print_fault_lines(result, out) -> None:
@@ -392,11 +448,20 @@ def _print_fault_lines(result, out) -> None:
         print(f"stalls       : {result.stalls}", file=out)
 
 
+def _sanitize_and_report(result, program, out) -> int:
+    """Replay ``result`` through the rundown sanitizer; 1 on findings."""
+    from repro.lint import sanitize_result
+
+    report = sanitize_result(result, program)
+    print(report.render_text(), file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_simulate(args, out) -> int:
     from repro.faults import PhaseAbortError
 
     try:
-        result = _run_workload(args)
+        result, program = _run_workload(args)
     except (PhaseAbortError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -420,6 +485,8 @@ def _cmd_simulate(args, out) -> int:
 
         save_result(result, args.save)
         print(f"saved run to {args.save}", file=out)
+    if args.sanitize:
+        return _sanitize_and_report(result, program, out)
     return 0
 
 
@@ -461,7 +528,7 @@ def _cmd_stats(args, out) -> int:
 
     telemetry = Telemetry()
     try:
-        result = _run_workload(args, telemetry=telemetry)
+        result, _ = _run_workload(args, telemetry=telemetry)
     except (PhaseAbortError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -939,6 +1006,17 @@ def _default_map_generators(program):
     return gens
 
 
+def _parse_bindings(bindings):
+    """``--set NAME=INT`` tokens -> env dict; raises ``ValueError``."""
+    env = {}
+    for binding in bindings:
+        name, _, value = binding.partition("=")
+        if not value.lstrip("-").isdigit():
+            raise ValueError(f"--set expects NAME=INT, got {binding!r}")
+        env[name] = int(value)
+    return env
+
+
 def _cmd_compile(args, out) -> int:
     try:
         with open(args.file, "r", encoding="utf-8") as fh:
@@ -946,13 +1024,11 @@ def _cmd_compile(args, out) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    env = {}
-    for binding in args.bindings:
-        name, _, value = binding.partition("=")
-        if not value.lstrip("-").isdigit():
-            print(f"error: --set expects NAME=INT, got {binding!r}", file=sys.stderr)
-            return 2
-        env[name] = int(value)
+    try:
+        env = _parse_bindings(args.bindings)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         program = compile_program(source, env=env)
     except LangError as exc:
@@ -969,7 +1045,61 @@ def _cmd_compile(args, out) -> int:
         result = run_program(program, args.workers)
         print(f"makespan : {result.makespan:.2f}", file=out)
         print(f"util     : {result.utilization:.1%}", file=out)
+        if args.save:
+            from repro.sim.persist import save_result
+
+            save_result(result, args.save)
+            print(f"saved run to {args.save}", file=out)
+        if args.sanitize:
+            return _sanitize_and_report(result, program, out)
+    elif args.sanitize or args.save:
+        print("error: --sanitize/--save require --run", file=sys.stderr)
+        return 2
     return 0
+
+
+def _rule_id_set(chunks, flag):
+    """Flatten repeatable ``RULE[,RULE...]`` options; validate against RULES."""
+    from repro.lint import RULES
+
+    ids = {
+        token.strip().upper()
+        for chunk in chunks
+        for token in chunk.split(",")
+        if token.strip()
+    }
+    unknown = sorted(ids - set(RULES))
+    if unknown:
+        raise ValueError(f"{flag}: unknown rule ID(s) {', '.join(unknown)}")
+    return ids
+
+
+def _lint_check_run(args, program_file, out) -> int:
+    """``lint --check-run RUN.json FILE.pax``: sanitize a saved run."""
+    import json
+
+    from repro.lint import sanitize_saved
+
+    try:
+        with open(program_file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        env = _parse_bindings(args.bindings)
+        program = compile_program(source, env=env)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (LangError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.check_run, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        report = sanitize_saved(data, program)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_text(), file=out)
+    return 0 if report.ok else 1
 
 
 def _cmd_lint(args, out) -> int:
@@ -979,6 +1109,7 @@ def _cmd_lint(args, out) -> int:
         filter_suppressed,
         lint_file,
         render_json,
+        render_sarif,
         render_text,
         run_self_check,
     )
@@ -987,32 +1118,53 @@ def _cmd_lint(args, out) -> int:
         ok, lines = run_self_check()
         print("\n".join(lines), file=out)
         return 0 if ok else 1
+    if args.json and args.sarif:
+        print("error: --json and --sarif are mutually exclusive", file=sys.stderr)
+        return 2
     if not args.files:
         print("error: no files to lint (or use --self-check)", file=sys.stderr)
         return 2
+    if args.check_run and len(dict.fromkeys(args.files)) != 1:
+        print("error: --check-run validates exactly one PAX source", file=sys.stderr)
+        return 2
 
-    suppressed = {
-        token.strip().upper()
-        for chunk in args.suppress
-        for token in chunk.split(",")
-        if token.strip()
-    }
+    try:
+        suppressed = _rule_id_set(args.suppress, "--suppress/--disable")
+        selected = _rule_id_set(args.select, "--select")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     diagnostics = []
-    for path in args.files:
+    for path in dict.fromkeys(args.files):  # ordered dedupe
         try:
             diagnostics.extend(lint_file(path))
         except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     diagnostics = filter_suppressed(diagnostics, suppressed)
+    if selected:
+        # RDN000 stays: a program that does not even compile must never
+        # pass a narrowed lint run silently.
+        diagnostics = [
+            d for d in diagnostics if d.rule_id == "RDN000" or d.rule_id in selected
+        ]
 
     if args.json:
         print(render_json(diagnostics), file=out)
+    elif args.sarif:
+        print(render_sarif(diagnostics), file=out)
     else:
         print(render_text(diagnostics), file=out)
-    if args.fail_on == "never":
-        return 0
-    return exit_code(diagnostics, Severity(args.fail_on))
+
+    rc = 0
+    if args.strict:
+        rc = 1 if diagnostics else 0
+    elif args.fail_on != "never":
+        rc = exit_code(diagnostics, Severity(args.fail_on))
+    if args.check_run:
+        run_rc = _lint_check_run(args, next(iter(dict.fromkeys(args.files))), out)
+        rc = rc or run_rc
+    return rc
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:

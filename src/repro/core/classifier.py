@@ -54,6 +54,7 @@ __all__ = [
     "build_mapping",
     "classification_of",
     "enables_no_more_than",
+    "wait_deltas",
 ]
 
 #: Most restrictive first; classification takes the worst verdict seen.
@@ -317,6 +318,25 @@ def classification_of(
 
 def _as_seam_offsets(c: PairClassification) -> frozenset[int] | None:
     """Seam-offset view of a verdict (IDENTITY ≡ SEAM{0}), else ``None``."""
+    if c.kind is MappingKind.IDENTITY:
+        return frozenset({0})
+    if c.kind is MappingKind.SEAM:
+        return frozenset(c.offsets)
+    return None
+
+
+def wait_deltas(c: PairClassification) -> frozenset[int] | None:
+    """Granule wait offsets of a point-to-point verdict, or ``None``.
+
+    For IDENTITY and SEAM verdicts the wait pairs are affine: successor
+    granule ``h`` must wait exactly for predecessor granules ``h + o``
+    over the returned offsets (``{0}`` for IDENTITY, the seam offsets
+    otherwise).  UNIVERSAL (no wait pairs), NULL (every pair waits) and
+    the indirect kinds (data-dependent wait pairs) have no finite offset
+    view and return ``None``.  This is the bridge between classification
+    verdicts and the granule-level happens-before relations in
+    :mod:`repro.lint.hb` and the trace sanitizer.
+    """
     if c.kind is MappingKind.IDENTITY:
         return frozenset({0})
     if c.kind is MappingKind.SEAM:

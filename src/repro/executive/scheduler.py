@@ -85,7 +85,7 @@ from repro.obs.events import (
     QueueDepthChanged,
 )
 from repro.sim.engine import Event, Simulator
-from repro.sim.events import EventKind
+from repro.sim.events import EventKind, format_task_label
 from repro.sim.machine import CHIEF_LANE, ExecutivePlacement, Machine, Processor
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Trace
@@ -873,7 +873,7 @@ class ExecutiveSimulation:
                 proc,
                 task_time,
                 lambda p, d=desc: self._on_task_done(d, p),
-                label=f"{run.spec.name}#{run.gid}:{desc.granules!r}",
+                label=format_task_label(run.spec.name, run.gid, desc.granules),
             )
             if not started:
                 # the executive's host processor was reclaimed; requeue at

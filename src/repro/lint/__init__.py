@@ -8,20 +8,35 @@ This package closes that door statically: it races every declared
 mapping against the mapping *inferred* from the phases' READS/WRITES
 footprints and reports any declaration the data flow cannot support
 (``RDN001``), any that wastes rundown utilization (``RDN002``), and the
-structural smells around them (``RDN003``–``RDN006``).
+structural smells around them (``RDN003``–``RDN006``).  A whole-program
+happens-before engine (:mod:`repro.lint.hb`) composes the declared
+granule relations along every control-flow path and powers the
+phase-ordering rules: enablement cycles (``RDN007``), redundant
+declarations (``RDN008``), over-synchronization (``RDN009``) and
+cost-model-weighted rundown idle (``RDN010``).
 
 Entry points:
 
 * :func:`lint_source` / :func:`lint_file` — analyze PAX text or a file;
+* :class:`HappensBeforeEngine` — the granule-level partial order the
+  phase-ordering rules query;
+* :func:`sanitize_result` / :func:`sanitize_saved` — the trace-replay
+  rundown sanitizer: validates an *executed* run (live result or saved
+  JSON) against the program's declared and inferred orders;
 * :class:`AdmissionGuard` — runtime cross-check that scheduler
   admissions never exceed the static verdict;
 * :func:`run_self_check` — embedded corpus smoke test (one program per
   rule);
-* ``repro lint`` — the CLI front end with text/JSON output and
+* ``repro lint`` — the CLI front end with text/JSON/SARIF output and
   CI-friendly exit codes (see ``docs/LINTING.md``).
 """
 
-from repro.lint.analyzer import lint_file, lint_source
+from repro.lint.analyzer import (
+    DEFAULT_IDLE_THRESHOLD,
+    DEFAULT_PROCESSORS,
+    lint_file,
+    lint_source,
+)
 from repro.lint.crosscheck import AdmissionGuard, CrossCheckError
 from repro.lint.diagnostics import (
     Diagnostic,
@@ -31,12 +46,33 @@ from repro.lint.diagnostics import (
     render_text,
     source_suppressions,
 )
+from repro.lint.hb import (
+    GranuleRelation,
+    HappensBeforeEngine,
+    HBCycle,
+    HBEdge,
+    compose,
+    relation_of,
+)
 from repro.lint.rules import RULES, Rule, Severity, rule
+from repro.lint.sanitizer import (
+    ExecutedTask,
+    SanitizerFinding,
+    SanitizerReport,
+    sanitize_result,
+    sanitize_saved,
+    tasks_from_records,
+    tasks_from_spans,
+    tasks_from_trace,
+)
+from repro.lint.sarif import render_sarif, sarif_log
 from repro.lint.selfcheck import SELF_CHECK_CORPUS, run_self_check
 
 __all__ = [
     "lint_source",
     "lint_file",
+    "DEFAULT_PROCESSORS",
+    "DEFAULT_IDLE_THRESHOLD",
     "AdmissionGuard",
     "CrossCheckError",
     "Diagnostic",
@@ -44,7 +80,23 @@ __all__ = [
     "filter_suppressed",
     "render_json",
     "render_text",
+    "render_sarif",
+    "sarif_log",
     "source_suppressions",
+    "GranuleRelation",
+    "HappensBeforeEngine",
+    "HBCycle",
+    "HBEdge",
+    "compose",
+    "relation_of",
+    "ExecutedTask",
+    "SanitizerFinding",
+    "SanitizerReport",
+    "sanitize_result",
+    "sanitize_saved",
+    "tasks_from_records",
+    "tasks_from_spans",
+    "tasks_from_trace",
     "RULES",
     "Rule",
     "Severity",

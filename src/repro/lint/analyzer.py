@@ -21,36 +21,52 @@ clauses (**RDN003**), phases never dispatched on any reachable path
 (**RDN004**), and ``MAP`` declarations no footprint consumes
 (**RDN005**).  A program that fails the front end at all is a single
 **RDN000**.
+
+The whole-program rules build the happens-before graph of
+:mod:`repro.lint.hb` once per program: contradictory declared wait
+cycles (**RDN007**), declared mappings the transitive order already
+implies (**RDN008**), whole-phase barriers where only point-to-point
+granule pairs conflict (**RDN009**, replacing generic RDN002 on those
+pairs), and a cost-model estimate of the rundown idle a too-strong
+ordering forfeits (**RDN010**, threshold-gated, riding alongside
+RDN002/RDN009 via :func:`repro.analysis.models.overlap_idle_forfeit`).
 """
 
 from __future__ import annotations
 
 import re
 
+from repro.analysis.models import overlap_idle_forfeit
 from repro.core.classifier import (
+    PairClassification,
     classification_of,
     classify_pair,
     enables_no_more_than,
+    wait_deltas,
 )
+from repro.core.mapping import MappingKind
 from repro.core.phase import PhaseSpec
-from repro.lang.ast import (
-    DefinePhase,
-    Dispatch,
-    EnableClauseKind,
-    Goto,
-    IfGoto,
-    IndexForm,
-    Program,
-    SerialStmt,
-)
+from repro.lang.ast import DefinePhase, Dispatch, IndexForm, Program
 from repro.lang.compiler import access_pattern_of, mapping_from_option, select_option
 from repro.lang.errors import LangError
 from repro.lang.parser import parse
 from repro.lang.semantics import VerifiedProgram, verify
 from repro.lint.diagnostics import Diagnostic, filter_suppressed, source_suppressions
+from repro.lint.hb import (
+    HappensBeforeEngine,
+    declared_span as _declared_span,
+    followers_with_serial as _followers_with_serial,
+    reachable_statements as _reachable_statements,
+)
 from repro.lint.rules import RULES
 
-__all__ = ["lint_source", "lint_file"]
+__all__ = ["lint_source", "lint_file", "DEFAULT_PROCESSORS", "DEFAULT_IDLE_THRESHOLD"]
+
+#: Machine size assumed by the RDN010 cost model when none is given.
+DEFAULT_PROCESSORS = 8
+#: RDN010 fires when the forfeited idle reaches this fraction of the
+#: predecessor phase's processor-time.
+DEFAULT_IDLE_THRESHOLD = 0.05
 
 _LOC_PREFIX = re.compile(r"^line \d+(?::\d+)?: ")
 
@@ -59,82 +75,64 @@ def _diag(rule_id: str, file: str, line: int, col: int, message: str) -> Diagnos
     return Diagnostic(rule_id, RULES[rule_id].severity, file, max(line, 1), max(col, 1), message)
 
 
-def _reachable_statements(program: Program) -> set[int]:
-    """Statement indexes reachable from the program entry."""
-    labels = program.labels()
-    statements = program.statements
-    seen: set[int] = set()
-    stack = [0]
-    while stack:
-        i = stack.pop()
-        while 0 <= i < len(statements) and i not in seen:
-            seen.add(i)
-            s = statements[i]
-            if isinstance(s, Goto):
-                i = labels[s.target]
-                continue
-            if isinstance(s, IfGoto):
-                stack.append(labels[s.target])
-            i += 1
-    return seen
+def _point_pair_count(n_pred: int, n_succ: int, offsets: frozenset[int]) -> int:
+    """In-range granule wait pairs of a window relation (RDN009 estimate)."""
+    total = 0
+    for o in offsets:
+        lo = max(0, -o)
+        hi = min(n_succ, n_pred - o)
+        total += max(0, hi - lo)
+    return total
 
 
-def _followers_with_serial(
-    program: Program, dispatch_index: int
-) -> list[tuple[str, bool]]:
-    """``(phase, serial_on_every_path)`` for each follower of a dispatch.
-
-    Like :func:`repro.lang.semantics.next_dispatch_phases` but tracks
-    whether a ``SERIAL`` statement separates the pair.  When a follower
-    is reachable both with and without an intervening serial action, the
-    serial-free path governs — that is the path overlap could occur on.
-    """
-    labels = program.labels()
-    statements = program.statements
-    found: dict[str, bool] = {}
-    seen_states: set[tuple[int, bool]] = set()
-    stack: list[tuple[int, bool]] = [(dispatch_index + 1, False)]
-    while stack:
-        i, serial = stack.pop()
-        while i < len(statements):
-            if (i, serial) in seen_states:
-                break
-            seen_states.add((i, serial))
-            s = statements[i]
-            if isinstance(s, Dispatch):
-                found[s.phase] = found.get(s.phase, True) and serial
-                break
-            if isinstance(s, SerialStmt):
-                serial = True
-            elif isinstance(s, Goto):
-                i = labels[s.target]
-                continue
-            elif isinstance(s, IfGoto):
-                stack.append((labels[s.target], serial))
-            i += 1
-    return sorted(found.items())
+def _rdn009(
+    filename: str, line: int, col: int,
+    pred_def: DefinePhase, succ_def: DefinePhase,
+    inferred: PairClassification, cause: str,
+) -> Diagnostic:
+    deltas = wait_deltas(inferred)
+    assert deltas is not None
+    enforced = pred_def.granules * succ_def.granules
+    needed = _point_pair_count(pred_def.granules, succ_def.granules, deltas)
+    return _diag(
+        "RDN009", filename, line, col,
+        f"{pred_def.name} -> {succ_def.name}: {cause} enforces all "
+        f"{enforced} granule pairs, but only {needed} point-to-point "
+        f"pairs conflict (inferred MAPPING="
+        f"{inferred.kind.value.upper()}: {inferred.reason}); declare the "
+        f"point-to-point mapping instead of a whole-phase barrier",
+    )
 
 
-def _declared_span(
-    dispatch: Dispatch, succ: str, verified: VerifiedProgram
-) -> tuple[int, int]:
-    """Best source span for the declaration governing ``dispatch -> succ``."""
-    clause = dispatch.enable
-    if clause is not None:
-        if clause.kind in (EnableClauseKind.LIST, EnableClauseKind.BRANCH_INDEPENDENT):
-            for item in clause.items:
-                if item.phase == succ:
-                    return item.line or clause.line, item.col or clause.col
-            return clause.line, clause.col
-        if clause.kind is EnableClauseKind.INLINE:
-            return clause.line, clause.col
-    for item in verified.definitions[dispatch.phase].enables:
-        if item.phase == succ:
-            return item.line or dispatch.line, item.col or dispatch.col
-    return dispatch.line, dispatch.col
+def _rdn010(
+    filename: str, line: int, col: int,
+    pred_def: DefinePhase, succ_def: DefinePhase,
+    inferred: PairClassification, processors: int, idle_threshold: float,
+) -> Diagnostic | None:
+    est = overlap_idle_forfeit(
+        pred_def.granules, succ_def.granules,
+        pred_def.cost, succ_def.cost, processors,
+    )
+    if est.forfeit_seconds <= 0 or est.forfeit_fraction < idle_threshold:
+        return None
+    return _diag(
+        "RDN010", filename, line, col,
+        f"{pred_def.name} -> {succ_def.name}: the enforced ordering "
+        f"forfeits an estimated {est.forfeit_seconds:.1f} idle "
+        f"processor-seconds during rundown "
+        f"({est.forfeit_fraction:.0%} of the phase's processor-time at "
+        f"P={processors}); data flow supports "
+        f"MAPPING={inferred.kind.value.upper()}",
+    )
 
 
-def _analyze(program: Program, verified: VerifiedProgram, filename: str) -> list[Diagnostic]:
+def _analyze(
+    program: Program,
+    verified: VerifiedProgram,
+    filename: str,
+    processors: int = DEFAULT_PROCESSORS,
+    idle_threshold: float = DEFAULT_IDLE_THRESHOLD,
+) -> list[Diagnostic]:
     out: list[Diagnostic] = []
     definitions = verified.definitions
     map_decls = program.map_decls()
@@ -146,6 +144,36 @@ def _analyze(program: Program, verified: VerifiedProgram, filename: str) -> list
         name: PhaseSpec(name, d.granules, access=access_pattern_of(d, map_decls))
         for name, d in definitions.items()
     }
+
+    # ---- the whole-program happens-before graph (rules RDN007/RDN008)
+    engine = HappensBeforeEngine(program, verified, specs=specs)
+    for cycle in engine.cycles():
+        e0 = cycle.edges[0]
+        if cycle.relation.kind == "window":
+            detail = "the composed wait offsets include 0"
+        else:
+            detail = "every granule transitively waits for every granule"
+        out.append(
+            _diag(
+                "RDN007", filename, e0.line, e0.col,
+                f"enablement cycle {cycle.describe()}: {detail}, so a "
+                f"granule waits for its own completion; any executive "
+                f"honoring these interlocks deadlocks during rundown",
+            )
+        )
+    for edge, witness in engine.redundant_declared_edges():
+        via = (
+            " -> ".join(witness) if witness
+            else "the union of transitive happens-before paths"
+        )
+        out.append(
+            _diag(
+                "RDN008", filename, edge.line, edge.col,
+                f"{edge.pred} -> {edge.succ}: declared MAPPING="
+                f"{edge.option_desc} is fully implied by {via}; the "
+                f"interlock adds synchronization cost but no ordering",
+            )
+        )
 
     # ---- RDN004: phases never dispatched on any reachable path
     dispatched_live = {
@@ -207,20 +235,34 @@ def _analyze(program: Program, verified: VerifiedProgram, filename: str) -> list
 
             if option is None:
                 # Declared barrier.  Lost utilization only if the data
-                # flow provably allows overlap.
+                # flow provably allows overlap; when it supports a
+                # point-to-point mapping, the barrier is RDN009
+                # over-synchronization rather than generic RDN002.
                 if have_footprints:
                     inferred = classify_pair(specs[s.phase], specs[succ], serial_between)
                     if inferred.kind.overlappable:
-                        out.append(
-                            _diag(
-                                "RDN002", filename, line, col,
-                                f"{s.phase} -> {succ}: no ENABLE declared, but "
-                                f"data flow supports "
-                                f"MAPPING={inferred.kind.value.upper()} "
-                                f"({inferred.reason}); rundown processors idle "
-                                f"at an unnecessary barrier",
+                        if wait_deltas(inferred) is not None:
+                            out.append(_rdn009(
+                                filename, line, col, pred_def, succ_def,
+                                inferred, "the implicit whole-phase barrier",
+                            ))
+                        else:
+                            out.append(
+                                _diag(
+                                    "RDN002", filename, line, col,
+                                    f"{s.phase} -> {succ}: no ENABLE declared, but "
+                                    f"data flow supports "
+                                    f"MAPPING={inferred.kind.value.upper()} "
+                                    f"({inferred.reason}); rundown processors idle "
+                                    f"at an unnecessary barrier",
+                                )
                             )
+                        idle = _rdn010(
+                            filename, line, col, pred_def, succ_def,
+                            inferred, processors, idle_threshold,
                         )
+                        if idle is not None:
+                            out.append(idle)
                 continue
 
             declared = classification_of(mapping_from_option(option), s.phase, succ)
@@ -253,24 +295,49 @@ def _analyze(program: Program, verified: VerifiedProgram, filename: str) -> list
                     )
                 )
             elif not enables_no_more_than(inferred, declared):
-                out.append(
-                    _diag(
-                        "RDN002", filename, line, col,
-                        f"{s.phase} -> {succ}: declared MAPPING="
-                        f"{declared.kind.value.upper()} is strictly weaker "
-                        f"than the data flow allows (inferred "
-                        f"{inferred.kind.value.upper()}: {inferred.reason}); "
-                        f"utilization is lost during rundown",
+                if (
+                    declared.kind is MappingKind.NULL
+                    and wait_deltas(inferred) is not None
+                ):
+                    out.append(_rdn009(
+                        filename, line, col, pred_def, succ_def,
+                        inferred, "the declared NULL mapping",
+                    ))
+                else:
+                    out.append(
+                        _diag(
+                            "RDN002", filename, line, col,
+                            f"{s.phase} -> {succ}: declared MAPPING="
+                            f"{declared.kind.value.upper()} is strictly weaker "
+                            f"than the data flow allows (inferred "
+                            f"{inferred.kind.value.upper()}: {inferred.reason}); "
+                            f"utilization is lost during rundown",
+                        )
                     )
+                idle = _rdn010(
+                    filename, line, col, pred_def, succ_def,
+                    inferred, processors, idle_threshold,
                 )
+                if idle is not None:
+                    out.append(idle)
 
     severity_order = {"error": 0, "warning": 1, "info": 2}
     out.sort(key=lambda d: (d.file, d.line, d.col, severity_order[d.severity.value], d.rule_id))
     return out
 
 
-def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
-    """Lint PAX source text; returns findings after pragma suppression."""
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    *,
+    processors: int = DEFAULT_PROCESSORS,
+    idle_threshold: float = DEFAULT_IDLE_THRESHOLD,
+) -> list[Diagnostic]:
+    """Lint PAX source text; returns findings after pragma suppression.
+
+    ``processors`` and ``idle_threshold`` parameterize the RDN010
+    rundown-idle cost model.
+    """
     try:
         program = parse(source)
         verified = verify(program)
@@ -278,11 +345,19 @@ def lint_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
         message = _LOC_PREFIX.sub("", str(e))
         diags = [_diag("RDN000", filename, e.line or 1, e.col or 1, message)]
         return filter_suppressed(diags, source_suppressions(source))
-    diags = _analyze(program, verified, filename)
+    diags = _analyze(program, verified, filename, processors, idle_threshold)
     return filter_suppressed(diags, source_suppressions(source))
 
 
-def lint_file(path: str) -> list[Diagnostic]:
+def lint_file(
+    path: str,
+    *,
+    processors: int = DEFAULT_PROCESSORS,
+    idle_threshold: float = DEFAULT_IDLE_THRESHOLD,
+) -> list[Diagnostic]:
     """Lint one ``.pax`` file (IO errors propagate to the caller)."""
     with open(path, "r", encoding="utf-8") as fh:
-        return lint_source(fh.read(), filename=path)
+        return lint_source(
+            fh.read(), filename=path,
+            processors=processors, idle_threshold=idle_threshold,
+        )

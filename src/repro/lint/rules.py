@@ -77,6 +77,31 @@ RULES: dict[str, Rule] = {
             "unverifiable overlap: overlappable mapping declared without "
             "READS/WRITES footprints to check it against",
         ),
+        Rule(
+            "RDN007",
+            Severity.ERROR,
+            "enablement cycle: declared interlocks order a granule after "
+            "itself — guaranteed deadlock/stall during rundown",
+        ),
+        Rule(
+            "RDN008",
+            Severity.WARNING,
+            "redundant ENABLE: declared mapping is fully implied by the "
+            "transitive happens-before order — dead synchronization cost",
+        ),
+        Rule(
+            "RDN009",
+            Severity.WARNING,
+            "over-synchronization: whole-phase barrier where only "
+            "point-to-point granule pairs actually conflict",
+        ),
+        Rule(
+            "RDN010",
+            Severity.WARNING,
+            "rundown idle forfeited: cost model predicts the declared "
+            "ordering wastes a significant fraction of the phase's "
+            "processor-time at the boundary",
+        ),
     )
 }
 

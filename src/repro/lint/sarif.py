@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 export for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS standard
+code-scanning tools speak to CI dashboards — GitHub code scanning,
+Azure DevOps, VS Code's SARIF viewer all ingest it directly.  One run
+object, the full rule catalog under ``tool.driver.rules``, one result
+per finding.  Output is deterministic (``sort_keys=True``, fixed
+indent) so the artifact diffs cleanly between CI runs.
+
+Severity maps onto SARIF levels: ERROR -> ``error``, WARNING ->
+``warning``, INFO -> ``note``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import RULES, Severity
+
+__all__ = ["sarif_log", "render_sarif", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    r = RULES[rule_id]
+    return {
+        "id": r.id,
+        "shortDescription": {"text": r.summary},
+        "defaultConfiguration": {"level": _LEVELS[r.severity]},
+    }
+
+
+def _result(d: Diagnostic, rule_index: dict[str, int]) -> dict[str, Any]:
+    return {
+        "ruleId": d.rule_id,
+        "ruleIndex": rule_index.get(d.rule_id, -1),
+        "level": _LEVELS[d.severity],
+        "message": {"text": d.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": d.file},
+                    "region": {
+                        "startLine": max(d.line, 1),
+                        "startColumn": max(d.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_log(diagnostics: list[Diagnostic]) -> dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log object (plain dicts)."""
+    rule_ids = list(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [_rule_descriptor(rid) for rid in rule_ids],
+                    }
+                },
+                "results": [_result(d, rule_index) for d in diagnostics],
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    """Findings as a deterministic SARIF 2.1.0 JSON document."""
+    return json.dumps(sarif_log(diagnostics), indent=2, sort_keys=True)

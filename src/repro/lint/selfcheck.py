@@ -76,6 +76,46 @@ SELF_CHECK_CORPUS: dict[str, tuple[str, frozenset[str]]] = {
         ),
         frozenset({"RDN006"}),
     ),
+    "rdn007": (
+        (
+            "DEFINE PHASE ping GRANULES=8 READS [ A(I) ] WRITES [ B(I) ]"
+            " ENABLE [ pong/MAPPING=IDENTITY ]\n"
+            "DEFINE PHASE pong GRANULES=8 READS [ B(I) ] WRITES [ A(I) ]"
+            " ENABLE [ ping/MAPPING=IDENTITY ]\n"
+            "DISPATCH ping ENABLE/BRANCHDEPENDENT\n"
+            "DISPATCH pong ENABLE/BRANCHDEPENDENT\n"
+        ),
+        frozenset({"RDN007"}),
+    ),
+    "rdn008": (
+        (
+            "DEFINE PHASE a GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ Y(*) ] WRITES [ Z(I) ]\n"
+            "DEFINE PHASE c GRANULES=8 READS [ Z(*) ] WRITES [ W(I) ]\n"
+            "DISPATCH a ENABLE [ b/MAPPING=NULL c/MAPPING=IDENTITY ]\n"
+            "DISPATCH b\n"
+            "DISPATCH c\n"
+        ),
+        frozenset({"RDN008"}),
+    ),
+    "rdn009": (
+        (
+            "DEFINE PHASE relax GRANULES=8 READS [ F(I) ] WRITES [ U(I) ]\n"
+            "DEFINE PHASE sweep GRANULES=8 READS [ U(I-1) U(I) U(I+1) ] WRITES [ V(I) ]\n"
+            "DISPATCH relax\n"
+            "DISPATCH sweep\n"
+        ),
+        frozenset({"RDN009"}),
+    ),
+    "rdn010": (
+        (
+            "DEFINE PHASE big GRANULES=9 COST=4.0 READS [ P(I) ] WRITES [ Q(I) ]\n"
+            "DEFINE PHASE next GRANULES=40 COST=1.0 READS [ R(I) ] WRITES [ S(I) ]\n"
+            "DISPATCH big ENABLE [ next/MAPPING=NULL ]\n"
+            "DISPATCH next\n"
+        ),
+        frozenset({"RDN002", "RDN010"}),
+    ),
 }
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "SpanRecorder",
     "spans_from_trace",
     "iter_trace_spans",
+    "granule_task_spans",
     "instants_from_trace",
     "chrome_trace_events",
     "chrome_trace_from_trace",
@@ -167,6 +168,30 @@ def iter_trace_spans(trace: Trace) -> Iterator[Span]:
             end=iv.end,
             category=iv.category,
         )
+
+
+def granule_task_spans(
+    spans: Iterable[Span],
+) -> Iterator[tuple[Span, str, int, tuple[tuple[int, int], ...]]]:
+    """Yield computation-task spans with their parsed granule identity.
+
+    Each result is ``(span, phase_name, run_gid, granule_ranges)`` for
+    spans whose name carries the scheduler's task label (see
+    :func:`repro.sim.events.format_task_label`); management, serial and
+    other spans are skipped.  This is the obs-side feed for the trace
+    sanitizer: exported span files round-trip the same granule facts the
+    live trace carries.
+    """
+    from repro.sim.events import parse_task_label
+
+    for span in spans:
+        if span.category != "compute":
+            continue
+        parsed = parse_task_label(span.name)
+        if parsed is None:
+            continue
+        phase, run, ranges = parsed
+        yield span, phase, run, ranges
 
 
 def instants_from_trace(trace: Trace) -> list[tuple[float, str, str, dict[str, Any]]]:

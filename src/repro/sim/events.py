@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["EventKind", "LogRecord"]
+__all__ = ["EventKind", "LogRecord", "format_task_label", "parse_task_label"]
 
 
 class EventKind(enum.Enum):
@@ -48,6 +48,45 @@ class EventKind(enum.Enum):
     PHASE_STALLED = "phase_stalled"
     #: Free-form annotation.
     NOTE = "note"
+
+
+# ``phase#run:GranuleSet([a,b),[c,d))`` — the label every computation task
+# carries in TASK_START/TASK_END/TASK_LOST records and obs spans.
+def format_task_label(phase: str, run: int, granules: Any) -> str:
+    """The canonical trace label of a computation task.
+
+    ``granules`` is anything whose ``repr`` is the ``GranuleSet`` form
+    (normally a :class:`~repro.core.granule.GranuleSet`).  The scheduler
+    emits this exact string; :func:`parse_task_label` inverts it, so the
+    trace sanitizer can rebuild executed granule sets from a saved run.
+    """
+    return f"{phase}#{run}:{granules!r}"
+
+
+def parse_task_label(label: str) -> tuple[str, int, tuple[tuple[int, int], ...]] | None:
+    """Invert :func:`format_task_label`; ``None`` for non-task labels.
+
+    Returns ``(phase_name, run_gid, ((start, stop), ...))`` with the
+    half-open granule ranges in label order.
+    """
+    # hand-rolled split instead of a regex: the sanitizer parses one
+    # label per task event and this is on its critical path
+    phase, sep, rest = label.rpartition("#")
+    if not sep or not phase:
+        return None
+    run_s, sep, body = rest.partition(":GranuleSet(")
+    if not sep or not run_s.isdigit() or not body.endswith(")"):
+        return None
+    body = body[:-1]
+    ranges: list[tuple[int, int]] = []
+    if body:
+        try:
+            for part in body.split("),"):
+                lo_s, _, hi_s = part.removeprefix("[").removesuffix(")").partition(",")
+                ranges.append((int(lo_s), int(hi_s)))
+        except ValueError:
+            return None
+    return phase, int(run_s), tuple(ranges)
 
 
 @dataclass(frozen=True, slots=True)

@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.sim.events import EventKind, LogRecord
-from repro.sim.trace import Interval, Trace
+from repro.sim.trace import TASK_EVENT_KINDS, Interval, Trace
 
 __all__ = [
     "trace_to_dict",
@@ -58,14 +58,15 @@ def trace_from_dict(data: dict[str, Any]) -> Trace:
     """Rebuild a :class:`Trace` saved by :func:`trace_to_dict`."""
     trace = Trace()
     for r in data.get("records", []):
-        trace.records.append(
-            LogRecord(
-                time=float(r["time"]),
-                kind=EventKind(r["kind"]),
-                subject=r["subject"],
-                detail=dict(r.get("detail", {})),
-            )
+        rec = LogRecord(
+            time=float(r["time"]),
+            kind=EventKind(r["kind"]),
+            subject=r["subject"],
+            detail=dict(r.get("detail", {})),
         )
+        trace.records.append(rec)
+        if rec.kind in TASK_EVENT_KINDS:
+            trace.task_records.append(rec)
     for iv in data.get("intervals", []):
         trace.add_interval(
             Interval(

@@ -17,7 +17,19 @@ import numpy as np
 
 from repro.sim.events import EventKind, LogRecord
 
-__all__ = ["Interval", "Trace", "TraceError", "utilization_timeline", "merge_intervals"]
+__all__ = [
+    "Interval",
+    "TASK_EVENT_KINDS",
+    "Trace",
+    "TraceError",
+    "utilization_timeline",
+    "merge_intervals",
+]
+
+#: The record kinds that describe computation tasks (vs management work).
+TASK_EVENT_KINDS = frozenset(
+    (EventKind.TASK_START, EventKind.TASK_END, EventKind.TASK_LOST)
+)
 
 
 class TraceError(RuntimeError):
@@ -72,13 +84,21 @@ class Trace:
 
     def __init__(self) -> None:
         self.records: list[LogRecord] = []
+        #: TASK_START/TASK_END/TASK_LOST records in arrival order.  The
+        #: trace sanitizer replays only these, and they are outnumbered
+        #: ~5:1 by management records — indexing at log time spares every
+        #: consumer the full-trace scan.
+        self.task_records: list[LogRecord] = []
         self._intervals: dict[str, list[Interval]] = {}
         self._open: dict[tuple[str, str], tuple[float, str]] = {}
 
     # ------------------------------------------------------------------ logging
     def log(self, time: float, kind: EventKind, subject: str, **detail: Any) -> None:
         """Append a log record."""
-        self.records.append(LogRecord(time=time, kind=kind, subject=subject, detail=detail))
+        rec = LogRecord(time=time, kind=kind, subject=subject, detail=detail)
+        self.records.append(rec)
+        if kind in TASK_EVENT_KINDS:
+            self.task_records.append(rec)
 
     def begin(self, resource: str, time: float, category: str = "compute", label: str = "") -> None:
         """Open a busy interval on ``resource``.

@@ -1,0 +1,226 @@
+"""Tests for the whole-program happens-before engine (``repro.lint.hb``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classifier import PairClassification
+from repro.core.mapping import MappingKind
+from repro.lang import parse, verify
+from repro.lint.hb import (
+    ALL_RELATION,
+    EMPTY_RELATION,
+    MAX_OFFSETS,
+    GranuleRelation,
+    HappensBeforeEngine,
+    compose,
+    relation_of,
+)
+
+
+def _c(kind, offsets=(), map_name="", fan_in=1):
+    return PairClassification(
+        "p", "s", kind, offsets=offsets, map_name=map_name, fan_in=fan_in
+    )
+
+
+def engine_for(src: str) -> HappensBeforeEngine:
+    program = parse(src)
+    return HappensBeforeEngine(program, verify(program))
+
+
+def window(*offsets: int) -> GranuleRelation:
+    return GranuleRelation("window", offsets=frozenset(offsets))
+
+
+class TestRelationOf:
+    def test_universal_is_empty(self):
+        assert relation_of(_c(MappingKind.UNIVERSAL)) is EMPTY_RELATION
+
+    def test_null_is_all(self):
+        assert relation_of(_c(MappingKind.NULL)) is ALL_RELATION
+
+    def test_identity_is_zero_window(self):
+        assert relation_of(_c(MappingKind.IDENTITY)) == window(0)
+
+    def test_seam_keeps_offsets(self):
+        assert relation_of(_c(MappingKind.SEAM, offsets=(-1, 0, 1))) == window(-1, 0, 1)
+
+    def test_indirect_is_mapped(self):
+        r = relation_of(_c(MappingKind.REVERSE_INDIRECT, map_name="IMAP", fan_in=4))
+        assert r.kind == "mapped" and r.direction == "reverse" and r.fan == 4
+        r = relation_of(_c(MappingKind.FORWARD_INDIRECT, map_name="JMAP"))
+        assert r.kind == "mapped" and r.direction == "forward"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            GranuleRelation("sideways")
+
+
+class TestCompose:
+    def test_empty_absorbs_both_sides(self):
+        assert compose(EMPTY_RELATION, ALL_RELATION) is EMPTY_RELATION
+        assert compose(window(0), EMPTY_RELATION) is EMPTY_RELATION
+
+    def test_opaque_absorbs(self):
+        opaque = GranuleRelation("opaque")
+        assert compose(opaque, ALL_RELATION).kind == "opaque"
+        assert compose(window(0), opaque).kind == "opaque"
+
+    def test_window_compose_is_sumset(self):
+        assert compose(window(-1, 0, 1), window(0, 2)) == window(-1, 0, 1, 2, 3)
+
+    def test_window_cap_degrades_to_opaque(self):
+        wide = window(*range(MAX_OFFSETS))
+        assert compose(wide, window(0, MAX_OFFSETS)).kind == "opaque"
+
+    def test_all_through_window_stays_all(self):
+        assert compose(ALL_RELATION, window(0)).kind == "all"
+        assert compose(window(-1, 1), ALL_RELATION).kind == "all"
+        assert compose(ALL_RELATION, ALL_RELATION).kind == "all"
+
+    def test_all_through_mapped_depends_on_direction(self):
+        reverse = GranuleRelation("mapped", map_name="M", fan=2, direction="reverse")
+        forward = GranuleRelation("mapped", map_name="M", direction="forward")
+        # every successor granule has fan-in sources -> still all
+        assert compose(ALL_RELATION, reverse).kind == "all"
+        # a forward map's columns may be empty -> no claim
+        assert compose(ALL_RELATION, forward).kind == "opaque"
+        # ...and symmetrically entering an "all" hop
+        assert compose(forward, ALL_RELATION).kind == "all"
+        assert compose(reverse, ALL_RELATION).kind == "opaque"
+
+    def test_identity_is_neutral_for_mapped(self):
+        mapped = GranuleRelation("mapped", map_name="M", fan=3, direction="reverse")
+        assert compose(mapped, window(0)) == mapped
+        assert compose(window(0), mapped) == mapped
+        assert compose(mapped, window(1)).kind == "opaque"
+
+
+PIPELINE = (
+    "DEFINE PHASE a GRANULES=16 READS [ F(I) ] WRITES [ X(I) ]\n"
+    "DEFINE PHASE b GRANULES=16 READS [ X(I-1) X(I) ] WRITES [ Y(I) ]\n"
+    "DEFINE PHASE c GRANULES=16 READS [ Y(I) Y(I+1) ] WRITES [ Z(I) ]\n"
+    "DISPATCH a ENABLE [ b/MAPPING=SEAM(-1,0) ]\n"
+    "DISPATCH b ENABLE [ c/MAPPING=SEAM(0,1) ]\n"
+    "DISPATCH c\n"
+)
+
+
+class TestEngineQueries:
+    def test_reaches_follows_effective_edges_only(self):
+        eng = engine_for(PIPELINE)
+        assert eng.reaches("a", "b") and eng.reaches("b", "c") and eng.reaches("a", "c")
+        assert not eng.reaches("c", "a")
+        assert not eng.reaches("b", "a")
+
+    def test_happens_before_composes_offset_windows(self):
+        eng = engine_for(PIPELINE)
+        # a->c offsets are the sumset {-1,0} + {0,1} = {-1,0,1}:
+        # c granule j waits for a granules j-1, j, j+1
+        assert eng.happens_before("a", 5, "c", 5)
+        assert eng.happens_before("a", 4, "c", 5)
+        assert eng.happens_before("a", 6, "c", 5)
+        assert not eng.happens_before("a", 7, "c", 5)
+
+    def test_direct_query_uses_declared_window(self):
+        eng = engine_for(PIPELINE)
+        assert eng.happens_before("a", 4, "b", 5)  # offset -1
+        assert not eng.happens_before("a", 6, "b", 5)
+
+    def test_barrier_pair_orders_everything(self):
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ P(I) ] WRITES [ Q(*) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ Q(*) ] WRITES [ R(I) ]\n"
+            "DISPATCH a\n"
+            "DISPATCH b\n"
+        )
+        eng = engine_for(src)
+        assert eng.happens_before("a", 7, "b", 0)
+        assert eng.happens_before("a", 0, "b", 7)
+
+    def test_stats_counts_edges(self):
+        eng = engine_for(PIPELINE)
+        s = eng.stats()
+        assert s["phases"] == 3
+        assert s["effective_edges"] == 2
+        assert s["declared_edges"] == 2
+
+
+class TestCycles:
+    CONTRADICTION = (
+        "DEFINE PHASE ping GRANULES=8 READS [ A(I) ] WRITES [ B(I) ]"
+        " ENABLE [ pong/MAPPING=IDENTITY ]\n"
+        "DEFINE PHASE pong GRANULES=8 READS [ B(I) ] WRITES [ A(I) ]"
+        " ENABLE [ ping/MAPPING=IDENTITY ]\n"
+        "DISPATCH ping ENABLE/BRANCHDEPENDENT\n"
+        "DISPATCH pong ENABLE/BRANCHDEPENDENT\n"
+    )
+
+    def test_mutual_enable_is_a_cycle(self):
+        cycles = engine_for(self.CONTRADICTION).cycles()
+        assert len(cycles) == 1
+        cyc = cycles[0]
+        assert set(cyc.phases) == {"ping", "pong"}
+        # IDENTITY o IDENTITY: each granule waits for itself
+        assert cyc.relation.kind == "window" and 0 in cyc.relation.offsets
+        assert "ping -> pong -> ping" == cyc.describe()
+
+    def test_all_effective_loop_is_pipelining_not_a_cycle(self):
+        # the backward GOTO realizes step -> step on a forward adjacency:
+        # iterations are distinct occurrences, not a contradiction
+        src = (
+            "DEFINE PHASE step GRANULES=8 READS [ A(I) ] WRITES [ A(I) ]\n"
+            "top:\n"
+            "DISPATCH step ENABLE/BRANCHINDEPENDENT [ step/MAPPING=IDENTITY ]\n"
+            "IF (K .EQ. 0) THEN GO TO top\n"
+        )
+        assert engine_for(src).cycles() == []
+
+    def test_non_waiting_cycle_is_not_flagged(self):
+        # mutual UNIVERSAL edges impose no waits -> no contradiction
+        src = (
+            "DEFINE PHASE ping GRANULES=8 ENABLE [ pong/MAPPING=UNIVERSAL ]\n"
+            "DEFINE PHASE pong GRANULES=8 ENABLE [ ping/MAPPING=UNIVERSAL ]\n"
+            "DISPATCH ping ENABLE/BRANCHDEPENDENT\n"
+            "DISPATCH pong ENABLE/BRANCHDEPENDENT\n"
+        )
+        assert engine_for(src).cycles() == []
+
+
+class TestRedundancy:
+    CHAIN = (
+        "DEFINE PHASE a GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+        "DEFINE PHASE b GRANULES=8 READS [ Y(*) ] WRITES [ Z(I) ]\n"
+        "DEFINE PHASE c GRANULES=8 READS [ Z(*) ] WRITES [ W(I) ]\n"
+        "DISPATCH a ENABLE [ b/MAPPING=NULL c/MAPPING=IDENTITY ]\n"
+        "DISPATCH b\n"
+        "DISPATCH c\n"
+    )
+
+    def test_transitively_implied_edge_found_with_witness(self):
+        redundant = engine_for(self.CHAIN).redundant_declared_edges()
+        assert len(redundant) == 1
+        edge, witness = redundant[0]
+        assert (edge.pred, edge.succ) == ("a", "c")
+        assert witness == ["a", "b", "c"]
+
+    def test_needed_edge_is_not_redundant(self):
+        eng = engine_for(PIPELINE)
+        assert eng.redundant_declared_edges() == []
+
+    def test_duplicate_dispatch_of_same_pair_not_redundant(self):
+        # the same pair dispatched on two paths: each declared edge's
+        # "rest of the program" excludes ALL direct pred->succ edges
+        src = (
+            "DEFINE PHASE a GRANULES=8 READS [ X(I) ] WRITES [ Y(I) ]\n"
+            "DEFINE PHASE b GRANULES=8 READS [ Y(I) ] WRITES [ Z(I) ]\n"
+            "DISPATCH a ENABLE/BRANCHINDEPENDENT [ b/MAPPING=IDENTITY ]\n"
+            "IF (K .EQ. 0) THEN GO TO again\n"
+            "GOTO done\n"
+            "again:\n"
+            "DISPATCH b\n"
+            "done:\n"
+            "DISPATCH b\n"
+        )
+        assert engine_for(src).redundant_declared_edges() == []

@@ -265,6 +265,73 @@ class TestLintCLI:
         code, _ = run_cli("lint")
         assert code == 2
 
+    def test_select_narrows_reporting(self):
+        path = EXAMPLES / "lint" / "rdn010_idle_cost.pax"  # fires RDN002+RDN010
+        code, text = run_cli("lint", "--select", "RDN010", str(path))
+        assert code == 1
+        assert "RDN010" in text and "RDN002" not in text
+        code, text = run_cli("lint", "--select", "RDN007", str(path))
+        assert code == 0
+        assert "0 finding(s)" in text
+
+    def test_select_cannot_drop_rdn000(self, tmp_path):
+        bad = tmp_path / "broken.pax"
+        bad.write_text("] DISPATCH\n")
+        code, text = run_cli("lint", "--select", "RDN009", str(bad))
+        assert code == 1
+        assert "RDN000" in text
+
+    def test_disable_is_an_alias_for_suppress(self):
+        path = EXAMPLES / "lint" / "rdn003_unverified_enable.pax"
+        code, text = run_cli("lint", "--disable", "RDN003", str(path))
+        assert code == 0
+        assert "0 finding(s)" in text
+
+    def test_unknown_rule_id_is_usage_error(self):
+        path = EXAMPLES / "lint" / "rdn001_race.pax"
+        code, _ = run_cli("lint", "--select", "RDN999", str(path))
+        assert code == 2
+        code, _ = run_cli("lint", "--disable", "BOGUS", str(path))
+        assert code == 2
+
+    def test_strict_fails_on_any_finding(self):
+        path = EXAMPLES / "lint" / "rdn002_lost_utilization.pax"
+        code, _ = run_cli("lint", "--strict", "--fail-on", "error", str(path))
+        assert code == 1
+        clean = EXAMPLES / "pipeline.pax"
+        code, _ = run_cli("lint", "--strict", str(clean))
+        assert code == 0
+
+    def test_input_files_are_deduped(self):
+        path = str(EXAMPLES / "lint" / "rdn001_race.pax")
+        _, once = run_cli("lint", "--fail-on", "never", path)
+        _, twice = run_cli("lint", "--fail-on", "never", path, path)
+        assert once == twice
+
+    def test_sarif_output_is_valid_and_stable(self):
+        path = EXAMPLES / "lint" / "rdn001_race.pax"
+        code, text = run_cli("lint", "--sarif", str(path))
+        assert code == 1
+        doc = json.loads(text)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(RULES)
+        (result,) = run["results"]
+        assert result["ruleId"] == "RDN001"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("rdn001_race.pax")
+        assert loc["region"]["startLine"] >= 1
+        # deterministic: same input, same bytes
+        _, again = run_cli("lint", "--sarif", str(path))
+        assert text == again
+
+    def test_sarif_and_json_are_mutually_exclusive(self):
+        path = EXAMPLES / "lint" / "rdn001_race.pax"
+        code, _ = run_cli("lint", "--sarif", "--json", str(path))
+        assert code == 2
+
 
 class TestRuntimeCrossCheck:
     CLEAN = (
