@@ -24,9 +24,16 @@ deterministic byte count, so any drop below half the committed ratio
 means the task tuple started carrying O(map size) data again.
 
 Ratio metrics (``speedup_vs_*``, overhead fractions) and wall-clock sweep
-timings are reported by the benches but not gated here: they compare two
-measurements taken on the same run, so they are already noise-normalized
-where it matters, and wall clock depends on how loaded the runner is.
+timings are reported by the benches but not baseline-gated here: they
+compare two measurements taken on the same run, so they are already
+noise-normalized where it matters, and wall clock depends on how loaded
+the runner is.
+
+The one **absolute** gate is ``sweep_scaling.speedup`` (core suite): the
+warm-pool parallel sweep must beat serial by the core-aware floor from
+:func:`sweep_scaling_floor` — 1.5x on a >=4-core runner, proportionally
+less on narrower machines, and "within 15% of serial" on a single core,
+where real speedup is physically impossible but pool overhead is not.
 """
 
 from __future__ import annotations
@@ -63,6 +70,49 @@ SUITES: dict[str, tuple[tuple[str, str], ...]] = {
 }
 
 MAX_REGRESSION = 2.0
+
+
+def sweep_scaling_floor(available_cores: int) -> float:
+    """Minimum acceptable ``sweep_scaling.speedup`` for a core count.
+
+    The acceptance bar is an absolute **speedup > 1.5 at 4 workers** — but
+    only where the hardware can express it.  On a 4-core (or wider) runner
+    the full bar applies; with 2-3 usable cores it scales proportionally;
+    a 1-core runner cannot beat serial at all, so the floor there only
+    asserts that pool overhead stays small (warm pools + batching keep a
+    1-core parallel run within ~15% of serial — the historical cold-pool
+    regime sat near 0.55 and fails this gate).
+    """
+    if available_cores >= 4:
+        return 1.5
+    if available_cores >= 2:
+        return max(0.85, 1.5 * available_cores / 4)
+    return 0.85
+
+
+def check_sweep_scaling(current: dict) -> list[str]:
+    """Absolute-floor gate on the warm-pool sweep speedup (core suite)."""
+    bench = current.get("sweep_scaling")
+    if bench is None:
+        return ["sweep_scaling: missing from current report"]
+    try:
+        speedup = float(bench["speedup"])
+        cores = int(bench["available_cores"])
+    except KeyError as exc:
+        return [f"sweep_scaling: missing key {exc}"]
+    floor = sweep_scaling_floor(cores)
+    status = "FAIL" if speedup < floor else "ok"
+    print(
+        f"[{status:>4}] core:sweep_scaling.speedup: "
+        f"current={speedup:.2f} floor={floor:.2f} "
+        f"(absolute gate at {cores} usable core{'s' if cores != 1 else ''})"
+    )
+    if speedup < floor:
+        return [
+            f"sweep_scaling.speedup {speedup:.2f} below the {floor:.2f} floor "
+            f"for {cores} usable core(s)"
+        ]
+    return []
 
 
 def infer_suite(current_path: Path) -> str:
@@ -119,6 +169,8 @@ def main(argv: list[str]) -> int:
         )
 
     failures = check(current, baseline, suite)
+    if suite == "core":
+        failures += check_sweep_scaling(current)
     if failures:
         print(f"\n{len(failures)} benchmark regression(s) vs {baseline_path}:")
         for f in failures:

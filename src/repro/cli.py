@@ -166,6 +166,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool rebuilds tolerated after worker death (default: 2)",
     )
     p_sweep.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replications (or grid cells) dispatched per pool task; default "
+        "adapts from a calibration pass targeting 0.1-0.5s per task.  The "
+        "canonical report is byte-identical at any batch size",
+    )
+    p_sweep.add_argument(
+        "--cold-pool",
+        action="store_true",
+        help="use a throwaway process pool instead of the process-wide warm "
+        "pool (workers are spawned fresh and torn down; for measuring "
+        "warmup cost or isolating worker state)",
+    )
+    p_sweep.add_argument(
         "--kill-replication",
         dest="kill_replications",
         type=int,
@@ -745,6 +761,8 @@ def _cmd_sweep(args, out) -> int:
             max_restarts=args.max_restarts,
             profiler=profiler,
             bus=bus,
+            batch_size=args.batch_size,
+            pool="cold" if args.cold_pool else "warm",
         )
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -768,6 +786,12 @@ def _cmd_sweep(args, out) -> int:
     print(f"mean makespan: {agg['makespan_mean']:.2f}", file=out)
     print(f"tasks        : {agg['tasks_total']}", file=out)
     print(f"elapsed      : {outcome.elapsed_seconds:.2f}s host wall-clock", file=out)
+    if outcome.pool_workers > 1:
+        reuse = "reused warm" if outcome.pool_reused else ("cold" if args.cold_pool else "fresh warm")
+        print(
+            f"pool         : {reuse} pool, batch size {outcome.batch_size}",
+            file=out,
+        )
     if outcome.resumed:
         print(f"resumed      : {outcome.resumed} replications from manifest", file=out)
     if outcome.worker_restarts:
@@ -789,6 +813,9 @@ def _cmd_sweep(args, out) -> int:
             "replications": spec.replications,
             "pool_workers": outcome.pool_workers,
             "elapsed_seconds": outcome.elapsed_seconds,
+            "batch_size": outcome.batch_size,
+            "pool_reused": outcome.pool_reused,
+            "pool_generation": outcome.pool_generation,
         }
         rc = _write_profile_report(args, profiler, "replication", outcome, meta, out)
         if rc:
@@ -821,6 +848,8 @@ def _cmd_sweep_grid(args, spec, out) -> int:
             kill_cells=args.kill_replications,
             profiler=profiler,
             bus=bus,
+            chunk_size=args.batch_size,
+            pool="cold" if args.cold_pool else "warm",
         )
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -846,6 +875,12 @@ def _cmd_sweep_grid(args, spec, out) -> int:
             file=out,
         )
     print(f"\nelapsed      : {outcome.elapsed_seconds:.2f}s host wall-clock", file=out)
+    if outcome.pool_workers > 1:
+        reuse = "reused warm" if outcome.pool_reused else ("cold" if args.cold_pool else "fresh warm")
+        print(
+            f"pool         : {reuse} pool, chunk size {outcome.chunk_size}",
+            file=out,
+        )
     if outcome.shared_map_bytes:
         print(
             f"shared maps  : {outcome.shared_map_bytes} bytes in shared memory",
@@ -872,6 +907,9 @@ def _cmd_sweep_grid(args, spec, out) -> int:
             "cells": grid.n_cells,
             "pool_workers": outcome.pool_workers,
             "elapsed_seconds": outcome.elapsed_seconds,
+            "chunk_size": outcome.chunk_size,
+            "pool_reused": outcome.pool_reused,
+            "pool_generation": outcome.pool_generation,
         }
         rc = _write_profile_report(args, profiler, "cell", outcome, meta, out)
         if rc:

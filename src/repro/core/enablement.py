@@ -326,6 +326,24 @@ class EnablementEngine:
 
     ``notify(delta)`` returns the successor granules that have *just*
     become enabled, never repeating earlier answers.
+
+    The counter mode has three notify implementations of increasing
+    speed, all pinned element-identical by differential tests:
+
+    * ``indexed=False`` — scan every counter per completion (the
+      reference);
+    * ``indexed=True, vectorized=False`` — CSR inverted index narrows
+      the scan to candidate groups, counters still credited one by one;
+    * ``indexed=True, vectorized=True`` (the default) — counter values
+      live in one int64 array and a whole completion delta is credited
+      with a single ``np.bincount`` over the index, no per-group Python
+      loop until something actually fires.
+
+    In vectorized mode the per-group :class:`EnablementCounter` objects
+    keep their ``required`` set and have ``fired`` synced when a group
+    fires, but their ``remaining`` sets are **not** maintained — the
+    authoritative countdown is the array.  Pass ``vectorized=False`` if
+    per-counter remaining sets must stay observable mid-phase.
     """
 
     def __init__(
@@ -337,6 +355,7 @@ class EnablementEngine:
         group_size: int = 1,
         target: GranuleSet | None = None,
         indexed: bool = True,
+        vectorized: bool | None = None,
         composite_cache: CompositeMapCache | None = None,
     ) -> None:
         self.mapping = mapping
@@ -357,6 +376,10 @@ class EnablementEngine:
         # kept for differential tests and benchmarks).
         self._index_offsets: np.ndarray | None = None
         self._index_gids: np.ndarray | None = None
+        # vectorized counter state: outstanding-credit count and fired flag
+        # per composite group, None unless the vectorized path is active
+        self._counts: np.ndarray | None = None
+        self._group_fired: np.ndarray | None = None
 
         if mapping.kind.indirect:
             build = composite_cache.build if composite_cache is not None else CompositeGranuleMap.build
@@ -373,6 +396,16 @@ class EnablementEngine:
                 self._enabled = GranuleSet.union_all(initially)
             if indexed:
                 self._build_index()
+                if vectorized is None or vectorized:
+                    self._counts = np.array(
+                        [counter.count for _, counter in self._counters],
+                        dtype=np.int64,
+                    )
+                    self._group_fired = np.array(
+                        [counter.fired for _, counter in self._counters], dtype=bool
+                    )
+            elif vectorized:
+                raise ValueError("vectorized=True requires indexed=True")
         else:
             self._enabled = mapping.enabled_by(self.completed, n_pred, n_succ, maps)
 
@@ -442,7 +475,9 @@ class EnablementEngine:
         self.completed = self.completed | delta
         newly = GranuleSet.empty()
         if self._counters:
-            if self._index_offsets is not None:
+            if self._counts is not None:
+                newly = self._notify_vectorized(fresh)
+            elif self._index_offsets is not None:
                 newly = self._notify_indexed(fresh)
             else:
                 fired = [
@@ -479,6 +514,40 @@ class EnablementEngine:
                 fired.append(succ)
         if not fired:
             return GranuleSet.empty()
+        return GranuleSet.union_all(fired)
+
+    def _notify_vectorized(self, fresh: GranuleSet) -> GranuleSet:
+        """Credit ``fresh`` completions in bulk through the inverted index.
+
+        The index enumerates each ``(predecessor granule, group)`` pair
+        exactly once and ``fresh`` is disjoint from everything already
+        credited, so one ``np.bincount`` over the index slices for the
+        fresh ranges yields ``|fresh ∩ required|`` per group — the whole
+        delta lands in a single vectorized subtraction.
+        """
+        offsets, gids = self._index_offsets, self._index_gids
+        counts, fired_mask = self._counts, self._group_fired
+        assert offsets is not None and gids is not None
+        assert counts is not None and fired_mask is not None
+        parts: list[np.ndarray] = []
+        for r in fresh.ranges:
+            lo = offsets[min(max(r.start, 0), self.n_pred)]
+            hi = offsets[min(max(r.stop, 0), self.n_pred)]
+            if hi > lo:
+                parts.append(gids[lo:hi])
+        if not parts:
+            return GranuleSet.empty()
+        touched = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        counts -= np.bincount(touched, minlength=len(counts))
+        newly_fired = np.nonzero((counts <= 0) & ~fired_mask)[0]
+        if newly_fired.size == 0:
+            return GranuleSet.empty()
+        fired_mask[newly_fired] = True
+        fired: list[GranuleSet] = []
+        for gi in newly_fired:
+            succ, counter = self._counters[gi]
+            counter.fired = True
+            fired.append(succ)
         return GranuleSet.union_all(fired)
 
     def complete_all(self) -> GranuleSet:

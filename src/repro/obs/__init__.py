@@ -62,6 +62,7 @@ from repro.obs.profile import (
     WaterfallReport,
     analyze_run,
     analyze_saved,
+    effective_workers_from_events,
 )
 from repro.obs.progress import ProgressReporter, format_progress
 from repro.obs.spans import (
@@ -121,6 +122,7 @@ __all__ = [
     "WaterfallReport",
     "analyze_run",
     "analyze_saved",
+    "effective_workers_from_events",
     "ProgressReporter",
     "format_progress",
     "Span",

@@ -181,17 +181,27 @@ class PhaseStalled(ObsEvent):
 
 @dataclass(frozen=True, slots=True)
 class PoolTaskCompleted(ObsEvent):
-    """A host-pool task (sweep replication, grid chunk) finished.
+    """A host-pool task (sweep replication, grid cell) finished.
 
     ``time`` is host seconds since the sweep started; ``done``/``total``
     count recorded units of ``what`` (including resumed ones), so a
     subscriber can derive progress, throughput and ETA without knowing
     which engine — replication fan or grid — is publishing.
+
+    ``started``/``finished`` are this unit's slice of its pool task's
+    measured worker-busy span, in the same clock as ``time`` (negative
+    when the publisher had no measurement — e.g. resumed units).  Their
+    overlap across events is what
+    :func:`~repro.obs.profile.effective_workers_from_events` turns into
+    the *observed* concurrency of a sweep, as opposed to the configured
+    pool width.
     """
 
     what: str
     done: int
     total: int
+    started: float = -1.0
+    finished: float = -1.0
 
 
 #: Compatibility alias; the event class follows the PhaseStarted/PhaseEnded

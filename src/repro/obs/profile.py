@@ -65,6 +65,7 @@ __all__ = [
     "PoolProfile",
     "PoolProfiler",
     "ProfileReport",
+    "effective_workers_from_events",
 ]
 
 #: Busy-interval categories, as recorded by the simulator's trace.
@@ -659,11 +660,31 @@ class PoolProfile:
     def worker_processes(self) -> int:
         return len({t.pid for t in self.tasks})
 
+    def effective_workers(self) -> float:
+        """Observed average concurrency over the tasks' compute spans.
+
+        Σ(worker-measured task durations) / (last end − first start):
+        the number of workers that were *actually* computing at once, as
+        opposed to the configured pool width.  On a time-shared single
+        core this still reads ≈ pool width (the kernel interleaves the
+        workers), which is exactly the point — it measures dispatch
+        overlap, not hardware parallelism; speedup measures the hardware.
+        """
+        spans = [
+            (t.start_wall, t.end_wall) for t in self.tasks if t.end_wall > t.start_wall
+        ]
+        if not spans:
+            return 1.0
+        window = max(e for _, e in spans) - min(s for s, _ in spans)
+        busy = sum(e - s for s, e in spans)
+        return busy / window if window > 0 else float(len(spans))
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "kind": "pool-profile",
             "what": self.what,
             "pool_workers": self.pool_workers,
+            "effective_workers": self.effective_workers(),
             "worker_processes": self.worker_processes,
             "elapsed_seconds": self.elapsed_seconds,
             "task_count": len(self.tasks),
@@ -700,6 +721,31 @@ class PoolProfile:
             top = ", ".join(f"{c}={s:.3f}s" for c, s, _ in ranked)
             lines.append(f"  overheads (largest first): {top}")
         return "\n".join(lines)
+
+
+def effective_workers_from_events(events: Sequence[Any]) -> float:
+    """Observed concurrency from :class:`~repro.obs.events.PoolTaskCompleted`
+    span overlap.
+
+    Each event carries its unit's slice ``[started, finished)`` of the
+    pool task's worker-measured busy span; the average concurrency is
+    Σ(slice durations) / (overall window).  Events without a measured
+    span (``started`` or ``finished`` negative — resumed units, old
+    publishers) are skipped; with no measured span at all the answer is
+    the serial 1.0.  This is the sweep-scaling benchmark's
+    ``effective_workers``: derived from what actually overlapped, not
+    from speedup or the configured pool width.
+    """
+    spans = [
+        (float(e.started), float(e.finished))
+        for e in events
+        if getattr(e, "started", -1.0) >= 0 and e.finished > e.started
+    ]
+    if not spans:
+        return 1.0
+    window = max(e for _, e in spans) - min(s for s, _ in spans)
+    busy = sum(e - s for s, e in spans)
+    return busy / window if window > 0 else float(len(spans))
 
 
 class PoolProfiler:

@@ -67,7 +67,7 @@ class ProcessorState(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class Processor:
     """One worker processor."""
 
@@ -81,7 +81,7 @@ class Processor:
         return f"P{self.index}"
 
 
-@dataclass
+@dataclass(slots=True)
 class _MgmtJob:
     duration: "float | Callable[[], float]"
     on_done: Callable[[], None] | None

@@ -27,6 +27,15 @@ Entry points
 ``repro sweep``
     The CLI front-end (see ``python -m repro sweep --help``).
 
+All three entry points dispatch through one process-wide **warm pool**
+(:func:`warm_pool`) by default: worker processes are spawned once and
+reused across sweeps, grids and maps, with tasks **batched** adaptively
+from a calibrated per-item cost model (:func:`cost_model`).  Pass
+``pool="cold"`` for a throwaway per-call pool, or call
+:func:`shutdown_warm_pool` to tear the shared workers down explicitly
+(an ``atexit`` hook does it otherwise).  Neither pooling nor batching
+can change report bytes.
+
 See docs/PERFORMANCE.md for usage and the scaling benchmark.
 """
 
@@ -56,6 +65,7 @@ from repro.sweep.runner import (
     run_sweep,
     workload_names,
 )
+from repro.sweep.pool import CostModel, WarmPool, cost_model, shutdown_warm_pool, warm_pool
 from repro.sweep.shm import SharedMapStore
 
 __all__ = [
@@ -82,4 +92,9 @@ __all__ = [
     "materialize_maps",
     "parse_axis",
     "SharedMapStore",
+    "WarmPool",
+    "CostModel",
+    "warm_pool",
+    "cost_model",
+    "shutdown_warm_pool",
 ]

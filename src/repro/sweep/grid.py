@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.obs.events import EventBus, PoolTaskCompleted
+from repro.sweep.pool import WarmPool, cost_model, warm_pool
 from repro.sweep.runner import (
     SweepSpec,
     SweepWorkerDied,
@@ -367,7 +368,7 @@ def _grid_chunk(
     kill: bool,
     attempt: int,
     instrument: bool = False,
-) -> list[dict[str, Any]]:
+) -> dict[str, Any]:
     """Run a chunk of ``(cell id, point, replication)`` cells.
 
     ``maps_payload`` is either shared-store descriptors (``attach=True``,
@@ -378,6 +379,11 @@ def _grid_chunk(
     once per grid, not once per chunk.  Kill injection mirrors
     :func:`~repro.sweep.runner._pool_entry`: a hard ``os._exit`` in a
     pool child, :class:`SweepWorkerDied` inline, first attempt only.
+
+    Returns a batch envelope (like ``runner._pool_entry_batch``): the
+    per-cell summaries plus the chunk's measured compute span, which
+    feeds the host-side cost model and concurrency accounting without
+    touching the canonical report.
     """
     if kill and attempt == 0:
         if multiprocessing.parent_process() is not None:
@@ -392,13 +398,16 @@ def _grid_chunk(
         shared = SharedMapStore.attach(maps_payload, cached=True)
     else:
         shared = maps_payload
-    return [
+    t0 = time.perf_counter()
+    out = [
         {
             "cell": cell_id,
             **run_grid_cell(base_data, point, rep, shared=shared, instrument=instrument),
         }
         for cell_id, point, rep in chunk
     ]
+    t1 = time.perf_counter()
+    return {"batch": out, "compute_seconds": t1 - t0, "t_start": t0, "t_end": t1}
 
 
 # ---------------------------------------------------------------------- report
@@ -457,6 +466,12 @@ class GridOutcome:
     worker_restarts: int = 0
     #: bytes of read-only map data placed in shared memory (0 = inline)
     shared_map_bytes: int = 0
+    #: cells per dispatched pool task (diagnostic; never in the report)
+    chunk_size: int = 1
+    #: True when the grid ran on an already-live warm pool
+    pool_reused: bool = False
+    #: warm-pool executor build count after the run (0 = no pool used)
+    pool_generation: int = 0
 
 
 # ---------------------------------------------------------------------- driver
@@ -473,6 +488,7 @@ def run_grid(
     kill_cells: Sequence[int] = (),
     profiler: "PoolProfiler | None" = None,
     bus: EventBus | None = None,
+    pool: "WarmPool | str" = "warm",
 ) -> GridOutcome:
     """Run every cell of ``grid``; ``workers`` host processes.
 
@@ -527,10 +543,23 @@ def run_grid(
     resumed = done_count
 
     pending = [c for c in cells if c[0] not in summaries]
+    model = cost_model()
+    ckey = "grid:" + json.dumps(
+        {k: v for k, v in spec_data.items() if k != "base"}
+        | {"base": {k: v for k, v in base_data.items() if k not in ("replications", "seed")}},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
     if chunk_size is None:
-        # enough chunks to keep every worker busy, few enough to amortize
-        # submission overhead; inline runs use one chunk per cell
-        chunk_size = 1 if workers == 1 else max(1, -(-len(pending) // (workers * 4)))
+        if workers == 1:
+            chunk_size = 1  # inline runs flush the manifest per cell
+        else:
+            # cost-model chunking: target ~100-500 ms of compute per task
+            # when the per-cell cost is known (a previous grid in this
+            # process), else the keep-everyone-busy heuristic
+            chunk_size = model.pick_batch_size(ckey, len(pending), workers) or max(
+                1, -(-len(pending) // (workers * 4))
+            )
     chunks = [pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)]
 
     store: SharedMapStore | None = None
@@ -538,10 +567,17 @@ def run_grid(
     local_shared: Mapping[str, np.ndarray] | None = None
     shared_bytes = 0
     restarts = 0
+    warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
+    pool_reused = bool(warm is not None and warm.active and workers > 1)
 
-    def record(chunk_id: int, results: list[dict[str, Any]]) -> None:
+    def record(chunk_id: int, envelope: dict[str, Any]) -> None:
         nonlocal done_count
-        for summary in results:
+        results = envelope["batch"]
+        model.observe(ckey, float(envelope["compute_seconds"]), len(results))
+        s = float(envelope["t_start"]) - t0
+        e = float(envelope["t_end"]) - t0
+        k = len(results)
+        for j, summary in enumerate(results):
             cell_id = int(summary["cell"])
             summaries[cell_id] = summary
             done_count += 1
@@ -554,7 +590,14 @@ def run_grid(
                 progress(done_count, total)
             if bus is not None:
                 bus.publish(
-                    PoolTaskCompleted(time.perf_counter() - t0, "cell", done_count, total)
+                    PoolTaskCompleted(
+                        time.perf_counter() - t0,
+                        "cell",
+                        done_count,
+                        total,
+                        s + (e - s) * j / k,
+                        s + (e - s) * (j + 1) / k,
+                    )
                 )
 
     try:
@@ -589,6 +632,7 @@ def run_grid(
             max_restarts=max_restarts,
             what="grid chunk",
             profiler=profiler,
+            pool=pool,
         )
     finally:
         if manifest is not None:
@@ -607,4 +651,7 @@ def run_grid(
         resumed=resumed,
         worker_restarts=restarts,
         shared_map_bytes=shared_bytes,
+        chunk_size=chunk_size,
+        pool_reused=pool_reused,
+        pool_generation=warm.generation if warm is not None else 0,
     )

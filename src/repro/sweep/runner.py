@@ -20,13 +20,19 @@ import multiprocessing
 import os
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.obs.events import EventBus, PoolTaskCompleted
+from repro.sweep.pool import WarmPool, cost_model, warm_pool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultPlan
@@ -377,13 +383,24 @@ class SweepReport:
 
 @dataclass
 class SweepOutcome:
-    """A finished sweep: the canonical report plus host-side facts."""
+    """A finished sweep: the canonical report plus host-side facts.
+
+    ``batch_size`` / ``pool_reused`` / ``pool_generation`` are diagnostic
+    host facts (how dispatch actually ran), recorded here — never in the
+    canonical report, whose bytes must not depend on them.
+    """
 
     report: SweepReport
     elapsed_seconds: float
     pool_workers: int
     resumed: int = 0
     worker_restarts: int = 0
+    #: replications per dispatched pool task in the main batched phase
+    batch_size: int = 1
+    #: True when the sweep ran on an already-live warm pool
+    pool_reused: bool = False
+    #: warm-pool executor build count after the sweep (0 = no pool used)
+    pool_generation: int = 0
 
 
 # ---------------------------------------------------------------------- faults
@@ -414,6 +431,49 @@ def _pool_entry(
             os._exit(17)
         raise SweepWorkerDied(f"injected kill of replication {replication}")
     return run_replication(spec_data, replication, instrument=instrument)
+
+
+def _pool_entry_batch(
+    spec_data: dict[str, Any],
+    replications: Sequence[int],
+    kill: bool,
+    attempt: int,
+    instrument: bool = False,
+) -> dict[str, Any]:
+    """Run a batch of replications as one pool task.
+
+    One submission pickle and one result envelope amortize dispatch over
+    the whole batch; the summaries themselves are exactly what
+    :func:`run_replication` would return one by one, so report bytes are
+    independent of the batch size.  The envelope's ``t_start``/``t_end``
+    (:func:`time.perf_counter`, comparable across processes) and
+    ``compute_seconds`` feed the host-side cost model and the
+    concurrency-overlap accounting — host facts, never report content.
+    Kill injection follows :func:`_pool_entry`: first attempt only, hard
+    ``os._exit`` in a pool child, :class:`SweepWorkerDied` inline.
+    """
+    if kill and attempt == 0:
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)
+        raise SweepWorkerDied(
+            f"injected kill of replication batch {list(replications)}"
+        )
+    t0 = time.perf_counter()
+    out = [run_replication(spec_data, r, instrument=instrument) for r in replications]
+    t1 = time.perf_counter()
+    return {
+        "batch": out,
+        "compute_seconds": t1 - t0,
+        "t_start": t0,
+        "t_end": t1,
+    }
+
+
+def _sweep_cost_key(spec_data: dict[str, Any]) -> str:
+    """Cost-model identity of a sweep spec: everything that shapes one
+    replication's work, nothing that only counts or seeds them."""
+    d = {k: v for k, v in spec_data.items() if k not in ("replications", "seed")}
+    return json.dumps(d, sort_keys=True, separators=(",", ":"))
 
 
 # ---------------------------------------------------------------------- manifest
@@ -494,23 +554,36 @@ def run_pool_tasks(
     max_restarts: int = 2,
     what: str = "task",
     profiler: "PoolProfiler | None" = None,
+    pool: "WarmPool | str" = "warm",
 ) -> int:
     """Run every task in ``keys`` with crash-salvage; returns pool restarts.
 
-    The one pool-management loop both the replication fan and the grid
-    engine run on.  ``call(key, attempt)`` returns the ``(module-level
-    function, picklable args)`` pair to execute for ``key``; ``record(key,
-    result)`` is invoked exactly once per key, in completion order.
+    The one pool-management loop the replication fan, the grid engine and
+    :func:`map_configs` all run on.  ``call(key, attempt)`` returns the
+    ``(module-level function, picklable args)`` pair to execute for
+    ``key``; ``record(key, result)`` is invoked exactly once per key, in
+    completion order.
 
     ``workers=1`` runs inline — no pool, no fork — which doubles as the
-    reference execution for the byte-identical-report guarantee.  With a
-    pool, a dead child (injected kill, real OOM/segfault) breaks the whole
-    :class:`~concurrent.futures.ProcessPoolExecutor`; this driver salvages
-    every future that finished before the break, rebuilds the pool, and
+    reference execution for the byte-identical-report guarantee.
+
+    ``pool`` selects the pool discipline: ``"warm"`` (default) runs on the
+    process-wide :class:`~repro.sweep.pool.WarmPool` — workers persist
+    across driver calls, so only the first sweep in a process pays
+    start-up; a :class:`WarmPool` instance uses that pool; ``"cold"``
+    restores the original executor-per-call behaviour (the reference the
+    lifecycle tests compare against).  Because the warm pool may be wider
+    than ``workers`` (it never shrinks), submissions are windowed: at most
+    ``workers`` tasks are in flight at once, so the requested concurrency
+    is honoured exactly regardless of pool width.
+
+    Crash-salvage is identical in every mode: a dead child (injected
+    kill, real OOM/segfault) breaks the executor; this driver salvages
+    every future that finished before the break, rebuilds the pool (the
+    warm pool via :meth:`~repro.sweep.pool.WarmPool.rebuild`), and
     resubmits the missing keys with ``attempt`` incremented — up to
     ``max_restarts`` rebuilds.  Inline kills surface as
-    :class:`SweepWorkerDied` and retry through the same accounting, so
-    both modes recover identically.
+    :class:`SweepWorkerDied` and retry through the same accounting.
 
     With ``profiler`` set, every submission is routed through the
     profiling envelope (see :class:`~repro.obs.profile.PoolProfiler`);
@@ -537,6 +610,31 @@ def run_pool_tasks(
         done.add(key)
         record(key, result)
 
+    def salvage(futs: dict[Any, Any]) -> None:
+        # A dead child takes the whole executor down.  Results that
+        # finished before the break are still inside their futures —
+        # salvage them before resubmitting the rest.
+        for fut, key in futs.items():
+            if key in done or not fut.done():
+                continue
+            try:
+                note(key, fut.result())
+            except BrokenProcessPool:
+                pass
+
+    def bump_attempts() -> None:
+        for key in keys:
+            if key not in done:
+                attempts[key] += 1
+
+    def too_many() -> RuntimeError:
+        missing = [k for k in keys if k not in done]
+        return RuntimeError(
+            f"{what} pool died {restarts} times "
+            f"(max_restarts={max_restarts}); {what}s "
+            f"{missing} not completed"
+        )
+
     pending = [k for k in keys if k not in done]
     if workers == 1:
         for key in pending:
@@ -549,40 +647,55 @@ def run_pool_tasks(
                     attempts[key] += 1
                     restarts += 1
         return restarts
-    initializer = profiler.initializer if profiler is not None else None
+
+    warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
+    if warm is None:
+        initializer = profiler.initializer if profiler is not None else None
+        while pending:
+            futs: dict[Any, Any] = {}
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)), initializer=initializer
+                ) as cold:
+                    for key in pending:
+                        fn, args = prepare(key)
+                        futs[cold.submit(fn, *args)] = key
+                    for fut in as_completed(futs):
+                        note(futs[fut], fut.result())
+            except BrokenProcessPool:
+                salvage(futs)
+                restarts += 1
+                if restarts > max_restarts:
+                    raise too_many() from None
+                bump_attempts()
+            pending = [k for k in keys if k not in done]
+        return restarts
+
     while pending:
-        futs: dict[Any, Any] = {}
+        futs = {}
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), initializer=initializer
-            ) as pool:
-                for key in pending:
+            executor = warm.executor(workers)
+            waiting: set[Any] = set()
+            idx = 0
+            while idx < len(pending) or waiting:
+                while idx < len(pending) and len(waiting) < workers:
+                    key = pending[idx]
                     fn, args = prepare(key)
-                    futs[pool.submit(fn, *args)] = key
-                for fut in as_completed(futs):
+                    fut = executor.submit(fn, *args)
+                    futs[fut] = key
+                    waiting.add(fut)
+                    warm.tasks_dispatched += 1
+                    idx += 1
+                finished, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+                for fut in finished:
                     note(futs[fut], fut.result())
         except BrokenProcessPool:
-            # A dead child takes the whole pool down.  Results that
-            # finished before the break are still inside their futures —
-            # salvage them before resubmitting the rest.
-            for fut, key in futs.items():
-                if key in done or not fut.done():
-                    continue
-                try:
-                    note(key, fut.result())
-                except BrokenProcessPool:
-                    pass
+            salvage(futs)
             restarts += 1
+            warm.rebuild()
             if restarts > max_restarts:
-                missing = [k for k in keys if k not in done]
-                raise RuntimeError(
-                    f"{what} pool died {restarts} times "
-                    f"(max_restarts={max_restarts}); {what}s "
-                    f"{missing} not completed"
-                ) from None
-            for key in keys:
-                if key not in done:
-                    attempts[key] += 1
+                raise too_many() from None
+            bump_attempts()
         pending = [k for k in keys if k not in done]
     return restarts
 
@@ -598,6 +711,8 @@ def run_sweep(
     max_restarts: int = 2,
     profiler: "PoolProfiler | None" = None,
     bus: EventBus | None = None,
+    batch_size: int | None = None,
+    pool: "WarmPool | str" = "warm",
 ) -> SweepOutcome:
     """Run every replication of ``spec``; ``workers`` host processes.
 
@@ -606,28 +721,43 @@ def run_sweep(
     serial-vs-parallel guarantee.  ``progress(done, total)`` is invoked
     after each replication lands.
 
+    Dispatch: replications are shipped to the pool in *batches* — one
+    pickle out, one envelope back — so tiny simulations still amortize
+    submission overhead.  ``batch_size=None`` (default) adapts: if the
+    process-wide :class:`~repro.sweep.pool.CostModel` already knows this
+    workload's per-replication cost (an earlier sweep, or this sweep's
+    calibration pass of one single-replication task per worker), the size
+    targets ~100–500 ms of compute per task.  An explicit ``batch_size``
+    pins it.  ``pool`` selects the warm/cold pool discipline (see
+    :func:`run_pool_tasks`).  Neither knob changes report bytes — the
+    byte-identity tests sweep across both.
+
     Crash safety: a dead pool worker (injected via ``fault_plan``'s
     :class:`~repro.faults.SweepWorkerKill`, or a real OOM/segfault) breaks
     the pool; the runner salvages every already-finished future, rebuilds
-    the pool, and resubmits the missing replications with their original
-    derived seeds — up to ``max_restarts`` pool rebuilds.  With
-    ``manifest_path`` set, each completed replication is journaled as one
-    JSON line (flushed immediately); ``resume=True`` loads the journal and
-    skips finished replications, so an interrupted sweep continues where
-    it stopped.  Neither recovery path changes a single byte of the final
-    report relative to a fault-free serial run.
+    the pool, and resubmits the missing batches with their original
+    derived seeds — up to ``max_restarts`` pool rebuilds per dispatch
+    phase.  With ``manifest_path`` set, each completed replication is
+    journaled as one JSON line (flushed immediately); ``resume=True``
+    loads the journal and skips finished replications, so an interrupted
+    sweep continues where it stopped.  Neither recovery path changes a
+    single byte of the final report relative to a fault-free serial run.
 
-    Observability: ``profiler`` attributes each replication's wall time
+    Observability: ``profiler`` attributes each pool task's wall time
     (and makes the workers run instrumented, so worker-side counters flow
     back through its registry); ``bus`` receives one
-    :class:`~repro.obs.events.PoolTaskCompleted` per landed replication —
-    the feed :class:`~repro.obs.progress.ProgressReporter` streams from.
+    :class:`~repro.obs.events.PoolTaskCompleted` per landed replication,
+    carrying its slice of the pool task's measured busy span — the feed
+    both :class:`~repro.obs.progress.ProgressReporter` and
+    :func:`~repro.obs.profile.effective_workers_from_events` consume.
     Neither changes the report bytes.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if max_restarts < 0:
         raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     spec_data = spec.to_dict()
     kills: set[int] = set()
     if fault_plan is not None:
@@ -646,7 +776,7 @@ def run_sweep(
     resumed = done_count
     restarts = 0
 
-    def record(i: int, summary: dict[str, Any]) -> None:
+    def record(i: int, summary: dict[str, Any], started: float, finished: float) -> None:
         nonlocal done_count
         summaries[i] = summary
         done_count += 1
@@ -658,24 +788,76 @@ def run_sweep(
         if bus is not None:
             bus.publish(
                 PoolTaskCompleted(
-                    time.perf_counter() - t0, "replication", done_count, total
+                    time.perf_counter() - t0,
+                    "replication",
+                    done_count,
+                    total,
+                    started,
+                    finished,
                 )
             )
 
     instrument = profiler is not None
-    try:
-        restarts = run_pool_tasks(
-            [i for i in range(total) if i not in summaries],
-            lambda i, attempt: (
-                _pool_entry,
-                (spec_data, i, i in kills, attempt, instrument),
-            ),
-            record,
+    model = cost_model()
+    ckey = _sweep_cost_key(spec_data)
+
+    def run_batches(batches: list[list[int]]) -> int:
+        def call(bi: int, attempt: int):
+            batch = batches[bi]
+            kill = any(i in kills for i in batch)
+            return (_pool_entry_batch, (spec_data, batch, kill, attempt, instrument))
+
+        def record_batch(bi: int, envelope: dict[str, Any]) -> None:
+            results = envelope["batch"]
+            model.observe(ckey, float(envelope["compute_seconds"]), len(results))
+            # divide the pool task's measured busy span evenly across its
+            # batch (replications run sequentially on one worker, so even
+            # division is the right first-order picture for overlap math)
+            s = float(envelope["t_start"]) - t0
+            e = float(envelope["t_end"]) - t0
+            k = len(results)
+            for j, summary in enumerate(results):
+                record(
+                    int(summary["replication"]),
+                    summary,
+                    s + (e - s) * j / k,
+                    s + (e - s) * (j + 1) / k,
+                )
+
+        return run_pool_tasks(
+            list(range(len(batches))),
+            call,
+            record_batch,
             workers=workers,
             max_restarts=max_restarts,
             what="replication",
             profiler=profiler,
+            pool=pool,
         )
+
+    def chunked(items: list[int], size: int) -> list[list[int]]:
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    pending = [i for i in range(total) if i not in summaries]
+    warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
+    pool_reused = bool(warm is not None and warm.active and workers > 1)
+    used_batch = 1
+    try:
+        if workers == 1 or batch_size == 1:
+            restarts += run_batches([[i] for i in pending])
+        elif batch_size is not None:
+            used_batch = batch_size
+            restarts += run_batches(chunked(pending, batch_size))
+        else:
+            size = model.pick_batch_size(ckey, len(pending), workers)
+            if size is None and len(pending) > workers:
+                # calibration: one single-replication task per worker —
+                # times the workload *and* spins the pool up in parallel
+                restarts += run_batches([[i] for i in pending[:workers]])
+                pending = pending[workers:]
+                size = model.pick_batch_size(ckey, len(pending), workers)
+            used_batch = size if size is not None else 1
+            restarts += run_batches(chunked(pending, used_batch) if pending else [])
     finally:
         if manifest is not None:
             manifest.close()
@@ -689,6 +871,9 @@ def run_sweep(
         pool_workers=workers,
         resumed=resumed,
         worker_restarts=restarts,
+        batch_size=used_batch,
+        pool_reused=pool_reused,
+        pool_generation=warm.generation if warm is not None else 0,
     )
 
 
@@ -696,8 +881,17 @@ def map_configs(
     fn: Callable[[Any], Any],
     configs: Sequence[Any] | Iterable[Any],
     workers: int = 1,
+    max_restarts: int = 2,
+    profiler: "PoolProfiler | None" = None,
+    pool: "WarmPool | str" = "warm",
 ) -> list[Any]:
     """Order-preserving (optionally parallel) map for figure drivers.
+
+    Routed through :func:`run_pool_tasks`, so figure drivers inherit the
+    warm pool, crash-salvage (a config whose worker dies is re-executed —
+    ``fn`` must therefore be deterministic, which figure drivers already
+    require for reproducibility), and optional profiling, instead of the
+    bare executor this helper originally wrapped.
 
     ``fn`` must be a module-level callable and each config must be
     picklable when ``workers > 1``; with ``workers=1`` any callable works.
@@ -707,5 +901,15 @@ def map_configs(
     items = list(configs)
     if workers <= 1 or len(items) <= 1:
         return [fn(c) for c in items]
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+    results: dict[int, Any] = {}
+    run_pool_tasks(
+        list(range(len(items))),
+        lambda i, attempt: (fn, (items[i],)),
+        lambda i, result: results.__setitem__(i, result),
+        workers=workers,
+        max_restarts=max_restarts,
+        what="config",
+        profiler=profiler,
+        pool=pool,
+    )
+    return [results[i] for i in range(len(items))]

@@ -53,8 +53,26 @@ _LIVE_OWNERS: "set[SharedMapStore]" = set()
 
 #: Worker-side attachment memo: descriptor identity -> live store.  A pool
 #: worker runs many chunks of the same grid; reattaching per chunk would
-#: reopen the segments hundreds of times for nothing.
+#: reopen the segments hundreds of times for nothing.  Insertion order is
+#: recency order (hits are re-inserted), so the cap below evicts LRU-first.
 _ATTACH_CACHE: dict[tuple, "SharedMapStore"] = {}
+
+#: Warm-pool workers outlive a single grid, so the memo must not grow with
+#: the number of grids a worker ever serves.  A handful of entries covers
+#: every sane overlap (one live grid, plus stragglers from the previous
+#: one); beyond that the least-recently-used attachment is closed.  The
+#: owner's segments are unaffected — eviction drops this process's view.
+_ATTACH_CACHE_MAX = 4
+
+
+def _cache_put(key: tuple, store: "SharedMapStore") -> None:
+    """Insert/refresh ``key`` as most-recent; close+evict LRU past the cap."""
+    _ATTACH_CACHE.pop(key, None)
+    _ATTACH_CACHE[key] = store
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        oldest, evicted = next(iter(_ATTACH_CACHE.items()))
+        del _ATTACH_CACHE[oldest]
+        evicted.close()
 
 
 def _unlink_leftovers() -> None:  # pragma: no cover - exercised via subprocess
@@ -187,6 +205,7 @@ class SharedMapStore(Mapping):
             hit = _ATTACH_CACHE.get(key)
             if hit is not None and not hit._closed:
                 attach_counter.inc(outcome="cache_hit")
+                _cache_put(key, hit)
                 return hit
         segments: dict[str, shared_memory.SharedMemory] = {}
         arrays: dict[str, np.ndarray] = {}
@@ -211,7 +230,7 @@ class SharedMapStore(Mapping):
         store = cls(segments, arrays, {k: dict(v) for k, v in descriptors.items()}, owner=False)
         attach_counter.inc(outcome="reattach")
         if cached:
-            _ATTACH_CACHE[key] = store
+            _cache_put(key, store)
         return store
 
     @staticmethod

@@ -222,6 +222,81 @@ def test_indexed_notify_matches_full_scan(
     assert fast.enabled == GranuleSet.universe(n_succ)
 
 
+# ------------------------------------------------------ vectorized counters
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["reverse", "forward"]),
+    st.integers(min_value=0, max_value=9999),
+    st.floats(min_value=0.25, max_value=1.0),
+    st.lists(st.sets(st.integers(0, 39), max_size=10), max_size=8),
+)
+def test_vectorized_notify_matches_both_references(
+    n_pred, n_succ, fan_in, group_size, kind, seed, target_frac, steps
+):
+    """Three-way differential: the np.bincount bulk-credit path, the
+    per-group indexed path (``vectorized=False``) and the full-counter
+    scan (``indexed=False``) enable identical granule sets at every step,
+    including with a restricted target subset (deferred release)."""
+    rng = np.random.default_rng(seed)
+    if kind == "reverse":
+        maps = {"M": rng.integers(0, n_pred, size=(fan_in, n_succ))}
+        mapping = ReverseIndirectMapping("M", fan_in=fan_in)
+    else:
+        maps = {"F": rng.integers(0, max(n_succ, 1), size=n_pred)}
+        mapping = ForwardIndirectMapping("F")
+    target = GranuleSet.universe(max(1, int(target_frac * n_succ)))
+    engines = [
+        EnablementEngine(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target
+        ),
+        EnablementEngine(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target,
+            vectorized=False,
+        ),
+        EnablementEngine(
+            mapping, n_pred, n_succ, maps, group_size=group_size, target=target,
+            indexed=False,
+        ),
+    ]
+    vec, idx, scan = engines
+    assert vec._counts is not None and idx._counts is None and scan._counts is None
+    assert vec.initially_enabled() == idx.initially_enabled() == scan.initially_enabled()
+    for step in steps:
+        delta = GranuleSet.from_ids(i for i in step if i < n_pred)
+        got = [e.notify(delta) for e in engines]
+        assert got[0] == got[1] == got[2]
+        assert vec.enabled == idx.enabled == scan.enabled
+    finals = [e.complete_all() for e in engines]
+    assert finals[0] == finals[1] == finals[2]
+    assert vec.enabled == GranuleSet.universe(n_succ)
+
+
+class TestVectorizedEngineEdges:
+    def test_vectorized_requires_index(self):
+        maps = {"M": np.arange(4)[None, :]}
+        with pytest.raises(ValueError, match="requires indexed"):
+            EnablementEngine(
+                ReverseIndirectMapping("M", fan_in=1), 4, 4, maps,
+                indexed=False, vectorized=True,
+            )
+
+    def test_counter_fired_flags_synced(self):
+        maps = {"M": np.arange(6)[None, :]}
+        e = EnablementEngine(ReverseIndirectMapping("M", fan_in=1), 6, 6, maps)
+        assert e._counts is not None
+        e.notify(GranuleSet.from_ranges([(0, 3)]))
+        assert [c.fired for _, c in e._counters] == [True] * 3 + [False] * 3
+        assert list(e._group_fired) == [True] * 3 + [False] * 3
+
+    def test_direct_mapping_has_no_vector_state(self):
+        e = EnablementEngine(IdentityMapping(), 5, 5)
+        assert e._counts is None and e._group_fired is None
+
+
 class TestIndexedEngineEdges:
     def test_notify_empty_delta_touches_nothing(self):
         maps = {"M": np.arange(6)[None, :]}

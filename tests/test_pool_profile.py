@@ -36,7 +36,7 @@ class TestSweepByteIdentity:
     def test_profiled_pool_sweep_matches_plain_inline(self):
         plain = run_sweep(SPEC, workers=1)
         profiler = PoolProfiler()
-        profiled = run_sweep(SPEC, workers=2, profiler=profiler)
+        profiled = run_sweep(SPEC, workers=2, profiler=profiler, batch_size=1)
         assert profiled.report.to_json() == plain.report.to_json()
         profile = profiler.profile("replication", profiled.pool_workers)
         assert len(profile.tasks) == SPEC.replications
@@ -68,7 +68,7 @@ class TestSweepByteIdentity:
 class TestPoolProfile:
     def test_attribution_covers_categories_and_renders(self):
         profiler = PoolProfiler()
-        outcome = run_sweep(SPEC, workers=2, profiler=profiler)
+        outcome = run_sweep(SPEC, workers=2, profiler=profiler, batch_size=1)
         profile = profiler.profile("replication", outcome.pool_workers)
         totals = profile.totals()
         assert set(totals) == {"compute", "queue_wait", "serialization", "warmup"}
