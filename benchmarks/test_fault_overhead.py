@@ -20,6 +20,10 @@ gated twice:
 * ``enablement_notify`` — the replay guard added to ``notify`` sits on
   the hottest completion-processing path; throughput must stay within the
   repo's 2x regression gate against ``BENCH_core.baseline.json``.
+* ``supervision`` — arming the pool supervisor (deadlines, heartbeat
+  probes, polling ``wait``) on a fault-free warm-pool sweep must stay
+  inside the same 5% paired-ratio gate, and the supervised report must
+  be byte-identical to the unsupervised one.
 
 ``BENCH_QUICK=1`` shrinks the simulated workload for CI.  Run directly
 (``python benchmarks/test_fault_overhead.py``) or via pytest; either path
@@ -42,6 +46,7 @@ from repro.core.mapping import IdentityMapping, ReverseIndirectMapping
 from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec
 from repro.executive import ExecutiveSimulation
 from repro.faults import FaultPlan
+from repro.sweep import SupervisionPolicy, SweepSpec, WarmPool, run_sweep
 
 QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
 
@@ -58,6 +63,14 @@ MAX_OVERHEAD = 0.05
 #: Deterministic gate: extra simulator events the armed machinery may add.
 MAX_EVENT_OVERHEAD = 0.15
 N_NOTIFY = 10_000
+
+#: Supervised-sweep overhead: a fault-free warm-pool sweep with the
+#: supervisor armed (default policy: cost-model deadlines, 30s heartbeat
+#: bar, 50ms polling) against the identical unsupervised sweep.
+SWEEP_SPEC = SweepSpec(
+    "identity", replications=4 if QUICK else 8, seed=11, sim_workers=8
+)
+SWEEP_BATCH = 2 if QUICK else 4
 
 
 def _program() -> PhaseProgram:
@@ -132,11 +145,56 @@ def bench_enablement_notify() -> dict:
     return {"n_pred": n, "granules_per_second": n / elapsed}
 
 
+def _timed_sweep_batch(pool: WarmPool, supervision: SupervisionPolicy | None) -> float:
+    t0 = time.perf_counter()
+    for _ in range(SWEEP_BATCH):
+        run_sweep(SWEEP_SPEC, workers=2, pool=pool, supervision=supervision)
+    return time.perf_counter() - t0
+
+
+def _supervision_ratio_trial(pool: WarmPool, policy: SupervisionPolicy) -> float:
+    """One trial: ABBA-interleaved batches, median(supervised)/median(off)."""
+    offs: list[float] = []
+    arms: list[float] = []
+    for _ in range(ROUNDS):
+        offs.append(_timed_sweep_batch(pool, None))
+        arms.append(_timed_sweep_batch(pool, policy))
+        arms.append(_timed_sweep_batch(pool, policy))
+        offs.append(_timed_sweep_batch(pool, None))
+    return statistics.median(arms) / statistics.median(offs)
+
+
+def bench_supervision_overhead() -> dict:
+    """Armed supervisor vs plain dispatch on the same warm pool."""
+    policy = SupervisionPolicy()
+    pool = WarmPool()
+    try:
+        # warm the workers and the cost model before any timing
+        base = run_sweep(SWEEP_SPEC, workers=2, pool=pool)
+        armed = run_sweep(SWEEP_SPEC, workers=2, pool=pool, supervision=policy)
+        # supervision must be invisible in the report and fire nothing
+        assert armed.report.to_json() == base.report.to_json()
+        assert armed.supervision["hangs_detected"] == 0
+        assert armed.supervision["degradations"] == []
+        ratios = [_supervision_ratio_trial(pool, policy) for _ in range(TRIALS)]
+    finally:
+        pool.shutdown()
+    return {
+        "replications": SWEEP_SPEC.replications,
+        "pool_workers": 2,
+        "batch": SWEEP_BATCH,
+        "rounds": ROUNDS,
+        "trials": ratios,
+        "overhead_fraction": statistics.median(ratios) - 1.0,
+    }
+
+
 def run_all() -> dict:
     return {
         "quick": QUICK,
         "scheduler_fastpath": bench_scheduler_fastpath(),
         "enablement_notify": bench_enablement_notify(),
+        "supervision": bench_supervision_overhead(),
     }
 
 
@@ -155,6 +213,7 @@ def test_fault_overhead():
     baseline = json.loads(baseline_path.read_text())
     floor = float(baseline["enablement_notify"]["granules_per_second"]) / 2.0
     assert results["enablement_notify"]["granules_per_second"] >= floor
+    assert results["supervision"]["overhead_fraction"] < MAX_OVERHEAD
     print(json.dumps(results, indent=2, sort_keys=True))
 
 

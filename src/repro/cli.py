@@ -41,6 +41,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -194,10 +195,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--fault-seed", type=int, default=0, help="seed for the injected fault plan"
     )
+    sup = p_sweep.add_argument_group("supervision & chaos")
+    sup.add_argument(
+        "--supervise",
+        action="store_true",
+        help="arm the pool supervisor: cost-model-derived per-task deadlines, "
+        "worker heartbeat probes, preemptive rebuild of hung workers, and "
+        "the warm → cold → narrow → serial degradation ladder when the "
+        "restart budget runs out.  Implied by any flag in this group",
+    )
+    sup.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="explicit per-task deadline (overrides the cost-model derivation)",
+    )
+    sup.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="preempt a pool worker whose liveness stamp is older than this "
+        "(default 30s when supervised; detects frozen processes before "
+        "their task deadline)",
+    )
+    sup.add_argument(
+        "--hang-replication",
+        dest="hang_replications",
+        type=int,
+        action="append",
+        default=[],
+        metavar="R",
+        help="fault injection: hang the host worker running replication R "
+        "(or grid cell R) forever on its first attempt (repeatable; "
+        "requires supervision to recover, which this flag arms)",
+    )
+    sup.add_argument(
+        "--slow-replication",
+        dest="slow_replications",
+        action="append",
+        default=[],
+        metavar="R:SECONDS",
+        help="fault injection: delay replication R (or grid cell R) by "
+        "SECONDS on its first attempt (repeatable)",
+    )
+    sup.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="deterministic chaos harness: derive a randomized mix of worker "
+        "kills, hangs and slowdowns over all replications (or grid cells) "
+        "from SEED (env REPRO_CHAOS_SEED).  The report must stay "
+        "byte-identical to the no-chaos run — that is the point",
+    )
     p_sweep.add_argument(
         "--progress",
         action="store_true",
-        help="stream throughput/ETA progress lines to stderr as tasks land",
+        help="stream throughput/ETA progress lines to stderr as tasks land "
+        "(supervised runs also surface stalls and ladder transitions)",
     )
     p_sweep.add_argument(
         "--profile",
@@ -672,6 +729,73 @@ def _parse_param(binding: str):
         return name, value  # bare strings stay strings
 
 
+def _parse_slow(token: str) -> tuple[int, float]:
+    """``R:SECONDS`` — one --slow-replication binding."""
+    rep, _, secs = token.partition(":")
+    try:
+        return int(rep), float(secs)
+    except ValueError:
+        raise ValueError(
+            f"--slow-replication expects R:SECONDS, got {token!r}"
+        ) from None
+
+
+def _sweep_chaos_seed(args) -> int | None:
+    """--chaos-seed, falling back to the REPRO_CHAOS_SEED environment."""
+    if args.chaos_seed is not None:
+        return args.chaos_seed
+    env = os.environ.get("REPRO_CHAOS_SEED", "").strip()
+    return int(env) if env else None
+
+
+def _sweep_supervision(args, implied: bool):
+    """The SupervisionPolicy for this invocation, or None (unsupervised).
+
+    Armed by --supervise, by any deadline/heartbeat knob, or by a fault
+    flag that *needs* supervision to terminate (hangs, chaos) — an
+    injected hang without a supervisor would block the sweep forever,
+    which is never what the caller meant.
+    """
+    armed = (
+        args.supervise
+        or args.task_timeout is not None
+        or args.heartbeat_timeout is not None
+        or implied
+    )
+    if not armed:
+        return None
+    from repro.sweep import SupervisionPolicy
+
+    kwargs = {}
+    if args.task_timeout is not None:
+        kwargs["task_timeout"] = args.task_timeout
+    if args.heartbeat_timeout is not None:
+        kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+    return SupervisionPolicy(**kwargs)
+
+
+def _print_supervision(stats, out) -> None:
+    """Outcome lines for a supervised run (sweep and grid share them)."""
+    if stats is None:
+        return
+    if stats["hangs_detected"]:
+        print(
+            f"hangs        : {stats['hangs_detected']} detected "
+            f"({stats['workers_preempted']} workers preempted)",
+            file=out,
+        )
+    if stats["segments_reaped"]:
+        print(
+            f"shm janitor  : {stats['segments_reaped']} leaked segments reaped",
+            file=out,
+        )
+    if stats["degradations"]:
+        path = " → ".join(
+            [stats["degradations"][0][0]] + [d[1] for d in stats["degradations"]]
+        )
+        print(f"degraded     : {path}", file=out)
+
+
 def _sweep_instrumentation(args):
     """Build the optional (profiler, bus, reporter) trio for a sweep/grid run."""
     profiler = bus = reporter = None
@@ -742,14 +866,34 @@ def _cmd_sweep(args, out) -> int:
     if args.share_maps:
         print("error: --share-maps requires --grid", file=sys.stderr)
         return 2
+    try:
+        slows = [_parse_slow(t) for t in args.slow_replications]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chaos_seed = _sweep_chaos_seed(args)
     fault_plan = None
-    if args.kill_replications:
-        from repro.faults import FaultPlan, SweepWorkerKill
+    faults: list = []
+    if args.kill_replications or args.hang_replications or slows:
+        from repro.faults import SweepWorkerHang, SweepWorkerKill, SweepWorkerSlow
+
+        faults += [SweepWorkerKill(r) for r in args.kill_replications]
+        faults += [SweepWorkerHang(r) for r in args.hang_replications]
+        faults += [SweepWorkerSlow(r, s) for r, s in slows]
+    if chaos_seed is not None:
+        from repro.faults import chaos_plan
+
+        faults += list(chaos_plan(chaos_seed, spec.replications).faults)
+    if faults:
+        from repro.faults import FaultPlan
 
         fault_plan = FaultPlan(
-            seed=args.fault_seed,
-            faults=tuple(SweepWorkerKill(r) for r in args.kill_replications),
+            seed=chaos_seed if chaos_seed is not None else args.fault_seed,
+            faults=tuple(faults),
         )
+    supervision = _sweep_supervision(
+        args, implied=bool(args.hang_replications or slows or chaos_seed is not None)
+    )
     profiler, bus, reporter = _sweep_instrumentation(args)
     try:
         outcome = run_sweep(
@@ -763,6 +907,7 @@ def _cmd_sweep(args, out) -> int:
             bus=bus,
             batch_size=args.batch_size,
             pool="cold" if args.cold_pool else "warm",
+            supervision=supervision,
         )
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -796,6 +941,7 @@ def _cmd_sweep(args, out) -> int:
         print(f"resumed      : {outcome.resumed} replications from manifest", file=out)
     if outcome.worker_restarts:
         print(f"restarts     : {outcome.worker_restarts} after worker death", file=out)
+    _print_supervision(outcome.supervision, out)
     if args.manifest:
         print(f"manifest     : {args.manifest}", file=out)
     if args.output:
@@ -836,6 +982,30 @@ def _cmd_sweep_grid(args, spec, out) -> int:
         return 2
     if args.share_maps and not shared:
         print("note: workload declares no selection maps; nothing to share", file=out)
+    try:
+        slows = [_parse_slow(t) for t in args.slow_replications]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chaos_seed = _sweep_chaos_seed(args)
+    kill_cells = list(args.kill_replications)
+    hang_cells = list(args.hang_replications)
+    slow_cells = dict(slows)
+    if chaos_seed is not None:
+        # the chaos matrix maps onto grid cells exactly as onto
+        # replications: unit index = cell id, same seeded draw sequence
+        from repro.faults import chaos_plan
+
+        plan = chaos_plan(chaos_seed, grid.n_cells)
+        kill_cells += [f.replication for f in plan.sweep_kills]
+        hang_cells += [f.replication for f in plan.sweep_hangs]
+        for f in plan.sweep_slows:
+            slow_cells[f.replication] = max(
+                slow_cells.get(f.replication, 0.0), f.delay_seconds
+            )
+    supervision = _sweep_supervision(
+        args, implied=bool(hang_cells or slow_cells or chaos_seed is not None)
+    )
     profiler, bus, reporter = _sweep_instrumentation(args)
     try:
         outcome = run_grid(
@@ -845,11 +1015,14 @@ def _cmd_sweep_grid(args, spec, out) -> int:
             manifest_path=args.manifest,
             resume=args.resume,
             max_restarts=args.max_restarts,
-            kill_cells=args.kill_replications,
+            kill_cells=kill_cells,
+            hang_cells=hang_cells,
+            slow_cells=slow_cells,
             profiler=profiler,
             bus=bus,
             chunk_size=args.batch_size,
             pool="cold" if args.cold_pool else "warm",
+            supervision=supervision,
         )
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -890,6 +1063,7 @@ def _cmd_sweep_grid(args, spec, out) -> int:
         print(f"resumed      : {outcome.resumed} cells from manifest", file=out)
     if outcome.worker_restarts:
         print(f"restarts     : {outcome.worker_restarts} after worker death", file=out)
+    _print_supervision(outcome.supervision, out)
     if args.manifest:
         print(f"manifest     : {args.manifest}", file=out)
     if args.output:

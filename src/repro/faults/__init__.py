@@ -7,7 +7,8 @@ failure:
 
 * :class:`FaultPlan` — deterministic, seed-driven failure injection
   (processor crashes, stragglers, transient granule errors, thread and
-  sweep-worker kills);
+  sweep-worker kills, sweep-worker hangs and slowdowns, plus the
+  :func:`chaos_plan` randomized-mix generator the chaos harness uses);
 * :class:`RecoveryPolicy` — retry caps, exponential backoff, barrier
   watchdog tuning;
 * :class:`FaultInjector` — the order-independent oracle the executive,
@@ -24,9 +25,12 @@ from repro.faults.plan import (
     ProcessorCrash,
     RecoveryPolicy,
     StragglerSlowdown,
+    SweepWorkerHang,
     SweepWorkerKill,
+    SweepWorkerSlow,
     TransientGranuleError,
     WorkerThreadKill,
+    chaos_plan,
 )
 from repro.faults.report import PhaseAbortError, RundownFailureReport
 
@@ -39,6 +43,9 @@ __all__ = [
     "TransientGranuleError",
     "WorkerThreadKill",
     "SweepWorkerKill",
+    "SweepWorkerHang",
+    "SweepWorkerSlow",
+    "chaos_plan",
     "RundownFailureReport",
     "PhaseAbortError",
 ]

@@ -26,7 +26,9 @@ class FaultInjector:
         self._transients = plan.transients
         self._stragglers = plan.stragglers
         self._kills = {k.worker: k for k in plan.thread_kills}
-        self._sweep_kills = {k.replication for k in plan.sweep_kills}
+        self._sweep_kills = {k.replication: k for k in plan.sweep_kills}
+        self._sweep_hangs = {h.replication: h for h in plan.sweep_hangs}
+        self._sweep_slows = {s.replication: s for s in plan.sweep_slows}
         #: Hot-path guards: callers skip per-task queries entirely when the
         #: plan carries no fault of the relevant kind, keeping an armed-but-
         #: empty plan within the fault-overhead benchmark's budget.
@@ -69,6 +71,18 @@ class FaultInjector:
         return self.task_fails(phase, -1, granule, granule + 1, attempt)
 
     # ------------------------------------------------------------------ sweep side
-    def kills_replication(self, replication: int) -> bool:
+    def kills_replication(self, replication: int, attempt: int = 0) -> bool:
         """Is the pool worker running ``replication`` scheduled to die?"""
-        return replication in self._sweep_kills
+        kill = self._sweep_kills.get(replication)
+        return kill is not None and attempt < kill.attempts
+
+    def hangs_replication(self, replication: int, attempt: int = 0):
+        """The :class:`~repro.faults.SweepWorkerHang` scheduled for this
+        replication attempt, or ``None``."""
+        hang = self._sweep_hangs.get(replication)
+        return hang if hang is not None and attempt < hang.attempts else None
+
+    def slows_replication(self, replication: int, attempt: int = 0) -> float:
+        """Injected delay in seconds for this replication attempt (0 = none)."""
+        slow = self._sweep_slows.get(replication)
+        return slow.delay_seconds if slow is not None and attempt == 0 else 0.0

@@ -26,8 +26,11 @@ __all__ = [
     "TransientGranuleError",
     "WorkerThreadKill",
     "SweepWorkerKill",
+    "SweepWorkerHang",
+    "SweepWorkerSlow",
     "FaultPlan",
     "RecoveryPolicy",
+    "chaos_plan",
 ]
 
 
@@ -107,16 +110,74 @@ class WorkerThreadKill:
 class SweepWorkerKill:
     """The pool worker running replication ``replication`` is killed.
 
-    On first attempt only: the sweep runner resubmits the replication with
-    the same derived seed, so the final report is byte-identical to a
-    fault-free sweep.  Consumed by :func:`repro.sweep.run_sweep`.
+    The kill fires while ``attempt < attempts`` (default: first attempt
+    only): the sweep runner resubmits the replication with the same
+    derived seed, so the final report is byte-identical to a fault-free
+    sweep.  ``attempts > 1`` models a salvage storm — the same unit keeps
+    taking its worker down across consecutive pool rebuilds.  Consumed by
+    :func:`repro.sweep.run_sweep`.
     """
 
     replication: int
+    attempts: int = 1
 
     def __post_init__(self) -> None:
         if self.replication < 0:
             raise ValueError(f"replication index must be >= 0, got {self.replication}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepWorkerHang:
+    """The pool worker running replication ``replication`` hangs forever.
+
+    Unlike :class:`SweepWorkerKill` the worker does not die — it stops
+    making progress, which only a supervision deadline (or, with
+    ``freeze_heartbeat=True``, a stale-heartbeat probe) can detect.  The
+    hang fires while ``attempt < attempts``; the preempted-and-resubmitted
+    attempt completes normally with the same derived seed, keeping the
+    report byte-identical.  Inline (``workers=1``) the hang degrades to a
+    :class:`~repro.sweep.runner.SweepWorkerDied` retry, since a process
+    cannot usefully hang itself.  Consumed by :func:`repro.sweep.run_sweep`.
+    """
+
+    replication: int
+    attempts: int = 1
+    #: also stop the worker's heartbeat thread — models a frozen process
+    #: (C-level block, livelocked interpreter) rather than a slow task, so
+    #: the stale-heartbeat probe fires before the task deadline does
+    freeze_heartbeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replication < 0:
+            raise ValueError(f"replication index must be >= 0, got {self.replication}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepWorkerSlow:
+    """The pool worker running replication ``replication`` is slowed.
+
+    A deterministic ``delay_seconds`` sleep before the unit's compute, on
+    the first attempt only.  A slowdown inside the task deadline completes
+    normally; one past the deadline is preempted and resubmitted (the
+    retry is not slowed), so the report stays byte-identical either way.
+    The sleep happens *outside* the batch envelope's compute-span stamp,
+    so an injected slowdown never pollutes the cost-model EWMA.
+    """
+
+    replication: int
+    delay_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.replication < 0:
+            raise ValueError(f"replication index must be >= 0, got {self.replication}")
+        if not (self.delay_seconds > 0 and math.isfinite(self.delay_seconds)):
+            raise ValueError(
+                f"delay_seconds must be positive and finite, got {self.delay_seconds}"
+            )
 
 
 _FAULT_TYPES = {
@@ -125,6 +186,8 @@ _FAULT_TYPES = {
     "transient": TransientGranuleError,
     "thread_kill": WorkerThreadKill,
     "sweep_kill": SweepWorkerKill,
+    "sweep_hang": SweepWorkerHang,
+    "sweep_slow": SweepWorkerSlow,
 }
 _TYPE_NAMES = {cls: name for name, cls in _FAULT_TYPES.items()}
 
@@ -172,6 +235,14 @@ class FaultPlan:
     def sweep_kills(self) -> tuple[SweepWorkerKill, ...]:
         return self._of(SweepWorkerKill)
 
+    @property
+    def sweep_hangs(self) -> tuple[SweepWorkerHang, ...]:
+        return self._of(SweepWorkerHang)
+
+    @property
+    def sweep_slows(self) -> tuple[SweepWorkerSlow, ...]:
+        return self._of(SweepWorkerSlow)
+
     # ------------------------------------------------------------------ serde
     def to_dict(self) -> dict[str, Any]:
         """Plain-data form (JSON-able, crosses process boundaries)."""
@@ -196,6 +267,47 @@ class FaultPlan:
                 raise ValueError(f"unknown fault kind {kind!r}") from None
             faults.append(fault_cls(**entry))
         return cls(seed=int(data.get("seed", 0)), faults=tuple(faults))
+
+
+def chaos_plan(
+    seed: int,
+    units: int,
+    hang_p: float = 0.15,
+    kill_p: float = 0.15,
+    slow_p: float = 0.20,
+) -> FaultPlan:
+    """A deterministic randomized mix of sweep-worker faults.
+
+    The chaos harness's plan generator: for each pool unit (replication
+    index, grid cell id) one uniform draw — keyed on ``(seed, unit)`` with
+    the same :class:`~repro.sim.rng.RngStreams` scheme every other
+    injection point uses — decides hang / kill / slowdown / nothing.  The
+    same ``(seed, units)`` always yields the same plan, independent of
+    call order or host, which is what lets CI byte-compare a chaos run
+    against its fault-free reference (the ``REPRO_CHAOS_SEED`` matrix).
+    """
+    if units < 0:
+        raise ValueError(f"units must be >= 0, got {units}")
+    if min(hang_p, kill_p, slow_p) < 0 or hang_p + kill_p + slow_p > 1.0:
+        raise ValueError(
+            f"fault probabilities must be >= 0 and sum to <= 1, got "
+            f"{hang_p}, {kill_p}, {slow_p}"
+        )
+    from repro.sim.rng import RngStreams
+
+    rng = RngStreams(seed)
+    faults: list[Any] = []
+    for unit in range(units):
+        u = rng.fresh(f"chaos:{unit}").random()
+        if u < hang_p:
+            # half the hangs also freeze the heartbeat, exercising the
+            # stale-probe detection path alongside the deadline path
+            faults.append(SweepWorkerHang(unit, freeze_heartbeat=bool(u < hang_p / 2)))
+        elif u < hang_p + kill_p:
+            faults.append(SweepWorkerKill(unit))
+        elif u < hang_p + kill_p + slow_p:
+            faults.append(SweepWorkerSlow(unit, delay_seconds=round(0.1 + 0.4 * u, 3)))
+    return FaultPlan(seed=seed, faults=tuple(faults))
 
 
 @dataclass(frozen=True, slots=True)

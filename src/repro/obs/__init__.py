@@ -38,7 +38,9 @@ from repro.obs.events import (
     PhaseStalled,
     PhaseStalledEvent,
     PhaseStarted,
+    PoolDegraded,
     PoolTaskCompleted,
+    PoolTaskHung,
     ProcessorFailed,
     QueueDepthChanged,
     WorkerBusy,
@@ -64,7 +66,12 @@ from repro.obs.profile import (
     analyze_saved,
     effective_workers_from_events,
 )
-from repro.obs.progress import ProgressReporter, format_progress
+from repro.obs.progress import (
+    ProgressReporter,
+    format_degraded,
+    format_progress,
+    format_stall,
+)
 from repro.obs.spans import (
     Span,
     SpanRecorder,
@@ -104,6 +111,8 @@ __all__ = [
     "PhaseStalled",
     "PhaseStalledEvent",
     "PoolTaskCompleted",
+    "PoolTaskHung",
+    "PoolDegraded",
     "EventBus",
     "NullEventBus",
     "Counter",
@@ -125,6 +134,8 @@ __all__ = [
     "effective_workers_from_events",
     "ProgressReporter",
     "format_progress",
+    "format_stall",
+    "format_degraded",
     "Span",
     "SpanRecorder",
     "spans_from_trace",

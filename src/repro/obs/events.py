@@ -39,6 +39,8 @@ __all__ = [
     "PhaseStalled",
     "PhaseStalledEvent",
     "PoolTaskCompleted",
+    "PoolTaskHung",
+    "PoolDegraded",
     "Subscription",
     "EventBus",
     "NullEventBus",
@@ -202,6 +204,46 @@ class PoolTaskCompleted(ObsEvent):
     total: int
     started: float = -1.0
     finished: float = -1.0
+
+
+@dataclass(frozen=True, slots=True)
+class PoolTaskHung(ObsEvent):
+    """The pool supervisor declared a host-pool task hung and preempted it.
+
+    ``reason`` is what tripped the detector: ``"deadline"`` (the task's
+    cost-model-derived or ``--task-timeout`` deadline expired) or
+    ``"heartbeat"`` (a worker's liveness stamp went stale — the process
+    itself is frozen).  ``elapsed``/``deadline`` are host seconds;
+    ``preempted_workers`` counts the pool processes killed to break the
+    executor into the salvage path.  The preempted unit is resubmitted
+    with its original derived seed, so this event never implies a report
+    difference.
+    """
+
+    what: str
+    key: str
+    elapsed: float
+    deadline: float
+    reason: str = "deadline"
+    preempted_workers: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PoolDegraded(ObsEvent):
+    """The retry-budget circuit breaker moved the pool down one rung.
+
+    The degradation ladder is ``warm → cold → narrow → serial``; the
+    breaker opens when a single dispatch accumulates more than its
+    per-rung restart budget of pool rebuilds (crashes and hang
+    preemptions both count).  ``restarts`` is the cumulative rebuild
+    count at the moment of transition.
+    """
+
+    what: str
+    from_rung: str
+    to_rung: str
+    restarts: int
+    reason: str = "retry_budget"
 
 
 #: Compatibility alias; the event class follows the PhaseStarted/PhaseEnded

@@ -763,6 +763,10 @@ class PoolProfiler:
 
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tasks: list[ProfiledTask] = []
+        #: submissions whose envelope never came back before the same key
+        #: was submitted again — the profiler's view of crash/hang salvage
+        #: (each preempted or killed dispatch re-wraps its key)
+        self.abandoned_submissions = 0
         self._t0 = time.perf_counter()
         self._pending: dict[Any, dict[str, Any]] = {}
         self._seen_pids: set[int] = set()
@@ -786,6 +790,15 @@ class PoolProfiler:
             # inline mode may carry process-local payloads (e.g. attached
             # shared-memory stores) that never cross a process boundary
             nbytes, ser = 0, 0.0
+        if key in self._pending:
+            # the previous dispatch of this key never returned an envelope —
+            # its worker crashed or was preempted by the supervisor and the
+            # salvage driver is resubmitting
+            self.abandoned_submissions += 1
+            self.metrics.counter(
+                "pool.abandoned_submissions_total",
+                "Profiled submissions preempted or lost before returning",
+            ).inc()
         self._pending[key] = {
             "submit_wall": time.perf_counter(),
             "args_bytes": nbytes,

@@ -6,20 +6,39 @@ throughput/ETA lines::
 
     [sweep] 12/32 replications (37.5%) | 3.08/s | ETA 6.5s
 
+Under supervision (see :mod:`repro.sweep.supervise`) the reporter also
+surfaces *stall and degradation state* instead of silently freezing the
+ETA line: a :class:`~repro.obs.events.PoolTaskHung` prints a stall line
+the moment a task blows its deadline (or a worker heartbeat goes stale),
+a :class:`~repro.obs.events.PoolDegraded` prints the ladder transition,
+and every subsequent progress line carries the current rung and the
+count of preemptions so far::
+
+    [sweep] stall: replication batch 3 hung after 12.1s (deadline 10.0s) — preempting 2 workers
+    [sweep] degraded: warm → cold after 3 restarts (retry_budget)
+    [sweep] 12/32 replications (37.5%) | 3.08/s | ETA 6.5s | rung cold | 1 preempted
+
 All arithmetic uses the event's own ``time`` field (host seconds since
 the driver started), never the wall clock, so a reporter fed a recorded
 event stream prints exactly the lines the live run printed — which is
 also what makes it testable.  Emission is rate-limited by event time
-(``min_interval``); the terminal completion event always prints.
+(``min_interval``); the terminal completion event and every stall /
+degradation line always print.
 """
 
 from __future__ import annotations
 
 from typing import IO, Any
 
-from repro.obs.events import EventBus, PoolTaskCompleted, Subscription
+from repro.obs.events import (
+    EventBus,
+    PoolDegraded,
+    PoolTaskCompleted,
+    PoolTaskHung,
+    Subscription,
+)
 
-__all__ = ["ProgressReporter", "format_progress"]
+__all__ = ["ProgressReporter", "format_progress", "format_stall", "format_degraded"]
 
 
 def format_progress(event: PoolTaskCompleted) -> str:
@@ -37,6 +56,30 @@ def format_progress(event: PoolTaskCompleted) -> str:
     return line
 
 
+def format_stall(event: PoolTaskHung) -> str:
+    """One stall line for a hung-task preemption; pure function, no state."""
+    cause = (
+        "worker heartbeat stale"
+        if event.reason == "heartbeat"
+        else f"deadline {event.deadline:.1f}s"
+    )
+    n = event.preempted_workers
+    return (
+        f"[sweep] stall: {event.what} {event.key} hung after "
+        f"{event.elapsed:.1f}s ({cause}) — preempting {n} "
+        f"worker{'s' if n != 1 else ''}"
+    )
+
+
+def format_degraded(event: PoolDegraded) -> str:
+    """One ladder-transition line; pure function, no state."""
+    return (
+        f"[sweep] degraded: {event.from_rung} → {event.to_rung} after "
+        f"{event.restarts} restart{'s' if event.restarts != 1 else ''} "
+        f"({event.reason})"
+    )
+
+
 class ProgressReporter:
     """Streams pool-task progress lines to ``stream``.
 
@@ -46,27 +89,45 @@ class ProgressReporter:
         Where lines go (``sys.stderr`` for the CLI; any file-like with
         ``write`` works — tests pass an ``io.StringIO``).
     min_interval:
-        Minimum event-time seconds between emitted lines.  ``0`` emits
-        every event.
+        Minimum event-time seconds between emitted progress lines.  ``0``
+        emits every event.  Stall and degradation lines are exempt — a
+        supervisor intervention always prints immediately.
     """
 
     def __init__(self, stream: IO[str], min_interval: float = 0.5) -> None:
         self.stream = stream
         self.min_interval = min_interval
         self.lines_emitted = 0
+        #: current degradation-ladder rung (None until a transition occurs)
+        self.rung: str | None = None
+        #: hung-task preemptions observed so far
+        self.stalls_seen = 0
         self._last_emit_time: float | None = None
-        self._subscription: Subscription | None = None
+        self._subscriptions: list[Subscription] = []
 
     def subscribe(self, bus: EventBus) -> Subscription:
-        """Attach to ``bus``; returns the subscription for detaching."""
-        self._subscription = bus.subscribe(PoolTaskCompleted, self.on_event)
-        return self._subscription
+        """Attach to ``bus``; returns the progress subscription for detaching
+        (stall/degradation subscriptions are tracked and closed together)."""
+        sub = bus.subscribe(PoolTaskCompleted, self.on_event)
+        self._subscriptions = [
+            sub,
+            bus.subscribe(PoolTaskHung, self.on_hung),
+            bus.subscribe(PoolDegraded, self.on_degraded),
+        ]
+        return sub
 
     def close(self) -> None:
         """Detach from the bus (idempotent)."""
-        if self._subscription is not None:
-            self._subscription.unsubscribe()
-            self._subscription = None
+        for sub in self._subscriptions:
+            sub.unsubscribe()
+        self._subscriptions = []
+
+    def _write(self, line: str) -> None:
+        self.lines_emitted += 1
+        self.stream.write(line + "\n")
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
 
     def on_event(self, event: Any) -> None:
         final = event.done >= event.total
@@ -74,8 +135,17 @@ class ProgressReporter:
             if event.time - self._last_emit_time < self.min_interval:
                 return
         self._last_emit_time = event.time
-        self.lines_emitted += 1
-        self.stream.write(format_progress(event) + "\n")
-        flush = getattr(self.stream, "flush", None)
-        if flush is not None:
-            flush()
+        line = format_progress(event)
+        if self.rung is not None:
+            line += f" | rung {self.rung}"
+        if self.stalls_seen:
+            line += f" | {self.stalls_seen} preempted"
+        self._write(line)
+
+    def on_hung(self, event: Any) -> None:
+        self.stalls_seen += 1
+        self._write(format_stall(event))
+
+    def on_degraded(self, event: Any) -> None:
+        self.rung = event.to_rung
+        self._write(format_degraded(event))

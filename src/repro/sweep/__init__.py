@@ -36,7 +36,18 @@ from a calibrated per-item cost model (:func:`cost_model`).  Pass
 (an ``atexit`` hook does it otherwise).  Neither pooling nor batching
 can change report bytes.
 
-See docs/PERFORMANCE.md for usage and the scaling benchmark.
+``supervision=`` arms the pool **supervisor**
+(:mod:`repro.sweep.supervise`): per-task deadlines from the cost model,
+worker heartbeat probes, preemptive kill-and-rebuild of hung workers
+through the crash-salvage path, and a retry-budget circuit breaker that
+degrades warm → cold → narrow → serial instead of failing.  A
+shared-memory janitor (:func:`audit_shm_segments` /
+:func:`reap_leaked_segments`) reaps segments leaked by preempted or
+killed drivers.  Supervision cannot change report bytes either — the
+chaos harness (``repro.faults.chaos_plan``) proves it.
+
+See docs/PERFORMANCE.md for usage and the scaling benchmark, and
+docs/RESILIENCE.md for the degradation ladder and deadline knobs.
 """
 
 from repro.sweep.grid import (
@@ -66,7 +77,12 @@ from repro.sweep.runner import (
     workload_names,
 )
 from repro.sweep.pool import CostModel, WarmPool, cost_model, shutdown_warm_pool, warm_pool
-from repro.sweep.shm import SharedMapStore
+from repro.sweep.shm import SharedMapStore, audit_shm_segments, reap_leaked_segments
+from repro.sweep.supervise import (
+    DEGRADATION_LADDER,
+    SupervisionPolicy,
+    Supervisor,
+)
 
 __all__ = [
     "SweepSpec",
@@ -92,9 +108,14 @@ __all__ = [
     "materialize_maps",
     "parse_axis",
     "SharedMapStore",
+    "audit_shm_segments",
+    "reap_leaked_segments",
     "WarmPool",
     "CostModel",
     "warm_pool",
     "cost_model",
     "shutdown_warm_pool",
+    "SupervisionPolicy",
+    "Supervisor",
+    "DEGRADATION_LADDER",
 ]

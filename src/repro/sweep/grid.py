@@ -33,8 +33,6 @@ from __future__ import annotations
 
 import itertools
 import json
-import multiprocessing
-import os
 import time
 import zlib
 from dataclasses import dataclass
@@ -47,15 +45,16 @@ from repro.obs.events import EventBus, PoolTaskCompleted
 from repro.sweep.pool import WarmPool, cost_model, warm_pool
 from repro.sweep.runner import (
     SweepSpec,
-    SweepWorkerDied,
     build_workload,
     replication_seed,
     result_summary,
     run_pool_tasks,
+    _apply_chaos,
     _load_manifest,
     _open_manifest,
 )
 from repro.sweep.shm import SharedMapStore
+from repro.sweep.supervise import SupervisionPolicy, Supervisor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.profile import PoolProfiler
@@ -365,7 +364,7 @@ def _grid_chunk(
     chunk: list[tuple[int, dict[str, Any], int]],
     maps_payload: Mapping[str, Any] | None,
     attach: bool,
-    kill: bool,
+    chaos: dict[str, Any] | bool | None,
     attempt: int,
     instrument: bool = False,
 ) -> dict[str, Any]:
@@ -376,21 +375,21 @@ def _grid_chunk(
     or a pool run with shm disabled).  Chunking amortizes both the
     submission pickle and the shared-store attachment; the attachment is
     memoized per worker process, so a worker pays the segment-open cost
-    once per grid, not once per chunk.  Kill injection mirrors
-    :func:`~repro.sweep.runner._pool_entry`: a hard ``os._exit`` in a
-    pool child, :class:`SweepWorkerDied` inline, first attempt only.
+    once per grid, not once per chunk.
+
+    ``chaos`` is this attempt's injected-misbehavior verdict (see
+    :func:`~repro.sweep.runner._apply_chaos`) — kill, hang, or slowdown;
+    a plain ``bool`` is the PR 8 kill-on-first-attempt convention, kept
+    for existing callers.
 
     Returns a batch envelope (like ``runner._pool_entry_batch``): the
     per-cell summaries plus the chunk's measured compute span, which
     feeds the host-side cost model and concurrency accounting without
     touching the canonical report.
     """
-    if kill and attempt == 0:
-        if multiprocessing.parent_process() is not None:
-            os._exit(17)
-        raise SweepWorkerDied(
-            f"injected kill of grid chunk with cells {[c[0] for c in chunk]}"
-        )
+    if isinstance(chaos, bool):
+        chaos = {"kill": True} if (chaos and attempt == 0) else None
+    _apply_chaos(chaos, f"grid chunk with cells {[c[0] for c in chunk]}")
     shared: Mapping[str, np.ndarray] | None
     if maps_payload is None:
         shared = None
@@ -472,6 +471,9 @@ class GridOutcome:
     pool_reused: bool = False
     #: warm-pool executor build count after the run (0 = no pool used)
     pool_generation: int = 0
+    #: supervisor stats (hangs detected, preemptions, ladder transitions,
+    #: final rung) when the grid ran supervised; None otherwise
+    supervision: dict[str, Any] | None = None
 
 
 # ---------------------------------------------------------------------- driver
@@ -486,9 +488,12 @@ def run_grid(
     resume: bool = False,
     max_restarts: int = 2,
     kill_cells: Sequence[int] = (),
+    hang_cells: Sequence[int] = (),
+    slow_cells: Mapping[int, float] | None = None,
     profiler: "PoolProfiler | None" = None,
     bus: EventBus | None = None,
     pool: "WarmPool | str" = "warm",
+    supervision: "SupervisionPolicy | bool | None" = None,
 ) -> GridOutcome:
     """Run every cell of ``grid``; ``workers`` host processes.
 
@@ -511,6 +516,14 @@ def run_grid(
     per-chunk overhead attribution plus worker-counter merge, and one
     :class:`~repro.obs.events.PoolTaskCompleted` per landed cell.  The
     report bytes do not depend on either.
+
+    Fault injection: ``kill_cells`` crashes the worker holding any listed
+    cell (first attempt only); ``hang_cells`` hangs it forever;
+    ``slow_cells`` maps cell ids to injected delays in seconds.
+    ``supervision`` arms the pool supervisor exactly as in
+    :func:`~repro.sweep.runner.run_sweep` — required for a hung chunk to
+    be preempted rather than block the grid; its facts land on
+    :attr:`GridOutcome.supervision`.  None of these change report bytes.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -527,6 +540,8 @@ def run_grid(
     ]
     total = len(cells)
     kills = set(kill_cells)
+    hangs = set(hang_cells)
+    slows = dict(slow_cells or {})
 
     t0 = time.perf_counter()
     summaries: dict[int, dict[str, Any]] = {}
@@ -569,6 +584,19 @@ def run_grid(
     restarts = 0
     warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
     pool_reused = bool(warm is not None and warm.active and workers > 1)
+    supervisor: Supervisor | None = None
+    if supervision:
+        policy = supervision if isinstance(supervision, SupervisionPolicy) else None
+        supervisor = Supervisor(
+            policy,
+            estimate=lambda: model.estimate(ckey),
+            bus=bus,
+            metrics=profiler.metrics if profiler is not None else None,
+            heartbeat_dir=warm.heartbeat_dir if warm is not None else None,
+            what="cell",
+            t0=t0,
+        )
+        supervisor.items_of = lambda ci: len(chunks[ci])
 
     def record(chunk_id: int, envelope: dict[str, Any]) -> None:
         nonlocal done_count
@@ -611,7 +639,17 @@ def run_grid(
 
         def call(chunk_id: int, attempt: int):
             chunk = chunks[chunk_id]
-            kill = bool(kills) and any(cid in kills for cid, _, _ in chunk)
+            chaos: dict[str, Any] | None = None
+            if attempt == 0 and (kills or hangs or slows):
+                c: dict[str, Any] = {}
+                slow = max((slows.get(cid, 0.0) for cid, _, _ in chunk), default=0.0)
+                if slow:
+                    c["slow"] = slow
+                if any(cid in kills for cid, _, _ in chunk):
+                    c["kill"] = True
+                elif any(cid in hangs for cid, _, _ in chunk):
+                    c["hang"] = {"freeze": False}
+                chaos = c or None
             if store is not None:
                 # zero-copy path: descriptors only, O(1) pickle bytes
                 payload, attach = descriptors, True
@@ -621,7 +659,7 @@ def run_grid(
                 payload, attach = local_shared, False
             return (
                 _grid_chunk,
-                (base_data, chunk, payload, attach, kill, attempt, profiler is not None),
+                (base_data, chunk, payload, attach, chaos, attempt, profiler is not None),
             )
 
         restarts = run_pool_tasks(
@@ -633,6 +671,7 @@ def run_grid(
             what="grid chunk",
             profiler=profiler,
             pool=pool,
+            supervisor=supervisor,
         )
     finally:
         if manifest is not None:
@@ -654,4 +693,5 @@ def run_grid(
         chunk_size=chunk_size,
         pool_reused=pool_reused,
         pool_generation=warm.generation if warm is not None else 0,
+        supervision=supervisor.stats() if supervisor is not None else None,
     )

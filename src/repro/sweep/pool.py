@@ -37,7 +37,10 @@ Neither changes a single report byte: batching and pooling only decide
 from __future__ import annotations
 
 import atexit
+import math
 import multiprocessing
+import shutil
+import tempfile
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
@@ -61,17 +64,28 @@ _PRELOAD = ["repro.sweep.runner", "repro.executive", "numpy"]
 _START_METHODS = ("forkserver", "fork", "spawn")
 
 
-def _worker_init() -> None:
-    """Standing pool initializer: stamp worker readiness for the profiler.
+def _worker_init(
+    heartbeat_dir: str | None = None, heartbeat_interval: float = 1.0
+) -> None:
+    """Standing pool initializer: stamp worker readiness for the profiler
+    and start the liveness heartbeat.
 
     Installed unconditionally (not only when a profiler is attached),
     because the whole point of a warm pool is that the profiler of sweep
     *N* observes workers started before sweep *N* began — the init stamp
-    must predate the profiler for warmup attribution to read zero.
+    must predate the profiler for warmup attribution to read zero.  The
+    heartbeat likewise always runs when the pool has a stamp directory:
+    whether a given dispatch is supervised is the *parent's* choice, and
+    a worker spawned under an unsupervised sweep may serve a supervised
+    one minutes later.
     """
     from repro.obs.profile import _profile_worker_init
 
     _profile_worker_init()
+    if heartbeat_dir is not None:
+        from repro.sweep.supervise import start_heartbeat
+
+        start_heartbeat(heartbeat_dir, heartbeat_interval)
 
 
 class WarmPool:
@@ -94,6 +108,8 @@ class WarmPool:
         self._max_workers = 0
         self._ctx = None
         self._start_method = start_method
+        self._heartbeat_dir: str | None = None
+        self.heartbeat_interval = 1.0
         self.generation = 0
         self.tasks_dispatched = 0
 
@@ -127,6 +143,19 @@ class WarmPool:
     @property
     def max_workers(self) -> int:
         return self._max_workers
+
+    @property
+    def heartbeat_dir(self) -> str:
+        """Directory of per-PID worker liveness stamps (created on demand).
+
+        Workers rewrite their stamp every :attr:`heartbeat_interval`
+        seconds; the supervisor's staleness probe reads the mtimes.  The
+        directory outlives executor rebuilds (stale stamps of dead PIDs
+        are simply never probed again) and is removed by :meth:`shutdown`.
+        """
+        if self._heartbeat_dir is None:
+            self._heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        return self._heartbeat_dir
 
     def worker_pids(self) -> list[int]:
         """PIDs of currently-spawned pool processes (may be < max_workers)."""
@@ -166,6 +195,7 @@ class WarmPool:
                     max_workers=self._max_workers,
                     mp_context=self._context(),
                     initializer=_worker_init,
+                    initargs=(self.heartbeat_dir, self.heartbeat_interval),
                 )
                 self.generation += 1
             assert self._executor is not None
@@ -186,6 +216,9 @@ class WarmPool:
                 self._executor.shutdown(wait=True, cancel_futures=True)
                 self._executor = None
             self._max_workers = 0
+            if self._heartbeat_dir is not None:
+                shutil.rmtree(self._heartbeat_dir, ignore_errors=True)
+                self._heartbeat_dir = None
 
 
 class CostModel:
@@ -202,14 +235,23 @@ class CostModel:
     TARGET_LOW = 0.1
     TARGET_HIGH = 0.5
 
+    #: Floor on the per-item estimate.  A trivially fast workload — or a
+    #: clock-quantization artifact reading 0.0 compute seconds for a real
+    #: batch — must not drag the EWMA to zero: a zero estimate would snap
+    #: ``pick_batch_size`` to its fair-share maximum in one step, and
+    #: would hand the supervisor a floor-clamped deadline that declares
+    #: perfectly healthy tasks hung.  One microsecond per item is far
+    #: below any real workload, so the clamp never distorts honest data.
+    MIN_PER_ITEM = 1e-6
+
     def __init__(self) -> None:
         self._per_item: dict[Any, float] = {}
 
     def observe(self, key: Any, seconds: float, items: int) -> None:
         """Fold one measured batch into the estimate for ``key``."""
-        if items < 1 or seconds < 0:
+        if items < 1 or seconds < 0 or not math.isfinite(seconds):
             return
-        per = seconds / items
+        per = max(seconds / items, self.MIN_PER_ITEM)
         prev = self._per_item.get(key)
         self._per_item[key] = per if prev is None else 0.5 * prev + 0.5 * per
 
@@ -225,11 +267,10 @@ class CostModel:
         est = self.estimate(key)
         if est is None or n_items < 1:
             return None
-        if est <= 0:
-            size = n_items
-        else:
-            # aim mid-band; the EWMA keeps us there as costs drift
-            size = max(1, int(0.5 * (self.TARGET_LOW + self.TARGET_HIGH) / est))
+        # aim mid-band; the EWMA keeps us there as costs drift.  observe()
+        # floors the estimate at MIN_PER_ITEM, so no division blowup here.
+        est = max(est, self.MIN_PER_ITEM)
+        size = max(1, int(0.5 * (self.TARGET_LOW + self.TARGET_HIGH) / est))
         fair = max(1, -(-n_items // max(1, workers)))
         return max(1, min(size, fair))
 
@@ -246,6 +287,14 @@ def warm_pool() -> WarmPool:
     if _WARM_POOL is None:
         _WARM_POOL = WarmPool()
         if not _ATEXIT_REGISTERED:
+            # atexit runs LIFO.  Importing the shm module *before*
+            # registering pins its segment-unlink guard earlier in the
+            # stack, so at interpreter exit shutdown_warm_pool (later
+            # registration = runs first) drains the workers before any
+            # owner segment is unlinked — a still-draining worker never
+            # has its attached maps yanked out from under it.
+            import repro.sweep.shm  # noqa: F401
+
             atexit.register(shutdown_warm_pool)
             _ATEXIT_REGISTERED = True
     return _WARM_POOL

@@ -33,6 +33,11 @@ from typing import IO, TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.obs.events import EventBus, PoolTaskCompleted
 from repro.sweep.pool import WarmPool, cost_model, warm_pool
+from repro.sweep.supervise import (
+    SupervisionPolicy,
+    Supervisor,
+    degradation_ladder,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultPlan
@@ -401,11 +406,54 @@ class SweepOutcome:
     pool_reused: bool = False
     #: warm-pool executor build count after the sweep (0 = no pool used)
     pool_generation: int = 0
+    #: supervisor stats (hangs detected, preemptions, ladder transitions,
+    #: final rung) when the sweep ran supervised; None otherwise
+    supervision: dict[str, Any] | None = None
 
 
 # ---------------------------------------------------------------------- faults
 class SweepWorkerDied(RuntimeError):
     """Inline-mode stand-in for a killed pool worker (same recovery path)."""
+
+
+def _apply_chaos(chaos: dict[str, Any] | None, what: str) -> None:
+    """Execute one task's injected misbehavior (worker side).
+
+    ``chaos`` is the host-computed verdict for this attempt —
+    ``{"slow": seconds, "kill": True, "hang": {"freeze": bool}}`` in any
+    combination (all optional; ``None`` means behave).  Order matters:
+
+    * ``slow`` sleeps *before* the batch stamps ``t_start``, so an
+      injected slowdown can blow a deadline without ever polluting the
+      cost model's compute-seconds EWMA;
+    * ``kill`` is the PR 8 crash — hard ``os._exit`` in a pool child,
+      :class:`SweepWorkerDied` inline;
+    * ``hang`` never returns in a pool child (the supervisor must
+      preempt it); ``freeze`` first stops the liveness beat, simulating
+      a process so wedged its watchdog thread is dead too — that is the
+      variant only the heartbeat probe can distinguish from honest work.
+      Inline it raises :class:`SweepWorkerDied`, because a single process
+      cannot supervise its own hang; the retry path covers it.
+    """
+    if not chaos:
+        return
+    slow = chaos.get("slow", 0.0)
+    if slow:
+        time.sleep(slow)
+    if chaos.get("kill"):
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)
+        raise SweepWorkerDied(f"injected kill of {what}")
+    hang = chaos.get("hang")
+    if hang is not None:
+        if multiprocessing.parent_process() is not None:
+            if hang.get("freeze"):
+                from repro.sweep.supervise import suspend_heartbeat
+
+                suspend_heartbeat()
+            while True:  # pragma: no cover - only ever exits via SIGKILL
+                time.sleep(3600)
+        raise SweepWorkerDied(f"injected hang of {what}")
 
 
 def _pool_entry(
@@ -436,7 +484,7 @@ def _pool_entry(
 def _pool_entry_batch(
     spec_data: dict[str, Any],
     replications: Sequence[int],
-    kill: bool,
+    chaos: dict[str, Any] | bool | None,
     attempt: int,
     instrument: bool = False,
 ) -> dict[str, Any]:
@@ -449,15 +497,15 @@ def _pool_entry_batch(
     (:func:`time.perf_counter`, comparable across processes) and
     ``compute_seconds`` feed the host-side cost model and the
     concurrency-overlap accounting — host facts, never report content.
-    Kill injection follows :func:`_pool_entry`: first attempt only, hard
-    ``os._exit`` in a pool child, :class:`SweepWorkerDied` inline.
+
+    ``chaos`` is this attempt's injected-misbehavior verdict, computed on
+    the host from the fault plan (see :func:`_apply_chaos`).  A plain
+    ``bool`` is the PR 8 calling convention — kill on the first attempt —
+    kept so existing callers and pickled submissions stay valid.
     """
-    if kill and attempt == 0:
-        if multiprocessing.parent_process() is not None:
-            os._exit(17)
-        raise SweepWorkerDied(
-            f"injected kill of replication batch {list(replications)}"
-        )
+    if isinstance(chaos, bool):
+        chaos = {"kill": True} if (chaos and attempt == 0) else None
+    _apply_chaos(chaos, f"replication batch {list(replications)}")
     t0 = time.perf_counter()
     out = [run_replication(spec_data, r, instrument=instrument) for r in replications]
     t1 = time.perf_counter()
@@ -546,6 +594,23 @@ def _open_manifest(
 
 
 # ---------------------------------------------------------------------- pool driver
+def _cold_worker_init(
+    profiled: bool = False,
+    heartbeat_dir: str | None = None,
+    heartbeat_interval: float = 1.0,
+) -> None:
+    """Initializer for supervised cold/narrow executors: profiler stamp
+    (when a profiler is attached) plus the liveness heartbeat."""
+    if profiled:
+        from repro.obs.profile import _profile_worker_init
+
+        _profile_worker_init()
+    if heartbeat_dir is not None:
+        from repro.sweep.supervise import start_heartbeat
+
+        start_heartbeat(heartbeat_dir, heartbeat_interval)
+
+
 def run_pool_tasks(
     keys: Sequence[Any],
     call: Callable[[Any, int], tuple[Callable[..., Any], tuple[Any, ...]]],
@@ -555,6 +620,7 @@ def run_pool_tasks(
     what: str = "task",
     profiler: "PoolProfiler | None" = None,
     pool: "WarmPool | str" = "warm",
+    supervisor: Supervisor | None = None,
 ) -> int:
     """Run every task in ``keys`` with crash-salvage; returns pool restarts.
 
@@ -589,6 +655,20 @@ def run_pool_tasks(
     profiling envelope (see :class:`~repro.obs.profile.PoolProfiler`);
     the envelope is unwrapped *before* ``record`` runs, so downstream
     accounting — and the canonical report bytes — are untouched.
+
+    With ``supervisor`` set (and ``workers > 1``), dispatch runs the
+    supervised drive instead: a single windowed loop (used for warm *and*
+    cold pools) whose ``wait`` wakes every
+    :attr:`~repro.sweep.supervise.SupervisionPolicy.poll_interval` to
+    probe deadlines and worker heartbeats.  A detected hang preempts the
+    pool's workers, which lands in the very same salvage/rebuild/resubmit
+    path a crash does — so reports stay byte-identical under hangs for
+    the same reason they do under kills.  When one rung exhausts its
+    restart budget the driver walks the degradation ladder
+    (``warm → cold → narrow → serial``) instead of raising; the serial
+    rung runs inline and always completes.  Unsupervised dispatch
+    (``supervisor=None``) is the exact pre-existing loop — no polling, no
+    ladder, raise after ``max_restarts``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -635,9 +715,9 @@ def run_pool_tasks(
             f"{missing} not completed"
         )
 
-    pending = [k for k in keys if k not in done]
-    if workers == 1:
-        for key in pending:
+    def run_inline(subset: Sequence[Any]) -> None:
+        nonlocal restarts
+        for key in subset:
             while True:
                 try:
                     fn, args = prepare(key)
@@ -646,9 +726,98 @@ def run_pool_tasks(
                 except SweepWorkerDied:
                     attempts[key] += 1
                     restarts += 1
+
+    pending = [k for k in keys if k not in done]
+    if workers == 1:
+        run_inline(pending)
         return restarts
 
     warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
+
+    if supervisor is not None:
+        # ---------------------------------------------------- supervised drive
+        if supervisor.heartbeat_dir is None and warm is not None:
+            supervisor.heartbeat_dir = warm.heartbeat_dir
+        policy = supervisor.policy
+        start = supervisor.rung if supervisor.rung is not None else (
+            "warm" if warm is not None else "cold"
+        )
+        if warm is None and start == "warm":
+            start = "cold"
+        rungs = degradation_ladder(start, workers)
+        budget = supervisor.rung_budget(max_restarts)
+        for rung_idx, (rung, width) in enumerate(rungs):
+            pending = [k for k in keys if k not in done]
+            if not pending:
+                break
+            supervisor.begin(what, rung)
+            if rung == "serial":
+                run_inline(pending)
+                break
+            rung_restarts = 0
+            degraded = False
+            while pending and not degraded:
+                futs = {}
+                cold_ex: ProcessPoolExecutor | None = None
+                try:
+                    if rung == "warm":
+                        assert warm is not None
+                        executor = warm.executor(width)
+                    else:
+                        cold_ex = executor = ProcessPoolExecutor(
+                            max_workers=min(width, len(pending)),
+                            initializer=_cold_worker_init,
+                            initargs=(
+                                profiler is not None,
+                                supervisor.heartbeat_dir,
+                                policy.heartbeat_interval,
+                            ),
+                        )
+                    try:
+                        waiting: set[Any] = set()
+                        idx = 0
+                        while idx < len(pending) or waiting:
+                            while idx < len(pending) and len(waiting) < width:
+                                key = pending[idx]
+                                fn, args = prepare(key)
+                                fut = executor.submit(fn, *args)
+                                futs[fut] = key
+                                waiting.add(fut)
+                                supervisor.track(fut, key)
+                                if rung == "warm":
+                                    warm.tasks_dispatched += 1
+                                idx += 1
+                            finished, waiting = wait(
+                                waiting,
+                                timeout=policy.poll_interval,
+                                return_when=FIRST_COMPLETED,
+                            )
+                            for fut in finished:
+                                supervisor.untrack(fut)
+                                note(futs[fut], fut.result())
+                            if waiting:
+                                supervisor.check(executor)
+                    finally:
+                        if cold_ex is not None:
+                            cold_ex.shutdown(wait=False, cancel_futures=True)
+                except BrokenProcessPool:
+                    salvage(futs)
+                    supervisor.clear_inflight()
+                    restarts += 1
+                    rung_restarts += 1
+                    if rung == "warm":
+                        assert warm is not None
+                        warm.rebuild()
+                    bump_attempts()
+                    if rung_restarts > budget:
+                        if not policy.degrade or rung_idx == len(rungs) - 1:
+                            raise too_many() from None
+                        supervisor.degrade(rung, rungs[rung_idx + 1][0], restarts)
+                        degraded = True
+                pending = [k for k in keys if k not in done]
+        supervisor.reap_shm()
+        return restarts
+
     if warm is None:
         initializer = profiler.initializer if profiler is not None else None
         while pending:
@@ -713,6 +882,7 @@ def run_sweep(
     bus: EventBus | None = None,
     batch_size: int | None = None,
     pool: "WarmPool | str" = "warm",
+    supervision: "SupervisionPolicy | bool | None" = None,
 ) -> SweepOutcome:
     """Run every replication of ``spec``; ``workers`` host processes.
 
@@ -751,6 +921,19 @@ def run_sweep(
     both :class:`~repro.obs.progress.ProgressReporter` and
     :func:`~repro.obs.profile.effective_workers_from_events` consume.
     Neither changes the report bytes.
+
+    Supervision: ``supervision=True`` (default policy) or a
+    :class:`~repro.sweep.supervise.SupervisionPolicy` arms the pool
+    supervisor — per-task deadlines derived from this workload's
+    cost-model estimate, worker heartbeat probes, hang preemption through
+    the salvage path, and the warm→cold→narrow→serial degradation ladder
+    (see :mod:`repro.sweep.supervise`).  Hang/slowdown faults from
+    ``fault_plan`` (:class:`~repro.faults.SweepWorkerHang`,
+    :class:`~repro.faults.SweepWorkerSlow`) are honoured whether or not
+    supervision is armed — an unsupervised hang simply blocks, which is
+    the gap supervision exists to close.  Supervision never changes
+    report bytes either; its facts land on
+    :attr:`SweepOutcome.supervision`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -759,9 +942,32 @@ def run_sweep(
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     spec_data = spec.to_dict()
-    kills: set[int] = set()
-    if fault_plan is not None:
-        kills = {k.replication for k in fault_plan.sweep_kills}
+    injector = None
+    if fault_plan is not None and (
+        fault_plan.sweep_kills or fault_plan.sweep_hangs or fault_plan.sweep_slows
+    ):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan)
+
+    def chaos_for(batch: Sequence[int], attempt: int) -> dict[str, Any] | None:
+        """This attempt's injected-misbehavior verdict for one batch."""
+        if injector is None:
+            return None
+        chaos: dict[str, Any] = {}
+        slow = max((injector.slows_replication(i, attempt) for i in batch), default=0.0)
+        if slow:
+            chaos["slow"] = slow
+        if any(injector.kills_replication(i, attempt) for i in batch):
+            chaos["kill"] = True
+        else:
+            for i in batch:
+                hang = injector.hangs_replication(i, attempt)
+                if hang is not None:
+                    chaos["hang"] = {"freeze": hang.freeze_heartbeat}
+                    break
+        return chaos or None
+
     total = spec.replications
     t0 = time.perf_counter()
     summaries: dict[int, dict[str, Any]] = {}
@@ -800,12 +1006,30 @@ def run_sweep(
     instrument = profiler is not None
     model = cost_model()
     ckey = _sweep_cost_key(spec_data)
+    warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
+    supervisor: Supervisor | None = None
+    if supervision:
+        policy = supervision if isinstance(supervision, SupervisionPolicy) else None
+        supervisor = Supervisor(
+            policy,
+            estimate=lambda: model.estimate(ckey),
+            bus=bus,
+            metrics=profiler.metrics if profiler is not None else None,
+            heartbeat_dir=warm.heartbeat_dir if warm is not None else None,
+            what="replication",
+            t0=t0,
+        )
 
     def run_batches(batches: list[list[int]]) -> int:
+        if supervisor is not None:
+            supervisor.items_of = lambda bi: len(batches[bi])
+
         def call(bi: int, attempt: int):
             batch = batches[bi]
-            kill = any(i in kills for i in batch)
-            return (_pool_entry_batch, (spec_data, batch, kill, attempt, instrument))
+            return (
+                _pool_entry_batch,
+                (spec_data, batch, chaos_for(batch, attempt), attempt, instrument),
+            )
 
         def record_batch(bi: int, envelope: dict[str, Any]) -> None:
             results = envelope["batch"]
@@ -833,13 +1057,13 @@ def run_sweep(
             what="replication",
             profiler=profiler,
             pool=pool,
+            supervisor=supervisor,
         )
 
     def chunked(items: list[int], size: int) -> list[list[int]]:
         return [items[i : i + size] for i in range(0, len(items), size)]
 
     pending = [i for i in range(total) if i not in summaries]
-    warm = pool if isinstance(pool, WarmPool) else (warm_pool() if pool == "warm" else None)
     pool_reused = bool(warm is not None and warm.active and workers > 1)
     used_batch = 1
     try:
@@ -874,6 +1098,7 @@ def run_sweep(
         batch_size=used_batch,
         pool_reused=pool_reused,
         pool_generation=warm.generation if warm is not None else 0,
+        supervision=supervisor.stats() if supervisor is not None else None,
     )
 
 
@@ -884,6 +1109,7 @@ def map_configs(
     max_restarts: int = 2,
     profiler: "PoolProfiler | None" = None,
     pool: "WarmPool | str" = "warm",
+    supervisor: Supervisor | None = None,
 ) -> list[Any]:
     """Order-preserving (optionally parallel) map for figure drivers.
 
@@ -911,5 +1137,6 @@ def map_configs(
         what="config",
         profiler=profiler,
         pool=pool,
+        supervisor=supervisor,
     )
     return [results[i] for i in range(len(items))]

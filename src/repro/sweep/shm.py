@@ -26,6 +26,12 @@ Lifecycle rules (the part shared memory makes easy to get wrong):
 * A worker killed mid-task (OOM, ``os._exit``) merely drops its mapping;
   the kernel frees the pages when the owner unlinks.  The regression
   tests assert a ``--kill-replication`` sweep leaves ``/dev/shm`` clean.
+* A **janitor** (:func:`audit_shm_segments` / :func:`reap_leaked_segments`)
+  scans ``/dev/shm`` for ``repro-map-*`` segments that no live owner in
+  this process claims and that are older than a grace period, and unlinks
+  them.  The pool supervisor runs it after every hang preemption, so a
+  driver that was itself killed mid-sweep (leaving its atexit guard
+  unexecuted) cannot poison the host for the next run.
 
 A store implements ``Mapping[str, np.ndarray]``, so both sides can pass
 it anywhere a plain dict-of-arrays is accepted (``EnablementMapping``
@@ -36,14 +42,21 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
 import secrets
+import time
 from collections.abc import Mapping
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Iterator
 
 import numpy as np
 
-__all__ = ["MapDescriptor", "SharedMapStore"]
+__all__ = [
+    "MapDescriptor",
+    "SharedMapStore",
+    "audit_shm_segments",
+    "reap_leaked_segments",
+]
 
 #: JSON-able per-array descriptor: what a worker needs to reattach.
 MapDescriptor = dict[str, Any]
@@ -322,3 +335,71 @@ class SharedMapStore(Mapping):
         state = "closed" if self._closed else f"{len(self._descriptors)} maps, {self.nbytes()} bytes"
         side = "owner" if self._owner else "attached"
         return f"SharedMapStore({side}, {state})"
+
+
+# ---------------------------------------------------------------------- janitor
+#: Where POSIX shared memory surfaces as files on Linux.
+_SHM_DIR = "/dev/shm"
+
+#: The segment-name prefix :meth:`SharedMapStore.create` uses.
+_SEGMENT_PREFIX = "repro-map-"
+
+
+def _live_segment_names() -> set[str]:
+    """Segment names some live owner in this process still claims."""
+    return {d["segment"] for s in _LIVE_OWNERS for d in s._descriptors.values()}
+
+
+def audit_shm_segments(shm_dir: str = _SHM_DIR) -> list[dict[str, Any]]:
+    """Inventory every ``repro-map-*`` segment visible under ``shm_dir``.
+
+    Returns one record per segment: ``{"segment", "age_seconds", "live"}``
+    where ``live`` means a not-yet-unlinked owner in *this* process claims
+    it.  Read-only — reaping is :func:`reap_leaked_segments`'s job.
+    """
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return []
+    live = _live_segment_names()
+    now = time.time()
+    records = []
+    for name in sorted(names):
+        if not name.startswith(_SEGMENT_PREFIX):
+            continue
+        try:
+            mtime = os.stat(os.path.join(shm_dir, name)).st_mtime
+        except OSError:
+            continue  # raced an unlink; nothing to report
+        records.append(
+            {"segment": name, "age_seconds": max(0.0, now - mtime), "live": name in live}
+        )
+    return records
+
+
+def reap_leaked_segments(
+    grace_seconds: float = 300.0, shm_dir: str = _SHM_DIR
+) -> list[str]:
+    """Unlink orphaned ``repro-map-*`` segments; returns the reaped names.
+
+    A segment is orphaned when no live owner in this process claims it
+    *and* it is at least ``grace_seconds`` old.  The grace period is the
+    safety margin for concurrent sweeps in sibling processes on the same
+    host — their freshly created segments are never touched; a segment
+    that has sat unclaimed for minutes belongs to a driver that died
+    without running its atexit guard.  Unlinking goes straight through
+    the filesystem (no :class:`SharedMemory` attach), so even a
+    truncated or corrupt leftover is reapable.
+    """
+    if grace_seconds < 0:
+        raise ValueError(f"grace_seconds must be >= 0, got {grace_seconds}")
+    reaped = []
+    for record in audit_shm_segments(shm_dir):
+        if record["live"] or record["age_seconds"] < grace_seconds:
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, record["segment"]))
+        except OSError:  # pragma: no cover - raced another janitor
+            continue
+        reaped.append(record["segment"])
+    return reaped

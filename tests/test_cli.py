@@ -259,6 +259,58 @@ class TestProfileCommand:
         assert code == 2
 
 
+class TestSweepSupervisionFlags:
+    ARGS = ("sweep", "identity", "--replications", "2", "--seed", "7",
+            "--sim-workers", "4")
+
+    def test_hang_flag_recovers_byte_identical(self, tmp_path):
+        clean, chaotic = tmp_path / "clean.json", tmp_path / "chaos.json"
+        assert run_cli(*self.ARGS, "-o", str(clean))[0] == 0
+        code, text = run_cli(
+            *self.ARGS, "--workers", "2", "--hang-replication", "1",
+            "--task-timeout", "1", "-o", str(chaotic),
+        )
+        assert code == 0
+        assert clean.read_bytes() == chaotic.read_bytes()
+        assert "hangs        : " in text and "preempted" in text
+
+    def test_slow_flag_parses_and_stays_identical(self, tmp_path):
+        clean, slowed = tmp_path / "clean.json", tmp_path / "slow.json"
+        assert run_cli(*self.ARGS, "-o", str(clean))[0] == 0
+        code, _ = run_cli(
+            *self.ARGS, "--workers", "2", "--slow-replication", "0:0.2",
+            "-o", str(slowed),
+        )
+        assert code == 0
+        assert clean.read_bytes() == slowed.read_bytes()
+
+    def test_malformed_slow_spec_rejected(self, capsys):
+        code, _ = run_cli(*self.ARGS, "--slow-replication", "nope")
+        assert code == 2
+        assert "R:SECONDS" in capsys.readouterr().err
+
+    def test_chaos_seed_env_var_drives_the_harness(self, tmp_path, monkeypatch):
+        clean, chaotic = tmp_path / "clean.json", tmp_path / "chaos.json"
+        monkeypatch.delenv("REPRO_CHAOS_SEED", raising=False)
+        assert run_cli(*self.ARGS, "-o", str(clean))[0] == 0
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "1")
+        code, _ = run_cli(
+            *self.ARGS, "--workers", "2", "--task-timeout", "2",
+            "--heartbeat-timeout", "3", "-o", str(chaotic),
+        )
+        assert code == 0
+        assert clean.read_bytes() == chaotic.read_bytes()
+
+    def test_supervise_flag_alone_changes_nothing(self, tmp_path):
+        clean, supervised = tmp_path / "clean.json", tmp_path / "sup.json"
+        assert run_cli(*self.ARGS, "-o", str(clean))[0] == 0
+        code, _ = run_cli(
+            *self.ARGS, "--workers", "2", "--supervise", "-o", str(supervised)
+        )
+        assert code == 0
+        assert clean.read_bytes() == supervised.read_bytes()
+
+
 class TestSweepProfileFlag:
     def test_profile_report_written_alongside_output(self, tmp_path):
         import json

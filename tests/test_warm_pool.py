@@ -16,7 +16,11 @@ The load-bearing properties:
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 from glob import glob
+
+import pytest
 
 from repro.faults import FaultPlan, SweepWorkerKill
 from repro.obs import PoolProfiler, PoolTaskCompleted, effective_workers_from_events
@@ -170,6 +174,27 @@ class TestByteIdentityAcrossDisciplines:
         finally:
             pool.shutdown()
 
+    def test_salvage_storm_stays_byte_identical_without_leaks(self):
+        # a kill that recurs on three consecutive attempts forces three
+        # full salvage/rebuild/resubmit rounds through the same pool —
+        # the storm must neither corrupt the report nor strand workers
+        pool = WarmPool()
+        try:
+            plan = FaultPlan(faults=(SweepWorkerKill(1, attempts=3),))
+            before = set(pool.worker_pids())
+            outcome = run_sweep(
+                SPEC, workers=2, fault_plan=plan, pool=pool, max_restarts=5
+            )
+            assert outcome.report.to_json() == reference_json()
+            assert outcome.worker_restarts == 3
+            assert pool.generation >= 4, "three storms = three rebuilds"
+            survivors = set(pool.worker_pids())
+            assert survivors, "the pool must end the storm rebuilt and serving"
+        finally:
+            pool.shutdown()
+        for pid in before | survivors:
+            assert not _alive(pid), f"worker {pid} leaked through the storm"
+
     def test_grid_chunked_through_warm_pool_identical(self):
         grid = GridSpec(
             base=SweepSpec("identity", replications=2, seed=5, sim_workers=4),
@@ -186,6 +211,41 @@ class TestByteIdentityAcrossDisciplines:
             assert not first.pool_reused and second.pool_reused
         finally:
             pool.shutdown()
+
+
+class TestAtexitOrdering:
+    def test_interpreter_exit_drains_pool_before_unlinking_segments(self):
+        # atexit runs LIFO: warm_pool() must import repro.sweep.shm (pinning
+        # its unlink guard deeper in the stack) *before* registering
+        # shutdown_warm_pool, so workers drain before their attached
+        # segments vanish.  Regression check is functional: a driver that
+        # exits without any explicit teardown must leave /dev/shm clean
+        # and die quietly (a reversed order yanks maps from live workers).
+        script = """
+import numpy as np
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.pool import warm_pool
+from repro.sweep.shm import SharedMapStore
+
+pool = warm_pool()
+store = SharedMapStore.create({"m": np.arange(32, dtype=np.int64)})
+run_sweep(SweepSpec("identity", replications=2, seed=3, sim_workers=2),
+          workers=2, pool=pool)
+print(" ".join(sorted(d["segment"] for d in store.descriptors().values())))
+"""
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        names = proc.stdout.split()
+        assert names, "subprocess must have created shared segments"
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}"), f"{name} leaked"
+        assert "Traceback" not in proc.stderr
+        assert "leaked shared_memory" not in proc.stderr
 
 
 class TestCostModel:
@@ -212,6 +272,27 @@ class TestCostModel:
         m = CostModel()
         m.observe("k", 1.0, 0)
         m.observe("k", -1.0, 4)
+        assert m.estimate("k") is None
+
+    def test_zero_duration_floors_instead_of_zeroing_the_ewma(self):
+        # timer granularity can report 0.0s for a real batch; a zero EWMA
+        # would snap batch sizes to the fair-share cap AND derive
+        # floor-clamped supervision deadlines that preempt healthy tasks
+        m = CostModel()
+        m.observe("k", 0.0, 100)
+        assert m.estimate("k") == CostModel.MIN_PER_ITEM
+        assert m.pick_batch_size("k", 10, 2) == 5  # fair cap, not infinity
+
+    def test_zero_duration_cannot_collapse_a_real_estimate(self):
+        m = CostModel()
+        m.observe("k", 1.0, 1)
+        m.observe("k", 0.0, 1)
+        assert m.estimate("k") == pytest.approx(0.5, rel=1e-3)
+
+    def test_non_finite_durations_ignored(self):
+        m = CostModel()
+        m.observe("k", float("nan"), 4)
+        m.observe("k", float("inf"), 4)
         assert m.estimate("k") is None
 
 
