@@ -29,16 +29,21 @@ compare two measurements taken on the same run, so they are already
 noise-normalized where it matters, and wall clock depends on how loaded
 the runner is.
 
-The one **absolute** gate is ``sweep_scaling.speedup`` (core suite): the
-warm-pool parallel sweep must beat serial by the core-aware floor from
+Two **absolute** gates ride on the core suite.  ``sweep_scaling.speedup``:
+the warm-pool parallel sweep must beat serial by the core-aware floor from
 :func:`sweep_scaling_floor` — 1.5x on a >=4-core runner, proportionally
 less on narrower machines, and "within 15% of serial" on a single core,
 where real speedup is physically impossible but pool overhead is not.
+``simulate_throughput``: the slotted fast path must beat the closure
+reference by >= 1.3x (always), and the compiled extension by >= 2x when
+the report was produced by a compiled build.  Both print the usable core
+count so a gate trip on a throttled runner is explicable from the log.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
 import sys
 from pathlib import Path
@@ -51,6 +56,8 @@ SUITES: dict[str, tuple[tuple[str, str], ...]] = {
         ("granule_algebra", "union_all_sets_per_second"),
         ("granule_algebra", "or_ranges_per_second"),
         ("event_queue", "events_per_second"),
+        ("simulate_throughput", "events_per_second"),
+        ("simulate_throughput", "events_per_second_pure"),
     ),
     "faults": (
         ("enablement_notify", "granules_per_second"),
@@ -90,7 +97,7 @@ def sweep_scaling_floor(available_cores: int) -> float:
     return 0.85
 
 
-def check_sweep_scaling(current: dict) -> list[str]:
+def check_sweep_scaling(current: dict, baseline: dict) -> list[str]:
     """Absolute-floor gate on the warm-pool sweep speedup (core suite)."""
     bench = current.get("sweep_scaling")
     if bench is None:
@@ -100,19 +107,72 @@ def check_sweep_scaling(current: dict) -> list[str]:
         cores = int(bench["available_cores"])
     except KeyError as exc:
         return [f"sweep_scaling: missing key {exc}"]
+    base_cores = (baseline.get("sweep_scaling") or {}).get("available_cores", "?")
     floor = sweep_scaling_floor(cores)
     status = "FAIL" if speedup < floor else "ok"
     print(
         f"[{status:>4}] core:sweep_scaling.speedup: "
         f"current={speedup:.2f} floor={floor:.2f} "
-        f"(absolute gate at {cores} usable core{'s' if cores != 1 else ''})"
+        f"(absolute gate; available_cores: current={cores}, baseline={base_cores})"
     )
     if speedup < floor:
         return [
             f"sweep_scaling.speedup {speedup:.2f} below the {floor:.2f} floor "
-            f"for {cores} usable core(s)"
+            f"for {cores} usable core(s) (baseline recorded {base_cores})"
         ]
     return []
+
+
+#: absolute floors for the simulation fast path (ISSUE 10 acceptance):
+#: the restructured pure-python dispatch layer must beat the closure
+#: reference by >= 1.3x, the compiled extension by >= 2x.  Both ratios
+#: divide two runs from the same process, so no core-count scaling is
+#: needed — a slow runner slows numerator and denominator alike.
+FASTPATH_SPEEDUP_FLOOR = 1.3
+COMPILED_SPEEDUP_FLOOR = 2.0
+
+
+def check_simulate_throughput(current: dict, baseline: dict) -> list[str]:
+    """Absolute-floor gates on the simulation fast-path speedups."""
+    bench = current.get("simulate_throughput")
+    if bench is None:
+        return ["simulate_throughput: missing from current report"]
+    cores = os.cpu_count() or 1
+    base_path = (baseline.get("simulate_throughput") or {}).get("sim_path", "?")
+    failures: list[str] = []
+
+    gates = [("fastpath_speedup", FASTPATH_SPEEDUP_FLOOR, True)]
+    # the compiled gate applies only when this run actually compiled
+    gates.append(
+        ("compiled_speedup", COMPILED_SPEEDUP_FLOOR, bench.get("sim_path") == "compiled")
+    )
+    for metric, floor, required in gates:
+        value = bench.get(metric)
+        if not required:
+            if value is None:
+                print(
+                    f"[skip] core:simulate_throughput.{metric}: extension not "
+                    f"built (sim_path={bench.get('sim_path')!r}, baseline "
+                    f"sim_path={base_path!r}, available_cores={cores})"
+                )
+            continue
+        if value is None:
+            failures.append(f"simulate_throughput.{metric}: missing from report")
+            continue
+        value = float(value)
+        status = "FAIL" if value < floor else "ok"
+        print(
+            f"[{status:>4}] core:simulate_throughput.{metric}: "
+            f"current={value:.2f} floor={floor:.2f} "
+            f"(absolute gate, same-process ratio; available_cores={cores}, "
+            f"sim_path={bench.get('sim_path')!r})"
+        )
+        if value < floor:
+            failures.append(
+                f"simulate_throughput.{metric} {value:.2f} below the "
+                f"{floor:.2f} floor (available_cores={cores})"
+            )
+    return failures
 
 
 def infer_suite(current_path: Path) -> str:
@@ -170,7 +230,8 @@ def main(argv: list[str]) -> int:
 
     failures = check(current, baseline, suite)
     if suite == "core":
-        failures += check_sweep_scaling(current)
+        failures += check_sweep_scaling(current, baseline)
+        failures += check_simulate_throughput(current, baseline)
     if failures:
         print(f"\n{len(failures)} benchmark regression(s) vs {baseline_path}:")
         for f in failures:

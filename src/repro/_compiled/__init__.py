@@ -1,0 +1,12 @@
+"""Home of the optional compiled simulation core.
+
+Empty in a source checkout.  Building with ``REPRO_BUILD_COMPILED=1``
+(see ``setup.py``) copies ``repro/sim/engine.py``, ``repro/sim/machine.py``
+and ``repro/executive/hotloop.py`` here — with intra-bundle imports
+rewritten to stay inside the bundle — and compiles them with mypyc
+(Cython fallback) into ``repro._compiled.engine`` / ``.machine`` /
+``.hotloop`` extension modules.  :mod:`repro._speed` loads them at
+runtime when present and falls back to the pure-python originals
+otherwise; the two builds are byte-identical in behavior (pinned by
+``tests/test_fastpath_differential.py``).
+"""

@@ -1,0 +1,109 @@
+"""Runtime loader for the optional compiled simulation core.
+
+``pip install -e .[compiled]`` + ``REPRO_BUILD_COMPILED=1 pip wheel .``
+(or ``python setup.py build_ext --inplace``) compiles byte-identical
+copies of :mod:`repro.sim.engine`, :mod:`repro.sim.machine` and
+:mod:`repro.executive.hotloop` into extension modules under
+``repro._compiled`` (mypyc, falling back to Cython — see
+docs/PERFORMANCE.md, "Compiled inner loops").
+
+This module decides, per :class:`~repro.executive.scheduler.ExecutiveSimulation`,
+which build runs:
+
+* ``REPRO_COMPILED=0`` (env) or ``compiled=False`` (parameter) forces the
+  pure-python modules;
+* otherwise the compiled modules are used when importable **as real
+  extension modules** (a stray ``.py`` source copy left by an aborted
+  build does not count);
+* a missing or broken compiled build degrades *silently* to the
+  pure-python fast path — wheels-less installs keep working, and the
+  differential suite pins both builds byte-identical so the fallback is
+  never observable in results.
+"""
+
+from __future__ import annotations
+
+import os
+from types import ModuleType
+from typing import NamedTuple
+
+__all__ = ["SimCore", "compiled_available", "resolve", "sim_path_name"]
+
+#: Modules the optional extension ships, in dependency order.
+COMPILED_MODULES = ("engine", "machine", "hotloop")
+
+
+class SimCore(NamedTuple):
+    """The three inner-loop modules one simulation will use."""
+
+    engine: ModuleType
+    machine: ModuleType
+    hotloop: ModuleType
+    compiled: bool
+
+
+_probe_result: "SimCore | None | str" = "unprobed"
+
+
+def _pure_core() -> SimCore:
+    from repro.executive import hotloop
+    from repro.sim import engine, machine
+
+    return SimCore(engine, machine, hotloop, False)
+
+
+def _probe_compiled() -> "SimCore | None":
+    """Import the compiled bundle once; None when absent or not binary."""
+    global _probe_result
+    if _probe_result != "unprobed":
+        return _probe_result  # type: ignore[return-value]
+    try:
+        import importlib
+
+        mods = [
+            importlib.import_module(f"repro._compiled.{name}")
+            for name in COMPILED_MODULES
+        ]
+    except Exception:
+        _probe_result = None
+        return None
+    for mod in mods:
+        origin = getattr(mod, "__file__", "") or ""
+        if origin.endswith((".py", ".pyc")):
+            # source copy, not a built extension — treat as unavailable
+            _probe_result = None
+            return None
+    _probe_result = SimCore(mods[0], mods[1], mods[2], True)
+    return _probe_result
+
+
+def compiled_available() -> bool:
+    """True when the compiled extension modules can actually be used."""
+    if os.environ.get("REPRO_COMPILED", "1") == "0":
+        return False
+    return _probe_compiled() is not None
+
+
+def resolve(compiled: "bool | None", fastpath: bool = True) -> SimCore:
+    """Pick the simulation core for one run.
+
+    ``fastpath=False`` (the differential reference) and ``compiled=False``
+    always yield the pure-python modules.  ``compiled=None`` (the default)
+    auto-detects; ``compiled=True`` prefers the extension but still
+    degrades silently when it is absent or disabled.
+    """
+    if not fastpath or compiled is False:
+        return _pure_core()
+    if os.environ.get("REPRO_COMPILED", "1") == "0":
+        return _pure_core()
+    core = _probe_compiled()
+    if core is None:
+        return _pure_core()
+    return core
+
+
+def sim_path_name(core: SimCore, fastpath: bool) -> str:
+    """Human-readable path tag: ``pure`` / ``fastpath`` / ``compiled``."""
+    if not fastpath:
+        return "pure"
+    return "compiled" if core.compiled else "fastpath"

@@ -157,6 +157,42 @@ class WaitingComputationQueue:
                 return v
         raise IndexError("peek on empty waiting queue")
 
+    def peek_head(self) -> Any:
+        """O(1) :meth:`peek` touching the ring heads directly (fast path)."""
+        q = self._elevated
+        if q._size == 0:
+            q = self._normal
+            if q._size == 0:
+                raise IndexError("peek on empty waiting queue")
+        return q._head.next.value
+
+    def first_in_window(self, start: int, stop: int, limit: int) -> Any:
+        """First of the leading ``limit`` descriptions whose minimum granule
+        falls in ``[start, stop]``, or the head if none does.
+
+        Equivalent to the data-proximity scan written against ``peek()`` /
+        ``__iter__`` but walks the rings directly, with no generator frames
+        (fast path; IndexError if empty).
+        """
+        scanned = 0
+        head = None
+        for q in (self._elevated, self._normal):
+            sentinel = q._head
+            node = sentinel.next
+            while node is not sentinel:
+                if scanned >= limit:
+                    return head if head is not None else self.peek_head()
+                desc = node.value
+                if head is None:
+                    head = desc
+                if start <= desc.granules.min() <= stop:
+                    return desc
+                scanned += 1
+                node = node.next
+        if head is None:
+            raise IndexError("peek on empty waiting queue")
+        return head
+
     def pop(self) -> Any:
         """Serve the next description; IndexError if empty."""
         if self._elevated:

@@ -60,6 +60,7 @@ from repro.core.overlap import (
 )
 from repro.core.phase import ConstantCost, PhaseProgram, PhaseSpec, SerialAction
 from repro.core.predicate import overlap_is_safe
+from repro import _speed
 from repro.executive.costs import ExecutiveCosts
 from repro.executive.descriptions import ComputationDescription, DescriptionState
 from repro.executive.extensions import Extensions
@@ -162,6 +163,12 @@ class RunResult:
     processor_failures: int = 0
     #: Barrier-watchdog stall detections.
     stalls: int = 0
+    #: Which inner-loop build produced the run: ``pure`` (closure-based
+    #: reference), ``fastpath`` (slotted python records) or ``compiled``
+    #: (optional extension).  Diagnostic only — deliberately excluded from
+    #: canonical summaries/persisted payloads, which are byte-identical
+    #: across all three paths.
+    sim_path: str = "fastpath"
 
     @property
     def utilization(self) -> float:
@@ -300,6 +307,16 @@ class ExecutiveSimulation:
         barrier watchdogs.
     recovery:
         Retry/backoff/watchdog knobs; defaults apply when ``None``.
+    fastpath:
+        Use the restructured inner loop (:mod:`repro.executive.hotloop`
+        plus the machine's slotted dispatch).  ``False`` runs the
+        closure-based reference implementation; results are byte-identical
+        either way (pinned by ``tests/test_fastpath_differential.py``).
+    compiled:
+        Use the optional compiled extension when available.  ``None``
+        (default) auto-detects, ``False`` forces pure python, ``True``
+        prefers the extension but degrades silently when it is absent.
+        ``REPRO_COMPILED=0`` in the environment disables it globally.
     """
 
     def __init__(
@@ -317,10 +334,15 @@ class ExecutiveSimulation:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
         composite_cache: "CompositeMapCache | None" = None,
+        fastpath: bool = True,
+        compiled: "bool | None" = None,
     ) -> None:
         programs = [program] if isinstance(program, PhaseProgram) else list(program)
         if not programs:
             raise ValueError("need at least one program")
+        self.fastpath = fastpath
+        core = _speed.resolve(compiled, fastpath=fastpath)
+        self.sim_path = _speed.sim_path_name(core, fastpath)
         self.config = config or OverlapConfig()
         #: optional cross-run memo for indirect-mapping composite maps
         #: (grid sweeps pass one so adjacent points that differ only in
@@ -331,12 +353,13 @@ class ExecutiveSimulation:
         self.ext = extensions or Extensions()
         self.admission_guard = admission_guard
         self.obs = telemetry
-        self.sim = Simulator(telemetry)
+        self.sim = core.engine.Simulator(telemetry)
         self.trace = Trace()
-        self.machine = Machine(
+        self.machine = core.machine.Machine(
             self.sim, self.trace, n_workers, placement,
             n_executives=self.ext.middle_managers,
             telemetry=telemetry,
+            fastpath=fastpath,
         )
         self.machine.on_processor_idle = self._on_idle
         #: worker index -> (start, stop) of the granule *data region* it
@@ -428,6 +451,9 @@ class ExecutiveSimulation:
             if telemetry is not None
             else None
         )
+        # Built last: the hot loop snapshots per-run caches, labels and
+        # cost constants from the fully constructed simulation.
+        self._hot = core.hotloop.HotLoop(self) if fastpath else None
 
     # ------------------------------------------------------------------ helpers
     def _rng(self, name: str) -> np.random.Generator:
@@ -553,6 +579,7 @@ class ExecutiveSimulation:
             reassignments=self.reassignments,
             processor_failures=self.processor_failures,
             stalls=self.stalls,
+            sim_path=self.sim_path,
         )
 
     # ------------------------------------------------------------------ initiation
@@ -584,6 +611,132 @@ class ExecutiveSimulation:
             lane=CHIEF_LANE,
         )
 
+    def _overlap_decision(
+        self, run: _RunState, succ: _RunState, mapping: EnablementMapping,
+        serial_barrier: bool, safe: bool = True,
+    ) -> AdmissionDecision:
+        return admission_decision(
+            run.spec.name,
+            succ.spec.name,
+            self.config.policy,
+            mapping_kind=mapping.kind,
+            serial_barrier=serial_barrier,
+            safe=safe,
+        )
+
+    def _overlap_init_duration(
+        self,
+        run: _RunState,
+        succ: _RunState,
+        mapping: EnablementMapping,
+        new_descs: list[ComputationDescription],
+    ) -> float:
+        """Price (and perform) overlapped successor initiation."""
+        d = self.costs.phase_init + self.costs.dispatch_overhead
+        maps: dict[str, np.ndarray] = {}
+        if mapping.kind.indirect:
+            map_name = getattr(mapping, "map_name", None)
+            if map_name is not None:
+                gen = run.stream.program.map_generators.get(map_name)
+                if gen is None:
+                    raise KeyError(
+                        f"mapping between {run.spec.name!r} and {succ.spec.name!r} "
+                        f"references map {map_name!r} but no generator is registered"
+                    )
+                maps[map_name] = gen(self._rng(f"map:{map_name}:{run.gid}"))
+        if self.config.verify_safety:
+            # materialize every selection map the two phases' declared
+            # footprints reference, so the PARALLEL check can evaluate
+            # mapped accesses (best effort: unmaterializable maps make
+            # the check refuse the overlap, never guess)
+            from repro.core.access import MappedIndex
+
+            for spec in (run.spec, succ.spec):
+                if spec.access is None:
+                    continue
+                for ref in spec.access.reads + spec.access.writes:
+                    name = getattr(ref.index, "map_name", None)
+                    if not isinstance(ref.index, MappedIndex) or name in maps:
+                        continue
+                    gen = run.stream.program.map_generators.get(name)
+                    if gen is not None:
+                        maps[name] = gen(self._rng(f"map:{name}:{run.gid}"))
+        if self.config.verify_safety:
+            report = overlap_is_safe(run.spec, succ.spec, mapping, maps=maps or None)
+            if not report.safe:
+                run.overlap_aborted = True
+                return d
+        target = None
+        if mapping.kind.indirect and self.config.target_fraction < 1.0:
+            n_target = max(1, int(self.config.target_fraction * succ.n))
+            target = GranuleSet.universe(n_target)
+        engine = EnablementEngine(
+            mapping,
+            n_pred=run.n,
+            n_succ=succ.n,
+            maps=maps or None,
+            group_size=self.config.composite_group_size,
+            target=target,
+            composite_cache=self.composite_cache,
+        )
+        run.maps = maps
+        run.engine_to_next = engine
+        if engine.composite is not None:
+            d += self.costs.map_entry * engine.composite.total_required()
+            if self.config.elevate_enabling_granules:
+                d += self._elevate_enabling_granules(run, engine, new_descs)
+        initially = engine.initially_enabled()
+        if initially:
+            desc = ComputationDescription(succ.gid, succ.spec.name, initially)
+            new_descs.append(desc)
+        return d
+
+    def _overlap_init_done(
+        self,
+        run: _RunState,
+        succ: _RunState,
+        mapping: EnablementMapping,
+        serial_barrier: bool,
+        new_descs: list[ComputationDescription],
+    ) -> None:
+        """Commit (or abort) the overlapped successor initiation."""
+        if run.overlap_aborted or run.engine_to_next is None:
+            # fall back to a strict barrier: the successor will be
+            # initiated normally when this run completes
+            self._record_admission(
+                run, succ, self._overlap_decision(run, succ, mapping, serial_barrier, safe=False)
+            )
+            succ.init_submitted = False
+            if run.stream.frontier == succ.index:
+                self._make_current(succ)
+            return
+        self._record_admission(
+            run, succ, self._overlap_decision(run, succ, mapping, serial_barrier)
+        )
+        succ.initiated = True
+        succ.overlap_active = True
+        succ.stats.overlapped = True
+        succ.stats.overlap_init_time = self.sim.now
+        self._publish(
+            PhaseStarted(self.sim.now, succ.spec.name, succ.gid, overlapped=True)
+        )
+        self._arm_watchdog()
+        for desc in new_descs:
+            self.queue.push(desc, elevated=desc.elevated)
+            if desc.phase_run == succ.gid:
+                succ.enabled = succ.enabled | desc.granules
+                succ.queued = succ.queued | desc.granules
+        self._note_queue_depth()
+        if (
+            self.config.split_strategy is SplitStrategy.PRESPLIT
+            and self._identity_like_overlap(run)
+        ):
+            self._schedule_presplits(run)
+        if run.stream.frontier == succ.index:
+            # the predecessor finished while this job was queued
+            self._make_current(succ)
+        self._dispatch_idle()
+
     def _maybe_overlap_next(self, run: _RunState) -> None:
         """At phase initiation, also initiate the successor in overlap mode."""
         succ = self._next_run(run)
@@ -592,125 +745,31 @@ class ExecutiveSimulation:
         serial_barrier = run.stream.serial_before[succ.index] is not None
         mapping = self._mapping_to_next(run)
         assert mapping is not None
-
-        def decide(safe: bool = True) -> AdmissionDecision:
-            return admission_decision(
-                run.spec.name,
-                succ.spec.name,
-                self.config.policy,
-                mapping_kind=mapping.kind,
-                serial_barrier=serial_barrier,
-                safe=safe,
-            )
-
         if (
             self.config.policy is not OverlapPolicy.NEXT_PHASE
             or serial_barrier  # a serial action between the phases forces the barrier
             or not mapping.kind.overlappable
         ):
-            self._record_admission(run, succ, decide())
+            self._record_admission(
+                run, succ, self._overlap_decision(run, succ, mapping, serial_barrier)
+            )
             return
         succ.init_submitted = True
+        label = f"overlap-init:{succ.spec.name}#{succ.gid}"
+        if self._hot is not None:
+            job = self._hot.overlap_init_job(run, succ, mapping, serial_barrier)
+            self.machine.submit_job(job, lane=CHIEF_LANE)
+            return
 
         new_descs: list[ComputationDescription] = []
 
         def duration() -> float:
-            d = self.costs.phase_init + self.costs.dispatch_overhead
-            maps: dict[str, np.ndarray] = {}
-            if mapping.kind.indirect:
-                map_name = getattr(mapping, "map_name", None)
-                if map_name is not None:
-                    gen = run.stream.program.map_generators.get(map_name)
-                    if gen is None:
-                        raise KeyError(
-                            f"mapping between {run.spec.name!r} and {succ.spec.name!r} "
-                            f"references map {map_name!r} but no generator is registered"
-                        )
-                    maps[map_name] = gen(self._rng(f"map:{map_name}:{run.gid}"))
-            if self.config.verify_safety:
-                # materialize every selection map the two phases' declared
-                # footprints reference, so the PARALLEL check can evaluate
-                # mapped accesses (best effort: unmaterializable maps make
-                # the check refuse the overlap, never guess)
-                from repro.core.access import MappedIndex
-
-                for spec in (run.spec, succ.spec):
-                    if spec.access is None:
-                        continue
-                    for ref in spec.access.reads + spec.access.writes:
-                        name = getattr(ref.index, "map_name", None)
-                        if not isinstance(ref.index, MappedIndex) or name in maps:
-                            continue
-                        gen = run.stream.program.map_generators.get(name)
-                        if gen is not None:
-                            maps[name] = gen(self._rng(f"map:{name}:{run.gid}"))
-            if self.config.verify_safety:
-                report = overlap_is_safe(run.spec, succ.spec, mapping, maps=maps or None)
-                if not report.safe:
-                    run.overlap_aborted = True
-                    return d
-            target = None
-            if mapping.kind.indirect and self.config.target_fraction < 1.0:
-                n_target = max(1, int(self.config.target_fraction * succ.n))
-                target = GranuleSet.universe(n_target)
-            engine = EnablementEngine(
-                mapping,
-                n_pred=run.n,
-                n_succ=succ.n,
-                maps=maps or None,
-                group_size=self.config.composite_group_size,
-                target=target,
-                composite_cache=self.composite_cache,
-            )
-            run.maps = maps
-            run.engine_to_next = engine
-            if engine.composite is not None:
-                d += self.costs.map_entry * engine.composite.total_required()
-                if self.config.elevate_enabling_granules:
-                    d += self._elevate_enabling_granules(run, engine, new_descs)
-            initially = engine.initially_enabled()
-            if initially:
-                desc = ComputationDescription(succ.gid, succ.spec.name, initially)
-                new_descs.append(desc)
-            return d
+            return self._overlap_init_duration(run, succ, mapping, new_descs)
 
         def done() -> None:
-            if run.overlap_aborted or run.engine_to_next is None:
-                # fall back to a strict barrier: the successor will be
-                # initiated normally when this run completes
-                self._record_admission(run, succ, decide(safe=False))
-                succ.init_submitted = False
-                if run.stream.frontier == succ.index:
-                    self._make_current(succ)
-                return
-            self._record_admission(run, succ, decide())
-            succ.initiated = True
-            succ.overlap_active = True
-            succ.stats.overlapped = True
-            succ.stats.overlap_init_time = self.sim.now
-            self._publish(
-                PhaseStarted(self.sim.now, succ.spec.name, succ.gid, overlapped=True)
-            )
-            self._arm_watchdog()
-            for desc in new_descs:
-                self.queue.push(desc, elevated=desc.elevated)
-                if desc.phase_run == succ.gid:
-                    succ.enabled = succ.enabled | desc.granules
-                    succ.queued = succ.queued | desc.granules
-            self._note_queue_depth()
-            if (
-                self.config.split_strategy is SplitStrategy.PRESPLIT
-                and self._identity_like_overlap(run)
-            ):
-                self._schedule_presplits(run)
-            if run.stream.frontier == succ.index:
-                # the predecessor finished while this job was queued
-                self._make_current(succ)
-            self._dispatch_idle()
+            self._overlap_init_done(run, succ, mapping, serial_barrier, new_descs)
 
-        self.machine.submit_mgmt(
-            duration, done, label=f"overlap-init:{succ.spec.name}#{succ.gid}", lane=CHIEF_LANE
-        )
+        self.machine.submit_mgmt(duration, done, label=label, lane=CHIEF_LANE)
 
     def _elevate_enabling_granules(
         self,
@@ -761,6 +820,9 @@ class ExecutiveSimulation:
         present themselves to the executive.  This would allow the
         executive to work ahead in otherwise idle time."
         """
+        if self._hot is not None:
+            self._hot.schedule_presplits(run)
+            return
         tsize = self.sizer.task_size(run.n, self.machine.n_workers)
         n_chunks = math.ceil(run.n / tsize)
 
@@ -786,6 +848,9 @@ class ExecutiveSimulation:
         self._request_work(proc)
 
     def _dispatch_idle(self) -> None:
+        if self._hot is not None:
+            self._hot.dispatch_idle()
+            return
         if not self.queue:
             return
         for proc in self.machine.idle_processors():
@@ -822,6 +887,9 @@ class ExecutiveSimulation:
         return start <= desc.granules.min() <= stop
 
     def _request_work(self, proc: Processor) -> None:
+        if self._hot is not None:
+            self._hot.request_work(proc)
+            return
         if proc.index in self._assign_pending:
             return
         if not self.queue:
@@ -890,7 +958,15 @@ class ExecutiveSimulation:
                 self._schedule_successor_split(run, desc)
             self._dispatch_idle()
 
-        self.machine.submit_mgmt(duration, done, label=f"assign:P{proc.index}")
+        self.machine.submit_mgmt(
+            duration,
+            done,
+            label=f"assign:P{proc.index}",
+            # the queue drained between scheduling and execution: no
+            # description was chosen, so the zero-length span must not be
+            # recorded (it would skew profiler mgmt attribution)
+            noop=lambda: "desc" not in chosen,
+        )
 
     def _note_assignment(
         self, run: _RunState, desc: ComputationDescription, proc: Processor
@@ -961,10 +1037,14 @@ class ExecutiveSimulation:
         )
         if self._injector is not None and self._injector.has_stragglers:
             task_time *= self._injector.slowdown(proc.index, self.sim.now)
+        if self._hot is not None:
+            on_done: Callable[[Processor], None] = self._hot.task_done_callback(child)
+        else:
+            on_done = lambda p, d=child: self._on_task_done(d, p)  # noqa: E731
         started = self.machine.start_task(
             proc,
             task_time,
-            lambda p, d=child: self._on_task_done(d, p),
+            on_done,
             label=f"lateral:{succ.spec.name}#{succ.gid}:{candidate!r}",
         )
         if not started:
@@ -1372,6 +1452,8 @@ def run_program(
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = None,
     composite_cache: "CompositeMapCache | None" = None,
+    fastpath: bool = True,
+    compiled: "bool | None" = None,
 ) -> RunResult:
     """Convenience wrapper: build an :class:`ExecutiveSimulation` and run it."""
     sim = ExecutiveSimulation(
@@ -1388,5 +1470,7 @@ def run_program(
         faults=faults,
         recovery=recovery,
         composite_cache=composite_cache,
+        fastpath=fastpath,
+        compiled=compiled,
     )
     return sim.run(max_events=max_events)

@@ -27,66 +27,90 @@ serialized.
 The machine is mechanical: it executes tasks and management jobs with
 given durations and fires callbacks.  All policy (who gets which task,
 when to split, what to enable) lives in :mod:`repro.executive`.
+
+**Fast path.**  ``fastpath=True`` (the default) replaces the per-job
+``_finish`` closures with precomputed slotted completion records
+(:class:`_TaskFinish`, :class:`_MgmtFinish`) and keeps the idle-worker
+set as an incrementally sorted list, so dispatch after each event walks
+it without re-sorting.  ``fastpath=False`` preserves the closure-based
+reference implementation; both produce byte-identical traces (pinned by
+``tests/test_fastpath_differential.py``).  This module is one of the
+three compiled by the optional extension (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-import enum
+from bisect import insort
 from collections import deque
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.obs.events import MgmtActionDone, ProcessorFailed, WorkerBusy, WorkerIdle
 from repro.sim.engine import Event, Simulator
 from repro.sim.events import EventKind
 from repro.sim.trace import Trace
+from repro.sim.types import CHIEF_LANE, ExecutivePlacement, ProcessorState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.telemetry import Telemetry
 
 __all__ = ["ExecutivePlacement", "ProcessorState", "Processor", "Machine", "CHIEF_LANE"]
 
-#: Lane constant routing a management job to executive server 0.
-CHIEF_LANE = 0
 
-
-class ExecutivePlacement(enum.Enum):
-    """Where executive (management) computation runs."""
-
-    SHARED = "shared"
-    DEDICATED = "dedicated"
-
-
-class ProcessorState(enum.Enum):
-    """What a worker processor is doing."""
-
-    IDLE = "idle"
-    COMPUTING = "computing"
-    MGMT = "mgmt"
-    #: Crashed — never accepts work again; in-flight work was lost.
-    FAILED = "failed"
-
-
-@dataclass(slots=True)
 class Processor:
     """One worker processor."""
 
-    index: int
-    state: ProcessorState = ProcessorState.IDLE
-    tasks_completed: int = 0
-    current_label: str = field(default="", repr=False)
+    __slots__ = ("index", "state", "tasks_completed", "current_label")
+
+    def __init__(
+        self,
+        index: int,
+        state: ProcessorState = ProcessorState.IDLE,
+        tasks_completed: int = 0,
+        current_label: str = "",
+    ) -> None:
+        self.index = index
+        self.state = state
+        self.tasks_completed = tasks_completed
+        self.current_label = current_label
 
     @property
     def name(self) -> str:
         return f"P{self.index}"
 
+    def __repr__(self) -> str:
+        return (
+            f"Processor(index={self.index!r}, state={self.state!r}, "
+            f"tasks_completed={self.tasks_completed!r})"
+        )
 
-@dataclass(slots=True)
+
 class _MgmtJob:
-    duration: "float | Callable[[], float]"
-    on_done: Callable[[], None] | None
-    label: str
-    category: str
+    """One queued executive job (slotted record, no per-job closures).
+
+    ``noop`` is an optional zero-argument predicate evaluated once, after
+    the duration resolves: when it returns True the job is a *no-op* —
+    the work it was scheduled for evaporated between scheduling and
+    execution (e.g. an assignment whose waiting queue drained) — and the
+    machine skips recording its (zero-length) busy span and trace/obs
+    records so profiler management attribution is not skewed by phantom
+    actions.  The job's callback and ordering are unaffected.
+    """
+
+    __slots__ = ("duration", "on_done", "label", "category", "noop")
+
+    def __init__(
+        self,
+        duration: "float | Callable[[], float]",
+        on_done: Callable[[], None] | None,
+        label: str,
+        category: str,
+        noop: Callable[[], bool] | None = None,
+    ) -> None:
+        self.duration = duration
+        self.on_done = on_done
+        self.label = label
+        self.category = category
+        self.noop = noop
 
     def resolve_duration(self) -> float:
         """Evaluate the job's duration at start time.
@@ -118,6 +142,55 @@ class _ExecServer:
         return len(self.urgent) + len(self.background)
 
 
+class _TaskFinish:
+    """Slotted completion record for one computation task (fast path).
+
+    Replaces the per-task ``_finish`` closure: one allocation holding the
+    four facts the completion needs, dispatched by the event loop via
+    ``__call__``.
+    """
+
+    __slots__ = ("machine", "proc", "on_done", "label")
+
+    def __init__(
+        self,
+        machine: "Machine",
+        proc: Processor,
+        on_done: Callable[[Processor], None],
+        label: str,
+    ) -> None:
+        self.machine = machine
+        self.proc = proc
+        self.on_done = on_done
+        self.label = label
+
+    def __call__(self) -> None:
+        self.machine._finish_task(self.proc, self.on_done, self.label)
+
+
+class _MgmtFinish:
+    """Slotted completion record for one management job (fast path)."""
+
+    __slots__ = ("machine", "server", "job", "duration", "skipped")
+
+    def __init__(
+        self,
+        machine: "Machine",
+        server: _ExecServer,
+        job: _MgmtJob,
+        duration: float,
+        skipped: bool,
+    ) -> None:
+        self.machine = machine
+        self.server = server
+        self.job = job
+        self.duration = duration
+        self.skipped = skipped
+
+    def __call__(self) -> None:
+        self.machine._finish_mgmt(self.server, self.job, self.duration, self.skipped)
+
+
 class Machine:
     """``n_workers`` processors and ``n_executives`` serial executive servers.
 
@@ -135,6 +208,11 @@ class Machine:
         Size of the executive pool (middle management when > 1).  In
         SHARED placement, at most ``n_workers`` executives are allowed
         (server *i* is hosted on worker *i*).
+    fastpath:
+        Use the restructured inner loop (slotted completion records,
+        incrementally sorted idle list).  ``False`` preserves the
+        closure-based reference implementation; traces are byte-identical
+        either way.
     """
 
     def __init__(
@@ -145,6 +223,7 @@ class Machine:
         placement: ExecutivePlacement = ExecutivePlacement.SHARED,
         n_executives: int = 1,
         telemetry: "Telemetry | None" = None,
+        fastpath: bool = True,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
@@ -158,7 +237,11 @@ class Machine:
         self.sim = sim
         self.trace = trace
         self.placement = placement
+        self.fastpath = fastpath
         self.processors = [Processor(i) for i in range(n_workers)]
+        # trace resource names, precomputed once (Processor.name is an
+        # f-string property; the fast path must not re-format it per event)
+        self._proc_names = [f"P{i}" for i in range(n_workers)]
         hosts: list[Processor | None]
         if placement is ExecutivePlacement.SHARED:
             hosts = [self.processors[i] for i in range(n_executives)]
@@ -168,11 +251,14 @@ class Machine:
         self._host_server: dict[int, _ExecServer] = {
             s.host.index: s for s in self._servers if s.host is not None
         }
-        # incrementally maintained set of IDLE processor indices, so that
-        # dispatch after each event costs O(idle), not O(n_workers) — at
-        # 1000 simulated processors the difference is the feasibility of
-        # the paper's full-scale example
+        # IDLE processor indices.  The reference keeps a set and sorts it
+        # on every dispatch; the fast path maintains the sorted list
+        # incrementally (bisect insert, O(1)-amortized removal) so that
+        # dispatch after each event never re-sorts — at 1000 simulated
+        # processors the difference is the feasibility of the paper's
+        # full-scale example.
         self._idle_indices: set[int] = set(range(n_workers))
+        self._idle_sorted: list[int] = list(range(n_workers))
         self.mgmt_jobs_done = 0
         self._obs = telemetry
         #: Hook invoked with the processor each time one returns to IDLE.
@@ -181,6 +267,14 @@ class Machine:
         self.on_task_lost: Callable[[Processor], None] | None = None
         # in-flight task-completion events, so a crash can cancel them
         self._task_events: dict[int, Event] = {}
+        if fastpath:
+            # Rebind the per-event entry points to their restructured
+            # variants once, so the hot loop never branches on the flag.
+            # The baseline methods stay as the closure-path reference.
+            self.start_task = self._start_task_fast  # type: ignore[method-assign]
+            self._try_start_mgmt = self._try_start_mgmt_fast  # type: ignore[method-assign]
+            self._finish_task = self._finish_task_fast  # type: ignore[method-assign]
+            self._finish_mgmt = self._finish_mgmt_fast  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -203,6 +297,27 @@ class Machine:
     def _server_for(self, proc: Processor) -> _ExecServer | None:
         return self._host_server.get(proc.index)
 
+    def _idle_add(self, index: int) -> None:
+        if self.fastpath:
+            insort(self._idle_sorted, index)
+        else:
+            self._idle_indices.add(index)
+
+    def _idle_discard(self, index: int) -> None:
+        if self.fastpath:
+            lst = self._idle_sorted
+            lo, hi = 0, len(lst)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if lst[mid] < index:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(lst) and lst[lo] == index:
+                del lst[lo]
+        else:
+            self._idle_indices.discard(index)
+
     def idle_processors(self) -> list[Processor]:
         """Workers currently able to accept a task, in index order.
 
@@ -210,10 +325,14 @@ class Machine:
         urgent work pending or running — management has priority on its
         processor.
         """
+        indices = self._idle_sorted if self.fastpath else sorted(self._idle_indices)
+        procs = self.processors
+        if not self._host_server:
+            return [procs[i] for i in indices]
         out = []
-        for i in sorted(self._idle_indices):
-            p = self.processors[i]
-            server = self._server_for(p)
+        for i in indices:
+            p = procs[i]
+            server = self._host_server.get(i)
             if server is not None and (server.busy or server.urgent):
                 continue
             out.append(p)
@@ -257,37 +376,109 @@ class Machine:
             raise ValueError(f"negative task duration {duration}")
         if proc.state is not ProcessorState.IDLE:
             return False
-        server = self._server_for(proc)
+        server = self._host_server.get(proc.index) if self._host_server else None
         if server is not None and (server.busy or server.urgent):
             return False
         proc.state = ProcessorState.COMPUTING
-        self._idle_indices.discard(proc.index)
+        self._idle_discard(proc.index)
         proc.current_label = label
-        self.trace.begin(proc.name, self.sim.now, "compute", label)
-        self.trace.log(self.sim.now, EventKind.TASK_START, proc.name, label=label)
+        now = self.sim.now
+        self.trace.begin(proc.name, now, "compute", label)
+        self.trace.log(now, EventKind.TASK_START, proc.name, label=label)
         if self._obs is not None:
-            self._obs.bus.publish(WorkerBusy(self.sim.now, proc.name, "compute"))
+            self._obs.bus.publish(WorkerBusy(now, proc.name, "compute"))
 
-        def _finish() -> None:
-            self._task_events.pop(proc.index, None)
-            self.trace.end(proc.name, self.sim.now, "compute")
-            self.trace.log(self.sim.now, EventKind.TASK_END, proc.name, label=label)
-            proc.state = ProcessorState.IDLE
-            self._idle_indices.add(proc.index)
-            proc.current_label = ""
-            proc.tasks_completed += 1
-            if self._obs is not None:
-                self._obs.bus.publish(WorkerIdle(self.sim.now, proc.name))
-            on_done(proc)
-            # Management may have queued while this task ran on the host.
-            host_server = self._server_for(proc)
-            if host_server is not None:
-                self._try_start_mgmt(host_server)
-            if self.on_processor_idle is not None and proc.state is ProcessorState.IDLE:
-                self.on_processor_idle(proc)
+        def finish() -> None:
+            self._finish_task(proc, on_done, label)
 
-        self._task_events[proc.index] = self.sim.schedule_after(duration, _finish, priority=0)
+        self._task_events[proc.index] = self.sim.schedule_after(duration, finish, priority=0)
         return True
+
+    def _start_task_fast(
+        self,
+        proc: Processor,
+        duration: float,
+        on_done: Callable[[Processor], None],
+        label: str = "",
+    ) -> bool:
+        """:meth:`start_task` restructured: cached names, slotted finish."""
+        if duration < 0:
+            raise ValueError(f"negative task duration {duration}")
+        if proc.state is not ProcessorState.IDLE:
+            return False
+        index = proc.index
+        if self._host_server:
+            server = self._host_server.get(index)
+            if server is not None and (server.busy or server.urgent):
+                return False
+        proc.state = ProcessorState.COMPUTING
+        lst = self._idle_sorted
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid] < index:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(lst) and lst[lo] == index:
+            del lst[lo]
+        proc.current_label = label
+        now = self.sim._now
+        name = self._proc_names[index]
+        self.trace.begin_logged(name, now, "compute", label, EventKind.TASK_START)
+        if self._obs is not None:
+            self._obs.bus.publish(WorkerBusy(now, name, "compute"))
+        self._task_events[index] = self.sim.schedule_after(
+            duration, _TaskFinish(self, proc, on_done, label), priority=0
+        )
+        return True
+
+    def _finish_task(
+        self, proc: Processor, on_done: Callable[[Processor], None], label: str
+    ) -> None:
+        """Close out one computation task (closure-path reference)."""
+        self._task_events.pop(proc.index, None)
+        now = self.sim.now
+        self.trace.end(proc.name, now, "compute")
+        self.trace.log(now, EventKind.TASK_END, proc.name, label=label)
+        proc.state = ProcessorState.IDLE
+        self._idle_add(proc.index)
+        proc.current_label = ""
+        proc.tasks_completed += 1
+        if self._obs is not None:
+            self._obs.bus.publish(WorkerIdle(now, proc.name))
+        on_done(proc)
+        # Management may have queued while this task ran on the host.
+        host_server = self._host_server.get(proc.index) if self._host_server else None
+        if host_server is not None:
+            self._try_start_mgmt(host_server)
+        if self.on_processor_idle is not None and proc.state is ProcessorState.IDLE:
+            self.on_processor_idle(proc)
+
+    def _finish_task_fast(
+        self, proc: Processor, on_done: Callable[[Processor], None], label: str
+    ) -> None:
+        """:meth:`_finish_task` restructured for the slotted dispatch path."""
+        index = proc.index
+        self._task_events.pop(index, None)
+        now = self.sim._now
+        name = self._proc_names[index]
+        self.trace.end_logged(name, now, "compute", label, EventKind.TASK_END)
+        proc.state = ProcessorState.IDLE
+        insort(self._idle_sorted, index)
+        proc.current_label = ""
+        proc.tasks_completed += 1
+        if self._obs is not None:
+            self._obs.bus.publish(WorkerIdle(now, name))
+        on_done(proc)
+        # Management may have queued while this task ran on the host.
+        hs = self._host_server
+        if hs:
+            host_server = hs.get(index)
+            if host_server is not None and (host_server.urgent or host_server.background):
+                self._try_start_mgmt(host_server)
+        if self.on_processor_idle is not None and proc.state is ProcessorState.IDLE:
+            self.on_processor_idle(proc)
 
     # ------------------------------------------------------------------ faults
     def fail_processor(self, proc: Processor) -> None:
@@ -318,7 +509,7 @@ class Machine:
             self.trace.log(
                 self.sim.now, EventKind.TASK_LOST, proc.name, label=lost_label
             )
-        self._idle_indices.discard(proc.index)
+        self._idle_discard(proc.index)
         was_computing = proc.state is ProcessorState.COMPUTING
         proc.state = ProcessorState.FAILED
         proc.current_label = ""
@@ -339,6 +530,7 @@ class Machine:
         category: str = "mgmt",
         background: bool = False,
         lane: int | None = None,
+        noop: Callable[[], bool] | None = None,
     ) -> None:
         """Queue a serial executive job.
 
@@ -352,6 +544,12 @@ class Machine:
         ``lane`` pins the job to a specific server (``CHIEF_LANE`` = 0 for
         phase-level decisions); ``None`` lets the machine pick an idle (or
         least-loaded) server — the middle-management distribution.
+
+        ``noop`` is an optional zero-argument predicate evaluated after
+        the duration resolves; True means the job turned out to be a no-op
+        (e.g. an assignment whose queue drained) and its zero-length busy
+        span plus trace/obs records are skipped.  Scheduling, ordering and
+        the ``on_done`` callback are unaffected.
         """
         if not callable(duration) and duration < 0:
             raise ValueError(f"negative management duration {duration}")
@@ -361,13 +559,41 @@ class Machine:
             server = self._servers[lane]
         else:
             server = self._pick_server()
-        job = _MgmtJob(duration, on_done, label, category)
+        job = _MgmtJob(duration, on_done, label, category, noop)
+        (server.background if background else server.urgent).append(job)
+        self._try_start_mgmt(server)
+
+    def submit_job(
+        self,
+        job: "_MgmtJob",
+        background: bool = False,
+        lane: int | None = None,
+    ) -> None:
+        """Queue a prebuilt executive job record (fast path).
+
+        ``job`` is any object with the :class:`_MgmtJob` interface —
+        ``resolve_duration()``, ``label``, ``category``, ``on_done``
+        (callable or None) and ``noop`` (predicate or None).  The hot
+        dispatch layer (:mod:`repro.executive.hotloop`) builds slotted
+        records once per action instead of closing over locals, then
+        hands them here; validation and server choice match
+        :meth:`submit_mgmt`.
+        """
+        servers = self._servers
+        if lane is not None:
+            server = servers[lane]
+        elif len(servers) == 1:
+            server = servers[0]
+        else:
+            server = self._pick_server()
         (server.background if background else server.urgent).append(job)
         self._try_start_mgmt(server)
 
     def _pick_server(self) -> _ExecServer:
         """Least-loaded server; deterministic tie-break by index."""
         best = self._servers[0]
+        if len(self._servers) == 1:
+            return best
         best_load = best.pending() + (1 if best.busy else 0)
         for s in self._servers[1:]:
             load = s.pending() + (1 if s.busy else 0)
@@ -384,45 +610,143 @@ class Machine:
         job = server.urgent.popleft() if server.urgent else server.background.popleft()
         server.busy = True
         job_duration = job.resolve_duration()
+        # the no-op verdict is fixed at start time so begin/end stay paired
+        skipped = job.noop is not None and job.noop()
+        now = self.sim.now
         if host is not None:
             host.state = ProcessorState.MGMT
-            self._idle_indices.discard(host.index)
-            self.trace.begin(host.name, self.sim.now, job.category, job.label)
-            if self._obs is not None:
-                self._obs.bus.publish(WorkerBusy(self.sim.now, host.name, job.category))
-        self.trace.begin(server.resource, self.sim.now, job.category, job.label)
-        self.trace.log(self.sim.now, EventKind.MGMT_START, server.resource, label=job.label)
+            self._idle_discard(host.index)
+            if not skipped:
+                self.trace.begin(host.name, now, job.category, job.label)
+                if self._obs is not None:
+                    self._obs.bus.publish(WorkerBusy(now, host.name, job.category))
+        if not skipped:
+            self.trace.begin(server.resource, now, job.category, job.label)
+            self.trace.log(now, EventKind.MGMT_START, server.resource, label=job.label)
 
-        def _finish() -> None:
-            self.trace.end(server.resource, self.sim.now, job.category)
-            if host is not None:
-                self.trace.end(host.name, self.sim.now, job.category)
-                host.state = ProcessorState.IDLE
-                self._idle_indices.add(host.index)
-            self.trace.log(self.sim.now, EventKind.MGMT_END, server.resource, label=job.label)
-            if self._obs is not None:
-                if host is not None:
-                    self._obs.bus.publish(WorkerIdle(self.sim.now, host.name))
-                self._obs.bus.publish(
-                    MgmtActionDone(
-                        self.sim.now, server.resource, job.label, job_duration, job.category
+        def finish() -> None:
+            self._finish_mgmt(server, job, job_duration, skipped)
+
+        self.sim.schedule_after(job_duration, finish, priority=-1)
+
+    def _try_start_mgmt_fast(self, server: _ExecServer) -> None:
+        """:meth:`_try_start_mgmt` restructured for the slotted dispatch path.
+
+        Also serves :meth:`submit_job` records, whose ``noop``/``on_done``
+        are methods (or class-level ``None``) rather than stored closures.
+        """
+        if server.busy or not (server.urgent or server.background):
+            return
+        host = server.host
+        if host is not None and host.state is ProcessorState.COMPUTING:
+            return  # non-preemptive: wait for the host's task to finish
+        job = server.urgent.popleft() if server.urgent else server.background.popleft()
+        server.busy = True
+        job_duration = job.resolve_duration()
+        # the no-op verdict is fixed at start time so begin/end stay paired
+        noop = job.noop
+        skipped = noop is not None and noop()
+        now = self.sim._now
+        trace = self.trace
+        if host is not None:
+            host.state = ProcessorState.MGMT
+            index = host.index
+            lst = self._idle_sorted
+            lo, hi = 0, len(lst)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if lst[mid] < index:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(lst) and lst[lo] == index:
+                del lst[lo]
+            if not skipped:
+                trace.begin(self._proc_names[index], now, job.category, job.label)
+                if self._obs is not None:
+                    self._obs.bus.publish(
+                        WorkerBusy(now, self._proc_names[index], job.category)
                     )
-                )
-            server.busy = False
-            self.mgmt_jobs_done += 1
-            if job.on_done is not None:
-                job.on_done()
-            self._try_start_mgmt(server)
-            if (
-                host is not None
-                and host.state is ProcessorState.IDLE
-                and not server.busy
-                and not server.pending()
-                and self.on_processor_idle is not None
-            ):
-                self.on_processor_idle(host)
+        if not skipped:
+            trace.begin_logged(
+                server.resource, now, job.category, job.label, EventKind.MGMT_START
+            )
+        self.sim.schedule_after(
+            job_duration, _MgmtFinish(self, server, job, job_duration, skipped), priority=-1
+        )
 
-        self.sim.schedule_after(job_duration, _finish, priority=-1)
+    def _finish_mgmt_fast(
+        self, server: _ExecServer, job: _MgmtJob, job_duration: float, skipped: bool
+    ) -> None:
+        """:meth:`_finish_mgmt` restructured for the slotted dispatch path."""
+        now = self.sim._now
+        trace = self.trace
+        host = server.host
+        if not skipped:
+            trace.end_logged(
+                server.resource, now, job.category, job.label, EventKind.MGMT_END
+            )
+        if host is not None:
+            if not skipped:
+                trace.end(self._proc_names[host.index], now, job.category)
+            host.state = ProcessorState.IDLE
+            insort(self._idle_sorted, host.index)
+        if self._obs is not None and not skipped:
+            if host is not None:
+                self._obs.bus.publish(WorkerIdle(now, self._proc_names[host.index]))
+            self._obs.bus.publish(
+                MgmtActionDone(now, server.resource, job.label, job_duration, job.category)
+            )
+        server.busy = False
+        self.mgmt_jobs_done += 1
+        od = job.on_done
+        if od is not None:
+            od()
+        if server.urgent or server.background:
+            self._try_start_mgmt(server)
+        if (
+            host is not None
+            and host.state is ProcessorState.IDLE
+            and not server.busy
+            and not (server.urgent or server.background)
+            and self.on_processor_idle is not None
+        ):
+            self.on_processor_idle(host)
+
+    def _finish_mgmt(
+        self, server: _ExecServer, job: _MgmtJob, job_duration: float, skipped: bool
+    ) -> None:
+        """Close out one management job (closure-path reference)."""
+        now = self.sim.now
+        host = server.host
+        if not skipped:
+            self.trace.end(server.resource, now, job.category)
+        if host is not None:
+            if not skipped:
+                self.trace.end(host.name, now, job.category)
+            host.state = ProcessorState.IDLE
+            self._idle_add(host.index)
+        if not skipped:
+            self.trace.log(now, EventKind.MGMT_END, server.resource, label=job.label)
+        if self._obs is not None and not skipped:
+            if host is not None:
+                self._obs.bus.publish(WorkerIdle(now, host.name))
+            self._obs.bus.publish(
+                MgmtActionDone(now, server.resource, job.label, job_duration, job.category)
+            )
+        server.busy = False
+        self.mgmt_jobs_done += 1
+        if job.on_done is not None:
+            job.on_done()
+        self._try_start_mgmt(server)
+        if (
+            host is not None
+            and host.state is ProcessorState.IDLE
+            and not server.busy
+            and not server.pending()
+            and self.on_processor_idle is not None
+        ):
+            self.on_processor_idle(host)
 
     # ------------------------------------------------------------------ stats
     def compute_time(self) -> float:

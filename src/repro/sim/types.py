@@ -1,0 +1,37 @@
+"""Leaf types shared between the pure and compiled simulation cores.
+
+The optional compiled extension (see docs/PERFORMANCE.md, "Compiled inner
+loops") ships mypyc/Cython builds of :mod:`repro.sim.engine`,
+:mod:`repro.sim.machine` and :mod:`repro.executive.hotloop` under
+``repro._compiled``.  Enum *identity* must not depend on which build is
+imported — the executive compares ``placement is ExecutivePlacement.SHARED``
+and ``proc.state is ProcessorState.FAILED`` across module boundaries — so
+the enums and constants live here, in a module that is never compiled and
+is imported by both builds.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExecutivePlacement", "ProcessorState", "CHIEF_LANE"]
+
+#: Lane constant routing a management job to executive server 0.
+CHIEF_LANE = 0
+
+
+class ExecutivePlacement(enum.Enum):
+    """Where executive (management) computation runs."""
+
+    SHARED = "shared"
+    DEDICATED = "dedicated"
+
+
+class ProcessorState(enum.Enum):
+    """What a worker processor is doing."""
+
+    IDLE = "idle"
+    COMPUTING = "computing"
+    MGMT = "mgmt"
+    #: Crashed — never accepts work again; in-flight work was lost.
+    FAILED = "failed"

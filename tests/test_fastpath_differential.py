@@ -1,0 +1,301 @@
+"""Differential byte-identity: pure vs fastpath vs compiled simulation.
+
+The ISSUE 10 tentpole replaces the scheduler's closure-per-action inner
+loop with the slotted dispatch layer (:mod:`repro.executive.hotloop` +
+the machine fast variants) and optionally compiles it.  The substitution
+property backing it: for any workload, configuration, fault plan and
+telemetry setting, the canonical run report — ``result_summary`` plus the
+full persisted trace — is **byte-identical** across
+
+* ``fastpath=False`` (the paper-shaped closure reference),
+* ``fastpath=True``  (the slotted dispatch layer), and
+* the compiled extension, when built (skipped otherwise; CI builds it).
+
+``ComputationDescription`` ids come from a process-global counter, so
+every run here resets it — two back-to-back runs of the *same* path
+would otherwise differ in ``succ-split:...`` labels.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import _speed
+from repro.core.overlap import OverlapConfig, SplitStrategy
+from repro.executive import descriptions
+from repro.executive.scheduler import run_program
+from repro.executive.splitting import TaskSizer
+from repro.faults.plan import (
+    FaultPlan,
+    ProcessorCrash,
+    RecoveryPolicy,
+    StragglerSlowdown,
+    TransientGranuleError,
+)
+from repro.executive.extensions import Extensions
+from repro.obs.telemetry import Telemetry
+from repro.sim.events import EventKind
+from repro.sim.machine import ExecutivePlacement, Machine
+from repro.sim.engine import Simulator
+from repro.sim.persist import trace_to_dict
+from repro.sim.trace import Trace
+from repro.sweep.runner import build_workload, result_summary, workload_names
+
+COMPILED = _speed.compiled_available()
+
+
+def _reset_description_ids() -> None:
+    descriptions._description_ids = itertools.count(1)
+
+
+def canonical(result) -> tuple[str, str]:
+    """The two byte-exact artifacts a run is judged by."""
+    return (
+        json.dumps(result_summary(result), sort_keys=True, default=str),
+        json.dumps(trace_to_dict(result.trace), sort_keys=True, default=str),
+    )
+
+
+def run_once(workload, fastpath, *, compiled=False, params=None, **kw):
+    _reset_description_ids()
+    program = build_workload(workload, params)
+    return run_program(
+        program, kw.pop("workers", 8), fastpath=fastpath, compiled=compiled, **kw
+    )
+
+
+def assert_identical(workload, *, params=None, **kw):
+    pure = canonical(run_once(workload, False, params=params, **kw))
+    fast = canonical(run_once(workload, True, params=params, **kw))
+    assert pure == fast, f"pure vs fastpath diverged on {workload} {kw}"
+    if COMPILED:
+        comp = canonical(run_once(workload, True, compiled=True, params=params, **kw))
+        assert pure == comp, f"pure vs compiled diverged on {workload} {kw}"
+
+
+# ------------------------------------------------------------------ workloads
+class TestAllWorkloads:
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_byte_identity(self, workload):
+        assert_identical(workload, seed=3)
+
+
+# ------------------------------------------------------------------ configs
+CONFIGS = {
+    "shared": dict(placement=ExecutivePlacement.SHARED),
+    "middle-mgmt": dict(
+        placement=ExecutivePlacement.SHARED,
+        extensions=Extensions(middle_managers=2),
+    ),
+    "proximity": dict(extensions=Extensions(data_proximity=True, proximity_scan=4)),
+    "lateral": dict(extensions=Extensions(lateral_handoff=True, lateral_cost=0.1)),
+    "remote": dict(extensions=Extensions(remote_penalty=1.5)),
+    "presplit": dict(config=OverlapConfig(split_strategy=SplitStrategy.PRESPLIT)),
+    "successor-task": dict(
+        config=OverlapConfig(split_strategy=SplitStrategy.SUCCESSOR_TASK)
+    ),
+    "barrier": dict(config=OverlapConfig.barrier()),
+    "small-tasks": dict(sizer=TaskSizer(tasks_per_processor=8.0)),
+}
+
+
+class TestConfigMatrix:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    @pytest.mark.parametrize("workload", ["identity", "checkerboard"])
+    def test_byte_identity(self, workload, name):
+        assert_identical(workload, seed=3, **CONFIGS[name])
+
+
+# ------------------------------------------------------------------ faults
+#: REPRO_FAULT_SEED lets CI fan the fault matrix across extra seeds.
+FAULT_SEEDS = [7, 11] + [
+    int(s) for s in os.environ.get("REPRO_FAULT_SEED", "").split(",") if s.strip()
+]
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+    @pytest.mark.parametrize("workload", ["casper", "identity"])
+    def test_byte_identity_under_faults(self, workload, fault_seed):
+        plan = FaultPlan(
+            seed=fault_seed,
+            faults=(
+                ProcessorCrash(5, 40.0),
+                TransientGranuleError(0.05),
+                StragglerSlowdown(0.3, 2.5),
+            ),
+        )
+        assert_identical(
+            workload,
+            seed=3,
+            faults=plan,
+            recovery=RecoveryPolicy(watchdog_timeout=25.0),
+        )
+
+    def test_byte_identity_with_telemetry_and_faults(self):
+        plan = FaultPlan(seed=11, faults=(TransientGranuleError(0.05),))
+        outs = []
+        events = []
+        for fastpath in (False, True):
+            tel = Telemetry()
+            _reset_description_ids()
+            result = run_program(
+                build_workload("identity"),
+                8,
+                seed=3,
+                fastpath=fastpath,
+                faults=plan,
+                telemetry=tel,
+            )
+            outs.append(canonical(result))
+            events.append(tel.bus.events_published)
+        assert outs[0] == outs[1]
+        assert events[0] == events[1], "telemetry event counts must match"
+
+
+# ------------------------------------------------------------------ sanitizer
+class TestSanitizer:
+    def test_sanitizer_verdict_and_trace_identical(self):
+        from repro.lint import sanitize_result
+
+        reports = []
+        for fastpath in (False, True):
+            _reset_description_ids()
+            program = build_workload("checkerboard")
+            result = run_program(program, 8, seed=3, fastpath=fastpath)
+            report = sanitize_result(result, program)
+            reports.append((report.ok, report.render_text(), canonical(result)))
+        assert reports[0] == reports[1]
+        assert reports[0][0], "sanitizer must pass on a clean run"
+
+
+# ------------------------------------------------------------------ hypothesis
+@st.composite
+def run_config(draw):
+    workers = draw(st.integers(1, 12))
+    placement = draw(st.sampled_from(list(ExecutivePlacement)))
+    mm = draw(st.integers(1, min(3, workers)))
+    kw = {
+        "workers": workers,
+        "seed": draw(st.integers(0, 50)),
+        "placement": placement,
+        "config": OverlapConfig(split_strategy=draw(st.sampled_from(list(SplitStrategy)))),
+        "sizer": TaskSizer(
+            tasks_per_processor=draw(st.sampled_from([1.0, 2.0, 4.0, 8.0]))
+        ),
+        "extensions": Extensions(
+            middle_managers=mm,
+            lateral_handoff=draw(st.booleans()),
+            data_proximity=draw(st.booleans()),
+            remote_penalty=draw(st.sampled_from([1.0, 1.5])),
+        ),
+    }
+    if draw(st.booleans()):
+        kw["faults"] = FaultPlan(
+            seed=draw(st.integers(0, 20)),
+            faults=(TransientGranuleError(draw(st.sampled_from([0.02, 0.1]))),),
+        )
+    return kw
+
+
+class TestRandomizedConfigs:
+    @settings(max_examples=20, deadline=None)
+    @given(kw=run_config(), workload=st.sampled_from(["identity", "checkerboard"]))
+    def test_byte_identity(self, kw, workload):
+        params = {"n": 48} if workload == "identity" else {"grid_side": 24}
+        assert_identical(workload, params=params, **kw)
+
+
+# ------------------------------------------------------------------ sim_path
+class TestSimPath:
+    def test_sim_path_reported_not_persisted(self):
+        result = run_once("identity", True)
+        assert result.sim_path == ("compiled" if COMPILED else "fastpath")
+        pure = run_once("identity", False)
+        assert pure.sim_path == "pure"
+        # diagnostic only: canonical artifacts must not carry the path
+        for blob in canonical(result):
+            assert "sim_path" not in blob
+
+    def test_env_kill_switch_forces_pure_modules(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        core = _speed.resolve(None)
+        assert core.compiled is False
+        assert _speed.compiled_available() is False
+
+    def test_compiled_false_degrades_silently(self):
+        # compiled=True must not raise even when no extension is built
+        result = run_once("identity", True, compiled=True)
+        fallback = run_once("identity", True, compiled=False)
+        assert canonical(result) == canonical(fallback)
+
+
+# ------------------------------------------------------------------ noop spans
+class TestNoopMgmtSpans:
+    """The satellite fix: a no-op assign records no span, trace or obs
+    records, while a genuine zero-duration job (ExecutiveCosts.free)
+    still records everything."""
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_noop_job_records_nothing(self, fastpath):
+        trace = Trace()
+        machine = Machine(Simulator(), trace, 2, fastpath=fastpath)
+        fired = []
+        machine.submit_mgmt(
+            0.0, lambda: fired.append(True), label="assign:P0", noop=lambda: True
+        )
+        machine.sim.run()
+        assert fired == [True], "on_done must still fire"
+        assert machine.mgmt_jobs_done == 1
+        assert trace.records == []
+        assert list(trace.intervals()) == []
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_zero_duration_genuine_job_still_records(self, fastpath):
+        trace = Trace()
+        machine = Machine(Simulator(), trace, 2, fastpath=fastpath)
+        machine.submit_mgmt(0.0, None, label="assign:P0")
+        machine.sim.run()
+        kinds = [r.kind for r in trace.records]
+        assert kinds == [EventKind.MGMT_START, EventKind.MGMT_END]
+        # SHARED placement: one interval on the server, one on its host
+        ivs = list(trace.intervals())
+        assert sorted(iv.resource for iv in ivs) == ["EXEC", "P0"]
+        assert all(iv.duration == 0.0 for iv in ivs)
+
+    def test_drained_queue_assign_leaves_no_span(self):
+        """End to end: runs always retire every queued assignment, and
+        no zero-length mgmt interval labelled ``assign:*`` survives
+        unless it did real work (real work pays ``costs.assign`` > 0)."""
+        for fastpath in (False, True):
+            _reset_description_ids()
+            result = run_program(
+                build_workload("identity"), 8, seed=3, fastpath=fastpath
+            )
+            for iv in result.trace.intervals():
+                if iv.category == "mgmt" and iv.label.startswith("assign:"):
+                    assert iv.duration > 0.0, (
+                        f"phantom zero-length assign span {iv} ({fastpath=})"
+                    )
+
+
+# ------------------------------------------------------------------ compiled
+@pytest.mark.skipif(not COMPILED, reason="compiled extension not built")
+class TestCompiledBuild:
+    def test_extension_modules_are_binary(self):
+        core = _speed.resolve(None)
+        assert core.compiled
+        for mod in (core.engine, core.machine, core.hotloop):
+            assert not (mod.__file__ or "").endswith((".py", ".pyc"))
+
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_compiled_byte_identity_all_workloads(self, workload):
+        pure = canonical(run_once(workload, False, seed=3))
+        comp = canonical(run_once(workload, True, compiled=True, seed=3))
+        assert pure == comp
